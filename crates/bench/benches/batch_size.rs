@@ -1,0 +1,57 @@
+//! E5 bench: batch combination and size accounting under heavy load
+//! (Theorem 18 / Theorem 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skueue_core::{Batch, BatchOp, Mode};
+use skueue_workloads::{run_per_node_rate, ScenarioParams};
+use std::time::Duration;
+
+fn batch_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_size");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // Micro: combining many batches (the anchor's hot path).
+    group.bench_function("combine_1000_batches", |b| {
+        let parts: Vec<Batch> = (0..1000)
+            .map(|i| {
+                let mut batch = Batch::empty();
+                for j in 0..(i % 7) {
+                    batch.push_op(if j % 2 == 0 { BatchOp::Enqueue } else { BatchOp::Dequeue });
+                }
+                batch
+            })
+            .collect();
+        b.iter(|| {
+            let mut acc = Batch::empty();
+            for p in &parts {
+                acc.combine(p);
+            }
+            acc
+        })
+    });
+
+    // Macro: full system at one request per node per round; the result's
+    // batch-size statistics are what Theorem 18/20 bound.
+    group.bench_function("queue_full_load_n50", |b| {
+        b.iter(|| {
+            run_per_node_rate(
+                ScenarioParams::per_node_rate(50, Mode::Queue, 1.0)
+                    .with_generation_rounds(15)
+                    .without_verification(),
+            )
+        })
+    });
+    group.bench_function("stack_full_load_n50", |b| {
+        b.iter(|| {
+            run_per_node_rate(
+                ScenarioParams::per_node_rate(50, Mode::Stack, 1.0)
+                    .with_generation_rounds(15)
+                    .without_verification(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batch_ops);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 2 bench: queue rounds-per-request at representative sizes/ratios.
+//!
+//! Criterion times a reduced data point of the Figure 2 sweep; the full
+//! sweep (and the numbers in EXPERIMENTS.md) comes from the `experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skueue_core::Mode;
+use skueue_workloads::{run_fixed_rate, ScenarioParams};
+use std::time::Duration;
+
+fn fig2_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_queue");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[50usize, 200] {
+        for &ratio in &[0.5f64, 1.0] {
+            let id = BenchmarkId::new(format!("ratio_{ratio}"), n);
+            group.bench_with_input(id, &(n, ratio), |b, &(n, ratio)| {
+                b.iter(|| {
+                    run_fixed_rate(
+                        ScenarioParams::fixed_rate(n, Mode::Queue, ratio)
+                            .with_generation_rounds(20)
+                            .without_verification(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_queue);
+criterion_main!(benches);

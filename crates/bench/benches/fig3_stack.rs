@@ -1,0 +1,29 @@
+//! Figure 3 bench: stack rounds-per-request at representative sizes/ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skueue_core::Mode;
+use skueue_workloads::{run_fixed_rate, ScenarioParams};
+use std::time::Duration;
+
+fn fig3_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_stack");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[50usize, 200] {
+        for &ratio in &[0.5f64, 1.0] {
+            let id = BenchmarkId::new(format!("push_ratio_{ratio}"), n);
+            group.bench_with_input(id, &(n, ratio), |b, &(n, ratio)| {
+                b.iter(|| {
+                    run_fixed_rate(
+                        ScenarioParams::fixed_rate(n, Mode::Stack, ratio)
+                            .with_generation_rounds(20)
+                            .without_verification(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_stack);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 bench: queue vs stack under increasing per-node load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skueue_core::Mode;
+use skueue_workloads::{run_per_node_rate, ScenarioParams};
+use std::time::Duration;
+
+fn fig4_request_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_request_ratio");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for mode in [Mode::Queue, Mode::Stack] {
+        for &p in &[0.1f64, 0.5] {
+            let id = BenchmarkId::new(format!("{mode:?}"), p);
+            group.bench_with_input(id, &(mode, p), |b, &(mode, p)| {
+                b.iter(|| {
+                    run_per_node_rate(
+                        ScenarioParams::per_node_rate(100, mode, p)
+                            .with_generation_rounds(20)
+                            .without_verification(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_request_ratio);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6 bench: join/leave churn handling (Theorem 17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skueue_workloads::run_churn_scenario;
+use std::time::Duration;
+
+fn join_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_leave");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &(n, joins, leaves) in &[(8usize, 3usize, 2usize), (16, 6, 4)] {
+        let id = BenchmarkId::new("churn", format!("n{n}_j{joins}_l{leaves}"));
+        group.bench_with_input(id, &(n, joins, leaves), |b, &(n, joins, leaves)| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_churn_scenario(n, joins, leaves, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_leave);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Component micro-benchmarks: anchor assignment, interval decomposition,
+//! DHT store operations, label hashing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skueue_core::{AnchorState, Batch, BatchOp, Mode};
+use skueue_dht::{Element, NodeStore, StoredEntry};
+use skueue_overlay::{Label, LabelHasher};
+use skueue_sim::ids::{NodeId, ProcessId, RequestId};
+use std::time::Duration;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_components");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("anchor_assign_mixed_batch", |b| {
+        let mut batch = Batch::empty();
+        for i in 0..1000 {
+            batch.push_op(if i % 3 == 0 { BatchOp::Dequeue } else { BatchOp::Enqueue });
+        }
+        b.iter(|| {
+            let mut anchor = AnchorState::new();
+            anchor.assign(&batch, Mode::Queue)
+        })
+    });
+
+    group.bench_function("dht_store_put_get_1000", |b| {
+        let hasher = LabelHasher::default();
+        b.iter(|| {
+            let mut store = NodeStore::new();
+            for p in 0..1000u64 {
+                let entry = StoredEntry::queue(
+                    p,
+                    hasher.position_key(p),
+                    Element::new(RequestId::new(ProcessId(0), p), p),
+                );
+                store.put(entry);
+            }
+            for p in 0..1000u64 {
+                store.get_queue(p, RequestId::new(ProcessId(1), p), NodeId(0));
+            }
+            store.len()
+        })
+    });
+
+    group.bench_function("label_hashing_10k_positions", |b| {
+        let hasher = LabelHasher::default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in 0..10_000u64 {
+                acc ^= hasher.position_key(p).raw();
+            }
+            acc
+        })
+    });
+
+    group.bench_function("label_ring_arithmetic", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut x = Label::from_raw(0x0123_4567_89AB_CDEF);
+            for _ in 0..10_000 {
+                x = x.debruijn_step(acc % 2 == 0);
+                acc = acc.wrapping_add(x.ring_distance(Label::HALF));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

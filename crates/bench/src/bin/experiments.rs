@@ -1,0 +1,228 @@
+//! Regenerates every figure of the Skueue paper (plus the derived
+//! experiments of DESIGN.md) and prints the series as tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p skueue-bench --release --bin experiments -- [EXPERIMENT] [FLAGS]
+//!
+//! EXPERIMENT: all | fig2 | fig3 | fig4 | scaling | batchsize | churn |
+//!             fairness | ablation-batching | ablation-combining
+//! FLAGS:      --smoke        tiny sweep (seconds; used by CI)
+//!             --paper-scale  the paper's full parameter grid (hours)
+//!             --seed <u64>   workload/simulation seed (default 42)
+//! ```
+
+use skueue_bench::{fig2_sweep, fig3_sweep, fig4_sweep, print_series, SweepConfig};
+use skueue_core::Mode;
+use skueue_workloads::{
+    run_central_baseline, run_churn_scenario, run_fairness_scenario, run_per_node_rate,
+    ScenarioParams,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut config = SweepConfig::Default;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config = SweepConfig::Smoke,
+            "--paper-scale" => config = SweepConfig::PaperScale,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            name if !name.starts_with("--") => experiment = name.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let run_all = experiment == "all";
+    println!("Skueue experiment harness — scale: {config:?}, seed: {seed}");
+
+    if run_all || experiment == "fig2" {
+        let points = fig2_sweep(config, seed);
+        print_series(
+            "Figure 2: avg rounds per request on the QUEUE vs n (curves: enqueue probability)",
+            "n",
+            &points,
+        );
+    }
+    if run_all || experiment == "fig3" {
+        let points = fig3_sweep(config, seed);
+        print_series(
+            "Figure 3: avg rounds per request on the STACK vs n (curves: push probability)",
+            "n",
+            &points,
+        );
+    }
+    if run_all || experiment == "fig4" {
+        let points = fig4_sweep(config, seed);
+        print_series(
+            "Figure 4: avg rounds per request vs per-node request probability (queue vs stack)",
+            "p",
+            &points,
+        );
+    }
+    if run_all || experiment == "scaling" {
+        scaling(config, seed);
+    }
+    if run_all || experiment == "batchsize" {
+        batch_size(config, seed);
+    }
+    if run_all || experiment == "churn" {
+        churn(config, seed);
+    }
+    if run_all || experiment == "fairness" {
+        fairness(config, seed);
+    }
+    if run_all || experiment == "ablation-batching" {
+        ablation_batching(config, seed);
+    }
+    if run_all || experiment == "ablation-combining" {
+        ablation_combining(config, seed);
+    }
+}
+
+/// E4: per-request rounds and DHT hops as a function of n (Theorem 15 /
+/// Lemma 3 shape check).
+fn scaling(config: SweepConfig, seed: u64) {
+    println!("\n=== E4: scaling of rounds-per-request and DHT hops with n ===");
+    println!("{:>10} {:>14} {:>12} {:>14}", "n", "avg rounds", "mean hops", "max batch");
+    for &n in &config.process_counts() {
+        let params = ScenarioParams::fixed_rate(n, Mode::Queue, 0.5)
+            .with_generation_rounds(config.generation_rounds().min(100))
+            .with_seed(seed);
+        let r = skueue_workloads::run_fixed_rate(params);
+        println!(
+            "{:>10} {:>14.2} {:>12.2} {:>14}",
+            n, r.avg_rounds_per_request, r.mean_dht_hops, r.max_batch_size
+        );
+    }
+}
+
+/// E5: batch sizes under one request per node per round (Theorems 18 and 20).
+fn batch_size(config: SweepConfig, seed: u64) {
+    println!("\n=== E5: batch sizes at one request per node per round ===");
+    println!("{:>8} {:>10} {:>16} {:>16}", "mode", "n", "mean batch size", "max batch size");
+    let n = config.fig4_processes().min(2000);
+    for mode in [Mode::Queue, Mode::Stack] {
+        let params = ScenarioParams::per_node_rate(n, mode, 1.0)
+            .with_generation_rounds(config.generation_rounds().min(50))
+            .with_seed(seed);
+        let r = run_per_node_rate(params);
+        println!(
+            "{:>8} {:>10} {:>16.2} {:>16}",
+            format!("{mode:?}"),
+            n,
+            r.mean_batch_size,
+            r.max_batch_size
+        );
+    }
+}
+
+/// E6: update-phase duration under bulk joins/leaves (Theorem 17).
+fn churn(config: SweepConfig, seed: u64) {
+    println!("\n=== E6: churn — bulk joins and leaves ===");
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "initial n", "joins", "leaves", "join rounds", "leave rounds", "consistent"
+    );
+    let sizes: Vec<(usize, usize, usize)> = match config {
+        SweepConfig::Smoke => vec![(6, 2, 1)],
+        SweepConfig::Default => vec![(10, 5, 3), (20, 10, 5), (40, 20, 10)],
+        SweepConfig::PaperScale => vec![(100, 50, 25), (200, 100, 50)],
+    };
+    for (n, joins, leaves) in sizes {
+        let r = run_churn_scenario(n, joins, leaves, seed);
+        println!(
+            "{:>10} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            r.initial_processes, r.joins, r.leaves, r.join_rounds, r.leave_rounds, r.consistent
+        );
+    }
+}
+
+/// E7: fairness of the element distribution (Corollary 19).
+fn fairness(config: SweepConfig, seed: u64) {
+    println!("\n=== E7: fairness of the stored-element distribution ===");
+    println!("{:>10} {:>10} {:>14} {:>10}", "n", "elements", "max/mean", "cv");
+    let cases: Vec<(usize, u64)> = match config {
+        SweepConfig::Smoke => vec![(10, 300)],
+        SweepConfig::Default => vec![(20, 2_000), (50, 5_000), (100, 10_000)],
+        SweepConfig::PaperScale => vec![(1_000, 100_000)],
+    };
+    for (n, elements) in cases {
+        let r = run_fairness_scenario(n, elements, seed);
+        println!("{:>10} {:>10} {:>14.2} {:>10.3}", n, r.elements, r.max_over_mean, r.cv);
+    }
+}
+
+/// E8: Skueue vs the unbatched central-server baseline under increasing load.
+fn ablation_batching(config: SweepConfig, seed: u64) {
+    println!("\n=== E8 (ablation): batched Skueue vs unbatched central server ===");
+    println!(
+        "{:>8} {:>10} {:>22} {:>22}",
+        "p", "n", "skueue avg rounds", "central avg rounds"
+    );
+    let n = match config {
+        SweepConfig::Smoke => 30,
+        _ => 500,
+    };
+    let rounds = config.generation_rounds().min(50);
+    for &p in &config.request_probabilities() {
+        let skueue = run_per_node_rate(
+            ScenarioParams::per_node_rate(n, Mode::Queue, p)
+                .with_generation_rounds(rounds)
+                .with_seed(seed),
+        );
+        // The central server handles 10 requests per round — generous for a
+        // single machine, yet it saturates once n·p exceeds it.
+        let central = run_central_baseline(n, p, 0.5, rounds, 10, seed);
+        println!(
+            "{:>8} {:>10} {:>22.2} {:>22.2}",
+            p, n, skueue.avg_rounds_per_request, central.avg_rounds_per_request
+        );
+    }
+}
+
+/// E9: the effect of the stack's local combining — how many requests are
+/// resolved locally (and therefore instantly) as the per-node request rate
+/// grows.  This is the mechanism behind the Figure 4 observation that "the
+/// stack's performance gets even better if the rate at which requests are
+/// generated increases".
+///
+/// Note: the Section VI protocol relies on local combining to keep a node's
+/// residual batch in the `POP^a · PUSH^b` form; running the stack with the
+/// optimisation disabled is outside the paper's protocol and is therefore not
+/// measured as a separate configuration (see DESIGN.md).
+fn ablation_combining(config: SweepConfig, seed: u64) {
+    println!("\n=== E9 (ablation): effect of the stack's local combining ===");
+    println!(
+        "{:>8} {:>10} {:>16} {:>18} {:>20}",
+        "p", "n", "avg rounds", "combined requests", "combined fraction"
+    );
+    let n = match config {
+        SweepConfig::Smoke => 30,
+        _ => 500,
+    };
+    let rounds = config.generation_rounds().min(50);
+    for &p in &[0.25, 0.5, 1.0] {
+        let on = run_per_node_rate(
+            ScenarioParams::per_node_rate(n, Mode::Stack, p)
+                .with_generation_rounds(rounds)
+                .with_seed(seed),
+        );
+        let fraction = if on.requests > 0 {
+            on.locally_combined as f64 / on.requests as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>8} {:>10} {:>16.2} {:>18} {:>20.2}",
+            p, n, on.avg_rounds_per_request, on.locally_combined, fraction
+        );
+    }
+}

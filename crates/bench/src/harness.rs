@@ -1,0 +1,202 @@
+//! Sweep definitions and result formatting shared by the `experiments`
+//! binary and the Criterion benches.
+
+use serde::{Deserialize, Serialize};
+use skueue_core::Mode;
+use skueue_workloads::{run_fixed_rate, run_per_node_rate, ScenarioParams, ScenarioResult};
+
+/// Scale of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepConfig {
+    /// Laptop-friendly default (minutes).
+    Default,
+    /// Quick smoke test (seconds) — used by integration tests.
+    Smoke,
+    /// The paper's full scale (hours).
+    PaperScale,
+}
+
+impl SweepConfig {
+    /// Process counts for the Figure 2/3 x-axis.
+    pub fn process_counts(self) -> Vec<usize> {
+        match self {
+            SweepConfig::Smoke => vec![20, 60],
+            SweepConfig::Default => vec![100, 300, 1000, 3000, 10_000],
+            SweepConfig::PaperScale => vec![10_000, 25_000, 50_000, 75_000, 100_000],
+        }
+    }
+
+    /// Rounds of request generation.
+    pub fn generation_rounds(self) -> u64 {
+        match self {
+            SweepConfig::Smoke => 20,
+            SweepConfig::Default => 100,
+            SweepConfig::PaperScale => 1000,
+        }
+    }
+
+    /// Insert-probability curves of Figures 2 and 3.
+    pub fn insert_ratios(self) -> Vec<f64> {
+        match self {
+            SweepConfig::Smoke => vec![0.5, 1.0],
+            _ => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        }
+    }
+
+    /// Per-node request probabilities of Figure 4.
+    pub fn request_probabilities(self) -> Vec<f64> {
+        match self {
+            SweepConfig::Smoke => vec![0.1, 0.5],
+            _ => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0],
+        }
+    }
+
+    /// Number of processes used for Figure 4.
+    pub fn fig4_processes(self) -> usize {
+        match self {
+            SweepConfig::Smoke => 50,
+            SweepConfig::Default => 2000,
+            SweepConfig::PaperScale => 10_000,
+        }
+    }
+
+    /// Whether per-point consistency verification is enabled (always on for
+    /// the smaller scales; off for the paper scale to keep memory bounded).
+    pub fn verify(self) -> bool {
+        !matches!(self, SweepConfig::PaperScale)
+    }
+}
+
+/// One sweep point, annotated with the curve it belongs to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Curve label (e.g. the insert ratio or the request probability).
+    pub curve: String,
+    /// X coordinate (number of processes or request probability).
+    pub x: f64,
+    /// The measured scenario result.
+    pub result: ScenarioResult,
+}
+
+/// Runs the Figure 2 sweep (queue, fixed-rate workload).
+pub fn fig2_sweep(config: SweepConfig, seed: u64) -> Vec<ExperimentPoint> {
+    fixed_rate_sweep(Mode::Queue, config, seed)
+}
+
+/// Runs the Figure 3 sweep (stack, fixed-rate workload).
+pub fn fig3_sweep(config: SweepConfig, seed: u64) -> Vec<ExperimentPoint> {
+    fixed_rate_sweep(Mode::Stack, config, seed)
+}
+
+fn fixed_rate_sweep(mode: Mode, config: SweepConfig, seed: u64) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for &ratio in &config.insert_ratios() {
+        for &n in &config.process_counts() {
+            let mut params = ScenarioParams::fixed_rate(n, mode, ratio)
+                .with_generation_rounds(config.generation_rounds())
+                .with_seed(seed);
+            if !config.verify() {
+                params = params.without_verification();
+            }
+            let result = run_fixed_rate(params);
+            points.push(ExperimentPoint {
+                curve: format!("insert_ratio={ratio}"),
+                x: n as f64,
+                result,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the Figure 4 sweep (queue vs stack under increasing per-node load).
+pub fn fig4_sweep(config: SweepConfig, seed: u64) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for mode in [Mode::Queue, Mode::Stack] {
+        for &p in &config.request_probabilities() {
+            let mut params = ScenarioParams::per_node_rate(config.fig4_processes(), mode, p)
+                .with_generation_rounds(config.generation_rounds())
+                .with_seed(seed);
+            if !config.verify() {
+                params = params.without_verification();
+            }
+            let result = run_per_node_rate(params);
+            points.push(ExperimentPoint {
+                curve: format!("{mode:?}"),
+                x: p,
+                result,
+            });
+        }
+    }
+    points
+}
+
+/// Prints a sweep as a fixed-width table (one row per point), mirroring the
+/// series of the corresponding paper figure.
+pub fn print_series(title: &str, x_label: &str, points: &[ExperimentPoint]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<24} {:>10} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "curve", x_label, "requests", "avg rounds", "max rounds", "batch size", "consistent"
+    );
+    for p in points {
+        println!(
+            "{:<24} {:>10} {:>10} {:>14.2} {:>12} {:>12.2} {:>10}",
+            p.curve,
+            p.x,
+            p.result.requests,
+            p.result.avg_rounds_per_request,
+            p.result.max_rounds_per_request,
+            p.result.mean_batch_size,
+            p.result.consistent
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_configs_are_small() {
+        let c = SweepConfig::Smoke;
+        assert!(c.process_counts().iter().all(|&n| n <= 100));
+        assert!(c.generation_rounds() <= 50);
+        assert!(c.verify());
+        assert!(!SweepConfig::PaperScale.verify());
+        assert!(SweepConfig::Default.process_counts().len() >= 4);
+    }
+
+    #[test]
+    fn fig2_smoke_sweep_runs_and_scales_logarithmically() {
+        let points = fig2_sweep(SweepConfig::Smoke, 3);
+        assert_eq!(points.len(), 4); // 2 ratios × 2 sizes
+        assert!(points.iter().all(|p| p.result.consistent));
+        // Larger systems must not be more than ~4x slower per request than
+        // the small ones at this scale (logarithmic growth, Theorem 15).
+        let small: f64 = points
+            .iter()
+            .filter(|p| p.x < 50.0)
+            .map(|p| p.result.avg_rounds_per_request)
+            .fold(0.0, f64::max);
+        let large: f64 = points
+            .iter()
+            .filter(|p| p.x > 50.0)
+            .map(|p| p.result.avg_rounds_per_request)
+            .fold(0.0, f64::max);
+        assert!(large < small * 4.0, "small={small}, large={large}");
+    }
+
+    #[test]
+    fn fig4_smoke_sweep_runs() {
+        let points = fig4_sweep(SweepConfig::Smoke, 5);
+        assert_eq!(points.len(), 4); // 2 modes × 2 probabilities
+        assert!(points.iter().all(|p| p.result.consistent));
+    }
+
+    #[test]
+    fn print_series_does_not_panic() {
+        let points = fig2_sweep(SweepConfig::Smoke, 1);
+        print_series("smoke", "n", &points);
+    }
+}

@@ -1,0 +1,23 @@
+//! # skueue-bench — experiment harness
+//!
+//! Reproduces every figure of the Skueue paper's evaluation section plus the
+//! derived experiments listed in DESIGN.md.  Two entry points:
+//!
+//! * the `experiments` binary (`cargo run -p skueue-bench --release --bin
+//!   experiments -- <experiment>`) runs full parameter sweeps and prints the
+//!   series the paper plots (and JSON records for EXPERIMENTS.md),
+//! * the Criterion benches (`cargo bench`) time representative single points
+//!   of each experiment so regressions in protocol cost show up in CI.
+//!
+//! The default sweeps are scaled down from the paper's 100 000 processes ×
+//! 1000 rounds so that the whole suite finishes on a laptop; pass
+//! `--paper-scale` to the binary for the full-size runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    fig2_sweep, fig3_sweep, fig4_sweep, print_series, ExperimentPoint, SweepConfig,
+};

@@ -1,0 +1,776 @@
+//! The cluster driver: the public API a user of the library works with.
+//!
+//! [`SkueueCluster`] owns a [`Simulation`] of [`SkueueNode`]s, one per
+//! virtual node (three per process), plus the bookkeeping needed to inject
+//! requests, drive rounds, and collect results:
+//!
+//! * [`SkueueCluster::enqueue`] / [`SkueueCluster::dequeue`] (or
+//!   [`SkueueCluster::push`] / [`SkueueCluster::pop`] in stack mode)
+//!   generate a request at a process, exactly like the workload of the
+//!   paper's evaluation ("we generate 10 queue requests and assign them to
+//!   random nodes"),
+//! * [`SkueueCluster::join`] / [`SkueueCluster::leave`] add or remove
+//!   processes through the Section IV protocol,
+//! * [`SkueueCluster::run_round`] advances the synchronous simulation by one
+//!   round and collects completed operations into the execution
+//!   [`History`], which can be fed to `skueue-verify`,
+//! * accessor methods expose the measurements the paper reports (per-request
+//!   round counts, batch sizes, per-node element counts, …).
+
+use crate::batch::BatchOp;
+use crate::config::{Mode, ProtocolConfig};
+use crate::messages::SkueueMsg;
+use crate::node::SkueueNode;
+use skueue_dht::load_stats;
+use skueue_dht::LoadStats;
+use skueue_overlay::{recommended_bit_budget, LabelHasher, LocalView, NeighborInfo, Topology, VKind, VirtualId};
+use skueue_sim::ids::{NodeId, ProcessId, RequestId};
+use skueue_sim::metrics::Histogram;
+use skueue_sim::{SimConfig, SimError, Simulation};
+use skueue_verify::History;
+use std::collections::HashMap;
+
+/// Errors surfaced by the cluster driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The requested process does not exist or has left.
+    UnknownProcess(ProcessId),
+    /// The process is not an integrated member (still joining or leaving).
+    ProcessNotActive(ProcessId),
+    /// The process currently hosting the anchor cannot leave (documented
+    /// restriction of this reproduction).
+    AnchorCannotLeave(ProcessId),
+    /// The simulation reported an error.
+    Sim(SimError),
+    /// A run exceeded its round budget before the condition became true.
+    RoundLimitExceeded {
+        /// The exceeded budget.
+        limit: u64,
+        /// Requests still open when the budget ran out.
+        open_requests: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            ClusterError::ProcessNotActive(p) => write!(f, "process {p} is not active"),
+            ClusterError::AnchorCannotLeave(p) => {
+                write!(f, "process {p} hosts the anchor and cannot leave")
+            }
+            ClusterError::Sim(e) => write!(f, "simulation error: {e}"),
+            ClusterError::RoundLimitExceeded { limit, open_requests } => write!(
+                f,
+                "round limit of {limit} exceeded with {open_requests} open requests"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}
+
+/// Lifecycle state of a process as tracked by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcessState {
+    Active,
+    Joining,
+    Leaving,
+    Left,
+}
+
+#[derive(Debug, Clone)]
+struct ProcessHandle {
+    id: ProcessId,
+    /// Node ids of the left/middle/right virtual nodes.
+    nodes: [NodeId; 3],
+    state: ProcessState,
+    next_seq: u64,
+}
+
+/// A running Skueue deployment (queue or stack) on top of the simulation
+/// substrate.
+pub struct SkueueCluster {
+    sim: Simulation<SkueueNode>,
+    cfg: ProtocolConfig,
+    hasher: LabelHasher,
+    processes: Vec<ProcessHandle>,
+    index_of: HashMap<ProcessId, usize>,
+    history: History,
+    issued: u64,
+    next_process_id: u64,
+}
+
+impl SkueueCluster {
+    /// Builds a cluster of `n` processes with the given protocol and
+    /// simulation configuration.
+    pub fn new(n: usize, mut cfg: ProtocolConfig, sim_cfg: SimConfig) -> Result<Self, ClusterError> {
+        assert!(n >= 1, "a Skueue cluster needs at least one process");
+        if cfg.bit_budget == 0 {
+            cfg.bit_budget = recommended_bit_budget(n);
+        }
+        let hasher = cfg.hasher();
+        let process_ids: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
+        let topology = Topology::build(&process_ids, hasher)
+            .expect("non-empty, duplicate-free process set");
+
+        let mut sim = Simulation::new(sim_cfg)?;
+        // Node ids are assigned densely: process i gets nodes 3i, 3i+1, 3i+2
+        // in VKind order (Left, Middle, Right).
+        let node_of = |vid: VirtualId| -> NodeId {
+            NodeId(vid.process.raw() * 3 + vid.kind.index() as u64)
+        };
+        let anchor_vid = topology.anchor();
+        let mut processes = Vec::with_capacity(n);
+        let mut index_of = HashMap::with_capacity(n);
+        for (i, &pid) in process_ids.iter().enumerate() {
+            let mut nodes = [NodeId(0); 3];
+            for kind in VKind::ALL {
+                let vid = VirtualId::new(pid, kind);
+                let view = topology
+                    .local_view(vid, &node_of)
+                    .expect("vid from own topology");
+                let node = SkueueNode::new(cfg, view, vid == anchor_vid);
+                let assigned = sim.add_node(node);
+                debug_assert_eq!(assigned, node_of(vid));
+                nodes[kind.index()] = assigned;
+            }
+            processes.push(ProcessHandle { id: pid, nodes, state: ProcessState::Active, next_seq: 0 });
+            index_of.insert(pid, i);
+        }
+
+        Ok(SkueueCluster {
+            sim,
+            cfg,
+            hasher,
+            processes,
+            index_of,
+            history: History::new(),
+            issued: 0,
+            next_process_id: n as u64,
+        })
+    }
+
+    /// Convenience constructor: a queue over `n` processes on the synchronous
+    /// scheduler.
+    pub fn queue(n: usize, seed: u64) -> Self {
+        SkueueCluster::new(n, ProtocolConfig::queue(), SimConfig::synchronous(seed))
+            .expect("synchronous config is always valid")
+    }
+
+    /// Convenience constructor: a stack over `n` processes on the synchronous
+    /// scheduler.
+    pub fn stack(n: usize, seed: u64) -> Self {
+        SkueueCluster::new(n, ProtocolConfig::stack(), SimConfig::synchronous(seed))
+            .expect("synchronous config is always valid")
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The current round.
+    pub fn round(&self) -> u64 {
+        self.sim.round()
+    }
+
+    /// Number of processes that are integrated members.
+    pub fn active_processes(&self) -> usize {
+        self.processes
+            .iter()
+            .filter(|p| p.state == ProcessState::Active)
+            .count()
+    }
+
+    /// Ids of all currently active processes.
+    pub fn active_process_ids(&self) -> Vec<ProcessId> {
+        self.processes
+            .iter()
+            .filter(|p| p.state == ProcessState::Active)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Total number of requests issued so far.
+    pub fn requests_issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of requests that have completed (records in the history).
+    pub fn requests_completed(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// Number of requests still in flight.
+    pub fn open_requests(&self) -> u64 {
+        self.issued - self.requests_completed()
+    }
+
+    /// The execution history collected so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Consumes the cluster and returns the history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+
+    /// Substrate metrics (messages, delays, …).
+    pub fn sim_metrics(&self) -> &skueue_sim::SimMetrics {
+        self.sim.metrics()
+    }
+
+    /// Current anchor window/counter state (from whichever node holds it).
+    pub fn anchor_state(&self) -> Option<crate::anchor::AnchorState> {
+        self.sim
+            .iter()
+            .find_map(|(_, node)| node.anchor_state().copied())
+    }
+
+    /// Per-node stored-element counts (fairness accounting, Corollary 19).
+    pub fn stored_elements_per_node(&self) -> Vec<u64> {
+        self.sim
+            .iter()
+            .filter(|(_, node)| node.is_integrated())
+            .map(|(_, node)| node.stored_elements() as u64)
+            .collect()
+    }
+
+    /// Load statistics over the per-node element counts.
+    pub fn fairness(&self) -> Option<LoadStats> {
+        let counts = self.stored_elements_per_node();
+        load_stats(&counts)
+    }
+
+    /// Histogram of the sizes of every batch sent in the system
+    /// (Theorem 18 / Theorem 20).
+    pub fn batch_size_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (_, node) in self.sim.iter() {
+            h.merge(&node.stats().batch_sizes);
+        }
+        h
+    }
+
+    /// Histogram of DHT routing hop counts (Lemma 3).
+    pub fn dht_hop_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (_, node) in self.sim.iter() {
+            h.merge(&node.stats().dht_hops);
+        }
+        h
+    }
+
+    /// Total number of requests resolved by the stack's local combining.
+    pub fn locally_combined(&self) -> u64 {
+        self.sim.iter().map(|(_, n)| n.stats().locally_combined).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Request injection.
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, process: ProcessId, kind: BatchOp, value: u64) -> Result<RequestId, ClusterError> {
+        let idx = *self
+            .index_of
+            .get(&process)
+            .ok_or(ClusterError::UnknownProcess(process))?;
+        if self.processes[idx].state != ProcessState::Active {
+            return Err(ClusterError::ProcessNotActive(process));
+        }
+        let seq = self.processes[idx].next_seq;
+        self.processes[idx].next_seq += 1;
+        let id = RequestId::new(process, seq);
+        // Requests are generated at the process's middle virtual node.
+        let node_id = self.processes[idx].nodes[VKind::Middle.index()];
+        let round = self.sim.round();
+        let node = self.sim.node_mut(node_id).expect("node registered at build time");
+        node.generate_op(id, kind, value, round);
+        self.issued += 1;
+        Ok(id)
+    }
+
+    /// Issues an `ENQUEUE(value)` at `process`.
+    pub fn enqueue(&mut self, process: ProcessId, value: u64) -> Result<RequestId, ClusterError> {
+        debug_assert_eq!(self.cfg.mode, Mode::Queue, "enqueue on a stack cluster");
+        self.issue(process, BatchOp::Enqueue, value)
+    }
+
+    /// Issues a `DEQUEUE()` at `process`.
+    pub fn dequeue(&mut self, process: ProcessId) -> Result<RequestId, ClusterError> {
+        debug_assert_eq!(self.cfg.mode, Mode::Queue, "dequeue on a stack cluster");
+        self.issue(process, BatchOp::Dequeue, 0)
+    }
+
+    /// Issues a `PUSH(value)` at `process` (stack mode).
+    pub fn push(&mut self, process: ProcessId, value: u64) -> Result<RequestId, ClusterError> {
+        debug_assert_eq!(self.cfg.mode, Mode::Stack, "push on a queue cluster");
+        self.issue(process, BatchOp::Enqueue, value)
+    }
+
+    /// Issues a `POP()` at `process` (stack mode).
+    pub fn pop(&mut self, process: ProcessId) -> Result<RequestId, ClusterError> {
+        debug_assert_eq!(self.cfg.mode, Mode::Stack, "pop on a queue cluster");
+        self.issue(process, BatchOp::Dequeue, 0)
+    }
+
+    /// Issues an operation without caring about queue/stack naming (used by
+    /// the workload generators).
+    pub fn issue_op(
+        &mut self,
+        process: ProcessId,
+        is_insert: bool,
+        value: u64,
+    ) -> Result<RequestId, ClusterError> {
+        self.issue(
+            process,
+            if is_insert { BatchOp::Enqueue } else { BatchOp::Dequeue },
+            value,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Join / leave.
+    // ------------------------------------------------------------------
+
+    /// Starts the `JOIN()` of a brand-new process via the given bootstrap
+    /// process (defaults to process 0's middle node when `None`).  Returns
+    /// the new process id.  The process becomes usable once its three
+    /// virtual nodes have been integrated (see [`Self::process_is_active`]).
+    pub fn join(&mut self, bootstrap: Option<ProcessId>) -> Result<ProcessId, ClusterError> {
+        let bootstrap_pid = match bootstrap {
+            Some(p) => p,
+            None => self
+                .active_process_ids()
+                .first()
+                .copied()
+                .ok_or(ClusterError::UnknownProcess(ProcessId(0)))?,
+        };
+        let bootstrap_idx = *self
+            .index_of
+            .get(&bootstrap_pid)
+            .ok_or(ClusterError::UnknownProcess(bootstrap_pid))?;
+        if self.processes[bootstrap_idx].state != ProcessState::Active {
+            return Err(ClusterError::ProcessNotActive(bootstrap_pid));
+        }
+        let bootstrap_node = self.processes[bootstrap_idx].nodes[VKind::Middle.index()];
+
+        let pid = ProcessId(self.next_process_id);
+        self.next_process_id += 1;
+        let middle_label = self.hasher.process_label(pid);
+        let mut nodes = [NodeId(0); 3];
+        // First create the three nodes so we know their ids, then fill in the
+        // sibling views.
+        let mut created: Vec<(VKind, NodeId)> = Vec::with_capacity(3);
+        for kind in VKind::ALL {
+            let label = kind.label_from_middle(middle_label);
+            let vid = VirtualId::new(pid, kind);
+            let me = NeighborInfo::new(NodeId(0), vid, label); // placeholder id, fixed below
+            let view = LocalView { me, pred: me, succ: me, siblings: [me, me, me] };
+            let node = SkueueNode::new_joining(self.cfg, view);
+            let id = self.sim.add_node(node);
+            created.push((kind, id));
+            nodes[kind.index()] = id;
+        }
+        // Fix up identities and sibling pointers now that all ids are known.
+        let siblings: [NeighborInfo; 3] = [
+            NeighborInfo::new(nodes[0], VirtualId::left(pid), VKind::Left.label_from_middle(middle_label)),
+            NeighborInfo::new(nodes[1], VirtualId::middle(pid), middle_label),
+            NeighborInfo::new(nodes[2], VirtualId::right(pid), VKind::Right.label_from_middle(middle_label)),
+        ];
+        for (kind, id) in created {
+            let me = siblings[kind.index()];
+            let node = self.sim.node_mut(id).expect("just created");
+            node.view = LocalView { me, pred: me, succ: me, siblings };
+            node.set_bootstrap(bootstrap_node);
+        }
+        self.processes.push(ProcessHandle {
+            id: pid,
+            nodes,
+            state: ProcessState::Joining,
+            next_seq: 0,
+        });
+        self.index_of.insert(pid, self.processes.len() - 1);
+        Ok(pid)
+    }
+
+    /// Starts the `LEAVE()` of a process.  The process stops generating
+    /// requests immediately; its virtual nodes leave once their outstanding
+    /// work has drained and the next update phase has run.
+    pub fn leave(&mut self, process: ProcessId) -> Result<(), ClusterError> {
+        let idx = *self
+            .index_of
+            .get(&process)
+            .ok_or(ClusterError::UnknownProcess(process))?;
+        if self.processes[idx].state != ProcessState::Active {
+            return Err(ClusterError::ProcessNotActive(process));
+        }
+        // The anchor's host process is pinned (documented restriction).
+        let nodes = self.processes[idx].nodes;
+        for node_id in nodes {
+            if self
+                .sim
+                .node(node_id)
+                .map(|n| n.is_anchor_node())
+                .unwrap_or(false)
+            {
+                return Err(ClusterError::AnchorCannotLeave(process));
+            }
+        }
+        self.processes[idx].state = ProcessState::Leaving;
+        for node_id in nodes {
+            if let Some(node) = self.sim.node_mut(node_id) {
+                node.request_leave();
+            }
+        }
+        Ok(())
+    }
+
+    /// True once all three virtual nodes of a process are integrated members.
+    pub fn process_is_active(&self, process: ProcessId) -> bool {
+        match self.index_of.get(&process) {
+            Some(&idx) => self.processes[idx]
+                .nodes
+                .iter()
+                .all(|&n| self.sim.node(n).map(|node| node.is_integrated()).unwrap_or(false)),
+            None => false,
+        }
+    }
+
+    /// True once all three virtual nodes of a leaving process have drained.
+    pub fn process_has_left(&self, process: ProcessId) -> bool {
+        match self.index_of.get(&process) {
+            Some(&idx) => self.processes[idx]
+                .nodes
+                .iter()
+                .all(|&n| self.sim.node(n).map(|node| node.has_left()).unwrap_or(true)),
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driving the simulation.
+    // ------------------------------------------------------------------
+
+    /// Runs one synchronous round and collects completed requests.
+    pub fn run_round(&mut self) {
+        self.sim.run_round();
+        self.collect_completions();
+        self.refresh_process_states();
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// Runs until every issued request has completed, or the round budget is
+    /// exhausted.
+    pub fn run_until_all_complete(&mut self, max_rounds: u64) -> Result<u64, ClusterError> {
+        let start = self.sim.round();
+        while self.open_requests() > 0 {
+            if max_rounds > 0 && self.sim.round() - start >= max_rounds {
+                return Err(ClusterError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    open_requests: self.open_requests() as usize,
+                });
+            }
+            self.run_round();
+        }
+        Ok(self.sim.round() - start)
+    }
+
+    /// Runs until the given predicate over the cluster becomes true.
+    pub fn run_until<F>(&mut self, mut pred: F, max_rounds: u64) -> Result<u64, ClusterError>
+    where
+        F: FnMut(&SkueueCluster) -> bool,
+    {
+        let start = self.sim.round();
+        while !pred(self) {
+            if max_rounds > 0 && self.sim.round() - start >= max_rounds {
+                return Err(ClusterError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    open_requests: self.open_requests() as usize,
+                });
+            }
+            self.run_round();
+        }
+        Ok(self.sim.round() - start)
+    }
+
+    fn collect_completions(&mut self) {
+        // Drain completion records from every node into the history.
+        let mut drained = Vec::new();
+        for (_, node) in self.sim.iter_mut() {
+            drained.append(&mut node.drain_completed());
+        }
+        for record in drained {
+            self.history.push(record);
+        }
+    }
+
+    fn refresh_process_states(&mut self) {
+        for p in &mut self.processes {
+            match p.state {
+                ProcessState::Joining => {
+                    let all_active = p
+                        .nodes
+                        .iter()
+                        .all(|&n| self.sim.node(n).map(|node| node.is_integrated()).unwrap_or(false));
+                    if all_active {
+                        p.state = ProcessState::Active;
+                    }
+                }
+                ProcessState::Leaving => {
+                    let all_left = p
+                        .nodes
+                        .iter()
+                        .all(|&n| self.sim.node(n).map(|node| node.has_left()).unwrap_or(true));
+                    if all_left {
+                        p.state = ProcessState::Left;
+                        for &n in &p.nodes {
+                            let _ = self.sim.deactivate(n);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Direct access to a node (tests and diagnostics).
+    pub fn node(&self, id: NodeId) -> Option<&SkueueNode> {
+        self.sim.node(id)
+    }
+
+    /// Iterates over all nodes (tests and diagnostics).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &SkueueNode)> {
+        self.sim.iter()
+    }
+
+    /// The message kind used by the cluster (exposed for type annotations in
+    /// downstream test helpers).
+    pub fn message_type_hint() -> std::marker::PhantomData<SkueueMsg> {
+        std::marker::PhantomData
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_verify::{check_queue, check_stack, OpKind};
+
+    #[test]
+    fn single_process_enqueue_dequeue() {
+        let mut cluster = SkueueCluster::queue(1, 1);
+        let p = ProcessId(0);
+        cluster.enqueue(p, 10).unwrap();
+        cluster.enqueue(p, 20).unwrap();
+        cluster.dequeue(p).unwrap();
+        cluster.dequeue(p).unwrap();
+        cluster.dequeue(p).unwrap(); // ⊥
+        let rounds = cluster.run_until_all_complete(500).unwrap();
+        assert!(rounds > 0);
+        let history = cluster.history();
+        assert_eq!(history.len(), 5);
+        assert_eq!(history.count_empty(), 1);
+        check_queue(history).assert_consistent();
+    }
+
+    #[test]
+    fn small_cluster_fifo_order_across_processes() {
+        let mut cluster = SkueueCluster::queue(4, 7);
+        for i in 0..8u64 {
+            cluster.enqueue(ProcessId(i % 4), 100 + i).unwrap();
+        }
+        cluster.run_until_all_complete(500).unwrap();
+        for i in 0..8u64 {
+            cluster.dequeue(ProcessId((i + 1) % 4)).unwrap();
+        }
+        cluster.run_until_all_complete(500).unwrap();
+        let history = cluster.history();
+        assert_eq!(history.len(), 16);
+        assert_eq!(history.count_empty(), 0);
+        check_queue(history).assert_consistent();
+    }
+
+    #[test]
+    fn queue_interleaved_workload_is_consistent() {
+        let mut cluster = SkueueCluster::queue(6, 3);
+        let mut rng = skueue_sim::SimRng::new(99);
+        for step in 0..120u64 {
+            let p = ProcessId(rng.gen_range(6));
+            if rng.gen_bool(0.6) {
+                cluster.enqueue(p, step).unwrap();
+            } else {
+                cluster.dequeue(p).unwrap();
+            }
+            if step % 3 == 0 {
+                cluster.run_round();
+            }
+        }
+        cluster.run_until_all_complete(2000).unwrap();
+        let history = cluster.history();
+        assert_eq!(history.len(), 120);
+        check_queue(history).assert_consistent();
+    }
+
+    #[test]
+    fn stack_lifo_semantics() {
+        let mut cluster = SkueueCluster::stack(3, 5);
+        let p = ProcessId(0);
+        cluster.push(p, 1).unwrap();
+        cluster.push(p, 2).unwrap();
+        cluster.run_until_all_complete(500).unwrap();
+        cluster.pop(ProcessId(1)).unwrap();
+        cluster.run_until_all_complete(500).unwrap();
+        cluster.pop(ProcessId(2)).unwrap();
+        cluster.pop(ProcessId(2)).unwrap(); // ⊥
+        cluster.run_until_all_complete(500).unwrap();
+        let history = cluster.history();
+        assert_eq!(history.len(), 5);
+        check_stack(history).assert_consistent();
+        // The first pop must return the element pushed second (value 2).
+        let pops: Vec<_> = history
+            .records()
+            .iter()
+            .filter(|r| r.kind == OpKind::Dequeue)
+            .collect();
+        assert_eq!(pops.len(), 3);
+    }
+
+    #[test]
+    fn stack_local_combining_completes_instantly() {
+        let mut cluster = SkueueCluster::stack(2, 11);
+        let p = ProcessId(0);
+        // Push+pop issued back-to-back at the same process combine locally.
+        cluster.push(p, 7).unwrap();
+        cluster.pop(p).unwrap();
+        assert_eq!(cluster.open_requests(), 2);
+        cluster.run_round();
+        assert_eq!(cluster.open_requests(), 0, "locally combined pair must complete immediately");
+        assert_eq!(cluster.locally_combined(), 2);
+        check_stack(cluster.history()).assert_consistent();
+    }
+
+    #[test]
+    fn fairness_over_many_enqueues() {
+        let mut cluster = SkueueCluster::queue(8, 13);
+        for i in 0..400u64 {
+            cluster.enqueue(ProcessId(i % 8), i).unwrap();
+            if i % 10 == 0 {
+                cluster.run_round();
+            }
+        }
+        cluster.run_until_all_complete(3000).unwrap();
+        let stats = cluster.fairness().unwrap();
+        assert_eq!(stats.total, 400);
+        // With 24 virtual nodes and 400 elements the imbalance should be
+        // bounded (consistent hashing fairness, Lemma 4).
+        assert!(stats.max_over_mean < 6.0, "imbalance {:.2}", stats.max_over_mean);
+        check_queue(cluster.history()).assert_consistent();
+    }
+
+    #[test]
+    fn anchor_window_tracks_queue_size() {
+        let mut cluster = SkueueCluster::queue(3, 17);
+        for i in 0..10u64 {
+            cluster.enqueue(ProcessId(i % 3), i).unwrap();
+        }
+        cluster.run_until_all_complete(500).unwrap();
+        assert_eq!(cluster.anchor_state().unwrap().size(), 10);
+        for i in 0..4u64 {
+            cluster.dequeue(ProcessId(i % 3)).unwrap();
+        }
+        cluster.run_until_all_complete(500).unwrap();
+        assert_eq!(cluster.anchor_state().unwrap().size(), 6);
+    }
+
+    #[test]
+    fn join_integrates_new_process() {
+        let mut cluster = SkueueCluster::queue(3, 21);
+        let new_pid = cluster.join(None).unwrap();
+        assert!(!cluster.process_is_active(new_pid));
+        cluster
+            .run_until(|c| c.process_is_active(new_pid), 600)
+            .unwrap();
+        assert!(cluster.process_is_active(new_pid));
+        // The new process can issue requests that complete consistently.
+        cluster.enqueue(new_pid, 42).unwrap();
+        cluster.dequeue(ProcessId(0)).unwrap();
+        cluster.run_until_all_complete(600).unwrap();
+        check_queue(cluster.history()).assert_consistent();
+    }
+
+    #[test]
+    fn leave_removes_process_and_preserves_data() {
+        let mut cluster = SkueueCluster::queue(5, 23);
+        for i in 0..30u64 {
+            cluster.enqueue(ProcessId(i % 5), i).unwrap();
+        }
+        cluster.run_until_all_complete(800).unwrap();
+
+        // Find a process that does not host the anchor.
+        let victim = (0..5u64)
+            .map(ProcessId)
+            .find(|&p| cluster.leave(p).is_ok())
+            .expect("some non-anchor process must be able to leave");
+        cluster
+            .run_until(|c| c.process_has_left(victim), 1200)
+            .unwrap();
+
+        // All 30 elements must still be retrievable in FIFO order.
+        let survivors: Vec<ProcessId> = cluster.active_process_ids();
+        assert_eq!(survivors.len(), 4);
+        for i in 0..30u64 {
+            cluster.dequeue(survivors[(i % 4) as usize]).unwrap();
+        }
+        cluster.run_until_all_complete(2000).unwrap();
+        let history = cluster.history();
+        assert_eq!(history.count_empty(), 0, "all elements must be found after the leave");
+        check_queue(history).assert_consistent();
+    }
+
+    #[test]
+    fn anchor_process_cannot_leave() {
+        let mut cluster = SkueueCluster::queue(3, 31);
+        cluster.run_rounds(2);
+        let anchor_process = cluster
+            .nodes()
+            .find(|(_, n)| n.is_anchor_node())
+            .map(|(_, n)| n.process())
+            .unwrap();
+        assert_eq!(
+            cluster.leave(anchor_process),
+            Err(ClusterError::AnchorCannotLeave(anchor_process))
+        );
+    }
+
+    #[test]
+    fn errors_for_unknown_or_inactive_processes() {
+        let mut cluster = SkueueCluster::queue(2, 1);
+        assert!(matches!(
+            cluster.enqueue(ProcessId(99), 1),
+            Err(ClusterError::UnknownProcess(_))
+        ));
+        let joining = cluster.join(None).unwrap();
+        assert!(matches!(
+            cluster.enqueue(joining, 1),
+            Err(ClusterError::ProcessNotActive(_))
+        ));
+    }
+}

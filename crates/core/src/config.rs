@@ -1,0 +1,143 @@
+//! Protocol configuration.
+
+use serde::{Deserialize, Serialize};
+use skueue_overlay::LabelHasher;
+
+/// Whether the protocol runs as the FIFO queue of Sections III–V or as the
+/// LIFO stack of Section VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// `ENQUEUE()` / `DEQUEUE()` with FIFO semantics.
+    Queue,
+    /// `PUSH()` / `POP()` with LIFO semantics (tickets, constant-size
+    /// batches, stage-4 barrier).
+    Stack,
+}
+
+/// Static configuration shared by all nodes of one Skueue deployment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Queue or stack semantics.
+    pub mode: Mode,
+    /// Seed of the publicly known pseudorandom hash function (process labels
+    /// and position keys).
+    pub hash_seed: u64,
+    /// Number of distance-halving bits used when routing DHT operations.
+    /// `0` means "derive from the initial system size".
+    pub bit_budget: u32,
+    /// Stack only: locally combine a node's own push/pop pairs so they
+    /// complete without involving the anchor (Section VI).  Ignored in queue
+    /// mode.  Exposed as a switch for the E9 ablation.
+    pub local_combining: bool,
+    /// Minimum number of pending `JOIN()`/`LEAVE()` requests observed by the
+    /// anchor before it triggers an update phase.  The paper enters the
+    /// update phase as soon as the joining nodes outnumber the integrated
+    /// ones / the leave count passes a threshold; `1` (the default) keeps
+    /// the system maximally up to date.
+    pub update_threshold: u64,
+    /// Stack only: wait at the end of stage 4 until all DHT operations
+    /// issued by this node have finished before starting the next
+    /// aggregation phase (required for stack correctness, Section VI).
+    pub stage4_barrier: bool,
+}
+
+impl ProtocolConfig {
+    /// Default queue configuration.
+    pub fn queue() -> Self {
+        ProtocolConfig {
+            mode: Mode::Queue,
+            hash_seed: LabelHasher::default().seed(),
+            bit_budget: 0,
+            local_combining: false,
+            update_threshold: 1,
+            stage4_barrier: false,
+        }
+    }
+
+    /// Default stack configuration (local combining and the stage-4 barrier
+    /// enabled, as in the paper).
+    pub fn stack() -> Self {
+        ProtocolConfig {
+            mode: Mode::Stack,
+            hash_seed: LabelHasher::default().seed(),
+            bit_budget: 0,
+            local_combining: true,
+            update_threshold: 1,
+            stage4_barrier: true,
+        }
+    }
+
+    /// Overrides the hash seed.
+    pub fn with_hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Overrides the distance-halving bit budget.
+    pub fn with_bit_budget(mut self, bits: u32) -> Self {
+        self.bit_budget = bits;
+        self
+    }
+
+    /// Enables or disables the stack's local combining (E9 ablation).
+    pub fn with_local_combining(mut self, enabled: bool) -> Self {
+        self.local_combining = enabled;
+        self
+    }
+
+    /// The hasher corresponding to this configuration.
+    pub fn hasher(&self) -> LabelHasher {
+        LabelHasher::new(self.hash_seed)
+    }
+
+    /// True for stack mode.
+    pub fn is_stack(&self) -> bool {
+        self.mode == Mode::Stack
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::queue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_defaults() {
+        let c = ProtocolConfig::queue();
+        assert_eq!(c.mode, Mode::Queue);
+        assert!(!c.is_stack());
+        assert!(!c.local_combining);
+        assert!(!c.stage4_barrier);
+        assert_eq!(c.update_threshold, 1);
+    }
+
+    #[test]
+    fn stack_defaults() {
+        let c = ProtocolConfig::stack();
+        assert!(c.is_stack());
+        assert!(c.local_combining);
+        assert!(c.stage4_barrier);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ProtocolConfig::stack()
+            .with_hash_seed(99)
+            .with_bit_budget(17)
+            .with_local_combining(false);
+        assert_eq!(c.hash_seed, 99);
+        assert_eq!(c.bit_budget, 17);
+        assert!(!c.local_combining);
+        assert_eq!(c.hasher().seed(), 99);
+    }
+
+    #[test]
+    fn default_is_queue() {
+        assert_eq!(ProtocolConfig::default().mode, Mode::Queue);
+    }
+}

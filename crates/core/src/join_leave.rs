@@ -1,0 +1,552 @@
+//! Join, leave and update-phase handling (Section IV).
+//!
+//! Membership changes are handled *lazily*: a joining or leaving virtual node
+//! is assigned a **responsible node** (the predecessor of its label for a
+//! joiner; its cycle predecessor for a leaver).  The responsible node counts
+//! the request in the `j`/`l` fields of its next batch, so the anchor learns
+//! about pending membership changes through the ordinary aggregation.  When
+//! the anchor observes at least `update_threshold` pending changes it attaches
+//! the *update-phase* flag to the `SERVE` wave; while the flag is set no new
+//! batches are sent.  During the update phase
+//!
+//! * joiners are spliced into the cycle (and receive the DHT data of their
+//!   interval),
+//! * leavers hand their state to their absorber and switch to a draining mode
+//!   in which every message they still receive is forwarded (channels are
+//!   reliable, so nothing is lost),
+//! * acknowledgements flow up the *old* aggregation tree; once the anchor has
+//!   collected them all it either broadcasts `UpdateOver` down the new tree
+//!   or — if a new leftmost node exists — hands the anchor state over first
+//!   and lets the new anchor end the phase.
+//!
+//! Deviations from the paper (documented in DESIGN.md): DHT data is handed to
+//! a joiner at integration time rather than eagerly at responsibility time,
+//! joining processes do not issue queue operations before they are
+//! integrated, and the process currently hosting the anchor may not leave.
+
+use crate::anchor::AnchorState;
+use crate::batch::Batch;
+use crate::messages::{AbsorbPayload, JoinHandover, SkueueMsg};
+use crate::node::{JoinerRecord, LeaverRecord, Role, SkueueNode, UpdatePhase};
+use skueue_dht::{PendingGet, StoredEntry};
+use skueue_overlay::{Label, NeighborInfo, RouteAction, RouteProgress, route_step};
+use skueue_sim::actor::Context;
+use skueue_sim::ids::NodeId;
+
+impl SkueueNode {
+    // ---------------------------------------------------------------------
+    // Driver-side entry points.
+    // ---------------------------------------------------------------------
+
+    /// Points a joining node at a bootstrap contact; the join request is sent
+    /// on its next timeout.
+    pub fn set_bootstrap(&mut self, bootstrap: NodeId) {
+        self.bootstrap = Some(bootstrap);
+    }
+
+    /// Asks this node to leave the system.  The leave request is sent to the
+    /// predecessor once the node's own outstanding requests have completed.
+    pub fn request_leave(&mut self) {
+        self.wants_to_leave = true;
+    }
+
+    /// True once the node has fully left (drains towards its absorber).
+    pub fn has_left(&self) -> bool {
+        matches!(self.role, Role::Draining { .. })
+    }
+
+    /// True if the node is an integrated member of the overlay.
+    pub fn is_integrated(&self) -> bool {
+        matches!(self.role, Role::Active)
+    }
+
+    // ---------------------------------------------------------------------
+    // Timeout hooks.
+    // ---------------------------------------------------------------------
+
+    /// Timeout behaviour of a joining node: announce the join once.
+    pub(crate) fn joining_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if self.join_sent {
+            return;
+        }
+        if let Some(bootstrap) = self.bootstrap {
+            let progress = RouteProgress::new(self.view.me.label, self.cfg.bit_budget);
+            ctx.send(
+                bootstrap,
+                SkueueMsg::JoinRequest { joiner: self.view.me, progress },
+            );
+            self.join_sent = true;
+        }
+    }
+
+    /// Periodic membership work of an active node: (re-)issue a pending leave
+    /// request once the node's own requests have drained.
+    pub(crate) fn membership_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+        self.maybe_complete_deferred_absorb(ctx);
+        if self.wants_to_leave
+            && !self.leave_requested
+            && !self.leave_granted
+            && self.own_log.is_empty()
+            && self.outstanding_gets.is_empty()
+            && self.pending_leavers.is_empty()
+            && self.anchor.is_none()
+        {
+            ctx.send(self.view.pred.node, SkueueMsg::LeaveRequest { leaver: self.view.me });
+            self.leave_requested = true;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Message handling.
+    // ---------------------------------------------------------------------
+
+    /// Handles every membership / update-phase message (called from the main
+    /// actor dispatch for the variants Stage 1–4 do not consume).
+    pub(crate) fn handle_membership(
+        &mut self,
+        from: NodeId,
+        msg: SkueueMsg,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        match msg {
+            SkueueMsg::JoinRequest { joiner, progress } => {
+                self.handle_join_request(joiner, progress, ctx)
+            }
+            SkueueMsg::Integrate { handover } => self.handle_integrate(from, *handover, ctx),
+            SkueueMsg::IntegrateAck => {
+                if let Some(update) = self.update.as_mut() {
+                    update.awaiting_integrate_acks =
+                        update.awaiting_integrate_acks.saturating_sub(1);
+                }
+                self.joiners.retain(|j| j.info.node != from);
+                self.check_update_done(ctx);
+            }
+            SkueueMsg::LeaveRequest { leaver } => self.handle_leave_request(leaver, ctx),
+            SkueueMsg::LeaveGranted => {
+                self.leave_granted = true;
+            }
+            SkueueMsg::LeaveDeferred => {
+                // Retry on a later timeout (once the conflicting neighbour has
+                // left, the new predecessor will grant the request).
+                self.leave_requested = false;
+            }
+            SkueueMsg::AbsorbRequest => self.handle_absorb_request(from, ctx),
+            SkueueMsg::AbsorbData(payload) => self.handle_absorb_data(from, *payload, ctx),
+            SkueueMsg::SiblingStatus { kind, active } => {
+                self.sibling_integrated[kind.index()] = active;
+            }
+            SkueueMsg::SetPred { new_pred } => {
+                self.view.pred = new_pred;
+                // Invariant restoration: if we hold the anchor state but are
+                // no longer the leftmost node, hand the state leftwards.
+                if self.anchor.is_some() && !self.view.is_anchor() && self.update.is_none() {
+                    let state = self.anchor.take().expect("checked above");
+                    ctx.send(self.view.pred.node, SkueueMsg::AnchorTransfer { state });
+                }
+            }
+            SkueueMsg::SetSucc { new_succ } => {
+                self.view.succ = new_succ;
+            }
+            SkueueMsg::UpdateAck => {
+                if let Some(update) = self.update.as_mut() {
+                    update.awaiting_child_acks.retain(|&c| c != from);
+                }
+                self.check_update_done(ctx);
+            }
+            SkueueMsg::UpdateOver => self.handle_update_over(ctx),
+            SkueueMsg::AnchorTransfer { state } => self.handle_anchor_transfer(state, ctx),
+            // Stage 1–4 messages that reach a joining node are deferred or
+            // dropped defensively (they cannot occur for integrated nodes —
+            // the main dispatch handles them there).
+            SkueueMsg::Dht { op, progress } => {
+                if matches!(self.role, Role::Joining { .. }) {
+                    self.deferred_dht.push((op, progress));
+                } else {
+                    self.route_dht_forward(op, progress, ctx);
+                }
+            }
+            other => {
+                debug_assert!(
+                    false,
+                    "unexpected message {other:?} in membership handler at {}",
+                    self.view.me.vid
+                );
+            }
+        }
+    }
+
+    /// Re-routes a DHT operation (used when re-injecting deferred operations).
+    fn route_dht_forward(
+        &mut self,
+        op: crate::messages::DhtOp,
+        mut progress: RouteProgress,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        match route_step(&self.view, &mut progress) {
+            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Forward(next) => {
+                progress.hops += 1;
+                ctx.send(next, SkueueMsg::Dht { op, progress });
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Join (Section IV-A).
+    // ---------------------------------------------------------------------
+
+    fn handle_join_request(
+        &mut self,
+        joiner: NeighborInfo,
+        mut progress: RouteProgress,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        // Route towards the predecessor of the joiner's label.
+        match route_step(&self.view, &mut progress) {
+            RouteAction::Forward(next) => {
+                progress.hops += 1;
+                ctx.send(next, SkueueMsg::JoinRequest { joiner, progress });
+            }
+            RouteAction::Deliver => {
+                // This node is responsible for the joiner.
+                if self.joiners.iter().any(|j| j.info.node == joiner.node) {
+                    return; // duplicate announcement
+                }
+                self.joiners.push(JoinerRecord { info: joiner, handed_over: false });
+                self.pending_join_count += 1;
+            }
+        }
+    }
+
+    /// Splices all joiners this node is responsible for into the cycle and
+    /// hands each its share of the DHT data.  Called during the update phase.
+    fn integrate_joiners(&mut self, ctx: &mut Context<SkueueMsg>) -> usize {
+        if self.joiners.is_empty() {
+            return 0;
+        }
+        let mut joiners: Vec<JoinerRecord> =
+            self.joiners.iter().filter(|j| !j.handed_over).copied().collect();
+        if joiners.is_empty() {
+            return 0;
+        }
+        // Sort by ring position clockwise from this node so the chain
+        // me → j₁ → … → j_k → old_succ is correctly ordered even when the gap
+        // wraps around the top of the ring.
+        let me_label = self.view.me.label;
+        joiners.sort_by_key(|j| me_label.cw_distance(j.info.label));
+        let old_succ = self.view.succ;
+
+        // Hand out the data and the final neighbour pointers.
+        let count = joiners.len();
+        for (i, j) in joiners.iter().enumerate() {
+            let pred = if i == 0 { self.view.me } else { joiners[i - 1].info };
+            let succ = if i + 1 < count { joiners[i + 1].info } else { old_succ };
+            let (entries, pending) = self.extract_store_range(j.info.label, succ.label);
+            ctx.send(
+                j.info.node,
+                SkueueMsg::Integrate {
+                    handover: Box::new(JoinHandover { pred, succ, entries, pending }),
+                },
+            );
+        }
+        // Update the cycle around the gap: our successor becomes the first
+        // joiner, and the old successor's predecessor becomes the last one.
+        self.view.succ = joiners[0].info;
+        if old_succ.node != self.view.me.node {
+            ctx.send(old_succ.node, SkueueMsg::SetPred { new_pred: joiners[count - 1].info });
+        } else {
+            // Single-node corner case: we are our own successor; the last
+            // joiner becomes our predecessor.
+            self.view.pred = joiners[count - 1].info;
+        }
+        for j in &mut self.joiners {
+            j.handed_over = true;
+        }
+        count
+    }
+
+    fn extract_store_range(
+        &mut self,
+        lo: Label,
+        hi: Label,
+    ) -> (Vec<StoredEntry>, Vec<(u64, PendingGet)>) {
+        let hasher = self.hasher;
+        self.store
+            .extract_range_with_keys(lo, hi, |position| hasher.position_key(position))
+    }
+
+    fn handle_integrate(
+        &mut self,
+        from: NodeId,
+        handover: JoinHandover,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        debug_assert!(matches!(self.role, Role::Joining { .. }));
+        self.view.pred = handover.pred;
+        self.view.succ = handover.succ;
+        self.role = Role::Active;
+        // Do not start batching before the update phase is over.
+        self.suspended = true;
+        for satisfied in self.store.absorb(handover.entries, handover.pending) {
+            ctx.send(
+                satisfied.get.requester,
+                SkueueMsg::DhtReply { request: satisfied.get.request, entry: satisfied.entry },
+            );
+        }
+        // Re-route DHT operations that arrived while we were not yet part of
+        // the cycle.
+        for (op, progress) in std::mem::take(&mut self.deferred_dht) {
+            self.route_dht_forward(op, progress, ctx);
+        }
+        // Tell the sibling virtual nodes of this process that we are now an
+        // integrated member (they may treat us as an aggregation-tree child).
+        self.announce_sibling_status(true, ctx);
+        ctx.send(from, SkueueMsg::IntegrateAck);
+    }
+
+    /// Notifies the process's other two virtual nodes about this node's
+    /// membership status.
+    fn announce_sibling_status(&self, active: bool, ctx: &mut Context<SkueueMsg>) {
+        let my_kind = self.view.me.vid.kind;
+        for kind in skueue_overlay::VKind::ALL {
+            let sibling = self.view.siblings[kind.index()];
+            if sibling.node != self.view.me.node {
+                ctx.send(sibling.node, SkueueMsg::SiblingStatus { kind: my_kind, active });
+            }
+        }
+    }
+
+    /// A handed-over joiner whose integration message may still be in flight
+    /// is the true owner of keys in its range; forward operations to it.
+    pub(crate) fn joiner_responsible_for(&self, key: Label) -> Option<NodeId> {
+        if self.joiners.is_empty() {
+            return None;
+        }
+        let me = self.view.me.label;
+        // The best candidate is the handed-over joiner with the largest label
+        // that is still ≤ key (in ring order starting from this node).
+        self.joiners
+            .iter()
+            .filter(|j| j.handed_over)
+            .filter(|j| {
+                // key must lie clockwise of the joiner and the joiner clockwise of us.
+                me.cw_distance(j.info.label) <= me.cw_distance(key)
+            })
+            .max_by_key(|j| me.cw_distance(j.info.label))
+            .map(|j| j.info.node)
+    }
+
+    // ---------------------------------------------------------------------
+    // Leave (Section IV-B).
+    // ---------------------------------------------------------------------
+
+    fn handle_leave_request(&mut self, leaver: NeighborInfo, ctx: &mut Context<SkueueMsg>) {
+        // Leftmost-leaves-first priority: if we want to leave ourselves and
+        // are to the left of the requester, it has to wait for us.
+        if self.wants_to_leave {
+            ctx.send(leaver.node, SkueueMsg::LeaveDeferred);
+            return;
+        }
+        if self
+            .pending_leavers
+            .iter()
+            .any(|l| l.info.node == leaver.node)
+        {
+            ctx.send(leaver.node, SkueueMsg::LeaveGranted);
+            return;
+        }
+        self.pending_leavers.push(LeaverRecord { info: leaver, absorb_requested: false });
+        self.pending_leave_count += 1;
+        ctx.send(leaver.node, SkueueMsg::LeaveGranted);
+    }
+
+    /// A leaver may only hand itself over once (a) its pending batch has been
+    /// served and (b) it has discharged its own update-phase duties (sent its
+    /// `UpdateAck`).  Both are guaranteed to happen within the same update
+    /// wave, so deferring is always temporary.
+    fn ready_to_be_absorbed(&self) -> bool {
+        self.pending.is_none() && self.update.as_ref().map(|u| u.acked).unwrap_or(true)
+    }
+
+    fn handle_absorb_request(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg>) {
+        if !self.ready_to_be_absorbed() {
+            self.absorb_deferred = Some(from);
+            return;
+        }
+        self.send_absorb_data(from, ctx);
+    }
+
+    /// Completes a deferred absorption once the leaver is ready (checked on
+    /// every timeout).
+    pub(crate) fn maybe_complete_deferred_absorb(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if self.ready_to_be_absorbed() {
+            if let Some(absorber) = self.absorb_deferred.take() {
+                self.send_absorb_data(absorber, ctx);
+            }
+        }
+    }
+
+    fn send_absorb_data(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg>) {
+        let entries: Vec<StoredEntry> = self.store.iter_entries().copied().collect();
+        let pending: Vec<(u64, PendingGet)> =
+            self.store.iter_pending().map(|(p, g)| (p, *g)).collect();
+        let child_batches: Vec<(NodeId, Batch)> =
+            self.child_batches.iter().map(|(k, v)| (*k, v.clone())).collect();
+        self.child_batches.clear();
+        let payload = AbsorbPayload {
+            succ: self.view.succ,
+            entries,
+            pending,
+            child_batches,
+            anchor: self.anchor.take(),
+        };
+        ctx.send(from, SkueueMsg::AbsorbData(Box::new(payload)));
+        self.announce_sibling_status(false, ctx);
+        self.role = Role::Draining { absorber: from };
+    }
+
+    fn handle_absorb_data(
+        &mut self,
+        from: NodeId,
+        payload: AbsorbPayload,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        // Take over the leaver's DHT data and parked GETs.
+        let pending: Vec<(u64, PendingGet)> = payload.pending;
+        for satisfied in self.store.absorb(payload.entries, pending) {
+            ctx.send(
+                satisfied.get.requester,
+                SkueueMsg::DhtReply { request: satisfied.get.request, entry: satisfied.entry },
+            );
+        }
+        // Inherit not-yet-forwarded sub-batches of the leaver's children.
+        for (child, batch) in payload.child_batches {
+            self.child_batches.entry(child).or_insert(batch);
+        }
+        // Splice the leaver out of the cycle.
+        if payload.succ.node == from {
+            // The leaver was its own successor (single-node corner case);
+            // nothing to re-link.
+        } else if payload.succ.node == self.view.me.node {
+            // Two-node ring: we become our own neighbour.
+            self.view.succ = self.view.me;
+            self.view.pred = self.view.me;
+        } else {
+            self.view.succ = payload.succ;
+            ctx.send(payload.succ.node, SkueueMsg::SetPred { new_pred: self.view.me });
+        }
+        // If the leaver held the anchor state, pass it on to the new leftmost
+        // node (the leaver's successor); the cluster normally prevents this
+        // case, but handle it defensively.
+        if let Some(state) = payload.anchor {
+            ctx.send(self.view.succ.node, SkueueMsg::AnchorTransfer { state });
+        }
+        self.pending_leavers.retain(|l| l.info.node != from);
+        if let Some(update) = self.update.as_mut() {
+            update.awaiting_absorb_data = update.awaiting_absorb_data.saturating_sub(1);
+        }
+        self.check_update_done(ctx);
+    }
+
+    // ---------------------------------------------------------------------
+    // Update phase.
+    // ---------------------------------------------------------------------
+
+    /// Enters the update phase: suspends batching, performs this node's
+    /// integration/absorption duties, and prepares the ack bookkeeping.
+    pub(crate) fn enter_update_phase(
+        &mut self,
+        old_parent: Option<NodeId>,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        self.suspended = true;
+        let awaiting_child_acks = self.tree_children();
+        let integrated = self.integrate_joiners(ctx);
+        // Ask granted leavers for their state.
+        let mut absorb_requests = 0;
+        let leavers: Vec<NodeId> = self
+            .pending_leavers
+            .iter()
+            .filter(|l| !l.absorb_requested)
+            .map(|l| l.info.node)
+            .collect();
+        for leaver in leavers {
+            ctx.send(leaver, SkueueMsg::AbsorbRequest);
+            absorb_requests += 1;
+        }
+        for l in &mut self.pending_leavers {
+            l.absorb_requested = true;
+        }
+        self.update = Some(UpdatePhase {
+            awaiting_child_acks,
+            old_parent,
+            awaiting_integrate_acks: integrated,
+            awaiting_absorb_data: absorb_requests,
+            acked: false,
+        });
+        self.check_update_done(ctx);
+    }
+
+    /// Checks whether this node has finished all update-phase duties and can
+    /// acknowledge to its old parent (or, at the anchor, end the phase).
+    pub(crate) fn check_update_done(&mut self, ctx: &mut Context<SkueueMsg>) {
+        let done = match self.update.as_ref() {
+            Some(u) => {
+                !u.acked
+                    && u.awaiting_child_acks.is_empty()
+                    && u.awaiting_integrate_acks == 0
+                    && u.awaiting_absorb_data == 0
+            }
+            None => false,
+        };
+        if !done {
+            return;
+        }
+        let old_parent = self.update.as_ref().and_then(|u| u.old_parent);
+        if let Some(update) = self.update.as_mut() {
+            update.acked = true;
+        }
+        match old_parent {
+            Some(parent) => ctx.send(parent, SkueueMsg::UpdateAck),
+            None => self.finish_update_phase(ctx),
+        }
+    }
+
+    /// The (old) anchor ends the update phase: either by broadcasting
+    /// `UpdateOver` down the new tree, or — when a smaller-labelled node has
+    /// joined — by handing the anchor state to the new leftmost node first.
+    fn finish_update_phase(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if self.view.is_anchor() || self.anchor.is_none() {
+            // Still the leftmost node (or not the anchor at all — defensive):
+            // end the phase ourselves.
+            self.handle_update_over(ctx);
+        } else {
+            // A node with a smaller label exists now; walk the anchor state
+            // towards it.  The new anchor ends the update phase.
+            let state = self.anchor.take().expect("checked above");
+            ctx.send(self.view.pred.node, SkueueMsg::AnchorTransfer { state });
+            // Resume ourselves; `UpdateOver` from the new anchor will also be
+            // forwarded to our subtree.
+        }
+    }
+
+    fn handle_update_over(&mut self, ctx: &mut Context<SkueueMsg>) {
+        self.suspended = false;
+        self.update = None;
+        for child in self.tree_children() {
+            ctx.send(child, SkueueMsg::UpdateOver);
+        }
+    }
+
+    fn handle_anchor_transfer(&mut self, state: AnchorState, ctx: &mut Context<SkueueMsg>) {
+        if self.view.is_anchor() {
+            self.adopt_anchor(state);
+            // The new anchor ends the update phase for everyone.
+            self.handle_update_over(ctx);
+        } else {
+            // Keep walking left.
+            ctx.send(self.view.pred.node, SkueueMsg::AnchorTransfer { state });
+        }
+    }
+
+}

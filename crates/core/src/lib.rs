@@ -1,0 +1,55 @@
+//! # skueue-core — the Skueue protocol
+//!
+//! This crate implements the paper's primary contribution: a distributed
+//! FIFO queue (and LIFO stack) that is *sequentially consistent* and scales
+//! by aggregating requests into batches over an implicit aggregation tree on
+//! the Linearized De Bruijn overlay.
+//!
+//! The public entry point is [`SkueueCluster`]: build a cluster of `n`
+//! processes, issue `ENQUEUE()`/`DEQUEUE()` (or `PUSH()`/`POP()`) requests at
+//! any process, drive the simulation round by round, and read back the
+//! execution [`skueue_verify::History`] plus the measurements the paper
+//! reports (per-request rounds, batch sizes, per-node load, …).
+//!
+//! ```
+//! use skueue_core::{SkueueCluster};
+//! use skueue_sim::ids::ProcessId;
+//! use skueue_verify::check_queue;
+//!
+//! let mut cluster = SkueueCluster::queue(4, 42);
+//! cluster.enqueue(ProcessId(0), 7).unwrap();
+//! cluster.enqueue(ProcessId(1), 8).unwrap();
+//! cluster.dequeue(ProcessId(2)).unwrap();
+//! cluster.run_until_all_complete(500).unwrap();
+//! check_queue(cluster.history()).assert_consistent();
+//! ```
+//!
+//! Internally the crate is organised along the paper's structure:
+//!
+//! | module | paper section | content |
+//! |--------|---------------|---------|
+//! | [`batch`] | Def. 5, §IV | run-length batches, combination, join/leave counters |
+//! | [`anchor`] | §III-D (Stage 2), §VI | the anchor's `[first,last]` window, order counter, tickets |
+//! | [`interval`] | §III-E (Stage 3) | decomposition of position intervals over sub-batches |
+//! | [`node`] | §III (Stages 1–4), §VI | the per-virtual-node state machine |
+//! | [`join_leave`] | §IV | lazy joins/leaves, update phase, anchor hand-off |
+//! | [`cluster`] | §VII | the driver API used by workloads, examples and tests |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod batch;
+pub mod cluster;
+pub mod config;
+pub mod interval;
+pub mod join_leave;
+pub mod messages;
+pub mod node;
+
+pub use anchor::{AnchorState, RunAssignment};
+pub use batch::{Batch, BatchOp, FirstRun};
+pub use cluster::{ClusterError, SkueueCluster};
+pub use config::{Mode, ProtocolConfig};
+pub use messages::{DhtOp, SkueueMsg};
+pub use node::{LocalOp, NodeStats, Role, SkueueNode};

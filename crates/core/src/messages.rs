@@ -1,0 +1,239 @@
+//! Protocol messages ("remote action calls").
+//!
+//! Every message a Skueue node sends corresponds to one of the actions of
+//! the paper: `AGGREGATE` (Stage 1), `SERVE` (Stage 3), the DHT's `PUT`/`GET`
+//! (Stage 4) plus the reply a `GET` triggers, and the join/leave/update-phase
+//! actions of Section IV.
+
+use crate::anchor::{AnchorState, RunAssignment};
+use crate::batch::Batch;
+use serde::{Deserialize, Serialize};
+use skueue_dht::{PendingGet, StoredEntry};
+use skueue_overlay::{NeighborInfo, RouteProgress};
+use skueue_sim::ids::{NodeId, RequestId};
+
+/// Metadata a `PUT` carries so the storing node can complete the enqueue
+/// request (the paper does not acknowledge PUTs; completion is recorded at
+/// the responsible node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PutMeta {
+    /// Round in which the enqueue was issued (latency accounting).
+    pub issued_round: u64,
+    /// The enqueue's order value `value(op)`.
+    pub order: u64,
+    /// Whether the issuer needs an acknowledgement (stack stage-4 barrier).
+    pub needs_ack: bool,
+    /// Node to acknowledge to.
+    pub issuer: NodeId,
+}
+
+/// A DHT operation being routed to the node responsible for its key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DhtOp {
+    /// `PUT(e, k)`: store `entry` at the responsible node.
+    Put {
+        /// The entry (element, position, key, ticket).
+        entry: StoredEntry,
+        /// Completion/ack metadata.
+        meta: PutMeta,
+    },
+    /// `GET(k, v)`: remove the element at `position` and deliver it to
+    /// `requester`.
+    Get {
+        /// Queue/stack position to fetch.
+        position: u64,
+        /// Maximum admissible ticket (stack); `u64::MAX` for the queue.
+        max_ticket: u64,
+        /// The dequeue/pop request this GET serves.
+        request: RequestId,
+        /// Node that issued the GET and expects the reply.
+        requester: NodeId,
+    },
+}
+
+impl DhtOp {
+    /// The position this operation refers to.
+    pub fn position(&self) -> u64 {
+        match self {
+            DhtOp::Put { entry, .. } => entry.position,
+            DhtOp::Get { position, .. } => *position,
+        }
+    }
+}
+
+/// Payload of the join data handover: everything the responsible node gives a
+/// joining virtual node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinHandover {
+    /// The joiner's (temporary) predecessor: the responsible node itself.
+    pub pred: NeighborInfo,
+    /// The joiner's (future) successor.
+    pub succ: NeighborInfo,
+    /// DHT entries now owned by the joiner.
+    pub entries: Vec<StoredEntry>,
+    /// Parked GETs now owned by the joiner.
+    pub pending: Vec<(u64, PendingGet)>,
+}
+
+/// Payload of the leave absorption: everything a leaving node hands to its
+/// absorber (its cycle predecessor).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbsorbPayload {
+    /// The leaver's successor (the absorber's new successor).
+    pub succ: NeighborInfo,
+    /// The leaver's stored DHT entries.
+    pub entries: Vec<StoredEntry>,
+    /// The leaver's parked GETs.
+    pub pending: Vec<(u64, PendingGet)>,
+    /// Sub-batches the leaver had received from aggregation-tree children but
+    /// not yet forwarded.
+    pub child_batches: Vec<(NodeId, Batch)>,
+    /// Anchor state, if the leaver was the anchor.
+    pub anchor: Option<AnchorState>,
+}
+
+/// All messages exchanged by Skueue nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SkueueMsg {
+    // ---- Stages 1-4 -------------------------------------------------------
+    /// Stage 1: a child forwards its combined batch to its aggregation-tree
+    /// parent (`AGGREGATE`).
+    Aggregate {
+        /// The child's combined batch.
+        batch: Batch,
+    },
+    /// Stage 3: the parent returns the run assignments for the sub-batch this
+    /// node contributed (`SERVE`), possibly carrying the update-phase flag.
+    Serve {
+        /// One assignment per run of the receiver's pending batch.
+        runs: Vec<RunAssignment>,
+        /// True when the anchor decided to enter the update phase with this
+        /// wave (Section IV).
+        enter_update: bool,
+    },
+    /// Stage 4: a DHT operation being routed over the LDB.
+    Dht {
+        /// The operation.
+        op: DhtOp,
+        /// Routing state (target key, remaining distance-halving bits, hops).
+        progress: RouteProgress,
+    },
+    /// Reply to a `GET`: the element is returned to the requester.
+    DhtReply {
+        /// The dequeue/pop request the reply answers.
+        request: RequestId,
+        /// The stored entry that was removed for it.
+        entry: StoredEntry,
+    },
+    /// Acknowledgement of a `PUT` (only requested by stack nodes enforcing
+    /// the stage-4 barrier).
+    PutAck {
+        /// The enqueue/push request whose PUT was applied.
+        request: RequestId,
+    },
+
+    // ---- Join (Section IV-A) ---------------------------------------------
+    /// A joining virtual node announces itself; routed to the node
+    /// responsible for its label.
+    JoinRequest {
+        /// The joining virtual node.
+        joiner: NeighborInfo,
+        /// Routing state towards the joiner's label.
+        progress: RouteProgress,
+    },
+    /// Update phase: the responsible node splices the joiner into the cycle,
+    /// handing over its final neighbours and the DHT data of its interval.
+    Integrate {
+        /// Final neighbours plus handed-over DHT data.
+        handover: Box<JoinHandover>,
+    },
+    /// The joiner confirms it is fully integrated.
+    IntegrateAck,
+
+    // ---- Leave (Section IV-B) ---------------------------------------------
+    /// A node asks its left neighbour for permission to leave.
+    LeaveRequest {
+        /// The would-be leaver.
+        leaver: NeighborInfo,
+    },
+    /// Permission granted: the predecessor will absorb the leaver during the
+    /// next update phase.
+    LeaveGranted,
+    /// Permission deferred: the predecessor wants to leave first.
+    LeaveDeferred,
+    /// Update phase: the absorber asks the leaver for its state.
+    AbsorbRequest,
+    /// The leaver's state (the leaver switches to draining afterwards).
+    AbsorbData(Box<AbsorbPayload>),
+
+    /// A virtual node informs its two sibling nodes (same process) that it
+    /// has become an integrated member — or stopped being one.  Siblings only
+    /// wait for aggregation-tree sub-batches from integrated siblings.
+    SiblingStatus {
+        /// Which sibling this is about.
+        kind: skueue_overlay::VKind,
+        /// True when the sibling is an integrated member.
+        active: bool,
+    },
+
+    // ---- Neighbour pointer maintenance -------------------------------------
+    /// Instructs the receiver to update its predecessor pointer.
+    SetPred {
+        /// The new predecessor.
+        new_pred: NeighborInfo,
+    },
+    /// Instructs the receiver to update its successor pointer.
+    SetSucc {
+        /// The new successor.
+        new_succ: NeighborInfo,
+    },
+
+    // ---- Update phase control ----------------------------------------------
+    /// Acknowledgement that the whole old subtree below the sender has
+    /// finished its update-phase duties (aggregated up the old tree).
+    UpdateAck,
+    /// The update phase is over; broadcast down the new aggregation tree.
+    UpdateOver,
+    /// Anchor state hand-off, walking towards the leftmost node.
+    AnchorTransfer {
+        /// The anchor state being transferred.
+        state: AnchorState,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_dht::Element;
+    use skueue_overlay::Label;
+    use skueue_sim::ids::ProcessId;
+
+    #[test]
+    fn dht_op_position_accessor() {
+        let entry = StoredEntry::queue(
+            7,
+            Label::from_f64(0.5),
+            Element::new(RequestId::new(ProcessId(1), 0), 9),
+        );
+        let put = DhtOp::Put {
+            entry,
+            meta: PutMeta { issued_round: 1, order: 2, needs_ack: false, issuer: NodeId(0) },
+        };
+        assert_eq!(put.position(), 7);
+        let get = DhtOp::Get {
+            position: 11,
+            max_ticket: u64::MAX,
+            request: RequestId::new(ProcessId(2), 3),
+            requester: NodeId(4),
+        };
+        assert_eq!(get.position(), 11);
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let a = SkueueMsg::Aggregate { batch: Batch::empty() };
+        assert_eq!(a.clone(), a);
+        let b = SkueueMsg::UpdateOver;
+        assert_ne!(a, b);
+    }
+}

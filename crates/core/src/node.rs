@@ -1,0 +1,969 @@
+//! The per-virtual-node protocol state machine.
+//!
+//! A [`SkueueNode`] is one virtual node of the LDB running the Skueue
+//! protocol.  It implements [`Actor`] for the simulation substrate and
+//! realises Stages 1–4 of Section III (plus the stack variant of Section VI
+//! and the join/leave handling of Section IV, see `join_leave.rs`):
+//!
+//! * **Stage 1** (`TIMEOUT` + `AGGREGATE`): buffer locally generated
+//!   operations in the working batch `W`, wait until all aggregation-tree
+//!   children have contributed their sub-batches, combine everything into
+//!   `B`, remember the combination order, and forward `B` to the parent.
+//! * **Stage 2** (`ASSIGN`): only at the anchor — hand out position
+//!   intervals, order values and tickets from the `[first, last]` window.
+//! * **Stage 3** (`SERVE`): split the received assignments back among the
+//!   remembered sub-batches and forward them to the children; resolve the
+//!   node's own requests.
+//! * **Stage 4**: issue `PUT`/`GET` operations into the DHT, routed over the
+//!   LDB; record request completions for the history.
+
+use crate::anchor::{AnchorState, RunAssignment};
+use crate::batch::{Batch, BatchOp};
+use crate::config::{Mode, ProtocolConfig};
+use crate::messages::{DhtOp, PutMeta, SkueueMsg};
+use skueue_dht::{Element, GetOutcome, NodeStore, StoredEntry};
+use skueue_overlay::{
+    aggregation_parent, route_step, LocalView, RouteAction, RouteProgress, VKind,
+};
+use skueue_sim::actor::{Actor, Context};
+use skueue_sim::ids::{NodeId, ProcessId, RequestId};
+use skueue_sim::metrics::Histogram;
+use skueue_verify::{OpKind, OpRecord, OpResult, OrderKey};
+use std::collections::{BTreeMap, HashMap};
+
+/// A locally generated request that has not been resolved yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalOp {
+    /// The request's identity.
+    pub id: RequestId,
+    /// Enqueue/push or dequeue/pop.
+    pub kind: BatchOp,
+    /// Payload (enqueues only).
+    pub value: u64,
+    /// Round in which the request was generated.
+    pub issued_round: u64,
+}
+
+/// Where a sub-batch of the node's pending batch came from.
+#[derive(Debug, Clone)]
+pub(crate) enum BatchSource {
+    /// The node's own working batch (its own requests).
+    Own(Batch),
+    /// A child's sub-batch.
+    Child(NodeId, Batch),
+}
+
+impl BatchSource {
+    fn batch(&self) -> &Batch {
+        match self {
+            BatchSource::Own(b) | BatchSource::Child(_, b) => b,
+        }
+    }
+}
+
+/// The batch a node has sent up the tree and not yet been served for, plus
+/// the memorised combination order needed for Stage 3.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingBatch {
+    pub(crate) combined: Batch,
+    pub(crate) sources: Vec<BatchSource>,
+}
+
+/// Membership status of a virtual node (Section IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Fully integrated member of the LDB.
+    Active,
+    /// Waiting to be integrated; `responsible` is the node relaying for us
+    /// once the join request has been answered.
+    Joining {
+        /// The node responsible for this joiner (if already discovered).
+        responsible: Option<NodeId>,
+    },
+    /// Granted leave and absorbed; every received message is forwarded to the
+    /// absorber.
+    Draining {
+        /// The absorbing node (our former predecessor).
+        absorber: NodeId,
+    },
+}
+
+/// A joining node this node is responsible for (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JoinerRecord {
+    pub(crate) info: skueue_overlay::NeighborInfo,
+    pub(crate) handed_over: bool,
+}
+
+/// A leaver this node has granted and will absorb during the next update
+/// phase (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LeaverRecord {
+    pub(crate) info: skueue_overlay::NeighborInfo,
+    pub(crate) absorb_requested: bool,
+}
+
+/// State of an ongoing update phase at this node.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UpdatePhase {
+    /// Children (at flag time) we still expect an `UpdateAck` from.
+    pub(crate) awaiting_child_acks: Vec<NodeId>,
+    /// Parent (at flag time) to ack to once done.
+    pub(crate) old_parent: Option<NodeId>,
+    /// Joiners we still expect an `IntegrateAck` from.
+    pub(crate) awaiting_integrate_acks: usize,
+    /// Leavers we still expect `AbsorbData` from.
+    pub(crate) awaiting_absorb_data: usize,
+    /// Whether our own ack has been sent already.
+    pub(crate) acked: bool,
+}
+
+/// Counters a node keeps about its own protocol activity.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Number of batches this node sent to its parent (or processed as the
+    /// anchor).
+    pub batches_sent: u64,
+    /// Distribution of the sizes of those batches (Theorem 18 / 20).
+    pub batch_sizes: Histogram,
+    /// Number of DHT operations this node issued.
+    pub dht_ops_issued: u64,
+    /// Distribution of DHT routing hop counts observed at delivery (only
+    /// recorded at the responsible node).
+    pub dht_hops: Histogram,
+    /// Number of requests this node generated.
+    pub requests_generated: u64,
+    /// Number of requests resolved by local combining (stack only).
+    pub locally_combined: u64,
+}
+
+/// One virtual node running the Skueue protocol.
+#[derive(Debug)]
+pub struct SkueueNode {
+    pub(crate) cfg: ProtocolConfig,
+    pub(crate) hasher: skueue_overlay::LabelHasher,
+    pub(crate) view: LocalView,
+    pub(crate) role: Role,
+    /// Anchor state, present only at the current anchor.
+    pub(crate) anchor: Option<AnchorState>,
+
+    // --- Stage 1 state ------------------------------------------------------
+    pub(crate) own_batch: Batch,
+    pub(crate) own_log: Vec<LocalOp>,
+    pub(crate) child_batches: BTreeMap<NodeId, Batch>,
+    pub(crate) pending: Option<PendingBatch>,
+    pub(crate) suspended: bool,
+
+    // --- Stage 4 state ------------------------------------------------------
+    pub(crate) store: NodeStore,
+    pub(crate) outstanding_gets: HashMap<RequestId, LocalOp>,
+    pub(crate) outstanding_dht: u64,
+
+    // --- Stack local combining ----------------------------------------------
+    /// Unsent pushes eligible for local matching (indices into `own_log`).
+    pub(crate) local_stack: Vec<LocalOp>,
+    /// Completed-but-unordered combined pairs, keyed by the seq of the own
+    /// request whose order value they must follow.
+    pub(crate) pairs_by_anchor: HashMap<u64, Vec<OpRecord>>,
+    /// Major order value of this node's most recently ordered own request.
+    pub(crate) last_order_major: u64,
+    /// Minor counter for combined pairs anchored at `last_order_major`.
+    pub(crate) minor_counter: u64,
+
+    // --- Membership (Section IV) --------------------------------------------
+    /// Which of the emulating process's three virtual nodes are integrated
+    /// members (indexed by `VKind::index`).  A node only treats integrated
+    /// siblings as aggregation-tree children.
+    pub(crate) sibling_integrated: [bool; 3],
+    /// Bootstrap contact used by a joining node to send its `JOIN()` request.
+    pub(crate) bootstrap: Option<NodeId>,
+    /// Whether the join request has been sent already.
+    pub(crate) join_sent: bool,
+    /// DHT operations received while still joining; re-routed after
+    /// integration.
+    pub(crate) deferred_dht: Vec<(DhtOp, RouteProgress)>,
+    pub(crate) joiners: Vec<JoinerRecord>,
+    pub(crate) pending_leavers: Vec<LeaverRecord>,
+    /// An absorber asked for our state while a batch was still pending; the
+    /// hand-over happens as soon as the batch has been served.
+    pub(crate) absorb_deferred: Option<NodeId>,
+    pub(crate) wants_to_leave: bool,
+    pub(crate) leave_granted: bool,
+    pub(crate) leave_requested: bool,
+    pub(crate) pending_join_count: u64,
+    pub(crate) pending_leave_count: u64,
+    pub(crate) update: Option<UpdatePhase>,
+
+    // --- Outputs --------------------------------------------------------------
+    pub(crate) completed: Vec<OpRecord>,
+    pub(crate) stats: NodeStats,
+}
+
+impl SkueueNode {
+    /// Creates a node with the given configuration and initial neighbourhood
+    /// view. `is_anchor` must be true exactly for the leftmost node of the
+    /// initial topology.
+    pub fn new(cfg: ProtocolConfig, view: LocalView, is_anchor: bool) -> Self {
+        let hasher = cfg.hasher();
+        let own_batch = Self::fresh_batch(&cfg);
+        SkueueNode {
+            cfg,
+            hasher,
+            view,
+            role: Role::Active,
+            anchor: if is_anchor { Some(AnchorState::new()) } else { None },
+            own_batch,
+            own_log: Vec::new(),
+            child_batches: BTreeMap::new(),
+            pending: None,
+            suspended: false,
+            store: NodeStore::new(),
+            outstanding_gets: HashMap::new(),
+            outstanding_dht: 0,
+            local_stack: Vec::new(),
+            pairs_by_anchor: HashMap::new(),
+            last_order_major: 0,
+            minor_counter: 0,
+            sibling_integrated: [true; 3],
+            bootstrap: None,
+            join_sent: false,
+            deferred_dht: Vec::new(),
+            joiners: Vec::new(),
+            pending_leavers: Vec::new(),
+            absorb_deferred: None,
+            wants_to_leave: false,
+            leave_granted: false,
+            leave_requested: false,
+            pending_join_count: 0,
+            pending_leave_count: 0,
+            update: None,
+            completed: Vec::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Creates a node that starts in the joining state (not yet part of the
+    /// cycle); `view` holds the node's own identity with placeholder
+    /// neighbours.
+    pub fn new_joining(cfg: ProtocolConfig, view: LocalView) -> Self {
+        let mut node = Self::new(cfg, view, false);
+        node.role = Role::Joining { responsible: None };
+        // Siblings of a joining process integrate one by one; each announces
+        // itself via `SiblingStatus` when it does.
+        node.sibling_integrated = [false; 3];
+        node
+    }
+
+    fn fresh_batch(cfg: &ProtocolConfig) -> Batch {
+        match cfg.mode {
+            Mode::Queue => Batch::empty(),
+            Mode::Stack => Batch::empty_stack(),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Public accessors used by the cluster driver.
+    // ---------------------------------------------------------------------
+
+    /// The node's virtual identity.
+    pub fn vid(&self) -> skueue_overlay::VirtualId {
+        self.view.me.vid
+    }
+
+    /// The emulating process.
+    pub fn process(&self) -> ProcessId {
+        self.view.me.vid.process
+    }
+
+    /// The node's label.
+    pub fn label(&self) -> skueue_overlay::Label {
+        self.view.me.label
+    }
+
+    /// The node's current neighbourhood view.
+    pub fn view(&self) -> &LocalView {
+        &self.view
+    }
+
+    /// Current membership role.
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// True if this node currently holds the anchor state.
+    pub fn is_anchor_node(&self) -> bool {
+        self.anchor.is_some()
+    }
+
+    /// The anchor state, if this node is the anchor.
+    pub fn anchor_state(&self) -> Option<&AnchorState> {
+        self.anchor.as_ref()
+    }
+
+    /// Number of elements stored in this node's DHT partition.
+    pub fn stored_elements(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of parked GETs at this node.
+    pub fn parked_gets(&self) -> usize {
+        self.store.pending_gets()
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// True while an update phase suspends batching at this node.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Drains the completed-operation records collected since the last call.
+    pub fn drain_completed(&mut self) -> Vec<OpRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// One-line diagnostic summary of the node's protocol state (used by
+    /// tests and the experiment harness when something stalls).
+    pub fn diagnostics(&self) -> String {
+        let children = self.tree_children();
+        let missing: Vec<NodeId> = children
+            .iter()
+            .copied()
+            .filter(|c| !self.child_batches.contains_key(c))
+            .collect();
+        let update = match &self.update {
+            Some(u) => format!(
+                "update(child_acks={:?},integrate={},absorb={},acked={})",
+                u.awaiting_child_acks, u.awaiting_integrate_acks, u.awaiting_absorb_data, u.acked
+            ),
+            None => "no-update".to_string(),
+        };
+        format!(
+            "{} role={:?} suspended={} anchor={} pending={} children={:?} missing_child_batches={:?} joiners={} leavers={} own_log={} outstanding_gets={} outstanding_dht={} {}",
+            self.view.me.vid,
+            self.role,
+            self.suspended,
+            self.anchor.is_some(),
+            self.pending.is_some(),
+            children,
+            missing,
+            self.joiners.len(),
+            self.pending_leavers.len(),
+            self.own_log.len(),
+            self.outstanding_gets.len(),
+            self.outstanding_dht,
+            update
+        )
+    }
+
+    /// Number of requests generated at this node that have not completed yet.
+    pub fn open_requests(&self) -> usize {
+        self.own_log.len() + self.outstanding_gets.len()
+    }
+
+    // ---------------------------------------------------------------------
+    // Request generation (driver-side local operation).
+    // ---------------------------------------------------------------------
+
+    /// Generates a queue/stack operation at this node.  This is a *local*
+    /// action of the emulating process, not a message.
+    pub fn generate_op(&mut self, id: RequestId, kind: BatchOp, value: u64, round: u64) {
+        debug_assert!(
+            matches!(self.role, Role::Active),
+            "only active nodes generate requests"
+        );
+        self.stats.requests_generated += 1;
+        let op = LocalOp { id, kind, value, issued_round: round };
+
+        if self.cfg.is_stack() && self.cfg.local_combining {
+            match kind {
+                BatchOp::Enqueue => {
+                    self.own_log.push(op);
+                    self.own_batch.push_op(kind);
+                    self.local_stack.push(op);
+                    return;
+                }
+                BatchOp::Dequeue => {
+                    if let Some(push) = self.local_stack.pop() {
+                        // The matched push is necessarily the most recently
+                        // issued unsent operation: undo its batching and
+                        // complete both requests immediately (Section VI).
+                        let last = self.own_log.pop().expect("push must still be unsent");
+                        debug_assert_eq!(last.id, push.id);
+                        self.own_batch.pop_last_op();
+                        self.stats.locally_combined += 2;
+                        // Pairs that were anchored to the removed push must be
+                        // re-anchored together with the new pair (the push
+                        // will never receive an anchor order value of its
+                        // own); a single re-anchoring call keeps them in
+                        // issue order.
+                        let mut records =
+                            self.pairs_by_anchor.remove(&push.id.seq).unwrap_or_default();
+                        records.extend(self.make_combined_pair(push, op, round));
+                        self.reanchor_pairs(records, round);
+                        return;
+                    }
+                    // No unsent push available: the pop becomes part of the
+                    // residual batch like any other operation.
+                    self.own_log.push(op);
+                    self.own_batch.push_op(kind);
+                    return;
+                }
+            }
+        }
+
+        self.own_log.push(op);
+        self.own_batch.push_op(kind);
+    }
+
+    /// Builds the completion records of a locally combined push/pop pair.
+    /// The order keys are placeholders; [`Self::reanchor_pairs`] (directly or
+    /// via [`Self::note_order_assigned`]) fills in the final keys so that the
+    /// pair ends up adjacent in `≺`, right after the issuing process's most
+    /// recent anchor-ordered request.
+    fn make_combined_pair(&self, push: LocalOp, pop: LocalOp, round: u64) -> [OpRecord; 2] {
+        let origin = self.process();
+        [
+            OpRecord {
+                id: push.id,
+                kind: OpKind::Enqueue,
+                value: push.value,
+                result: OpResult::Enqueued,
+                order: OrderKey::local(0, origin, 0),
+                issued_round: push.issued_round,
+                completed_round: round,
+            },
+            OpRecord {
+                id: pop.id,
+                kind: OpKind::Dequeue,
+                value: 0,
+                result: OpResult::Returned(push.id),
+                order: OrderKey::local(0, origin, 0),
+                issued_round: pop.issued_round,
+                completed_round: round,
+            },
+        ]
+    }
+
+    /// Attaches locally combined records to the request whose order value
+    /// they must follow, or emits them right away when that order is already
+    /// known.  Records within one anchor bucket are kept in issue order (the
+    /// local execution order), which is itself a valid sequential stack
+    /// execution.
+    fn reanchor_pairs(&mut self, records: Vec<OpRecord>, _round: u64) {
+        if let Some(anchor_op) = self.own_log.last() {
+            let bucket = self.pairs_by_anchor.entry(anchor_op.id.seq).or_default();
+            bucket.extend(records);
+            bucket.sort_by_key(|r| r.id.seq);
+        } else {
+            let origin = self.process();
+            let mut records = records;
+            records.sort_by_key(|r| r.id.seq);
+            for mut record in records {
+                self.minor_counter += 1;
+                record.order = OrderKey::local(self.last_order_major, origin, self.minor_counter);
+                self.completed.push(record);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Aggregation-tree helpers.
+    // ---------------------------------------------------------------------
+
+    /// The node's current aggregation-tree parent (None for the anchor).
+    pub(crate) fn tree_parent(&self) -> Option<NodeId> {
+        aggregation_parent(
+            self.view.kind(),
+            self.view.is_anchor(),
+            self.view.sibling(VKind::Left).node,
+            self.view.sibling(VKind::Middle).node,
+            self.view.pred.node,
+        )
+    }
+
+    /// The node's current aggregation-tree children.
+    ///
+    /// Sibling children (the process's own middle/right node) are only
+    /// counted while they are integrated members — waiting for a sub-batch
+    /// from a joining or draining sibling would deadlock the wave.
+    pub(crate) fn tree_children(&self) -> Vec<NodeId> {
+        let middle = self.view.sibling(VKind::Middle).node;
+        let right = self.view.sibling(VKind::Right).node;
+        skueue_overlay::aggregation_children(
+            self.view.kind(),
+            right,
+            middle,
+            self.view.succ.node,
+            self.view.succ.kind(),
+            self.view.successor_wraps(),
+        )
+        .into_iter()
+        .filter(|&n| n != self.view.me.node)
+        .filter(|&n| {
+            if n == middle && n != self.view.succ.node {
+                self.sibling_integrated[VKind::Middle.index()]
+            } else if n == right && n != self.view.succ.node {
+                self.sibling_integrated[VKind::Right.index()]
+            } else {
+                true
+            }
+        })
+        .collect()
+    }
+
+    fn children_ready(&self) -> bool {
+        self.tree_children()
+            .iter()
+            .all(|c| self.child_batches.contains_key(c))
+    }
+
+    // ---------------------------------------------------------------------
+    // Stage 1: batch aggregation.
+    // ---------------------------------------------------------------------
+
+    fn try_send_batch(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if self.suspended
+            || self.pending.is_some()
+            || !matches!(self.role, Role::Active)
+            || !self.children_ready()
+        {
+            return;
+        }
+        if self.cfg.stage4_barrier && self.outstanding_dht > 0 {
+            return;
+        }
+
+        // Combine own batch + children sub-batches in a fixed order.
+        let own = std::mem::replace(&mut self.own_batch, Self::fresh_batch(&self.cfg));
+        // Every unsent push is now committed to the aggregation path and can
+        // no longer be combined locally.
+        self.local_stack.clear();
+
+        let mut sources = Vec::with_capacity(1 + self.child_batches.len());
+        let mut combined = own.clone();
+        // Join/leave counters this node is itself responsible for.
+        combined.joins += self.pending_join_count;
+        combined.leaves += self.pending_leave_count;
+        self.pending_join_count = 0;
+        self.pending_leave_count = 0;
+        sources.push(BatchSource::Own(own));
+        for child in self.tree_children() {
+            if let Some(batch) = self.child_batches.remove(&child) {
+                combined.combine(&batch);
+                sources.push(BatchSource::Child(child, batch));
+            }
+        }
+
+        self.stats.batches_sent += 1;
+        self.stats.batch_sizes.record(combined.size() as u64);
+
+        if let Some(anchor) = self.anchor {
+            // Stage 2 happens right here: the anchor serves itself.
+            let mut anchor = anchor;
+            let enter_update =
+                anchor_should_update(&combined, self.cfg.update_threshold);
+            let assignments = anchor.assign(&combined, self.cfg.mode);
+            self.anchor = Some(anchor);
+            self.serve_sources(&assignments, sources, enter_update, ctx);
+            if enter_update {
+                self.enter_update_phase(None, ctx);
+            }
+        } else {
+            let parent = match self.tree_parent() {
+                Some(p) => p,
+                None => {
+                    // Leftmost node that has not received the anchor state
+                    // yet (anchor hand-off in flight): put everything back
+                    // and wait.
+                    self.restore_unsent(sources);
+                    return;
+                }
+            };
+            self.pending = Some(PendingBatch { combined: combined.clone(), sources });
+            ctx.send(parent, SkueueMsg::Aggregate { batch: combined });
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Stage 3: decomposition and serving.
+    // ---------------------------------------------------------------------
+
+    fn serve_sources(
+        &mut self,
+        assignments: &[RunAssignment],
+        sources: Vec<BatchSource>,
+        enter_update: bool,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        let sub_batches: Vec<&Batch> = sources.iter().map(|s| s.batch()).collect();
+        let parts = crate::interval::decompose(assignments, &sub_batches);
+        for (source, runs) in sources.iter().zip(parts) {
+            match source {
+                BatchSource::Own(_) => self.resolve_own(&runs, ctx),
+                BatchSource::Child(child, _) => {
+                    ctx.send(*child, SkueueMsg::Serve { runs, enter_update });
+                }
+            }
+        }
+    }
+
+    fn handle_serve(
+        &mut self,
+        runs: Vec<RunAssignment>,
+        enter_update: bool,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        let pending = match self.pending.take() {
+            Some(p) => p,
+            None => {
+                debug_assert!(false, "Serve received without a pending batch");
+                return;
+            }
+        };
+        debug_assert_eq!(pending.combined.num_runs(), runs.len());
+        let old_parent = self.tree_parent();
+        self.serve_sources(&runs, pending.sources, enter_update, ctx);
+        if enter_update {
+            self.enter_update_phase(old_parent, ctx);
+        }
+    }
+
+    /// Resolves the node's own requests from the run assignments of its own
+    /// sub-batch (Stage 3 → Stage 4 transition).
+    fn resolve_own(&mut self, runs: &[RunAssignment], ctx: &mut Context<SkueueMsg>) {
+        let mut log_cursor = 0usize;
+        for run in runs {
+            for j in 0..run.count {
+                let op = self.own_log[log_cursor];
+                log_cursor += 1;
+                debug_assert_eq!(op.kind, run.kind, "own log out of sync with batch runs");
+                let order_major = run.value_base + j;
+                self.note_order_assigned(op.id.seq, order_major);
+
+                match run.kind {
+                    BatchOp::Enqueue => {
+                        let position = run.pos_lo + j;
+                        let ticket = if self.cfg.is_stack() { run.ticket_base + j } else { 0 };
+                        self.issue_put(op, position, ticket, order_major, ctx);
+                    }
+                    BatchOp::Dequeue => {
+                        let available = run.available_positions();
+                        if j < available {
+                            let position = if run.descending {
+                                run.pos_hi - j
+                            } else {
+                                run.pos_lo + j
+                            };
+                            let max_ticket = if self.cfg.is_stack() {
+                                run.ticket_base
+                            } else {
+                                u64::MAX
+                            };
+                            self.issue_get(op, position, max_ticket, order_major, ctx);
+                        } else {
+                            // ⊥: completes immediately.
+                            self.completed.push(OpRecord {
+                                id: op.id,
+                                kind: OpKind::Dequeue,
+                                value: 0,
+                                result: OpResult::Empty,
+                                order: OrderKey::anchor(order_major, op.id.origin),
+                                issued_round: op.issued_round,
+                                completed_round: ctx.round(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Remove the resolved prefix from the log; anything after it was
+        // generated after the batch was sent and belongs to the next one.
+        self.own_log.drain(0..log_cursor);
+    }
+
+    /// Updates the local order bookkeeping when one of this node's own
+    /// requests receives its anchor order value, releasing any locally
+    /// combined pairs anchored to it.
+    fn note_order_assigned(&mut self, seq: u64, major: u64) {
+        self.last_order_major = major;
+        self.minor_counter = 0;
+        if let Some(mut pairs) = self.pairs_by_anchor.remove(&seq) {
+            pairs.sort_by_key(|r| r.id.seq);
+            for mut record in pairs {
+                self.minor_counter += 1;
+                record.order = OrderKey::local(major, self.process(), self.minor_counter);
+                self.completed.push(record);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Stage 4: DHT operations.
+    // ---------------------------------------------------------------------
+
+    fn issue_put(
+        &mut self,
+        op: LocalOp,
+        position: u64,
+        ticket: u64,
+        order_major: u64,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        let key = self.hasher.position_key(position);
+        let entry = StoredEntry {
+            position,
+            key,
+            ticket,
+            element: Element::new(op.id, op.value),
+        };
+        let meta = PutMeta {
+            issued_round: op.issued_round,
+            order: order_major,
+            needs_ack: self.cfg.stage4_barrier,
+            issuer: self.view.me.node,
+        };
+        if self.cfg.stage4_barrier {
+            self.outstanding_dht += 1;
+        }
+        self.stats.dht_ops_issued += 1;
+        let progress = RouteProgress::new(key, self.cfg.bit_budget);
+        self.route_dht(DhtOp::Put { entry, meta }, progress, ctx);
+    }
+
+    fn issue_get(
+        &mut self,
+        op: LocalOp,
+        position: u64,
+        max_ticket: u64,
+        order_major: u64,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        let key = self.hasher.position_key(position);
+        // Remember the metadata needed to complete the request when the reply
+        // arrives; the order value travels via the key of `outstanding_gets`.
+        let mut meta = op;
+        meta.value = order_major; // reuse the payload slot to carry the order
+        self.outstanding_gets.insert(op.id, meta);
+        if self.cfg.stage4_barrier {
+            self.outstanding_dht += 1;
+        }
+        self.stats.dht_ops_issued += 1;
+        let progress = RouteProgress::new(key, self.cfg.bit_budget);
+        self.route_dht(
+            DhtOp::Get {
+                position,
+                max_ticket,
+                request: op.id,
+                requester: self.view.me.node,
+            },
+            progress,
+            ctx,
+        );
+    }
+
+    /// Routes (or locally applies) a DHT operation.
+    fn route_dht(&mut self, op: DhtOp, mut progress: RouteProgress, ctx: &mut Context<SkueueMsg>) {
+        match route_step(&self.view, &mut progress) {
+            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Forward(next) => {
+                progress.hops += 1;
+                ctx.send(next, SkueueMsg::Dht { op, progress });
+            }
+        }
+    }
+
+    /// Applies a DHT operation at the responsible node.
+    pub(crate) fn apply_dht(&mut self, op: DhtOp, progress: &RouteProgress, ctx: &mut Context<SkueueMsg>) {
+        self.stats.dht_hops.record(progress.hops as u64);
+        match op {
+            DhtOp::Put { entry, meta } => {
+                // The enqueue/push is finished once its element is stored (or
+                // immediately consumed by a parked GET).
+                self.completed.push(OpRecord {
+                    id: entry.element.id,
+                    kind: OpKind::Enqueue,
+                    value: entry.element.value,
+                    result: OpResult::Enqueued,
+                    order: OrderKey::anchor(meta.order, entry.element.id.origin),
+                    issued_round: meta.issued_round,
+                    completed_round: ctx.round(),
+                });
+                if meta.needs_ack {
+                    ctx.send(meta.issuer, SkueueMsg::PutAck { request: entry.element.id });
+                }
+                for satisfied in self.store.put(entry) {
+                    ctx.send(
+                        satisfied.get.requester,
+                        SkueueMsg::DhtReply {
+                            request: satisfied.get.request,
+                            entry: satisfied.entry,
+                        },
+                    );
+                }
+            }
+            DhtOp::Get { position, max_ticket, request, requester } => {
+                match self.store.get(position, max_ticket, request, requester) {
+                    GetOutcome::Found(entry) => {
+                        ctx.send(requester, SkueueMsg::DhtReply { request, entry });
+                    }
+                    GetOutcome::Parked => {
+                        // Waits at this node until the PUT arrives (Stage 4).
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_dht_reply(&mut self, request: RequestId, entry: StoredEntry, ctx: &mut Context<SkueueMsg>) {
+        if let Some(meta) = self.outstanding_gets.remove(&request) {
+            if self.cfg.stage4_barrier {
+                self.outstanding_dht = self.outstanding_dht.saturating_sub(1);
+            }
+            self.completed.push(OpRecord {
+                id: request,
+                kind: OpKind::Dequeue,
+                value: 0,
+                result: OpResult::Returned(entry.element.id),
+                // `value` carried the order major (see `issue_get`).
+                order: OrderKey::anchor(meta.value, request.origin),
+                issued_round: meta.issued_round,
+                completed_round: ctx.round(),
+            });
+        } else {
+            debug_assert!(false, "DhtReply for unknown request {request}");
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Anchor / update-phase helpers (details in join_leave.rs).
+    // ---------------------------------------------------------------------
+
+    /// Becomes the anchor with the given state (initial setup or hand-off).
+    pub(crate) fn adopt_anchor(&mut self, state: AnchorState) {
+        self.anchor = Some(state);
+    }
+
+    /// Puts batch sources back into the working state (used when a batch
+    /// cannot be sent after all, e.g. while waiting for an anchor hand-off).
+    fn restore_unsent(&mut self, sources: Vec<BatchSource>) {
+        self.stats.batches_sent -= 1;
+        for source in sources {
+            match source {
+                BatchSource::Own(own) => {
+                    // Re-merge our own operations; join/leave counters were
+                    // already moved into the combined batch and are restored
+                    // below via the pending counters.
+                    let mut restored = own;
+                    std::mem::swap(&mut self.own_batch, &mut restored);
+                    // `restored` is the fresh (empty) batch created above —
+                    // combine any operations generated in the meantime.
+                    self.own_batch.combine(&restored);
+                }
+                BatchSource::Child(child, batch) => {
+                    self.child_batches.insert(child, batch);
+                }
+            }
+        }
+    }
+}
+
+/// Whether the anchor should trigger an update phase for this batch.
+fn anchor_should_update(batch: &Batch, threshold: u64) -> bool {
+    threshold > 0 && batch.joins + batch.leaves >= threshold
+}
+
+impl Actor for SkueueNode {
+    type Msg = SkueueMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: SkueueMsg, ctx: &mut Context<SkueueMsg>) {
+        // Draining nodes forward everything to their absorber (reliable
+        // channels: nothing is lost while the node is on its way out).
+        if let Role::Draining { absorber } = self.role {
+            match msg {
+                // Pointer updates and control traffic still apply to us.
+                SkueueMsg::SetPred { .. } | SkueueMsg::SetSucc { .. } | SkueueMsg::UpdateOver => {}
+                other => {
+                    ctx.send(absorber, other);
+                    return;
+                }
+            }
+        }
+
+        match msg {
+            SkueueMsg::Aggregate { batch } => {
+                debug_assert!(
+                    !self.child_batches.contains_key(&from),
+                    "child {from} sent a second batch before being served"
+                );
+                self.child_batches.insert(from, batch);
+                // Try to flush immediately; the timeout would also pick it up
+                // next round, but reacting now keeps latency at one round per
+                // tree level, matching the paper's accounting.
+                self.try_send_batch(ctx);
+            }
+            SkueueMsg::Serve { runs, enter_update } => {
+                self.handle_serve(runs, enter_update, ctx);
+            }
+            SkueueMsg::Dht { op, progress } => {
+                if matches!(self.role, Role::Joining { .. }) {
+                    // Not part of the cycle yet: re-route after integration.
+                    self.deferred_dht.push((op, progress));
+                } else {
+                    self.route_or_forward_dht(op, progress, ctx);
+                }
+            }
+            SkueueMsg::DhtReply { request, entry } => self.handle_dht_reply(request, entry, ctx),
+            SkueueMsg::PutAck { .. } => {
+                if self.cfg.stage4_barrier {
+                    self.outstanding_dht = self.outstanding_dht.saturating_sub(1);
+                }
+            }
+            other => self.handle_membership(from, other, ctx),
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+        match self.role {
+            Role::Active => {
+                self.membership_timeout(ctx);
+                self.try_send_batch(ctx);
+            }
+            Role::Joining { .. } => self.joining_timeout(ctx),
+            Role::Draining { .. } => {}
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !matches!(self.role, Role::Draining { .. })
+    }
+}
+
+impl SkueueNode {
+    /// Handles a routed DHT message: either applies it (responsible) or
+    /// forwards it another hop.
+    fn route_or_forward_dht(
+        &mut self,
+        op: DhtOp,
+        mut progress: RouteProgress,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
+        // If a joiner took over part of our interval but is not integrated
+        // into the cycle yet, forward operations for its range directly.
+        if let Some(target) = self.joiner_responsible_for(progress.target) {
+            progress.hops += 1;
+            ctx.send(target, SkueueMsg::Dht { op, progress });
+            return;
+        }
+        match route_step(&self.view, &mut progress) {
+            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Forward(next) => {
+                progress.hops += 1;
+                ctx.send(next, SkueueMsg::Dht { op, progress });
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Elements stored in the DHT.
+
+use serde::{Deserialize, Serialize};
+use skueue_overlay::Label;
+use skueue_sim::ids::RequestId;
+use std::fmt;
+
+/// An element of the universe `E` that can be put into the distributed
+/// queue or stack.
+///
+/// The paper assumes w.l.o.g. that every element is enqueued at most once —
+/// "an easy way to achieve this is to make the calling process and the
+/// current count of requests performed a part of e".  [`Element`] does
+/// exactly that: it carries the [`RequestId`] of the `ENQUEUE()`/`PUSH()`
+/// that created it plus an application payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Element {
+    /// The request that enqueued/pushed this element.
+    pub id: RequestId,
+    /// Application payload.
+    pub value: u64,
+}
+
+impl Element {
+    /// Creates an element.
+    pub fn new(id: RequestId, value: u64) -> Self {
+        Element { id, value }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e[{}={}]", self.id, self.value)
+    }
+}
+
+/// An element as stored at its responsible node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredEntry {
+    /// Queue/stack position the element was assigned by the anchor.
+    pub position: u64,
+    /// DHT key `k(position)` (kept so data handover on `JOIN()`/`LEAVE()`
+    /// does not need to re-hash).
+    pub key: Label,
+    /// Ticket of the stack variant; `0` for queue elements.
+    pub ticket: u64,
+    /// The element itself.
+    pub element: Element,
+}
+
+impl StoredEntry {
+    /// Creates a queue entry (ticket 0).
+    pub fn queue(position: u64, key: Label, element: Element) -> Self {
+        StoredEntry { position, key, ticket: 0, element }
+    }
+
+    /// Creates a stack entry with a ticket.
+    pub fn stack(position: u64, key: Label, ticket: u64, element: Element) -> Self {
+        StoredEntry { position, key, ticket, element }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_sim::ids::ProcessId;
+
+    fn rid(p: u64, s: u64) -> RequestId {
+        RequestId::new(ProcessId(p), s)
+    }
+
+    #[test]
+    fn element_display() {
+        let e = Element::new(rid(1, 2), 99);
+        assert_eq!(e.to_string(), "e[p1#2=99]");
+    }
+
+    #[test]
+    fn elements_with_distinct_requests_differ() {
+        let a = Element::new(rid(1, 2), 5);
+        let b = Element::new(rid(1, 3), 5);
+        assert_ne!(a, b);
+        assert_eq!(a, Element::new(rid(1, 2), 5));
+    }
+
+    #[test]
+    fn stored_entry_constructors() {
+        let e = Element::new(rid(0, 0), 7);
+        let key = Label::from_f64(0.25);
+        let q = StoredEntry::queue(11, key, e);
+        assert_eq!(q.ticket, 0);
+        assert_eq!(q.position, 11);
+        let s = StoredEntry::stack(11, key, 42, e);
+        assert_eq!(s.ticket, 42);
+        assert_eq!(s.key, key);
+        assert_eq!(s.element, e);
+    }
+}

@@ -1,0 +1,452 @@
+//! Per-node DHT storage state machine.
+//!
+//! [`NodeStore`] is the piece of state every virtual node keeps for the DHT:
+//! the entries it is responsible for, and the `GET` requests that arrived
+//! before their matching `PUT` and are parked until it shows up.  All methods
+//! are pure local state transitions — message transport is the protocol's
+//! job — which makes the storage behaviour easy to unit- and property-test
+//! in isolation.
+
+use crate::element::{Element, StoredEntry};
+use serde::{Deserialize, Serialize};
+use skueue_overlay::Label;
+use skueue_sim::ids::{NodeId, RequestId};
+use std::collections::BTreeMap;
+
+/// A `GET` that is waiting at the responsible node for its `PUT` to arrive
+/// ("each GET request waits at the node responsible for the position k until
+/// the corresponding PUT request has arrived").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingGet {
+    /// The dequeue/pop request this GET serves.
+    pub request: RequestId,
+    /// The node that issued the GET and expects the element back.
+    pub requester: NodeId,
+    /// Maximum admissible ticket (stack variant); `u64::MAX` for the queue.
+    pub max_ticket: u64,
+}
+
+/// Result of applying a `GET` to the local store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// The element was present and has been removed; return it to the
+    /// requester.
+    Found(StoredEntry),
+    /// The matching `PUT` has not arrived yet; the GET is parked.
+    Parked,
+}
+
+/// A satisfied pending GET: the parked request plus the entry that satisfied
+/// it (produced when a later `PUT` arrives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatisfiedGet {
+    /// The parked GET.
+    pub get: PendingGet,
+    /// The entry handed to it.
+    pub entry: StoredEntry,
+}
+
+/// DHT state of one virtual node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeStore {
+    /// Stored entries, keyed by position.  The stack variant may park several
+    /// tickets under the same position, hence a `Vec` (kept sorted by
+    /// ticket, ascending).
+    entries: BTreeMap<u64, Vec<StoredEntry>>,
+    /// Parked GETs keyed by position (FIFO per position).
+    pending: BTreeMap<u64, Vec<PendingGet>>,
+    /// Total PUTs applied (for statistics / fairness accounting).
+    puts_applied: u64,
+    /// Total GETs answered (immediately or after parking).
+    gets_answered: u64,
+}
+
+impl NodeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of parked GETs.
+    pub fn pending_gets(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Total PUTs applied to this store.
+    pub fn puts_applied(&self) -> u64 {
+        self.puts_applied
+    }
+
+    /// Total GETs answered by this store.
+    pub fn gets_answered(&self) -> u64 {
+        self.gets_answered
+    }
+
+    /// Applies a `PUT` and returns any parked GETs it satisfies.
+    ///
+    /// For the queue each position holds at most one element and at most the
+    /// parked GETs for exactly that position match.  For the stack the entry
+    /// satisfies the *oldest* parked GET whose `max_ticket` admits it.
+    pub fn put(&mut self, entry: StoredEntry) -> Vec<SatisfiedGet> {
+        self.puts_applied += 1;
+        let position = entry.position;
+        // Check parked GETs first: the new entry may be consumed immediately.
+        if let Some(waiters) = self.pending.get_mut(&position) {
+            if let Some(idx) = waiters.iter().position(|g| entry.ticket <= g.max_ticket) {
+                let get = waiters.remove(idx);
+                if waiters.is_empty() {
+                    self.pending.remove(&position);
+                }
+                self.gets_answered += 1;
+                return vec![SatisfiedGet { get, entry }];
+            }
+        }
+        let slot = self.entries.entry(position).or_default();
+        slot.push(entry);
+        slot.sort_by_key(|e| e.ticket);
+        Vec::new()
+    }
+
+    /// Applies a `GET` for `position` with the given ticket bound.
+    ///
+    /// Removes and returns the stored entry with the largest ticket
+    /// `≤ max_ticket` if one exists; otherwise parks the GET.
+    pub fn get(
+        &mut self,
+        position: u64,
+        max_ticket: u64,
+        request: RequestId,
+        requester: NodeId,
+    ) -> GetOutcome {
+        if let Some(slot) = self.entries.get_mut(&position) {
+            // Largest admissible ticket (entries are sorted ascending).
+            if let Some(idx) = slot.iter().rposition(|e| e.ticket <= max_ticket) {
+                let entry = slot.remove(idx);
+                if slot.is_empty() {
+                    self.entries.remove(&position);
+                }
+                self.gets_answered += 1;
+                return GetOutcome::Found(entry);
+            }
+        }
+        self.pending
+            .entry(position)
+            .or_default()
+            .push(PendingGet { request, requester, max_ticket });
+        GetOutcome::Parked
+    }
+
+    /// Queue-flavoured `GET` (no ticket bound).
+    pub fn get_queue(
+        &mut self,
+        position: u64,
+        request: RequestId,
+        requester: NodeId,
+    ) -> GetOutcome {
+        self.get(position, u64::MAX, request, requester)
+    }
+
+    /// Returns (without removing) the entries stored for a position.
+    pub fn peek(&self, position: u64) -> &[StoredEntry] {
+        self.entries.get(&position).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Extracts every stored entry **and** parked GET whose position-key
+    /// (computed by `key_of`) lies in the ring interval `[lo, hi)` — used to
+    /// hand data over to a joining node (or to a leaving node's replacement).
+    pub fn extract_range_with_keys(
+        &mut self,
+        lo: Label,
+        hi: Label,
+        key_of: impl Fn(u64) -> Label,
+    ) -> (Vec<StoredEntry>, Vec<(u64, PendingGet)>) {
+        let mut moved_entries = Vec::new();
+        let mut keep_entries = BTreeMap::new();
+        for (position, slot) in std::mem::take(&mut self.entries) {
+            if key_of(position).in_interval(lo, hi) {
+                moved_entries.extend(slot);
+            } else {
+                keep_entries.insert(position, slot);
+            }
+        }
+        self.entries = keep_entries;
+
+        let mut moved_pending = Vec::new();
+        let mut keep_pending = BTreeMap::new();
+        for (position, waiters) in std::mem::take(&mut self.pending) {
+            if key_of(position).in_interval(lo, hi) {
+                moved_pending.extend(waiters.into_iter().map(|g| (position, g)));
+            } else {
+                keep_pending.insert(position, waiters);
+            }
+        }
+        self.pending = keep_pending;
+        (moved_entries, moved_pending)
+    }
+
+    /// Absorbs entries and parked GETs (e.g. handed over by another node).
+    /// Parked GETs that can be satisfied by absorbed (or already present)
+    /// entries are answered and returned.
+    pub fn absorb(
+        &mut self,
+        entries: Vec<StoredEntry>,
+        pending: Vec<(u64, PendingGet)>,
+    ) -> Vec<SatisfiedGet> {
+        let mut satisfied = Vec::new();
+        for entry in entries {
+            satisfied.extend(self.put(entry));
+            // `put` counts these as fresh PUTs; undo the double count for
+            // handovers so fairness statistics track protocol-level PUTs.
+            self.puts_applied -= 1;
+        }
+        for (position, get) in pending {
+            match self.get(position, get.max_ticket, get.request, get.requester) {
+                GetOutcome::Found(entry) => satisfied.push(SatisfiedGet { get, entry }),
+                GetOutcome::Parked => {}
+            }
+        }
+        satisfied
+    }
+
+    /// Iterates over all stored entries.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &StoredEntry> {
+        self.entries.values().flat_map(|v| v.iter())
+    }
+
+    /// Iterates over all parked GETs with their positions.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (u64, &PendingGet)> {
+        self.pending
+            .iter()
+            .flat_map(|(&p, v)| v.iter().map(move |g| (p, g)))
+    }
+}
+
+/// Convenience constructor for queue elements used in tests and examples.
+pub fn queue_entry(position: u64, key: Label, id: RequestId, value: u64) -> StoredEntry {
+    StoredEntry::queue(position, key, Element::new(id, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use skueue_sim::ids::ProcessId;
+
+    fn rid(s: u64) -> RequestId {
+        RequestId::new(ProcessId(1), s)
+    }
+
+    fn key(x: f64) -> Label {
+        Label::from_f64(x)
+    }
+
+    #[test]
+    fn put_then_get_returns_element() {
+        let mut store = NodeStore::new();
+        let entry = queue_entry(5, key(0.3), rid(0), 77);
+        assert!(store.put(entry).is_empty());
+        assert_eq!(store.len(), 1);
+        match store.get_queue(5, rid(1), NodeId(9)) {
+            GetOutcome::Found(found) => assert_eq!(found, entry),
+            other @ GetOutcome::Parked => panic!("unexpected {other:?}"),
+        }
+        assert!(store.is_empty());
+        assert_eq!(store.puts_applied(), 1);
+        assert_eq!(store.gets_answered(), 1);
+    }
+
+    #[test]
+    fn get_before_put_parks_and_is_satisfied_later() {
+        let mut store = NodeStore::new();
+        assert_eq!(
+            store.get_queue(7, rid(4), NodeId(2)),
+            GetOutcome::Parked
+        );
+        assert_eq!(store.pending_gets(), 1);
+        let entry = queue_entry(7, key(0.1), rid(0), 13);
+        let satisfied = store.put(entry);
+        assert_eq!(satisfied.len(), 1);
+        assert_eq!(satisfied[0].get.request, rid(4));
+        assert_eq!(satisfied[0].get.requester, NodeId(2));
+        assert_eq!(satisfied[0].entry, entry);
+        assert_eq!(store.pending_gets(), 0);
+        assert!(store.is_empty(), "entry must not also be stored");
+    }
+
+    #[test]
+    fn parked_gets_are_served_fifo_per_position() {
+        let mut store = NodeStore::new();
+        store.get_queue(3, rid(10), NodeId(1));
+        store.get_queue(3, rid(11), NodeId(2));
+        let sat = store.put(queue_entry(3, key(0.2), rid(0), 1));
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].get.request, rid(10));
+        let sat = store.put(queue_entry(3, key(0.2), rid(1), 2));
+        assert_eq!(sat[0].get.request, rid(11));
+    }
+
+    #[test]
+    fn gets_for_missing_positions_do_not_cross_talk() {
+        let mut store = NodeStore::new();
+        store.put(queue_entry(1, key(0.5), rid(0), 10));
+        assert_eq!(store.get_queue(2, rid(1), NodeId(0)), GetOutcome::Parked);
+        // The entry for position 1 is untouched.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.peek(1).len(), 1);
+        assert!(store.peek(2).is_empty());
+    }
+
+    #[test]
+    fn stack_ticket_selects_largest_admissible() {
+        let mut store = NodeStore::new();
+        let e1 = StoredEntry::stack(4, key(0.6), 10, Element::new(rid(0), 100));
+        let e2 = StoredEntry::stack(4, key(0.6), 20, Element::new(rid(1), 200));
+        store.put(e1);
+        store.put(e2);
+        // max_ticket 15 only admits ticket 10.
+        match store.get(4, 15, rid(2), NodeId(0)) {
+            GetOutcome::Found(e) => assert_eq!(e.ticket, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        // max_ticket 25 admits the remaining ticket 20.
+        match store.get(4, 25, rid(3), NodeId(0)) {
+            GetOutcome::Found(e) => assert_eq!(e.ticket, 20),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_get_with_too_small_ticket_parks() {
+        let mut store = NodeStore::new();
+        store.put(StoredEntry::stack(4, key(0.6), 10, Element::new(rid(0), 1)));
+        assert_eq!(store.get(4, 5, rid(1), NodeId(0)), GetOutcome::Parked);
+        // A later put with an admissible ticket satisfies it.
+        let sat = store.put(StoredEntry::stack(4, key(0.6), 3, Element::new(rid(2), 2)));
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].entry.ticket, 3);
+        // The original ticket-10 entry is still there.
+        assert_eq!(store.peek(4).len(), 1);
+        assert_eq!(store.peek(4)[0].ticket, 10);
+    }
+
+    #[test]
+    fn extract_range_with_keys_moves_matching_entries_and_gets() {
+        let mut store = NodeStore::new();
+        // Keys: position p -> (p mod 10)/10 for this test.
+        let key_of = |p: u64| Label::from_f64((p % 10) as f64 / 10.0);
+        for p in 0..10u64 {
+            store.put(StoredEntry::queue(p, key_of(p), Element::new(rid(p), p)));
+        }
+        // Parked GET at position 45 (key 0.5, inside the handed-over range).
+        store.get_queue(45, rid(100), NodeId(7));
+        let (entries, pending) =
+            store.extract_range_with_keys(Label::from_f64(0.3), Label::from_f64(0.6), key_of);
+        let moved: Vec<u64> = entries.iter().map(|e| e.position).collect();
+        assert_eq!(moved, vec![3, 4, 5]);
+        assert_eq!(store.len(), 7);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, 45);
+        assert_eq!(store.pending_gets(), 0);
+    }
+
+    #[test]
+    fn absorb_hands_entries_to_parked_gets() {
+        let mut a = NodeStore::new();
+        let mut b = NodeStore::new();
+        // b is the new responsible node and already has a parked GET.
+        assert_eq!(b.get_queue(9, rid(5), NodeId(3)), GetOutcome::Parked);
+        a.put(queue_entry(9, key(0.9), rid(0), 900));
+        let (entries, pending) =
+            a.extract_range_with_keys(Label::from_f64(0.8), Label::from_f64(0.99), |_| key(0.9));
+        assert_eq!(entries.len(), 1);
+        let satisfied = b.absorb(entries, pending);
+        assert_eq!(satisfied.len(), 1);
+        assert_eq!(satisfied[0].get.request, rid(5));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn absorb_does_not_inflate_put_statistics() {
+        let mut store = NodeStore::new();
+        store.absorb(vec![queue_entry(1, key(0.1), rid(0), 1)], vec![]);
+        assert_eq!(store.puts_applied(), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let mut store = NodeStore::new();
+        store.put(queue_entry(1, key(0.1), rid(0), 1));
+        store.put(queue_entry(2, key(0.2), rid(1), 2));
+        store.get_queue(3, rid(2), NodeId(0));
+        assert_eq!(store.iter_entries().count(), 2);
+        assert_eq!(store.iter_pending().count(), 1);
+        assert_eq!(store.iter_pending().next().unwrap().0, 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every PUT is eventually consumed by exactly one GET and vice versa,
+        /// regardless of the interleaving order (the GET-before-PUT race).
+        #[test]
+        fn prop_put_get_matching_is_exact(order in proptest::collection::vec(any::<bool>(), 1..60)) {
+            let mut store = NodeStore::new();
+            let mut puts_issued = 0u64;
+            let mut gets_issued = 0u64;
+            let mut answered = 0u64;
+            // Interleave puts and gets for sequential positions according to
+            // the random `order` bitstring.
+            for (i, &is_put) in order.iter().enumerate() {
+                let pos = (i as u64) / 2; // positions repeat so puts and gets collide
+                if is_put {
+                    let sat = store.put(queue_entry(pos, key(0.5), rid(1000 + i as u64), i as u64));
+                    answered += sat.len() as u64;
+                    puts_issued += 1;
+                } else {
+                    match store.get_queue(pos, rid(i as u64), NodeId(0)) {
+                        GetOutcome::Found(_) => answered += 1,
+                        GetOutcome::Parked => {}
+                    }
+                    gets_issued += 1;
+                }
+            }
+            // Conservation: answered GETs + parked GETs == issued GETs.
+            prop_assert_eq!(answered + store.pending_gets() as u64, gets_issued);
+            // Conservation: stored entries + answered == issued PUTs.
+            prop_assert_eq!(store.len() as u64 + answered, puts_issued);
+        }
+
+        /// extract + absorb between two stores conserves entries and parked GETs.
+        #[test]
+        fn prop_handover_conserves_state(
+            positions in proptest::collection::vec(0u64..50, 1..40),
+            split in 0.0f64..1.0,
+        ) {
+            let key_of = |p: u64| Label::from_f64((p as f64 * 0.019_37) % 1.0);
+            let mut a = NodeStore::new();
+            for (i, &p) in positions.iter().enumerate() {
+                a.put(StoredEntry::queue(p, key_of(p), Element::new(rid(i as u64), p)));
+            }
+            let before = a.len();
+            let mut b = NodeStore::new();
+            let (entries, pending) = a.extract_range_with_keys(
+                Label::from_f64(0.0),
+                Label::from_f64(split.min(0.999)),
+                key_of,
+            );
+            let sat = b.absorb(entries, pending);
+            prop_assert_eq!(a.len() + b.len() + sat.len(), before);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Aggregation-tree parent/children rules (Section III-B).
+//!
+//! All virtual nodes of the LDB implicitly form an *aggregation tree* rooted
+//! at the leftmost node (the **anchor**).  The parent of a node is always its
+//! leftmost neighbour:
+//!
+//! * the parent of a middle node `m(v)` is the process's own left node `l(v)`,
+//! * the parent of a left node `l(v)` is its predecessor on the cycle,
+//! * the parent of a right node `r(v)` is the process's own middle node `m(v)`.
+//!
+//! Children mirror this:
+//!
+//! * a middle node's children are its own right node, plus its successor if
+//!   that successor is a left node,
+//! * a left node's children are its own middle node, plus its successor if
+//!   that successor is a left node,
+//! * a right node has no children.
+//!
+//! The anchor has no parent, and — because the successor relation wraps
+//! around the cycle — the node with the *maximum* label must not claim the
+//! anchor as a child.  Both rules are encoded here so the static topology
+//! builder and the dynamic protocol derive the tree from exactly the same
+//! logic (the paper stresses that nodes find their tree connections "by
+//! relying on local information only").
+
+use crate::vnode::VKind;
+use serde::{Deserialize, Serialize};
+
+/// Where a node's aggregation-tree parent is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParentRule {
+    /// The node is the anchor — it has no parent.
+    Anchor,
+    /// The parent is the process's own left virtual node (`l(v)`).
+    OwnLeft,
+    /// The parent is the process's own middle virtual node (`m(v)`).
+    OwnMiddle,
+    /// The parent is the predecessor on the sorted cycle.
+    Predecessor,
+}
+
+/// Returns where the parent of a node of the given kind is found.
+///
+/// `is_anchor` must be true exactly for the node with the globally smallest
+/// label.
+pub fn parent_rule(kind: VKind, is_anchor: bool) -> ParentRule {
+    if is_anchor {
+        return ParentRule::Anchor;
+    }
+    match kind {
+        VKind::Middle => ParentRule::OwnLeft,
+        VKind::Left => ParentRule::Predecessor,
+        VKind::Right => ParentRule::OwnMiddle,
+    }
+}
+
+/// Resolves the aggregation-tree parent to a concrete handle.
+///
+/// The caller supplies handles for the candidates; this function picks the
+/// right one according to [`parent_rule`].
+pub fn aggregation_parent<T>(
+    kind: VKind,
+    is_anchor: bool,
+    own_left: T,
+    own_middle: T,
+    predecessor: T,
+) -> Option<T> {
+    match parent_rule(kind, is_anchor) {
+        ParentRule::Anchor => None,
+        ParentRule::OwnLeft => Some(own_left),
+        ParentRule::OwnMiddle => Some(own_middle),
+        ParentRule::Predecessor => Some(predecessor),
+    }
+}
+
+/// Whether a node should treat its cycle successor as an aggregation-tree
+/// child.
+///
+/// That is the case exactly when the successor is a *left* virtual node and
+/// the successor edge does not wrap around the cycle (the wrap successor is
+/// the anchor, which is nobody's child).
+pub fn successor_is_child(own_kind: VKind, successor_kind: VKind, successor_wraps: bool) -> bool {
+    if successor_wraps {
+        return false;
+    }
+    match own_kind {
+        VKind::Middle | VKind::Left => successor_kind == VKind::Left,
+        // "A right virtual node cannot have a left virtual node as a right
+        // neighbor" — and it has no children regardless.
+        VKind::Right => false,
+    }
+}
+
+/// Resolves the aggregation-tree children to concrete handles.
+///
+/// * `own_right` / `own_middle`: the process's own right and middle nodes,
+/// * `successor`: the cycle successor,
+/// * `successor_kind`: the successor's virtual-node kind,
+/// * `successor_wraps`: true if the successor edge wraps around (i.e. this
+///   node has the maximum label).
+pub fn aggregation_children<T: Clone>(
+    kind: VKind,
+    own_right: T,
+    own_middle: T,
+    successor: T,
+    successor_kind: VKind,
+    successor_wraps: bool,
+) -> Vec<T> {
+    let mut children = Vec::with_capacity(2);
+    match kind {
+        VKind::Middle => children.push(own_right),
+        VKind::Left => children.push(own_middle),
+        VKind::Right => {}
+    }
+    if successor_is_child(kind, successor_kind, successor_wraps) {
+        children.push(successor);
+    }
+    children
+}
+
+/// A fully resolved view of a node's position in the aggregation tree,
+/// maintained by each protocol node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeNeighbors<T> {
+    /// Parent handle (`None` for the anchor).
+    pub parent: Option<T>,
+    /// Child handles (between zero and two).
+    pub children: Vec<T>,
+}
+
+impl<T: PartialEq> TreeNeighbors<T> {
+    /// True for the anchor (no parent).
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// True for leaves of the aggregation tree.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Whether `candidate` is one of this node's children.
+    pub fn has_child(&self, candidate: &T) -> bool {
+        self.children.iter().any(|c| c == candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_rules_match_paper() {
+        assert_eq!(parent_rule(VKind::Middle, false), ParentRule::OwnLeft);
+        assert_eq!(parent_rule(VKind::Left, false), ParentRule::Predecessor);
+        assert_eq!(parent_rule(VKind::Right, false), ParentRule::OwnMiddle);
+        assert_eq!(parent_rule(VKind::Left, true), ParentRule::Anchor);
+    }
+
+    #[test]
+    fn anchor_has_no_parent() {
+        assert_eq!(
+            aggregation_parent(VKind::Left, true, "l", "m", "pred"),
+            None
+        );
+    }
+
+    #[test]
+    fn parent_resolution_selects_correct_handle() {
+        assert_eq!(
+            aggregation_parent(VKind::Middle, false, "l", "m", "pred"),
+            Some("l")
+        );
+        assert_eq!(
+            aggregation_parent(VKind::Left, false, "l", "m", "pred"),
+            Some("pred")
+        );
+        assert_eq!(
+            aggregation_parent(VKind::Right, false, "l", "m", "pred"),
+            Some("m")
+        );
+    }
+
+    #[test]
+    fn middle_children_include_own_right_and_left_successor() {
+        let children =
+            aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Left, false);
+        assert_eq!(children, vec!["r", "succ"]);
+        let children =
+            aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Middle, false);
+        assert_eq!(children, vec!["r"]);
+    }
+
+    #[test]
+    fn left_children_include_own_middle_and_left_successor() {
+        let children = aggregation_children(VKind::Left, "r", "m", "succ", VKind::Left, false);
+        assert_eq!(children, vec!["m", "succ"]);
+        let children = aggregation_children(VKind::Left, "r", "m", "succ", VKind::Right, false);
+        assert_eq!(children, vec!["m"]);
+    }
+
+    #[test]
+    fn right_nodes_have_no_children() {
+        let children = aggregation_children(VKind::Right, "r", "m", "succ", VKind::Left, false);
+        assert!(children.is_empty());
+    }
+
+    #[test]
+    fn wrap_successor_is_never_a_child() {
+        assert!(!successor_is_child(VKind::Middle, VKind::Left, true));
+        assert!(!successor_is_child(VKind::Left, VKind::Left, true));
+        assert!(successor_is_child(VKind::Left, VKind::Left, false));
+        assert!(!successor_is_child(VKind::Left, VKind::Middle, false));
+        assert!(!successor_is_child(VKind::Right, VKind::Left, false));
+    }
+
+    #[test]
+    fn tree_neighbors_helpers() {
+        let root: TreeNeighbors<u32> = TreeNeighbors { parent: None, children: vec![1, 2] };
+        assert!(root.is_root());
+        assert!(!root.is_leaf());
+        assert!(root.has_child(&1));
+        assert!(!root.has_child(&3));
+
+        let leaf: TreeNeighbors<u32> = TreeNeighbors { parent: Some(0), children: vec![] };
+        assert!(!leaf.is_root());
+        assert!(leaf.is_leaf());
+    }
+}

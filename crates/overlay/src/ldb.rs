@@ -1,0 +1,643 @@
+//! The Linearized De Bruijn network as a whole: the static topology builder.
+//!
+//! [`Topology`] materialises Definition 2 for a given set of processes: it
+//! computes all virtual-node labels, sorts them into the cycle, and answers
+//! structural queries (predecessor/successor, responsibility, aggregation
+//! parent/children, anchor, tree height).  It is used to
+//!
+//! * bootstrap a simulation (the cluster builds the initial neighbour views
+//!   of all protocol nodes from it),
+//! * compute *reference* topologies in tests (e.g. the expected state after
+//!   a batch of joins/leaves), and
+//! * drive the pure-overlay experiments (tree height, routing hop counts —
+//!   Corollary 6 / Lemma 3).
+//!
+//! The dynamic protocol does **not** consult a `Topology` at runtime; nodes
+//! only use their local views, exactly as in the paper.
+
+use crate::aggregation::{aggregation_children, aggregation_parent};
+use crate::hash::LabelHasher;
+use crate::label::Label;
+use crate::routing::{LocalView, NeighborInfo};
+use crate::vnode::{VKind, VirtualId};
+use skueue_sim::ids::{NodeId, ProcessId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One virtual node of the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualNodeInfo {
+    /// The virtual node's identity.
+    pub vid: VirtualId,
+    /// Its label on the unit ring.
+    pub label: Label,
+}
+
+/// Errors produced by [`Topology`] construction and updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No processes were supplied.
+    Empty,
+    /// The same process id appeared twice.
+    DuplicateProcess(ProcessId),
+    /// A process id was not found.
+    UnknownProcess(ProcessId),
+    /// A virtual node id was not found.
+    UnknownNode(VirtualId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology needs at least one process"),
+            TopologyError::DuplicateProcess(p) => write!(f, "duplicate process {p}"),
+            TopologyError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            TopologyError::UnknownNode(v) => write!(f, "unknown virtual node {v}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The full Linearized De Bruijn topology over a set of processes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    hasher: LabelHasher,
+    /// All virtual nodes sorted by `(label, vid)` — the cycle order.
+    sorted: Vec<VirtualNodeInfo>,
+    /// Rank (index into `sorted`) of every virtual node.
+    rank: HashMap<VirtualId, usize>,
+    processes: Vec<ProcessId>,
+}
+
+impl Topology {
+    /// Builds the topology for the given processes.
+    pub fn build(processes: &[ProcessId], hasher: LabelHasher) -> Result<Self, TopologyError> {
+        if processes.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let mut seen = HashMap::new();
+        for &p in processes {
+            if seen.insert(p, ()).is_some() {
+                return Err(TopologyError::DuplicateProcess(p));
+            }
+        }
+        let mut topo = Topology {
+            hasher,
+            sorted: Vec::with_capacity(processes.len() * 3),
+            rank: HashMap::with_capacity(processes.len() * 3),
+            processes: processes.to_vec(),
+        };
+        for &p in processes {
+            let middle = hasher.process_label(p);
+            for kind in VKind::ALL {
+                topo.sorted.push(VirtualNodeInfo {
+                    vid: VirtualId::new(p, kind),
+                    label: kind.label_from_middle(middle),
+                });
+            }
+        }
+        topo.reindex();
+        Ok(topo)
+    }
+
+    fn reindex(&mut self) {
+        self.sorted.sort_by_key(|n| (n.label, n.vid));
+        self.rank.clear();
+        for (i, n) in self.sorted.iter().enumerate() {
+            self.rank.insert(n.vid, i);
+        }
+    }
+
+    /// The hasher this topology was built with.
+    pub fn hasher(&self) -> &LabelHasher {
+        &self.hasher
+    }
+
+    /// Number of virtual nodes (three per process).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no nodes (never the case for a built topology).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The process ids in insertion order.
+    pub fn processes(&self) -> &[ProcessId] {
+        &self.processes
+    }
+
+    /// Iterates over all virtual nodes in cycle (label) order.
+    pub fn iter(&self) -> impl Iterator<Item = &VirtualNodeInfo> {
+        self.sorted.iter()
+    }
+
+    /// True if the virtual node belongs to this topology.
+    pub fn contains(&self, vid: VirtualId) -> bool {
+        self.rank.contains_key(&vid)
+    }
+
+    /// The label of a virtual node.
+    pub fn label_of(&self, vid: VirtualId) -> Result<Label, TopologyError> {
+        self.rank
+            .get(&vid)
+            .map(|&i| self.sorted[i].label)
+            .ok_or(TopologyError::UnknownNode(vid))
+    }
+
+    /// Position of the node in the sorted cycle (0 = anchor).
+    pub fn rank_of(&self, vid: VirtualId) -> Result<usize, TopologyError> {
+        self.rank
+            .get(&vid)
+            .copied()
+            .ok_or(TopologyError::UnknownNode(vid))
+    }
+
+    /// The node at a given rank.
+    pub fn at_rank(&self, rank: usize) -> &VirtualNodeInfo {
+        &self.sorted[rank % self.sorted.len()]
+    }
+
+    /// Cycle predecessor (wraps around).
+    pub fn pred(&self, vid: VirtualId) -> Result<VirtualId, TopologyError> {
+        let i = self.rank_of(vid)?;
+        let n = self.sorted.len();
+        Ok(self.sorted[(i + n - 1) % n].vid)
+    }
+
+    /// Cycle successor (wraps around).
+    pub fn succ(&self, vid: VirtualId) -> Result<VirtualId, TopologyError> {
+        let i = self.rank_of(vid)?;
+        let n = self.sorted.len();
+        Ok(self.sorted[(i + 1) % n].vid)
+    }
+
+    /// The anchor: the node with the smallest label (always a left node in a
+    /// multi-process system).
+    pub fn anchor(&self) -> VirtualId {
+        self.sorted[0].vid
+    }
+
+    /// The node with the largest label.
+    pub fn max_node(&self) -> VirtualId {
+        self.sorted[self.sorted.len() - 1].vid
+    }
+
+    /// The node responsible for a key: the node `u` with `u ≤ key < succ(u)`
+    /// (wrapping to the maximum-label node for keys below the anchor).
+    pub fn responsible_for(&self, key: Label) -> VirtualId {
+        // Binary search for the last node with label <= key.
+        match self
+            .sorted
+            .binary_search_by(|n| n.label.cmp(&key).then(std::cmp::Ordering::Less))
+        {
+            Ok(i) => self.sorted[i].vid,
+            Err(0) => self.max_node(),
+            Err(i) => self.sorted[i - 1].vid,
+        }
+    }
+
+    /// Aggregation-tree parent (Section III-B). `None` for the anchor.
+    pub fn parent(&self, vid: VirtualId) -> Result<Option<VirtualId>, TopologyError> {
+        let _ = self.rank_of(vid)?;
+        let is_anchor = vid == self.anchor();
+        Ok(aggregation_parent(
+            vid.kind,
+            is_anchor,
+            vid.sibling(VKind::Left),
+            vid.sibling(VKind::Middle),
+            self.pred(vid)?,
+        ))
+    }
+
+    /// Aggregation-tree children (Section III-B).
+    pub fn children(&self, vid: VirtualId) -> Result<Vec<VirtualId>, TopologyError> {
+        let i = self.rank_of(vid)?;
+        let succ = self.succ(vid)?;
+        let succ_wraps = i == self.sorted.len() - 1;
+        Ok(aggregation_children(
+            vid.kind,
+            vid.sibling(VKind::Right),
+            vid.sibling(VKind::Middle),
+            succ,
+            succ.kind,
+            succ_wraps,
+        ))
+    }
+
+    /// Depth of a node in the aggregation tree (anchor = 0).
+    pub fn depth(&self, vid: VirtualId) -> Result<usize, TopologyError> {
+        let mut depth = 0usize;
+        let mut current = vid;
+        while let Some(parent) = self.parent(current)? {
+            depth += 1;
+            current = parent;
+            if depth > self.len() {
+                // The parent relation is provably acyclic (labels strictly
+                // decrease); this guard only protects against future bugs.
+                panic!("aggregation-tree parent chain did not terminate");
+            }
+        }
+        Ok(depth)
+    }
+
+    /// Height of the aggregation tree (maximum depth over all nodes) — the
+    /// quantity Corollary 6 bounds by `O(log n)` w.h.p.
+    pub fn tree_height(&self) -> usize {
+        self.sorted
+            .iter()
+            .map(|n| self.depth(n.vid).expect("node from own topology"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds a process (recomputing the cycle). Returns an error if it is
+    /// already present.
+    pub fn add_process(&mut self, p: ProcessId) -> Result<(), TopologyError> {
+        if self.processes.contains(&p) {
+            return Err(TopologyError::DuplicateProcess(p));
+        }
+        self.processes.push(p);
+        let middle = self.hasher.process_label(p);
+        for kind in VKind::ALL {
+            self.sorted.push(VirtualNodeInfo {
+                vid: VirtualId::new(p, kind),
+                label: kind.label_from_middle(middle),
+            });
+        }
+        self.reindex();
+        Ok(())
+    }
+
+    /// Removes a process (recomputing the cycle).
+    pub fn remove_process(&mut self, p: ProcessId) -> Result<(), TopologyError> {
+        if !self.processes.contains(&p) {
+            return Err(TopologyError::UnknownProcess(p));
+        }
+        if self.processes.len() == 1 {
+            return Err(TopologyError::Empty);
+        }
+        self.processes.retain(|&q| q != p);
+        self.sorted.retain(|n| n.vid.process != p);
+        self.reindex();
+        Ok(())
+    }
+
+    /// Builds the [`LocalView`] of a virtual node, mapping virtual ids to
+    /// simulator node ids with `node_of`.
+    pub fn local_view(
+        &self,
+        vid: VirtualId,
+        node_of: &dyn Fn(VirtualId) -> NodeId,
+    ) -> Result<LocalView, TopologyError> {
+        let info = |v: VirtualId| -> Result<NeighborInfo, TopologyError> {
+            Ok(NeighborInfo::new(node_of(v), v, self.label_of(v)?))
+        };
+        let me = info(vid)?;
+        let pred = info(self.pred(vid)?)?;
+        let succ = info(self.succ(vid)?)?;
+        let siblings = [
+            info(vid.sibling(VKind::Left))?,
+            info(vid.sibling(VKind::Middle))?,
+            info(vid.sibling(VKind::Right))?,
+        ];
+        Ok(LocalView { me, pred, succ, siblings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{route_step, RouteAction, RouteProgress, recommended_bit_budget};
+    use proptest::prelude::*;
+
+    fn pids(n: u64) -> Vec<ProcessId> {
+        (0..n).map(ProcessId).collect()
+    }
+
+    fn topo(n: u64) -> Topology {
+        Topology::build(&pids(n), LabelHasher::default()).unwrap()
+    }
+
+    #[test]
+    fn build_rejects_empty_and_duplicates() {
+        assert_eq!(
+            Topology::build(&[], LabelHasher::default()).unwrap_err(),
+            TopologyError::Empty
+        );
+        assert_eq!(
+            Topology::build(&[ProcessId(1), ProcessId(1)], LabelHasher::default()).unwrap_err(),
+            TopologyError::DuplicateProcess(ProcessId(1))
+        );
+    }
+
+    #[test]
+    fn three_virtual_nodes_per_process() {
+        let t = topo(10);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.num_processes(), 10);
+        for p in 0..10u64 {
+            for kind in VKind::ALL {
+                assert!(t.contains(VirtualId::new(ProcessId(p), kind)));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_sorted_and_consistent() {
+        let t = topo(20);
+        let labels: Vec<Label> = t.iter().map(|n| n.label).collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
+        // pred/succ are inverses and wrap correctly.
+        for n in t.iter() {
+            let s = t.succ(n.vid).unwrap();
+            assert_eq!(t.pred(s).unwrap(), n.vid);
+        }
+        assert_eq!(t.succ(t.max_node()).unwrap(), t.anchor());
+        assert_eq!(t.pred(t.anchor()).unwrap(), t.max_node());
+    }
+
+    #[test]
+    fn anchor_is_global_minimum_and_a_left_node() {
+        for n in [1u64, 2, 3, 10, 100] {
+            let t = topo(n);
+            let anchor = t.anchor();
+            let min_label = t.iter().map(|v| v.label).min().unwrap();
+            assert_eq!(t.label_of(anchor).unwrap(), min_label);
+            if n >= 2 {
+                assert_eq!(anchor.kind, VKind::Left, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn responsibility_covers_the_whole_ring() {
+        let t = topo(25);
+        // Every node is responsible exactly for [label, succ_label).
+        for probe in 0..1000u64 {
+            let key = Label::from_raw(probe.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let owner = t.responsible_for(key);
+            let lo = t.label_of(owner).unwrap();
+            let hi = t.label_of(t.succ(owner).unwrap()).unwrap();
+            assert!(key.in_interval(lo, hi), "key {key} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn responsibility_below_anchor_wraps_to_max_node() {
+        let t = topo(8);
+        let anchor_label = t.label_of(t.anchor()).unwrap();
+        if anchor_label.raw() > 0 {
+            let key = Label::from_raw(anchor_label.raw() - 1);
+            assert_eq!(t.responsible_for(key), t.max_node());
+        }
+        assert_eq!(t.responsible_for(anchor_label), t.anchor());
+    }
+
+    #[test]
+    fn parent_child_relations_are_consistent() {
+        let t = topo(30);
+        for n in t.iter() {
+            if let Some(parent) = t.parent(n.vid).unwrap() {
+                let children = t.children(parent).unwrap();
+                assert!(
+                    children.contains(&n.vid),
+                    "{:?}'s parent {:?} does not list it as a child (children: {:?})",
+                    n.vid,
+                    parent,
+                    children
+                );
+            } else {
+                assert_eq!(n.vid, t.anchor());
+            }
+        }
+        // And the converse: every child's parent is the node itself.
+        for n in t.iter() {
+            for child in t.children(n.vid).unwrap() {
+                assert_eq!(t.parent(child).unwrap(), Some(n.vid));
+            }
+        }
+    }
+
+    #[test]
+    fn parents_have_smaller_labels() {
+        let t = topo(40);
+        for n in t.iter() {
+            if let Some(parent) = t.parent(n.vid).unwrap() {
+                assert!(
+                    t.label_of(parent).unwrap() <= n.label,
+                    "parent {:?} not left of {:?}",
+                    parent,
+                    n.vid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_spans_all_nodes() {
+        let t = topo(50);
+        // Every node reaches the anchor by following parents; depth() already
+        // asserts termination, so summing depths is enough to cover all nodes.
+        let total: usize = t.iter().map(|n| t.depth(n.vid).unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(t.depth(t.anchor()).unwrap(), 0);
+    }
+
+    #[test]
+    fn tree_height_scales_logarithmically() {
+        // Corollary 6: height is O(log n) w.h.p. Check a generous constant.
+        for &n in &[10u64, 100, 1000] {
+            let t = topo(n);
+            let height = t.tree_height();
+            let log2n = ((3 * n) as f64).log2();
+            assert!(
+                (height as f64) <= 8.0 * log2n + 8.0,
+                "height {height} too large for n={n} (log2(3n)={log2n:.1})"
+            );
+            assert!(height >= 1);
+        }
+    }
+
+    #[test]
+    fn single_process_topology_is_well_formed() {
+        let t = topo(1);
+        assert_eq!(t.len(), 3);
+        let anchor = t.anchor();
+        assert_eq!(t.depth(anchor).unwrap(), 0);
+        assert!(t.tree_height() <= 2);
+        // All three nodes reachable from the anchor.
+        for n in t.iter() {
+            assert!(t.depth(n.vid).unwrap() <= 2);
+        }
+    }
+
+    #[test]
+    fn add_and_remove_process_update_cycle() {
+        let mut t = topo(5);
+        assert_eq!(t.len(), 15);
+        t.add_process(ProcessId(100)).unwrap();
+        assert_eq!(t.len(), 18);
+        assert!(t.contains(VirtualId::middle(ProcessId(100))));
+        assert!(t.add_process(ProcessId(100)).is_err());
+        t.remove_process(ProcessId(100)).unwrap();
+        assert_eq!(t.len(), 15);
+        assert!(!t.contains(VirtualId::middle(ProcessId(100))));
+        assert!(t.remove_process(ProcessId(100)).is_err());
+    }
+
+    #[test]
+    fn cannot_remove_last_process() {
+        let mut t = topo(1);
+        assert_eq!(t.remove_process(ProcessId(0)).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn local_view_matches_topology() {
+        let t = topo(12);
+        let node_of = |v: VirtualId| NodeId(v.process.raw() * 3 + v.kind.index() as u64);
+        for n in t.iter() {
+            let view = t.local_view(n.vid, &node_of).unwrap();
+            assert_eq!(view.me.vid, n.vid);
+            assert_eq!(view.pred.vid, t.pred(n.vid).unwrap());
+            assert_eq!(view.succ.vid, t.succ(n.vid).unwrap());
+            assert_eq!(view.sibling(VKind::Middle).vid, n.vid.sibling(VKind::Middle));
+            assert_eq!(view.is_anchor(), n.vid == t.anchor());
+            assert_eq!(view.successor_wraps(), n.vid == t.max_node());
+        }
+    }
+
+    /// Simulates routing over the static topology using only local views and
+    /// the `route_step` rule, returning the hop count.
+    fn simulate_route(t: &Topology, from: VirtualId, key: Label) -> (VirtualId, u32) {
+        let node_of = |v: VirtualId| NodeId(v.process.raw() * 3 + v.kind.index() as u64);
+        let vid_of = |n: NodeId| -> VirtualId {
+            VirtualId::new(ProcessId(n.0 / 3), VKind::from_index((n.0 % 3) as usize))
+        };
+        let mut current = from;
+        let mut progress = RouteProgress::new(key, recommended_bit_budget(t.num_processes()));
+        let max_hops = 40 * (t.len() as u32 + 2);
+        loop {
+            let view = t.local_view(current, &node_of).unwrap();
+            match route_step(&view, &mut progress) {
+                RouteAction::Deliver => return (current, progress.hops),
+                RouteAction::Forward(next) => {
+                    progress.hops += 1;
+                    assert!(progress.hops < max_hops, "routing did not terminate");
+                    current = vid_of(next);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_the_responsible_node() {
+        let t = topo(64);
+        let mut raw = 0xDEAD_BEEFu64;
+        for i in 0..200u64 {
+            raw = raw.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = Label::from_raw(raw);
+            let from = t.at_rank((i as usize * 7) % t.len()).vid;
+            let (reached, _) = simulate_route(&t, from, key);
+            assert_eq!(
+                reached,
+                t.responsible_for(key),
+                "wrong destination for key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_hops_scale_logarithmically() {
+        // Lemma 3: O(log n) hops w.h.p. Compare mean hops at two sizes.
+        let measure = |n: u64, samples: u64| -> f64 {
+            let t = topo(n);
+            let mut raw = 42u64;
+            let mut total = 0u64;
+            for i in 0..samples {
+                raw = raw.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = Label::from_raw(raw);
+                let from = t.at_rank((i as usize * 13) % t.len()).vid;
+                let (_, hops) = simulate_route(&t, from, key);
+                total += hops as u64;
+            }
+            total as f64 / samples as f64
+        };
+        let small = measure(32, 100);
+        let large = measure(1024, 100);
+        let log_ratio = ((3.0 * 1024.0f64).log2()) / ((3.0 * 32.0f64).log2());
+        // Hops should grow roughly like log n: much slower than linearly
+        // (32x more nodes), and not shrink.
+        assert!(large >= small * 0.8, "large={large} small={small}");
+        assert!(
+            large <= small * log_ratio * 3.0,
+            "routing hops grew super-logarithmically: {small} -> {large}"
+        );
+        // And stay in a sane absolute band.
+        assert!(large < 120.0, "mean hops {large} too high for n=1024 processes");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_responsibility_partitions_ring(n in 2u64..40, key_raw in any::<u64>()) {
+            let t = topo(n);
+            let key = Label::from_raw(key_raw);
+            let owner = t.responsible_for(key);
+            // Exactly one node owns the key.
+            let owners: Vec<_> = t
+                .iter()
+                .filter(|v| {
+                    let lo = v.label;
+                    let hi = t.label_of(t.succ(v.vid).unwrap()).unwrap();
+                    key.in_interval(lo, hi)
+                })
+                .map(|v| v.vid)
+                .collect();
+            prop_assert_eq!(owners.len(), 1);
+            prop_assert_eq!(owners[0], owner);
+        }
+
+        #[test]
+        fn prop_children_counts_are_bounded(n in 1u64..40) {
+            let t = topo(n);
+            for v in t.iter() {
+                let children = t.children(v.vid).unwrap();
+                prop_assert!(children.len() <= 2);
+                if v.vid.kind == VKind::Right {
+                    prop_assert!(children.is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_every_non_anchor_has_parent(n in 1u64..30, seed in any::<u64>()) {
+            let t = Topology::build(&pids(n), LabelHasher::new(seed)).unwrap();
+            let anchor = t.anchor();
+            for v in t.iter() {
+                let parent = t.parent(v.vid).unwrap();
+                prop_assert_eq!(parent.is_none(), v.vid == anchor);
+            }
+        }
+
+        #[test]
+        fn prop_routing_delivers_correctly(n in 1u64..48, seed in any::<u64>(), key_raw in any::<u64>(), start in any::<u64>()) {
+            let t = Topology::build(&pids(n), LabelHasher::new(seed)).unwrap();
+            let key = Label::from_raw(key_raw);
+            let from = t.at_rank((start as usize) % t.len()).vid;
+            let (reached, hops) = simulate_route(&t, from, key);
+            prop_assert_eq!(reached, t.responsible_for(key));
+            prop_assert!(hops as usize <= 20 * (t.len() + 4));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Routing in the Linearized De Bruijn network (Lemma 3).
+//!
+//! A message addressed to a point `p ∈ [0, 1)` must reach the node
+//! *responsible* for `p`, i.e. the node `u` with `u ≤ p < succ(u)` on the
+//! cycle.  Following the continuous–discrete approach of Naor/Wieder that the
+//! paper's LDB is based on, routing proceeds in two phases:
+//!
+//! 1. **Distance-halving phase.**  The message carries the first
+//!    `k ≈ log₂ n` bits of the target.  Whenever the message is at a
+//!    *middle* virtual node `m(u)`, it consumes the next bit `b` and hops
+//!    over the virtual edge to `l(u)` (if `b = 0`) or `r(u)` (if `b = 1`) —
+//!    whose labels are exactly `(m(u)+b)/2`.  At a left/right node the
+//!    message walks one linear hop towards its successor, looking for the
+//!    next middle node (middle nodes make up a third of the cycle, so this
+//!    costs O(1) hops in expectation).  After all `k` bits are consumed the
+//!    message sits within distance `O(2^{-k} + \max\text{gap})` of the
+//!    target.
+//! 2. **Linear phase.**  The message walks along the cycle (in the shorter
+//!    direction) until it reaches the responsible node.
+//!
+//! Both phases use only the *local* neighbourhood knowledge captured in
+//! [`LocalView`]: the node's own label/kind, its cycle predecessor and
+//! successor, and its process's two sibling virtual nodes.  The total hop
+//! count is `O(log n)` w.h.p.; the property-based tests in `ldb.rs` and the
+//! `routing_hops` benchmark check this empirically.
+
+use crate::label::Label;
+use crate::vnode::{VKind, VirtualId};
+use serde::{Deserialize, Serialize};
+use skueue_sim::ids::NodeId;
+
+/// What one node knows about one of its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborInfo {
+    /// Simulator address of the neighbour.
+    pub node: NodeId,
+    /// Virtual identity (process + kind) of the neighbour.
+    pub vid: VirtualId,
+    /// Label of the neighbour.
+    pub label: Label,
+}
+
+impl NeighborInfo {
+    /// Creates a neighbour record.
+    pub fn new(node: NodeId, vid: VirtualId, label: Label) -> Self {
+        NeighborInfo { node, vid, label }
+    }
+
+    /// The virtual-node kind of this neighbour.
+    pub fn kind(&self) -> VKind {
+        self.vid.kind
+    }
+}
+
+/// The local neighbourhood a virtual node maintains: itself, its cycle
+/// predecessor and successor, and the three virtual nodes of its own process
+/// (reachable over virtual edges).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalView {
+    /// This node.
+    pub me: NeighborInfo,
+    /// Cycle predecessor (`pred(v)`).
+    pub pred: NeighborInfo,
+    /// Cycle successor (`succ(v)`).
+    pub succ: NeighborInfo,
+    /// The emulating process's three virtual nodes, indexed by
+    /// [`VKind::index`]; includes this node itself.
+    pub siblings: [NeighborInfo; 3],
+}
+
+impl LocalView {
+    /// The kind of this node.
+    pub fn kind(&self) -> VKind {
+        self.me.vid.kind
+    }
+
+    /// The sibling virtual node of the given kind (possibly `self.me`).
+    pub fn sibling(&self, kind: VKind) -> &NeighborInfo {
+        &self.siblings[kind.index()]
+    }
+
+    /// True if this node is responsible for `key`, i.e. `key ∈ [me, succ)`
+    /// on the ring.
+    pub fn is_responsible_for(&self, key: Label) -> bool {
+        if self.me.node == self.succ.node {
+            // Single node on the cycle: responsible for everything.
+            return true;
+        }
+        key.in_interval(self.me.label, self.succ.label)
+    }
+
+    /// True if this node is the anchor (leftmost node): its predecessor edge
+    /// wraps around the cycle.
+    pub fn is_anchor(&self) -> bool {
+        self.me.node == self.pred.node || self.pred.label > self.me.label
+    }
+
+    /// True if this node has the maximum label: its successor edge wraps.
+    pub fn successor_wraps(&self) -> bool {
+        self.me.node == self.succ.node || self.succ.label < self.me.label
+    }
+}
+
+/// Routing state carried inside a message addressed to a point on the ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteProgress {
+    /// The destination point.
+    pub target: Label,
+    /// Remaining distance-halving bits, consumed from the back
+    /// (`bits.pop()` yields the bit to apply next).
+    pub bits: Vec<bool>,
+    /// Hops taken so far (incremented by the forwarding node; used for the
+    /// Lemma 3 / Theorem 15 measurements).
+    pub hops: u32,
+}
+
+impl RouteProgress {
+    /// Creates routing state for `target` with `bit_budget` distance-halving
+    /// bits.
+    ///
+    /// The bits are the most significant `bit_budget` bits of the target,
+    /// stored so that the *last* element is applied first (the
+    /// distance-halving walk builds the target prefix from its least
+    /// significant routing bit upwards).
+    pub fn new(target: Label, bit_budget: u32) -> Self {
+        RouteProgress {
+            target,
+            bits: target.leading_bits(bit_budget),
+            hops: 0,
+        }
+    }
+
+    /// Routing state that skips the distance-halving phase entirely and
+    /// walks linearly — used as a baseline/ablation and for tiny systems.
+    pub fn linear_only(target: Label) -> Self {
+        RouteProgress {
+            target,
+            bits: Vec::new(),
+            hops: 0,
+        }
+    }
+
+    /// Whether the distance-halving phase is finished.
+    pub fn in_linear_phase(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Recommended distance-halving bit budget for a system of `n_processes`
+/// processes (`3·n` virtual nodes): `⌈log₂(3n)⌉ + 2`.
+pub fn recommended_bit_budget(n_processes: usize) -> u32 {
+    let nodes = (n_processes.max(1) * 3) as u64;
+    64 - nodes.leading_zeros() + 2
+}
+
+/// The decision a node takes for a message it is routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteAction {
+    /// The current node is responsible for the target — deliver locally.
+    Deliver,
+    /// Forward to the given node.
+    Forward(NodeId),
+}
+
+/// Computes the routing decision of the node described by `view` for a
+/// message with the given routing state.
+///
+/// May consume one distance-halving bit from `progress`; never modifies the
+/// target. The caller is responsible for incrementing `progress.hops` when it
+/// actually forwards the message.
+pub fn route_step(view: &LocalView, progress: &mut RouteProgress) -> RouteAction {
+    // Delivery check first: responsibility can be reached early (or the
+    // distance-halving phase may be unnecessary altogether).
+    if view.is_responsible_for(progress.target) {
+        return RouteAction::Deliver;
+    }
+
+    if !progress.in_linear_phase() {
+        if view.kind() == VKind::Middle {
+            // Consume the next bit over the virtual edge: l(v) has label
+            // m(v)/2 and r(v) has label (m(v)+1)/2 — exactly the
+            // distance-halving step applied to this node's label.
+            let bit = progress.bits.pop().expect("checked non-empty");
+            let next = if bit {
+                view.sibling(VKind::Right)
+            } else {
+                view.sibling(VKind::Left)
+            };
+            return RouteAction::Forward(next.node);
+        }
+        // Not at a middle node: walk one linear hop towards the successor,
+        // searching for the next middle node (expected O(1) hops).
+        return RouteAction::Forward(view.succ.node);
+    }
+
+    // Linear phase: walk along the cycle in the direction with the shorter
+    // ring distance to the target.
+    let cw = view.me.label.cw_distance(progress.target);
+    let ccw = view.me.label.ccw_distance(progress.target);
+    if cw <= ccw {
+        RouteAction::Forward(view.succ.node)
+    } else {
+        RouteAction::Forward(view.pred.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_sim::ids::ProcessId;
+
+    fn info(node: u64, process: u64, kind: VKind, label: f64) -> NeighborInfo {
+        NeighborInfo::new(
+            NodeId(node),
+            VirtualId::new(ProcessId(process), kind),
+            Label::from_f64(label),
+        )
+    }
+
+    /// A little two-process neighbourhood around the middle node of process 0
+    /// (labels: l0=0.3, m0=0.6, r0=0.8; process 1 middle at 0.65).
+    fn middle_view() -> LocalView {
+        LocalView {
+            me: info(1, 0, VKind::Middle, 0.6),
+            pred: info(10, 1, VKind::Left, 0.55),
+            succ: info(11, 1, VKind::Middle, 0.65),
+            siblings: [
+                info(0, 0, VKind::Left, 0.3),
+                info(1, 0, VKind::Middle, 0.6),
+                info(2, 0, VKind::Right, 0.8),
+            ],
+        }
+    }
+
+    #[test]
+    fn responsibility_interval() {
+        let view = middle_view();
+        assert!(view.is_responsible_for(Label::from_f64(0.6)));
+        assert!(view.is_responsible_for(Label::from_f64(0.64)));
+        assert!(!view.is_responsible_for(Label::from_f64(0.65)));
+        assert!(!view.is_responsible_for(Label::from_f64(0.1)));
+    }
+
+    #[test]
+    fn anchor_and_wrap_detection() {
+        let mut view = middle_view();
+        assert!(!view.is_anchor());
+        assert!(!view.successor_wraps());
+        view.pred.label = Label::from_f64(0.99);
+        assert!(view.is_anchor());
+        view.succ.label = Label::from_f64(0.01);
+        assert!(view.successor_wraps());
+    }
+
+    #[test]
+    fn deliver_when_responsible() {
+        let view = middle_view();
+        let mut progress = RouteProgress::new(Label::from_f64(0.62), 8);
+        assert_eq!(route_step(&view, &mut progress), RouteAction::Deliver);
+        // Bits are not consumed on delivery.
+        assert_eq!(progress.bits.len(), 8);
+    }
+
+    #[test]
+    fn middle_node_consumes_bit_and_uses_virtual_edge() {
+        let view = middle_view();
+        // Target 0.1 is nowhere near; first applied bit is the *last* of the
+        // leading bits.
+        let mut progress = RouteProgress::new(Label::from_f64(0.1), 4);
+        let bits_before = progress.bits.clone();
+        let action = route_step(&view, &mut progress);
+        assert_eq!(progress.bits.len(), 3);
+        let consumed = *bits_before.last().unwrap();
+        let expected_node = if consumed { NodeId(2) } else { NodeId(0) };
+        assert_eq!(action, RouteAction::Forward(expected_node));
+    }
+
+    #[test]
+    fn non_middle_node_searches_for_middle_via_successor() {
+        let view = LocalView {
+            me: info(0, 0, VKind::Left, 0.3),
+            pred: info(9, 2, VKind::Left, 0.25),
+            succ: info(12, 3, VKind::Middle, 0.35),
+            siblings: [
+                info(0, 0, VKind::Left, 0.3),
+                info(1, 0, VKind::Middle, 0.6),
+                info(2, 0, VKind::Right, 0.8),
+            ],
+        };
+        let mut progress = RouteProgress::new(Label::from_f64(0.9), 4);
+        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(12)));
+        // No bit consumed while searching for a middle node.
+        assert_eq!(progress.bits.len(), 4);
+    }
+
+    #[test]
+    fn linear_phase_walks_in_shorter_direction() {
+        let view = middle_view();
+        // Target slightly below this node: go to pred.
+        let mut progress = RouteProgress::linear_only(Label::from_f64(0.5));
+        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(10)));
+        // Target slightly above the successor: go to succ.
+        let mut progress = RouteProgress::linear_only(Label::from_f64(0.7));
+        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(11)));
+    }
+
+    #[test]
+    fn single_node_cycle_is_responsible_for_everything() {
+        let me = info(0, 0, VKind::Middle, 0.4);
+        let view = LocalView { me, pred: me, succ: me, siblings: [me, me, me] };
+        assert!(view.is_responsible_for(Label::from_f64(0.99)));
+        assert!(view.is_anchor());
+        assert!(view.successor_wraps());
+        let mut p = RouteProgress::new(Label::from_f64(0.99), 4);
+        assert_eq!(route_step(&view, &mut p), RouteAction::Deliver);
+    }
+
+    #[test]
+    fn bit_budget_scales_logarithmically() {
+        assert!(recommended_bit_budget(1) >= 3);
+        let b1k = recommended_bit_budget(1_000);
+        let b100k = recommended_bit_budget(100_000);
+        assert!(b1k >= 11 && b1k <= 14, "{b1k}");
+        assert!(b100k >= 18 && b100k <= 21, "{b100k}");
+        assert!(b100k > b1k);
+    }
+
+    #[test]
+    fn route_progress_constructors() {
+        let p = RouteProgress::new(Label::from_f64(0.75), 2);
+        assert_eq!(p.bits, vec![true, true]);
+        assert!(!p.in_linear_phase());
+        let p = RouteProgress::linear_only(Label::from_f64(0.75));
+        assert!(p.in_linear_phase());
+        assert_eq!(p.hops, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Actor`] trait and the per-invocation [`Context`].
+//!
+//! An actor corresponds to the paper's notion of a node executing *actions*:
+//! a message is a remote action call, and `TIMEOUT` is the single action
+//! executed periodically without a triggering message.
+
+use crate::ids::NodeId;
+use crate::rng::SimRng;
+use crate::Round;
+
+/// A protocol node that lives inside a [`crate::Simulation`].
+///
+/// Implementations must be deterministic given the sequence of delivered
+/// messages, timeouts, and the random bits drawn from [`Context::rng`].
+pub trait Actor {
+    /// Payload type of the messages this actor exchanges.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Handles a delivered message (`m ∈ v.Ch` being processed).
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// The periodic `TIMEOUT` action, executed once per round in the
+    /// synchronous model and regularly in the asynchronous model.
+    fn on_timeout(&mut self, ctx: &mut Context<Self::Msg>);
+
+    /// Whether the node still wants to receive timeouts. Deactivated nodes
+    /// (e.g. processes that completed a `LEAVE()`) return `false`; any
+    /// message still addressed to them is delivered (channels are reliable)
+    /// but typically just forwarded by the protocol.
+    fn is_active(&self) -> bool {
+        true
+    }
+}
+
+/// Handle through which an actor interacts with the outside world during a
+/// single `on_message` / `on_timeout` invocation.
+///
+/// All outgoing messages are buffered and scheduled by the simulation after
+/// the invocation returns, so an actor always observes a consistent snapshot
+/// of its own state while handling one event.
+#[derive(Debug)]
+pub struct Context<M> {
+    self_id: NodeId,
+    round: Round,
+    outbox: Vec<(NodeId, M)>,
+    rng: SimRng,
+    /// Number of messages the actor asked to send to itself synchronously
+    /// (delivered next round like any other message — self-channels are
+    /// ordinary channels in the paper's model).
+    self_sends: usize,
+}
+
+impl<M> Context<M> {
+    /// Creates a context for one invocation. Used by the scheduler and by
+    /// unit tests of actors.
+    pub fn new(self_id: NodeId, round: Round, rng: SimRng) -> Self {
+        Context {
+            self_id,
+            round,
+            outbox: Vec::new(),
+            rng,
+            self_sends: 0,
+        }
+    }
+
+    /// The id of the node currently executing.
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The current round.
+    #[inline]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Sends `msg` to `to`. Delivery round is decided by the simulation's
+    /// [`crate::DeliveryModel`].
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.self_id {
+            self.self_sends += 1;
+        }
+        self.outbox.push((to, msg));
+    }
+
+    /// Deterministic per-invocation random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of messages queued so far in this invocation.
+    #[inline]
+    pub fn pending_sends(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Number of self-addressed messages queued so far.
+    #[inline]
+    pub fn self_sends(&self) -> usize {
+        self.self_sends
+    }
+
+    /// Consumes the context and returns the buffered outgoing messages.
+    pub fn into_outbox(self) -> Vec<(NodeId, M)> {
+        self.outbox
+    }
+
+    /// Drains the buffered messages, leaving the context reusable.
+    pub fn drain_outbox(&mut self) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Echo {
+        received: Vec<(NodeId, u32)>,
+        timeouts: usize,
+    }
+
+    impl Actor for Echo {
+        type Msg = u32;
+
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.received.push((from, msg));
+            ctx.send(from, msg + 1);
+        }
+
+        fn on_timeout(&mut self, _ctx: &mut Context<u32>) {
+            self.timeouts += 1;
+        }
+    }
+
+    #[test]
+    fn context_buffers_sends() {
+        let mut ctx = Context::new(NodeId(0), 5, SimRng::new(1));
+        assert_eq!(ctx.self_id(), NodeId(0));
+        assert_eq!(ctx.round(), 5);
+        ctx.send(NodeId(1), "a");
+        ctx.send(NodeId(2), "b");
+        ctx.send(NodeId(0), "self");
+        assert_eq!(ctx.pending_sends(), 3);
+        assert_eq!(ctx.self_sends(), 1);
+        let out = ctx.into_outbox();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], (NodeId(1), "a"));
+    }
+
+    #[test]
+    fn drain_outbox_resets() {
+        let mut ctx = Context::new(NodeId(0), 0, SimRng::new(1));
+        ctx.send(NodeId(1), 7u32);
+        assert_eq!(ctx.drain_outbox().len(), 1);
+        assert_eq!(ctx.pending_sends(), 0);
+        ctx.send(NodeId(1), 9u32);
+        assert_eq!(ctx.pending_sends(), 1);
+    }
+
+    #[test]
+    fn actor_default_is_active() {
+        let echo = Echo::default();
+        assert!(echo.is_active());
+    }
+
+    #[test]
+    fn echo_actor_replies() {
+        let mut echo = Echo::default();
+        let mut ctx = Context::new(NodeId(3), 1, SimRng::new(2));
+        echo.on_message(NodeId(9), 41, &mut ctx);
+        let out = ctx.into_outbox();
+        assert_eq!(out, vec![(NodeId(9), 42)]);
+        assert_eq!(echo.received, vec![(NodeId(9), 41)]);
+    }
+
+    #[test]
+    fn context_rng_is_usable() {
+        let mut ctx: Context<()> = Context::new(NodeId(0), 0, SimRng::new(3));
+        let a = ctx.rng().next_u64();
+        let b = ctx.rng().next_u64();
+        assert_ne!(a, b);
+    }
+}

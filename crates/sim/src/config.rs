@@ -1,0 +1,121 @@
+//! Simulation configuration.
+
+use crate::delivery::DeliveryModel;
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::Simulation`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for all simulation-level randomness (message delays, tie
+    /// breaking). Protocol-level randomness should use forked streams so the
+    /// same seed reproduces the same run end-to-end.
+    pub seed: u64,
+    /// Message delivery model.
+    pub delivery: DeliveryModel,
+    /// If true, the per-round iteration order over nodes is shuffled each
+    /// round (still deterministically from `seed`). The synchronous model of
+    /// the paper does not care about intra-round order, but shuffling helps
+    /// tests catch accidental order dependencies.
+    pub shuffle_node_order: bool,
+    /// Record an event trace (costs memory; intended for tests/debugging).
+    pub record_trace: bool,
+    /// Upper bound on rounds for `run_until`-style drivers; guards against
+    /// livelock in buggy protocols. `0` means "no limit".
+    pub max_rounds: u64,
+}
+
+impl SimConfig {
+    /// Synchronous configuration with the given seed — the setting used for
+    /// all paper experiments.
+    pub fn synchronous(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            delivery: DeliveryModel::Synchronous,
+            shuffle_node_order: false,
+            record_trace: false,
+            max_rounds: 0,
+        }
+    }
+
+    /// Asynchronous configuration with uniform delays in `[1, max_delay]`.
+    pub fn asynchronous(seed: u64, max_delay: u64) -> Self {
+        SimConfig {
+            seed,
+            delivery: DeliveryModel::uniform(max_delay),
+            shuffle_node_order: true,
+            record_trace: false,
+            max_rounds: 0,
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the round budget.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.delivery
+            .validate()
+            .map_err(SimError::InvalidConfig)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::synchronous(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_defaults() {
+        let c = SimConfig::synchronous(7);
+        assert_eq!(c.seed, 7);
+        assert!(c.delivery.is_synchronous());
+        assert!(!c.shuffle_node_order);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn asynchronous_defaults() {
+        let c = SimConfig::asynchronous(7, 5);
+        assert!(!c.delivery.is_synchronous());
+        assert!(c.shuffle_node_order);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::synchronous(1).with_trace().with_max_rounds(99);
+        assert!(c.record_trace);
+        assert_eq!(c.max_rounds, 99);
+    }
+
+    #[test]
+    fn invalid_delivery_is_rejected() {
+        let mut c = SimConfig::synchronous(1);
+        c.delivery = DeliveryModel::UniformRandom { min_delay: 5, max_delay: 1 };
+        assert!(matches!(c.validate(), Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn clone_preserves_fields() {
+        let c = SimConfig::asynchronous(3, 9).with_max_rounds(10);
+        let d = c.clone();
+        assert_eq!(format!("{c:?}"), format!("{d:?}"));
+        assert_eq!(d.max_rounds, 10);
+        assert_eq!(d.seed, 3);
+    }
+}

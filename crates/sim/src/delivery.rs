@@ -1,0 +1,175 @@
+//! Message delivery models.
+//!
+//! The Skueue paper proves correctness in the fully asynchronous model
+//! (arbitrary finite delays, non-FIFO channels, no loss, no duplication) and
+//! evaluates performance in the synchronous round model.  [`DeliveryModel`]
+//! captures both, plus an adversarial heavy-tail variant used by the
+//! failure-injection tests.
+
+use crate::rng::SimRng;
+use crate::Round;
+use serde::{Deserialize, Serialize};
+
+/// How message delays are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeliveryModel {
+    /// The synchronous model of the paper's evaluation: every message sent in
+    /// round `i` is delivered in round `i + 1`.
+    Synchronous,
+    /// Asynchronous delivery: every message independently receives a uniform
+    /// delay in `[min_delay, max_delay]` rounds.  Because later messages may
+    /// draw smaller delays, channels are effectively non-FIFO.
+    UniformRandom {
+        /// Minimum delay in rounds (≥ 1).
+        min_delay: Round,
+        /// Maximum delay in rounds (≥ `min_delay`).
+        max_delay: Round,
+    },
+    /// Asynchronous delivery with a heavy tail: with probability
+    /// `straggle_prob` the message is delayed by `straggle_delay` rounds,
+    /// otherwise by 1 round.  This exercises extreme reordering (e.g. a GET
+    /// overtaking its PUT by a long way) while keeping the common case fast.
+    Adversarial {
+        /// Probability of a message being a straggler, in `[0, 1]`.
+        straggle_prob: f64,
+        /// Delay applied to stragglers.
+        straggle_delay: Round,
+    },
+}
+
+impl DeliveryModel {
+    /// Uniform asynchronous delivery with delays in `[1, max_delay]`.
+    pub fn uniform(max_delay: Round) -> Self {
+        DeliveryModel::UniformRandom {
+            min_delay: 1,
+            max_delay: max_delay.max(1),
+        }
+    }
+
+    /// Validates the parameters of the model.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DeliveryModel::Synchronous => Ok(()),
+            DeliveryModel::UniformRandom { min_delay, max_delay } => {
+                if min_delay == 0 {
+                    Err("min_delay must be at least 1".into())
+                } else if max_delay < min_delay {
+                    Err(format!("max_delay {max_delay} < min_delay {min_delay}"))
+                } else {
+                    Ok(())
+                }
+            }
+            DeliveryModel::Adversarial { straggle_prob, straggle_delay } => {
+                if !(0.0..=1.0).contains(&straggle_prob) {
+                    Err(format!("straggle_prob {straggle_prob} not in [0, 1]"))
+                } else if straggle_delay == 0 {
+                    Err("straggle_delay must be at least 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// True for the synchronous round model.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, DeliveryModel::Synchronous)
+    }
+
+    /// Draws the delay (in rounds) for one message.
+    pub fn draw_delay(&self, rng: &mut SimRng) -> Round {
+        match *self {
+            DeliveryModel::Synchronous => 1,
+            DeliveryModel::UniformRandom { min_delay, max_delay } => {
+                rng.gen_range_inclusive(min_delay, max_delay)
+            }
+            DeliveryModel::Adversarial { straggle_prob, straggle_delay } => {
+                if rng.gen_bool(straggle_prob) {
+                    straggle_delay
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+impl Default for DeliveryModel {
+    fn default() -> Self {
+        DeliveryModel::Synchronous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_always_one_round() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(DeliveryModel::Synchronous.draw_delay(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SimRng::new(2);
+        let model = DeliveryModel::UniformRandom { min_delay: 2, max_delay: 6 };
+        for _ in 0..1000 {
+            let d = model.draw_delay(&mut rng);
+            assert!((2..=6).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_constructor_clamps() {
+        assert_eq!(
+            DeliveryModel::uniform(0),
+            DeliveryModel::UniformRandom { min_delay: 1, max_delay: 1 }
+        );
+    }
+
+    #[test]
+    fn adversarial_mixes_delays() {
+        let mut rng = SimRng::new(3);
+        let model = DeliveryModel::Adversarial { straggle_prob: 0.3, straggle_delay: 50 };
+        let mut slow = 0;
+        let mut fast = 0;
+        for _ in 0..1000 {
+            match model.draw_delay(&mut rng) {
+                1 => fast += 1,
+                50 => slow += 1,
+                other => panic!("unexpected delay {other}"),
+            }
+        }
+        assert!(slow > 200 && slow < 400, "slow={slow}");
+        assert!(fast > 600, "fast={fast}");
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(DeliveryModel::Synchronous.validate().is_ok());
+        assert!(DeliveryModel::UniformRandom { min_delay: 0, max_delay: 3 }
+            .validate()
+            .is_err());
+        assert!(DeliveryModel::UniformRandom { min_delay: 4, max_delay: 3 }
+            .validate()
+            .is_err());
+        assert!(DeliveryModel::Adversarial { straggle_prob: 1.5, straggle_delay: 5 }
+            .validate()
+            .is_err());
+        assert!(DeliveryModel::Adversarial { straggle_prob: 0.5, straggle_delay: 0 }
+            .validate()
+            .is_err());
+        assert!(DeliveryModel::Adversarial { straggle_prob: 0.5, straggle_delay: 2 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn default_is_synchronous() {
+        assert!(DeliveryModel::default().is_synchronous());
+        assert!(!DeliveryModel::uniform(3).is_synchronous());
+    }
+}

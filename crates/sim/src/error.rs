@@ -1,0 +1,66 @@
+//! Error type of the simulation substrate.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors surfaced by [`crate::Simulation`] and its helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message was addressed to a node id that was never registered.
+    UnknownNode(NodeId),
+    /// A message was addressed to a node that has been deactivated
+    /// (and deactivated nodes were configured to reject traffic).
+    NodeDeactivated(NodeId),
+    /// `run_until` exceeded its round budget without the predicate becoming
+    /// true.
+    RoundLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// The configuration was rejected (e.g. an empty delay range).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            SimError::NodeDeactivated(id) => write!(f, "node {id} is deactivated"),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit of {limit} rounds exceeded")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            SimError::UnknownNode(NodeId(5)).to_string(),
+            "unknown node n5"
+        );
+        assert_eq!(
+            SimError::RoundLimitExceeded { limit: 10 }.to_string(),
+            "round limit of 10 rounds exceeded"
+        );
+        assert!(SimError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(SimError::NodeDeactivated(NodeId(1))
+            .to_string()
+            .contains("deactivated"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::UnknownNode(NodeId(1)));
+        assert!(e.to_string().contains("n1"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # skueue-sim — message-passing simulation substrate
+//!
+//! The Skueue paper (Feldmann, Scheideler, Setzer — IPDPS 2018) evaluates its
+//! protocol in the *synchronous message passing model*: time proceeds in
+//! rounds, every message sent in round `i` is processed in round `i + 1`, and
+//! every node executes its `TIMEOUT` action once per round.  Correctness,
+//! however, is claimed for the *asynchronous* model with arbitrary finite
+//! message delays and non-FIFO delivery.
+//!
+//! This crate provides both execution substrates:
+//!
+//! * [`Simulation`] with [`DeliveryModel::Synchronous`] reproduces the round
+//!   model used for the paper's experiments (Figures 2–4),
+//! * [`Simulation`] with [`DeliveryModel::UniformRandom`] or
+//!   [`DeliveryModel::Adversarial`] provides asynchronous, non-FIFO delivery
+//!   (driven by a seeded RNG) used by the test-suite to exercise the
+//!   protocol's sequential-consistency guarantees under message reordering.
+//!
+//! The design is a classical discrete-event / discrete-round simulator:
+//!
+//! * every addressable entity is a *node* (in Skueue terms: a **virtual
+//!   node** — each process of the paper emulates three of them),
+//! * a node is any type implementing [`Actor`]; it reacts to delivered
+//!   messages ([`Actor::on_message`]) and to the per-round timeout
+//!   ([`Actor::on_timeout`]),
+//! * all side effects go through a [`Context`], which buffers outgoing
+//!   messages so that a whole round is computed against a consistent
+//!   snapshot,
+//! * the simulation is fully deterministic for a given seed and
+//!   configuration, which the test-suite and the benchmark harness rely on.
+//!
+//! The crate deliberately knows nothing about Skueue itself; the overlay, the
+//! DHT and the protocol are layered on top (see `skueue-overlay`,
+//! `skueue-dht`, `skueue-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod config;
+pub mod delivery;
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod metrics;
+pub mod rng;
+pub mod scheduler;
+pub mod trace;
+
+pub use actor::{Actor, Context};
+pub use config::SimConfig;
+pub use delivery::DeliveryModel;
+pub use error::SimError;
+pub use ids::{NodeId, ProcessId, RequestId};
+pub use message::Envelope;
+pub use metrics::{Histogram, SimMetrics, Summary};
+pub use rng::SimRng;
+pub use scheduler::{RunOutcome, Simulation};
+pub use trace::{Trace, TraceEvent};
+
+/// A simulated round (discrete time step of the synchronous model).
+pub type Round = u64;

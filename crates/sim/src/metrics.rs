@@ -1,0 +1,327 @@
+//! Simulation metrics: counters, histograms and summary statistics.
+//!
+//! The paper's experiments report the *average number of rounds per request*
+//! (Figures 2–4); the analysis section additionally talks about batch sizes
+//! (Theorem 18) and message sizes.  [`SimMetrics`] collects the
+//! substrate-level part (messages, rounds, channel occupancy); protocol-level
+//! quantities (request latencies, batch lengths) are recorded by the layers
+//! above using the same [`Histogram`] type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple fixed-precision histogram over `u64` samples.
+///
+/// Samples are kept exactly (sum, min, max, count) plus a bucketed
+/// distribution with power-of-two bucket boundaries, which is accurate enough
+/// for round counts and batch lengths while staying O(64) in memory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// `buckets[i]` counts samples with `floor(log2(sample)) == i - 1`;
+    /// `buckets[0]` counts zeros.
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; 65],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.count += 1;
+        self.sum += sample as u128;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        let bucket = if sample == 0 {
+            0
+        } else {
+            (64 - sample.leading_zeros()) as usize
+        };
+        if self.buckets.len() < 65 {
+            self.buckets.resize(65, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, sample: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += sample as u128 * n as u128;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        let bucket = if sample == 0 {
+            0
+        } else {
+            (64 - sample.leading_zeros()) as usize
+        };
+        if self.buckets.len() < 65 {
+            self.buckets.resize(65, 0);
+        }
+        self.buckets[bucket] += n;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Approximate quantile based on the power-of-two buckets: returns the
+    /// upper bound of the bucket containing the `q`-quantile.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut running = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            running += c;
+            if running >= target {
+                let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+    }
+
+    /// Summary view of the histogram.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+        }
+    }
+}
+
+/// Compact summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value (0 when empty).
+    pub min: u64,
+    /// Maximum value (0 when empty).
+    pub max: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} mean={:.2} min={} max={}",
+            self.count, self.mean, self.min, self.max
+        )
+    }
+}
+
+/// Substrate-level metrics collected by [`crate::Simulation`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Total messages handed to the simulation.
+    pub messages_sent: u64,
+    /// Total messages delivered to actors.
+    pub messages_delivered: u64,
+    /// Total `on_timeout` invocations.
+    pub timeouts_fired: u64,
+    /// Number of completed rounds.
+    pub rounds: u64,
+    /// Distribution of per-message delays (in rounds).
+    pub delays: Histogram,
+    /// Distribution of per-round delivered-message counts.
+    pub per_round_deliveries: Histogram,
+}
+
+impl SimMetrics {
+    /// Creates an empty metrics container.
+    pub fn new() -> Self {
+        SimMetrics {
+            delays: Histogram::new(),
+            per_round_deliveries: Histogram::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Average messages delivered per round (0.0 before the first round).
+    pub fn avg_deliveries_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..7 {
+            a.record(13);
+        }
+        b.record_n(13, 7);
+        assert_eq!(a, b);
+        b.record_n(13, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.sum(), 111);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q10 = h.approx_quantile(0.1).unwrap();
+        let q50 = h.approx_quantile(0.5).unwrap();
+        let q99 = h.approx_quantile(0.99).unwrap();
+        assert!(q10 <= q50 && q50 <= q99);
+        assert!(q99 <= 999);
+    }
+
+    #[test]
+    fn zero_samples_land_in_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.approx_quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn summary_display() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(4);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 4);
+        assert!(s.to_string().contains("mean=3.00"));
+    }
+
+    #[test]
+    fn sim_metrics_average() {
+        let mut m = SimMetrics::new();
+        assert_eq!(m.avg_deliveries_per_round(), 0.0);
+        m.messages_delivered = 30;
+        m.rounds = 10;
+        assert!((m.avg_deliveries_per_round() - 3.0).abs() < 1e-12);
+    }
+}

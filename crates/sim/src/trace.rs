@@ -1,0 +1,177 @@
+//! Optional event tracing for debugging and for the failure-injection tests.
+
+use crate::ids::NodeId;
+use crate::Round;
+use serde::{Deserialize, Serialize};
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was handed to the simulation.
+    Sent {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Round of the send.
+        round: Round,
+        /// Round at which delivery is scheduled.
+        deliver_at: Round,
+    },
+    /// A message was delivered to its destination actor.
+    Delivered {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Delivery round.
+        round: Round,
+    },
+    /// A node executed its `TIMEOUT` action.
+    Timeout {
+        /// The node.
+        node: NodeId,
+        /// Round of the timeout.
+        round: Round,
+    },
+    /// A node was added to the simulation.
+    NodeAdded {
+        /// The node.
+        node: NodeId,
+        /// Round in which it was added.
+        round: Round,
+    },
+    /// A node was deactivated.
+    NodeDeactivated {
+        /// The node.
+        node: NodeId,
+        /// Round in which it was deactivated.
+        round: Round,
+    },
+}
+
+impl TraceEvent {
+    /// Round at which the event happened.
+    pub fn round(&self) -> Round {
+        match *self {
+            TraceEvent::Sent { round, .. }
+            | TraceEvent::Delivered { round, .. }
+            | TraceEvent::Timeout { round, .. }
+            | TraceEvent::NodeAdded { round, .. }
+            | TraceEvent::NodeDeactivated { round, .. } => round,
+        }
+    }
+}
+
+/// Bounded event trace.  When the capacity is exceeded the oldest events are
+/// dropped (the interesting part of a failing test is almost always the end).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace with the given capacity (0 disables bounding).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity > 0 && self.events.len() >= self.capacity {
+            // Drop the oldest half to amortise the shift cost.
+            let drop = (self.capacity / 2).max(1);
+            self.events.drain(0..drop);
+            self.dropped += drop as u64;
+        }
+        self.events.push(event);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events involving a particular node (as sender, receiver or subject).
+    pub fn involving(&self, node: NodeId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match **e {
+                TraceEvent::Sent { from, to, .. } | TraceEvent::Delivered { from, to, .. } => {
+                    from == node || to == node
+                }
+                TraceEvent::Timeout { node: n, .. }
+                | TraceEvent::NodeAdded { node: n, .. }
+                | TraceEvent::NodeDeactivated { node: n, .. } => n == node,
+            })
+            .collect()
+    }
+
+    /// Clears all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = Trace::with_capacity(0);
+        t.push(TraceEvent::NodeAdded { node: NodeId(1), round: 0 });
+        t.push(TraceEvent::Sent { from: NodeId(1), to: NodeId(2), round: 1, deliver_at: 2 });
+        t.push(TraceEvent::Timeout { node: NodeId(3), round: 1 });
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.involving(NodeId(1)).len(), 2);
+        assert_eq!(t.involving(NodeId(3)).len(), 1);
+        assert_eq!(t.involving(NodeId(9)).len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let mut t = Trace::with_capacity(4);
+        for r in 0..10 {
+            t.push(TraceEvent::Timeout { node: NodeId(0), round: r });
+        }
+        assert!(t.events().len() <= 4 + 1);
+        assert!(t.dropped() > 0);
+        // Retained events are the most recent ones.
+        let last = t.events().last().unwrap().round();
+        assert_eq!(last, 9);
+    }
+
+    #[test]
+    fn event_round_accessor() {
+        assert_eq!(
+            TraceEvent::Delivered { from: NodeId(0), to: NodeId(1), round: 7 }.round(),
+            7
+        );
+        assert_eq!(TraceEvent::NodeDeactivated { node: NodeId(0), round: 3 }.round(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::with_capacity(2);
+        t.push(TraceEvent::Timeout { node: NodeId(0), round: 0 });
+        t.push(TraceEvent::Timeout { node: NodeId(0), round: 1 });
+        t.push(TraceEvent::Timeout { node: NodeId(0), round: 2 });
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

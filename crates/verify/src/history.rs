@@ -1,0 +1,288 @@
+//! Execution histories.
+//!
+//! A [`History`] is the complete record of one simulated execution as far as
+//! queue/stack semantics are concerned: one [`OpRecord`] per request issued
+//! to the system.  The protocol fills in the `order` field with the request's
+//! position `value(op)` in the total order `≺` it constructs (Section V of
+//! the paper); the checkers in this crate then verify that this order indeed
+//! witnesses sequential consistency.
+
+use serde::{Deserialize, Serialize};
+use skueue_sim::ids::{ProcessId, RequestId};
+use std::collections::BTreeMap;
+
+/// A request's position in the witnessed total order `≺`.
+///
+/// For batched requests the anchor's counter gives a globally unique `major`
+/// value (`value(op)` of Section V) and `minor` is zero.  The stack's
+/// *locally combined* push/pop pairs (Section VI) never reach the anchor;
+/// they are placed directly after the issuing process's most recent ordered
+/// request by reusing its `major` and counting up `minor`.  Ties on
+/// `(major, minor)` cannot occur between anchor-assigned values; the
+/// `origin` component only disambiguates locally combined pairs of different
+/// processes that anchor to the same major (which keeps each pair adjacent —
+/// required for the LIFO nesting property).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct OrderKey {
+    /// Anchor-assigned `value(op)` (or the major of the preceding ordered
+    /// request for locally combined pairs).
+    pub major: u64,
+    /// Raw id of the origin process (tie-break between different processes'
+    /// locally combined pairs).
+    pub origin: u64,
+    /// Position among the locally combined requests anchored at `major`
+    /// (zero for anchor-assigned requests).
+    pub minor: u64,
+}
+
+impl OrderKey {
+    /// Key of an anchor-ordered request.
+    pub fn anchor(major: u64, origin: ProcessId) -> Self {
+        OrderKey { major, origin: origin.raw(), minor: 0 }
+    }
+
+    /// Key of a locally combined request anchored after `major`.
+    pub fn local(major: u64, origin: ProcessId, minor: u64) -> Self {
+        OrderKey { major, origin: origin.raw(), minor }
+    }
+}
+
+impl std::fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.minor == 0 {
+            write!(f, "{}", self.major)
+        } else {
+            write!(f, "{}+{}.{}", self.major, self.origin, self.minor)
+        }
+    }
+}
+
+/// Kind of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `ENQUEUE()` (or `PUSH()` for the stack).
+    Enqueue,
+    /// `DEQUEUE()` (or `POP()` for the stack).
+    Dequeue,
+}
+
+/// Outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpResult {
+    /// An `ENQUEUE()`/`PUSH()` completed (the element is in the structure or
+    /// already consumed by a matched dequeue).
+    Enqueued,
+    /// A `DEQUEUE()`/`POP()` returned the element that was inserted by the
+    /// request with this id.
+    Returned(RequestId),
+    /// A `DEQUEUE()`/`POP()` returned `⊥` (empty).
+    Empty,
+}
+
+/// One completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Identity of the request: origin process and per-process sequence
+    /// number (`OP_{v,i}`), which encodes the process-local issue order.
+    pub id: RequestId,
+    /// Whether this is an enqueue/push or dequeue/pop.
+    pub kind: OpKind,
+    /// Payload value carried by an enqueue/push (0 for dequeues).
+    pub value: u64,
+    /// The outcome.
+    pub result: OpResult,
+    /// The request's position in the protocol's witnessed total order `≺`.
+    pub order: OrderKey,
+    /// Round in which the request was issued (for latency statistics).
+    pub issued_round: u64,
+    /// Round in which the request completed (for latency statistics).
+    pub completed_round: u64,
+}
+
+impl OpRecord {
+    /// Latency of the request in rounds.
+    pub fn latency(&self) -> u64 {
+        self.completed_round.saturating_sub(self.issued_round)
+    }
+
+    /// True if this is a dequeue that returned `⊥`.
+    pub fn is_empty_dequeue(&self) -> bool {
+        self.kind == OpKind::Dequeue && self.result == OpResult::Empty
+    }
+}
+
+/// A complete execution history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Creates a history from records.
+    pub fn from_records(records: Vec<OpRecord>) -> Self {
+        History { records }
+    }
+
+    /// Adds a record.
+    pub fn push(&mut self, record: OpRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records of a given kind.
+    pub fn count_kind(&self, kind: OpKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Number of dequeues/pops that returned `⊥`.
+    pub fn count_empty(&self) -> usize {
+        self.records.iter().filter(|r| r.is_empty_dequeue()).count()
+    }
+
+    /// All records sorted by the witnessed total order.
+    pub fn sorted_by_order(&self) -> Vec<&OpRecord> {
+        let mut sorted: Vec<&OpRecord> = self.records.iter().collect();
+        sorted.sort_by_key(|r| r.order);
+        sorted
+    }
+
+    /// Records grouped by origin process, each group sorted by the
+    /// per-process sequence number (the issue order at that process).
+    pub fn by_process(&self) -> BTreeMap<ProcessId, Vec<&OpRecord>> {
+        let mut map: BTreeMap<ProcessId, Vec<&OpRecord>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry(r.id.origin).or_default().push(r);
+        }
+        for group in map.values_mut() {
+            group.sort_by_key(|r| r.id.seq);
+        }
+        map
+    }
+
+    /// Mean latency over all records (0.0 when empty).
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency()).sum::<u64>() as f64 / self.records.len() as f64
+    }
+
+    /// Merges another history into this one.
+    pub fn extend(&mut self, other: History) {
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(origin: u64, seq: u64, kind: OpKind, result: OpResult, order: u64) -> OpRecord {
+        OpRecord {
+            id: RequestId::new(ProcessId(origin), seq),
+            kind,
+            value: seq,
+            result,
+            order: OrderKey::anchor(order, ProcessId(origin)),
+            issued_round: 1,
+            completed_round: 5,
+        }
+    }
+
+    #[test]
+    fn order_key_compares_major_then_origin_then_minor() {
+        let a = OrderKey::anchor(5, ProcessId(9));
+        let b = OrderKey::local(5, ProcessId(9), 2);
+        let c = OrderKey::local(5, ProcessId(9), 3);
+        let d = OrderKey::anchor(6, ProcessId(0));
+        assert!(a < b && b < c && c < d);
+        let other_origin = OrderKey::local(5, ProcessId(1), 7);
+        assert!(other_origin < b, "smaller origin sorts first at the same major");
+        assert_eq!(format!("{a}"), "5");
+        assert_eq!(format!("{b}"), "5+9.2");
+    }
+
+    #[test]
+    fn latency_and_empty_detection() {
+        let r = rec(0, 0, OpKind::Dequeue, OpResult::Empty, 1);
+        assert_eq!(r.latency(), 4);
+        assert!(r.is_empty_dequeue());
+        let e = rec(0, 1, OpKind::Enqueue, OpResult::Enqueued, 2);
+        assert!(!e.is_empty_dequeue());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut h = History::new();
+        h.push(rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 1));
+        h.push(rec(0, 1, OpKind::Dequeue, OpResult::Returned(RequestId::new(ProcessId(0), 0)), 2));
+        h.push(rec(1, 0, OpKind::Dequeue, OpResult::Empty, 3));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.count_kind(OpKind::Enqueue), 1);
+        assert_eq!(h.count_kind(OpKind::Dequeue), 2);
+        assert_eq!(h.count_empty(), 1);
+        assert!((h.mean_latency() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_by_order_sorts() {
+        let mut h = History::new();
+        h.push(rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 9));
+        h.push(rec(0, 1, OpKind::Enqueue, OpResult::Enqueued, 3));
+        let sorted = h.sorted_by_order();
+        assert_eq!(sorted[0].order.major, 3);
+        assert_eq!(sorted[1].order.major, 9);
+    }
+
+    #[test]
+    fn by_process_groups_and_sorts_by_seq() {
+        let mut h = History::new();
+        h.push(rec(2, 1, OpKind::Enqueue, OpResult::Enqueued, 5));
+        h.push(rec(2, 0, OpKind::Enqueue, OpResult::Enqueued, 9));
+        h.push(rec(1, 0, OpKind::Dequeue, OpResult::Empty, 1));
+        let groups = h.by_process();
+        assert_eq!(groups.len(), 2);
+        let p2 = &groups[&ProcessId(2)];
+        assert_eq!(p2[0].id.seq, 0);
+        assert_eq!(p2[1].id.seq, 1);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = History::new();
+        a.push(rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 1));
+        let mut b = History::new();
+        b.push(rec(1, 0, OpKind::Enqueue, OpResult::Enqueued, 2));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_latency(), 0.0);
+        assert!(h.sorted_by_order().is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # skueue-verify — sequential-consistency checking
+//!
+//! Theorem 14 of the Skueue paper states that the protocol implements a
+//! *sequentially consistent* distributed queue (Definition 1), and Theorem 21
+//! states the analogue for the stack variant.  This crate provides the
+//! machinery the test-suite and the experiment harness use to check those
+//! claims on every execution:
+//!
+//! * [`History`] records one [`OpRecord`] per completed request: its origin
+//!   and per-process sequence number, its kind, its outcome, and the position
+//!   `value(op)` in the total order `≺` that the protocol constructs
+//!   (Section V).  The protocol *witnesses* its own ordering; the checker
+//!   verifies that the witnessed ordering actually satisfies the definition.
+//! * [`check_queue_definition1`] checks the four properties of Definition 1
+//!   literally.
+//! * [`check_queue_replay`] performs the stronger *replay* check: executing
+//!   the requests in the witnessed order on a reference sequential queue must
+//!   reproduce every response (matched element or `⊥`) exactly.  This is the
+//!   check the protocol is expected to pass (and implies Definition 1 for
+//!   well-formed histories).
+//! * [`check_stack_replay`] / [`check_stack_ordering`] are the LIFO
+//!   counterparts used for the Section VI stack.
+//!
+//! All checkers return a [`ConsistencyReport`] listing every violation found
+//! (not just the first), which makes protocol bugs much easier to localise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod queue_check;
+pub mod report;
+pub mod stack_check;
+
+pub use history::{History, OpKind, OpRecord, OpResult, OrderKey};
+pub use queue_check::{check_queue, check_queue_definition1, check_queue_replay};
+pub use report::{ConsistencyReport, Violation};
+pub use stack_check::{check_stack, check_stack_ordering, check_stack_replay};

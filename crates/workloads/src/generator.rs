@@ -1,0 +1,188 @@
+//! Request generators matching the paper's evaluation setup.
+
+use skueue_core::{ClusterError, SkueueCluster};
+use skueue_sim::ids::ProcessId;
+use skueue_sim::SimRng;
+
+/// Fixed-rate generator (Figures 2 and 3): `requests_per_round` requests per
+/// round, assigned to uniformly random processes; each request is an insert
+/// with probability `insert_ratio`.
+#[derive(Debug, Clone)]
+pub struct FixedRateGenerator {
+    /// Requests generated per round.
+    pub requests_per_round: u64,
+    /// Probability that a generated request is an insert.
+    pub insert_ratio: f64,
+    /// Rounds during which requests are generated.
+    pub generation_rounds: u64,
+    rng: SimRng,
+    value_counter: u64,
+}
+
+impl FixedRateGenerator {
+    /// Creates a generator with the paper's default of 10 requests per round.
+    pub fn new(insert_ratio: f64, generation_rounds: u64, seed: u64) -> Self {
+        FixedRateGenerator {
+            requests_per_round: 10,
+            insert_ratio,
+            generation_rounds,
+            rng: SimRng::new(seed),
+            value_counter: 0,
+        }
+    }
+
+    /// Overrides the per-round request count.
+    pub fn with_requests_per_round(mut self, requests: u64) -> Self {
+        self.requests_per_round = requests;
+        self
+    }
+
+    /// Generates this round's requests into the cluster (no-op once the
+    /// generation window is over). Returns the number of requests issued.
+    pub fn tick(&mut self, cluster: &mut SkueueCluster, round: u64) -> Result<u64, ClusterError> {
+        if round >= self.generation_rounds {
+            return Ok(0);
+        }
+        let targets = cluster.active_process_ids();
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        let mut issued = 0;
+        for _ in 0..self.requests_per_round {
+            let target = targets[self.rng.choose_index(targets.len())];
+            let is_insert = self.rng.gen_bool(self.insert_ratio);
+            self.value_counter += 1;
+            cluster.issue_op(target, is_insert, self.value_counter)?;
+            issued += 1;
+        }
+        Ok(issued)
+    }
+}
+
+/// Per-node-rate generator (Figure 4): every active process generates a
+/// request with probability `request_probability` each round.
+#[derive(Debug, Clone)]
+pub struct PerNodeRateGenerator {
+    /// Per-round request probability of each process.
+    pub request_probability: f64,
+    /// Probability that a generated request is an insert.
+    pub insert_ratio: f64,
+    /// Rounds during which requests are generated.
+    pub generation_rounds: u64,
+    rng: SimRng,
+    value_counter: u64,
+}
+
+impl PerNodeRateGenerator {
+    /// Creates a generator with the given per-node probability.
+    pub fn new(request_probability: f64, insert_ratio: f64, generation_rounds: u64, seed: u64) -> Self {
+        PerNodeRateGenerator {
+            request_probability,
+            insert_ratio,
+            generation_rounds,
+            rng: SimRng::new(seed),
+            value_counter: 0,
+        }
+    }
+
+    /// Generates this round's requests. Returns the number issued.
+    pub fn tick(&mut self, cluster: &mut SkueueCluster, round: u64) -> Result<u64, ClusterError> {
+        if round >= self.generation_rounds {
+            return Ok(0);
+        }
+        let targets = cluster.active_process_ids();
+        let mut issued = 0;
+        for target in targets {
+            if self.rng.gen_bool(self.request_probability) {
+                let is_insert = self.rng.gen_bool(self.insert_ratio);
+                self.value_counter += 1;
+                cluster.issue_op(target, is_insert, self.value_counter)?;
+                issued += 1;
+            }
+        }
+        Ok(issued)
+    }
+
+    /// Expected requests per round for a given number of processes.
+    pub fn expected_per_round(&self, processes: usize) -> f64 {
+        self.request_probability * processes as f64
+    }
+}
+
+/// Picks a uniformly random active process (helper shared by scenarios).
+pub fn random_active_process(cluster: &SkueueCluster, rng: &mut SimRng) -> Option<ProcessId> {
+    let active = cluster.active_process_ids();
+    if active.is_empty() {
+        None
+    } else {
+        Some(active[rng.choose_index(active.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_issues_requested_count() {
+        let mut cluster = SkueueCluster::queue(4, 1);
+        let mut gen = FixedRateGenerator::new(0.5, 3, 7).with_requests_per_round(5);
+        let mut total = 0;
+        for round in 0..10 {
+            total += gen.tick(&mut cluster, round).unwrap();
+            cluster.run_round();
+        }
+        // Only the first 3 rounds generate.
+        assert_eq!(total, 15);
+        assert_eq!(cluster.requests_issued(), 15);
+    }
+
+    #[test]
+    fn fixed_rate_insert_ratio_extremes() {
+        let mut cluster = SkueueCluster::queue(2, 2);
+        let mut gen = FixedRateGenerator::new(1.0, 5, 3).with_requests_per_round(4);
+        for round in 0..5 {
+            gen.tick(&mut cluster, round).unwrap();
+        }
+        cluster.run_until_all_complete(500).unwrap();
+        // All inserts: no request may return ⊥ and all must be enqueues.
+        assert_eq!(cluster.history().count_empty(), 0);
+        assert_eq!(
+            cluster.history().count_kind(skueue_verify::OpKind::Enqueue),
+            20
+        );
+    }
+
+    #[test]
+    fn per_node_rate_scales_with_probability() {
+        let mut cluster = SkueueCluster::queue(50, 3);
+        let mut gen = PerNodeRateGenerator::new(0.5, 0.5, 20, 11);
+        let mut total = 0;
+        for round in 0..20 {
+            total += gen.tick(&mut cluster, round).unwrap();
+            cluster.run_round();
+        }
+        let expected = gen.expected_per_round(50) * 20.0;
+        assert!(
+            (total as f64) > expected * 0.7 && (total as f64) < expected * 1.3,
+            "issued {total}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn per_node_rate_zero_probability_generates_nothing() {
+        let mut cluster = SkueueCluster::queue(5, 4);
+        let mut gen = PerNodeRateGenerator::new(0.0, 0.5, 10, 1);
+        for round in 0..10 {
+            assert_eq!(gen.tick(&mut cluster, round).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn random_process_helper() {
+        let cluster = SkueueCluster::queue(3, 5);
+        let mut rng = SimRng::new(1);
+        let p = random_active_process(&cluster, &mut rng).unwrap();
+        assert!(p.raw() < 3);
+    }
+}

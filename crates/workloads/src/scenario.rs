@@ -1,0 +1,449 @@
+//! Ready-to-run experiment scenarios.
+//!
+//! Each function runs one *data point* of a paper figure (or of one of the
+//! derived experiments in DESIGN.md) and returns a serialisable result
+//! record.  The experiment binary in `skueue-bench` sweeps these over the
+//! parameter grids of the figures and prints the same series the paper plots.
+
+use crate::generator::{FixedRateGenerator, PerNodeRateGenerator};
+use serde::{Deserialize, Serialize};
+use skueue_core::{Mode, ProtocolConfig, SkueueCluster};
+use skueue_sim::ids::ProcessId;
+use skueue_sim::SimConfig;
+use skueue_verify::{check_queue, check_stack};
+
+/// Parameters of a fixed-rate or per-node-rate scenario run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Number of processes.
+    pub processes: usize,
+    /// Queue or stack.
+    pub mode: Mode,
+    /// Probability that a generated request is an insert.
+    pub insert_ratio: f64,
+    /// Rounds during which requests are generated.
+    pub generation_rounds: u64,
+    /// Fixed-rate workload: requests per round.  Per-node workload: ignored.
+    pub requests_per_round: u64,
+    /// Per-node workload: per-round request probability of each process.
+    pub request_probability: f64,
+    /// RNG seed (workload and simulation).
+    pub seed: u64,
+    /// Round budget for draining after generation stops.
+    pub drain_budget: u64,
+    /// Verify sequential consistency of the resulting history.
+    pub verify: bool,
+}
+
+impl ScenarioParams {
+    /// Defaults mirroring the paper's setup at a reduced scale (see
+    /// EXPERIMENTS.md): 10 requests/round, insert ratio 0.5.
+    pub fn fixed_rate(processes: usize, mode: Mode, insert_ratio: f64) -> Self {
+        ScenarioParams {
+            processes,
+            mode,
+            insert_ratio,
+            generation_rounds: 200,
+            requests_per_round: 10,
+            request_probability: 0.0,
+            seed: 0x5EED,
+            drain_budget: 50_000,
+            verify: true,
+        }
+    }
+
+    /// Defaults for the Figure 4 workload.
+    pub fn per_node_rate(processes: usize, mode: Mode, request_probability: f64) -> Self {
+        ScenarioParams {
+            processes,
+            mode,
+            insert_ratio: 0.5,
+            generation_rounds: 100,
+            requests_per_round: 0,
+            request_probability,
+            seed: 0x5EED,
+            drain_budget: 50_000,
+            verify: true,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the generation window.
+    pub fn with_generation_rounds(mut self, rounds: u64) -> Self {
+        self.generation_rounds = rounds;
+        self
+    }
+
+    /// Disables the (potentially expensive) consistency verification.
+    pub fn without_verification(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    fn protocol_config(&self) -> ProtocolConfig {
+        match self.mode {
+            Mode::Queue => ProtocolConfig::queue(),
+            Mode::Stack => ProtocolConfig::stack(),
+        }
+    }
+}
+
+/// Result of one scenario run — one data point of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Number of processes.
+    pub processes: usize,
+    /// Queue or stack.
+    pub mode: Mode,
+    /// Insert ratio used.
+    pub insert_ratio: f64,
+    /// Per-node request probability (0 for the fixed-rate workload).
+    pub request_probability: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests that returned `⊥`.
+    pub empty_removes: u64,
+    /// **The paper's headline metric**: average number of rounds per request.
+    pub avg_rounds_per_request: f64,
+    /// Maximum rounds any single request took.
+    pub max_rounds_per_request: u64,
+    /// Rounds needed to drain after generation stopped.
+    pub drain_rounds: u64,
+    /// Mean batch size over all batches sent (Theorems 18/20).
+    pub mean_batch_size: f64,
+    /// Maximum batch size observed.
+    pub max_batch_size: u64,
+    /// Mean DHT routing hops.
+    pub mean_dht_hops: f64,
+    /// Whether the history passed the sequential-consistency checks
+    /// (`true` when verification was skipped).
+    pub consistent: bool,
+    /// Requests completed purely locally by the stack's combining.
+    pub locally_combined: u64,
+}
+
+fn finish(
+    cluster: SkueueCluster,
+    params: &ScenarioParams,
+    drain_rounds: u64,
+) -> ScenarioResult {
+    let history = cluster.history();
+    let latencies: Vec<u64> = history.records().iter().map(|r| r.latency()).collect();
+    let avg = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let max = latencies.iter().copied().max().unwrap_or(0);
+    let batch_hist = cluster.batch_size_histogram();
+    let hop_hist = cluster.dht_hop_histogram();
+
+    let consistent = if params.verify {
+        let report = match params.mode {
+            Mode::Queue => check_queue(history),
+            Mode::Stack => check_stack(history),
+        };
+        report.is_consistent()
+    } else {
+        true
+    };
+
+    ScenarioResult {
+        processes: params.processes,
+        mode: params.mode,
+        insert_ratio: params.insert_ratio,
+        request_probability: params.request_probability,
+        requests: history.len() as u64,
+        empty_removes: history.count_empty() as u64,
+        avg_rounds_per_request: avg,
+        max_rounds_per_request: max,
+        drain_rounds,
+        mean_batch_size: batch_hist.mean(),
+        max_batch_size: batch_hist.max().unwrap_or(0),
+        mean_dht_hops: hop_hist.mean(),
+        consistent,
+        locally_combined: cluster.locally_combined(),
+    }
+}
+
+/// Runs one data point of the Figure 2 / Figure 3 workload: a fixed number of
+/// requests per round assigned to random processes.
+pub fn run_fixed_rate(params: ScenarioParams) -> ScenarioResult {
+    let mut cluster = SkueueCluster::new(
+        params.processes,
+        params.protocol_config(),
+        SimConfig::synchronous(params.seed),
+    )
+    .expect("synchronous config is valid");
+    let mut generator =
+        FixedRateGenerator::new(params.insert_ratio, params.generation_rounds, params.seed ^ 0xA5)
+            .with_requests_per_round(params.requests_per_round);
+
+    for round in 0..params.generation_rounds {
+        generator.tick(&mut cluster, round).expect("active processes exist");
+        cluster.run_round();
+    }
+    let drain_rounds = cluster
+        .run_until_all_complete(params.drain_budget)
+        .expect("requests must drain within the budget");
+    finish(cluster, &params, drain_rounds)
+}
+
+/// Runs one data point of the Figure 4 workload: every process generates a
+/// request with probability `request_probability` per round.
+pub fn run_per_node_rate(params: ScenarioParams) -> ScenarioResult {
+    let mut cluster = SkueueCluster::new(
+        params.processes,
+        params.protocol_config(),
+        SimConfig::synchronous(params.seed),
+    )
+    .expect("synchronous config is valid");
+    let mut generator = PerNodeRateGenerator::new(
+        params.request_probability,
+        params.insert_ratio,
+        params.generation_rounds,
+        params.seed ^ 0xC3,
+    );
+
+    for round in 0..params.generation_rounds {
+        generator.tick(&mut cluster, round).expect("active processes exist");
+        cluster.run_round();
+    }
+    let drain_rounds = cluster
+        .run_until_all_complete(params.drain_budget)
+        .expect("requests must drain within the budget");
+    finish(cluster, &params, drain_rounds)
+}
+
+/// Result of a churn scenario (experiment E6, Theorem 17).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnResult {
+    /// Initial number of processes.
+    pub initial_processes: usize,
+    /// Processes joined during the run.
+    pub joins: usize,
+    /// Processes that left during the run.
+    pub leaves: usize,
+    /// Rounds until all joins were integrated.
+    pub join_rounds: u64,
+    /// Rounds until all leaves completed.
+    pub leave_rounds: u64,
+    /// Whether the queue history stayed sequentially consistent.
+    pub consistent: bool,
+    /// Final number of active processes.
+    pub final_processes: usize,
+}
+
+/// Runs a churn scenario: bulk-join `joins` processes, then bulk-leave
+/// `leaves` processes, with a light request load before and after, and
+/// verifies consistency end-to-end.
+pub fn run_churn_scenario(
+    initial_processes: usize,
+    joins: usize,
+    leaves: usize,
+    seed: u64,
+) -> ChurnResult {
+    let mut cluster = SkueueCluster::queue(initial_processes, seed);
+
+    // Warm-up load.
+    for i in 0..(initial_processes as u64 * 2) {
+        cluster
+            .enqueue(ProcessId(i % initial_processes as u64), i)
+            .expect("initial processes are active");
+    }
+    cluster.run_until_all_complete(20_000).expect("warm-up drains");
+
+    // Bulk join.
+    let mut joined = Vec::new();
+    for _ in 0..joins {
+        joined.push(cluster.join(None).expect("bootstrap exists"));
+    }
+    let join_start = cluster.round();
+    cluster
+        .run_until(
+            |c| joined.iter().all(|&p| c.process_is_active(p)),
+            100_000,
+        )
+        .expect("joins must integrate");
+    let join_rounds = cluster.round() - join_start;
+
+    // Load that exercises the new members.
+    for (i, &p) in joined.iter().enumerate() {
+        cluster.enqueue(p, 10_000 + i as u64).expect("joined processes are active");
+    }
+    cluster.run_until_all_complete(20_000).expect("post-join load drains");
+
+    // Bulk leave (never the anchor's process).
+    let mut left = Vec::new();
+    let candidates: Vec<ProcessId> = cluster.active_process_ids();
+    for p in candidates {
+        if left.len() >= leaves {
+            break;
+        }
+        if cluster.leave(p).is_ok() {
+            left.push(p);
+        }
+    }
+    let leave_start = cluster.round();
+    cluster
+        .run_until(|c| left.iter().all(|&p| c.process_has_left(p)), 100_000)
+        .expect("leaves must complete");
+    let leave_rounds = cluster.round() - leave_start;
+
+    // Post-churn load: drain the queue completely to prove no data was lost.
+    let survivors = cluster.active_process_ids();
+    let remaining = cluster.anchor_state().map(|a| a.size()).unwrap_or(0);
+    for i in 0..remaining {
+        cluster
+            .dequeue(survivors[(i % survivors.len() as u64) as usize])
+            .expect("survivors are active");
+    }
+    cluster.run_until_all_complete(50_000).expect("final drain");
+
+    let consistent = check_queue(cluster.history()).is_consistent()
+        && cluster.history().count_empty() == 0;
+    ChurnResult {
+        initial_processes,
+        joins,
+        leaves: left.len(),
+        join_rounds,
+        leave_rounds,
+        consistent,
+        final_processes: cluster.active_processes(),
+    }
+}
+
+/// Result of the fairness scenario (experiment E7, Corollary 19).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessResult {
+    /// Number of processes.
+    pub processes: usize,
+    /// Elements stored at the end of the run.
+    pub elements: u64,
+    /// Maximum node load divided by the mean load.
+    pub max_over_mean: f64,
+    /// Coefficient of variation of the per-node load.
+    pub cv: f64,
+}
+
+/// Runs an enqueue-heavy workload and reports how evenly the stored elements
+/// spread over the virtual nodes.
+pub fn run_fairness_scenario(processes: usize, elements: u64, seed: u64) -> FairnessResult {
+    let mut cluster = SkueueCluster::queue(processes, seed);
+    for i in 0..elements {
+        cluster
+            .enqueue(ProcessId(i % processes as u64), i)
+            .expect("processes are active");
+        if i % 50 == 0 {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(100_000).expect("enqueues drain");
+    let stats = cluster.fairness().expect("at least one node");
+    FairnessResult {
+        processes,
+        elements: stats.total,
+        max_over_mean: stats.max_over_mean,
+        cv: stats.cv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_queue_point_is_consistent_and_logarithmic_ish() {
+        let params = ScenarioParams::fixed_rate(20, Mode::Queue, 0.5)
+            .with_generation_rounds(30)
+            .with_seed(1);
+        let result = run_fixed_rate(params);
+        assert_eq!(result.requests, 300);
+        assert!(result.consistent);
+        assert!(result.avg_rounds_per_request > 1.0);
+        assert!(result.avg_rounds_per_request < 200.0);
+    }
+
+    #[test]
+    fn fixed_rate_stack_point_is_consistent() {
+        let params = ScenarioParams::fixed_rate(15, Mode::Stack, 0.5)
+            .with_generation_rounds(20)
+            .with_seed(2);
+        let result = run_fixed_rate(params);
+        assert_eq!(result.requests, 200);
+        assert!(result.consistent);
+    }
+
+    #[test]
+    fn enqueue_only_workload_never_returns_empty() {
+        let params = ScenarioParams::fixed_rate(10, Mode::Queue, 1.0)
+            .with_generation_rounds(20)
+            .with_seed(3);
+        let result = run_fixed_rate(params);
+        assert_eq!(result.empty_removes, 0);
+        assert!(result.consistent);
+    }
+
+    #[test]
+    fn dequeue_only_workload_is_all_empty() {
+        let params = ScenarioParams::fixed_rate(10, Mode::Queue, 0.0)
+            .with_generation_rounds(20)
+            .with_seed(4);
+        let result = run_fixed_rate(params);
+        assert_eq!(result.empty_removes, result.requests);
+        assert!(result.consistent);
+        // Dequeues on an empty queue finish without DHT operations, so they
+        // should be faster than a mixed workload (the effect Fig. 2 shows for
+        // small enqueue ratios).
+        let mixed = run_fixed_rate(
+            ScenarioParams::fixed_rate(10, Mode::Queue, 0.75)
+                .with_generation_rounds(20)
+                .with_seed(4),
+        );
+        assert!(result.avg_rounds_per_request <= mixed.avg_rounds_per_request + 1.0);
+    }
+
+    #[test]
+    fn per_node_rate_point_runs() {
+        let params = ScenarioParams::per_node_rate(30, Mode::Queue, 0.2)
+            .with_generation_rounds(25)
+            .with_seed(5);
+        let result = run_per_node_rate(params);
+        assert!(result.requests > 0);
+        assert!(result.consistent);
+    }
+
+    #[test]
+    fn stack_local_combining_shows_up_at_high_rates() {
+        let params = ScenarioParams::per_node_rate(20, Mode::Stack, 1.0)
+            .with_generation_rounds(20)
+            .with_seed(6);
+        let result = run_per_node_rate(params);
+        assert!(result.consistent);
+        assert!(
+            result.locally_combined > 0,
+            "at one request per node per round some pairs must combine locally"
+        );
+    }
+
+    #[test]
+    fn churn_scenario_small() {
+        let result = run_churn_scenario(6, 3, 2, 7);
+        assert!(result.consistent);
+        assert_eq!(result.final_processes, 6 + 3 - 2);
+        assert!(result.join_rounds > 0);
+        assert!(result.leave_rounds > 0);
+    }
+
+    #[test]
+    fn fairness_scenario_small() {
+        let result = run_fairness_scenario(10, 300, 8);
+        assert_eq!(result.elements, 300);
+        assert!(result.max_over_mean < 8.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # skueue — a scalable, sequentially consistent distributed queue
+//!
+//! This is the facade crate of the Skueue reproduction (Feldmann, Scheideler,
+//! Setzer: *"Skueue: A Scalable and Sequentially Consistent Distributed
+//! Queue"*, IPDPS 2018).  It re-exports the whole workspace so downstream
+//! code (and the examples and integration tests in this repository) can use a
+//! single dependency:
+//!
+//! ```
+//! use skueue::core::SkueueCluster;
+//! use skueue::sim::ids::ProcessId;
+//! use skueue::verify::check_queue;
+//!
+//! // A distributed queue over 8 processes (24 virtual De Bruijn nodes).
+//! let mut cluster = SkueueCluster::queue(8, 42);
+//! cluster.enqueue(ProcessId(0), 7).unwrap();
+//! cluster.enqueue(ProcessId(3), 8).unwrap();
+//! cluster.dequeue(ProcessId(5)).unwrap();
+//! cluster.run_until_all_complete(500).unwrap();
+//! check_queue(cluster.history()).assert_consistent();
+//! ```
+//!
+//! Crate map:
+//!
+//! * [`sim`] — deterministic synchronous/asynchronous message-passing
+//!   simulator (the execution substrate),
+//! * [`overlay`] — the Linearized De Bruijn network: labels, routing,
+//!   aggregation tree,
+//! * [`dht`] — the consistent-hashing storage layer,
+//! * [`core`] — the Skueue protocol itself (queue + stack, join/leave),
+//! * [`verify`] — sequential-consistency checkers,
+//! * [`workloads`] — the paper's workload generators, scenarios and the
+//!   central-server baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use skueue_core as core;
+pub use skueue_dht as dht;
+pub use skueue_overlay as overlay;
+pub use skueue_sim as sim;
+pub use skueue_verify as verify;
+pub use skueue_workloads as workloads;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use skueue_core::{ClusterError, Mode, ProtocolConfig, SkueueCluster};
+    pub use skueue_sim::ids::{NodeId, ProcessId, RequestId};
+    pub use skueue_sim::{SimConfig, SimRng};
+    pub use skueue_verify::{check_queue, check_stack, History, OpKind};
+    pub use skueue_workloads::{
+        run_fixed_rate, run_per_node_rate, FixedRateGenerator, PerNodeRateGenerator,
+        ScenarioParams,
+    };
+}

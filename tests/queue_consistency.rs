@@ -1,0 +1,158 @@
+//! End-to-end integration tests: the distributed queue stays sequentially
+//! consistent across crates, schedulers and workloads.
+
+use skueue::prelude::*;
+
+/// Random mixed workload on the synchronous scheduler, verified with both the
+/// Definition 1 check and the sequential replay.
+#[test]
+fn random_workload_synchronous_is_consistent() {
+    let mut cluster = SkueueCluster::queue(12, 0xFEED);
+    let mut rng = SimRng::new(1);
+    for step in 0..300u64 {
+        let p = ProcessId(rng.gen_range(12));
+        if rng.gen_bool(0.55) {
+            cluster.enqueue(p, step).unwrap();
+        } else {
+            cluster.dequeue(p).unwrap();
+        }
+        if rng.gen_bool(0.3) {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(10_000).unwrap();
+    let history = cluster.history();
+    assert_eq!(history.len(), 300);
+    check_queue(history).assert_consistent();
+}
+
+/// The same protocol under asynchronous, non-FIFO delivery (the model the
+/// correctness proof targets) — including adversarial straggler delays that
+/// make GETs overtake their PUTs.
+#[test]
+fn random_workload_asynchronous_is_consistent() {
+    for seed in [1u64, 2, 3] {
+        let mut cluster = skueue::core::SkueueCluster::new(
+            8,
+            skueue::core::ProtocolConfig::queue(),
+            SimConfig::asynchronous(seed, 4),
+        )
+        .unwrap();
+        let mut rng = SimRng::new(seed ^ 0xABCD);
+        for step in 0..150u64 {
+            let p = ProcessId(rng.gen_range(8));
+            if rng.gen_bool(0.5) {
+                cluster.enqueue(p, step).unwrap();
+            } else {
+                cluster.dequeue(p).unwrap();
+            }
+            if rng.gen_bool(0.25) {
+                cluster.run_round();
+            }
+        }
+        cluster.run_until_all_complete(60_000).unwrap();
+        check_queue(cluster.history()).assert_consistent();
+    }
+}
+
+/// Heavy adversarial reordering: half of all messages are delayed by 25
+/// rounds. GET-before-PUT races must all resolve.
+#[test]
+fn adversarial_delays_do_not_break_consistency() {
+    let mut sim_cfg = SimConfig::synchronous(7);
+    sim_cfg.delivery = skueue::sim::DeliveryModel::Adversarial {
+        straggle_prob: 0.5,
+        straggle_delay: 25,
+    };
+    sim_cfg.shuffle_node_order = true;
+    let mut cluster =
+        skueue::core::SkueueCluster::new(6, skueue::core::ProtocolConfig::queue(), sim_cfg)
+            .unwrap();
+    for i in 0..60u64 {
+        cluster.enqueue(ProcessId(i % 6), i).unwrap();
+    }
+    for i in 0..60u64 {
+        cluster.dequeue(ProcessId((i + 3) % 6)).unwrap();
+    }
+    cluster.run_until_all_complete(100_000).unwrap();
+    let history = cluster.history();
+    assert_eq!(history.count_empty(), 0, "every element must be found despite reordering");
+    check_queue(history).assert_consistent();
+}
+
+/// FIFO across processes: elements come out in exactly the order the anchor
+/// serialised them, even when enqueues and dequeues interleave heavily.
+#[test]
+fn fifo_order_is_globally_respected() {
+    let mut cluster = SkueueCluster::queue(10, 3);
+    // Burst of enqueues, fully drained, then burst of dequeues.
+    for i in 0..50u64 {
+        cluster.enqueue(ProcessId(i % 10), i).unwrap();
+    }
+    cluster.run_until_all_complete(5_000).unwrap();
+    for i in 0..50u64 {
+        cluster.dequeue(ProcessId((i * 3) % 10)).unwrap();
+    }
+    cluster.run_until_all_complete(5_000).unwrap();
+    let history = cluster.history();
+    check_queue(history).assert_consistent();
+    assert_eq!(history.count_empty(), 0);
+    // Anchor window must be empty again.
+    assert_eq!(cluster.anchor_state().unwrap().size(), 0);
+}
+
+/// The fixed-rate workload of Figure 2 at a small scale: consistency plus the
+/// logarithmic latency shape (larger systems are only mildly slower).
+#[test]
+fn figure2_shape_holds_at_small_scale() {
+    let small = run_fixed_rate(
+        ScenarioParams::fixed_rate(25, Mode::Queue, 0.5).with_generation_rounds(40),
+    );
+    let large = run_fixed_rate(
+        ScenarioParams::fixed_rate(200, Mode::Queue, 0.5).with_generation_rounds(40),
+    );
+    assert!(small.consistent && large.consistent);
+    // 8x more processes but far less than 8x the latency (Theorem 15).
+    assert!(
+        large.avg_rounds_per_request < small.avg_rounds_per_request * 4.0,
+        "small={}, large={}",
+        small.avg_rounds_per_request,
+        large.avg_rounds_per_request
+    );
+    // Dequeue-only workloads are the fastest configuration (Fig. 2 bottom curve).
+    let deq_only = run_fixed_rate(
+        ScenarioParams::fixed_rate(200, Mode::Queue, 0.0).with_generation_rounds(40),
+    );
+    assert!(deq_only.avg_rounds_per_request <= large.avg_rounds_per_request + 1.0);
+}
+
+/// Batch sizes stay small (Theorem 18): even at one request per process per
+/// round, batches remain O(log n)-ish rather than proportional to the load.
+#[test]
+fn batch_sizes_stay_bounded_under_full_load() {
+    let result = run_per_node_rate(
+        ScenarioParams::per_node_rate(60, Mode::Queue, 1.0).with_generation_rounds(30),
+    );
+    assert!(result.consistent);
+    assert!(
+        result.max_batch_size < 60,
+        "batch size {} should stay well below the per-wave request volume",
+        result.max_batch_size
+    );
+}
+
+/// Fairness (Corollary 19): stored elements spread evenly over nodes.
+#[test]
+fn element_distribution_is_fair() {
+    let mut cluster = SkueueCluster::queue(16, 21);
+    for i in 0..800u64 {
+        cluster.enqueue(ProcessId(i % 16), i).unwrap();
+        if i % 20 == 0 {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(20_000).unwrap();
+    let fairness = cluster.fairness().unwrap();
+    assert_eq!(fairness.total, 800);
+    assert!(fairness.max_over_mean < 5.0, "imbalance {:.2}", fairness.max_over_mean);
+}

@@ -1,0 +1,178 @@
+//! Integration tests for the stack variant (Section VI) and for join/leave
+//! churn (Section IV).
+
+use skueue::prelude::*;
+
+/// Random push/pop workload on the stack, with local combining enabled, under
+/// the synchronous scheduler.
+#[test]
+fn stack_random_workload_is_sequentially_consistent() {
+    let mut cluster = SkueueCluster::stack(10, 0xCAFE);
+    let mut rng = SimRng::new(9);
+    for step in 0..250u64 {
+        let p = ProcessId(rng.gen_range(10));
+        if rng.gen_bool(0.55) {
+            cluster.push(p, step).unwrap();
+        } else {
+            cluster.pop(p).unwrap();
+        }
+        if rng.gen_bool(0.3) {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(20_000).unwrap();
+    let history = cluster.history();
+    assert_eq!(history.len(), 250);
+    check_stack(history).assert_consistent();
+}
+
+/// The stack under asynchronous delivery — the exact reordering scenario
+/// Section VI's tickets and stage-4 barrier exist for.
+#[test]
+fn stack_asynchronous_delivery_is_consistent() {
+    let mut cluster = skueue::core::SkueueCluster::new(
+        6,
+        skueue::core::ProtocolConfig::stack(),
+        SimConfig::asynchronous(77, 3),
+    )
+    .unwrap();
+    let mut rng = SimRng::new(4);
+    for step in 0..120u64 {
+        let p = ProcessId(rng.gen_range(6));
+        if rng.gen_bool(0.5) {
+            cluster.push(p, step).unwrap();
+        } else {
+            cluster.pop(p).unwrap();
+        }
+        if rng.gen_bool(0.2) {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(100_000).unwrap();
+    check_stack(cluster.history()).assert_consistent();
+}
+
+/// Position reuse with tickets: push/pop/push/pop on the same stack slot must
+/// return the right elements (the Section VI motivating example).
+#[test]
+fn stack_position_reuse_is_disambiguated_by_tickets() {
+    let mut cluster = SkueueCluster::stack(4, 8);
+    // Interleave so the operations land in different batches and reuse
+    // position 1 repeatedly.
+    for round in 0..6u64 {
+        cluster.push(ProcessId(0), 100 + round).unwrap();
+        cluster.run_until_all_complete(2_000).unwrap();
+        cluster.pop(ProcessId(1)).unwrap();
+        cluster.run_until_all_complete(2_000).unwrap();
+    }
+    let history = cluster.history();
+    check_stack(history).assert_consistent();
+    assert_eq!(history.count_empty(), 0);
+}
+
+/// Local combining (ablation E9 sanity): a process that alternates push/pop
+/// resolves everything locally, without anchor round trips.
+#[test]
+fn local_combining_resolves_alternating_workload_instantly() {
+    let mut cluster = SkueueCluster::stack(8, 13);
+    for i in 0..40u64 {
+        cluster.push(ProcessId(3), i).unwrap();
+        cluster.pop(ProcessId(3)).unwrap();
+    }
+    cluster.run_round();
+    assert_eq!(cluster.open_requests(), 0);
+    assert_eq!(cluster.locally_combined(), 80);
+    check_stack(cluster.history()).assert_consistent();
+}
+
+/// Join while a request load is running: the new processes integrate and the
+/// history stays consistent.
+#[test]
+fn join_under_load_is_consistent() {
+    let mut cluster = SkueueCluster::queue(6, 31);
+    for i in 0..30u64 {
+        cluster.enqueue(ProcessId(i % 6), i).unwrap();
+    }
+    cluster.run_rounds(5);
+    let new_a = cluster.join(None).unwrap();
+    let new_b = cluster.join(Some(ProcessId(2))).unwrap();
+    cluster
+        .run_until(
+            |c| c.process_is_active(new_a) && c.process_is_active(new_b),
+            60_000,
+        )
+        .unwrap();
+    // New processes serve requests immediately.
+    for i in 0..10u64 {
+        cluster.enqueue(new_a, 1000 + i).unwrap();
+        cluster.dequeue(new_b).unwrap();
+    }
+    cluster.run_until_all_complete(30_000).unwrap();
+    check_queue(cluster.history()).assert_consistent();
+    assert_eq!(cluster.active_processes(), 8);
+}
+
+/// Leave with data handover: elements stored at the leaving process are still
+/// dequeued afterwards, exactly once, in FIFO order.
+#[test]
+fn leave_preserves_all_elements() {
+    let mut cluster = SkueueCluster::queue(7, 17);
+    for i in 0..56u64 {
+        cluster.enqueue(ProcessId(i % 7), i).unwrap();
+    }
+    cluster.run_until_all_complete(10_000).unwrap();
+
+    let mut left = Vec::new();
+    for p in (0..7u64).map(ProcessId) {
+        if left.len() == 2 {
+            break;
+        }
+        if cluster.leave(p).is_ok() {
+            left.push(p);
+        }
+    }
+    assert_eq!(left.len(), 2);
+    cluster
+        .run_until(|c| left.iter().all(|&p| c.process_has_left(p)), 60_000)
+        .unwrap();
+    assert_eq!(cluster.active_processes(), 5);
+
+    let survivors = cluster.active_process_ids();
+    for i in 0..56u64 {
+        cluster.dequeue(survivors[(i as usize) % survivors.len()]).unwrap();
+    }
+    cluster.run_until_all_complete(30_000).unwrap();
+    let history = cluster.history();
+    assert_eq!(history.count_empty(), 0, "no element may be lost");
+    check_queue(history).assert_consistent();
+}
+
+/// Mixed churn: joins and leaves in the same update phases, followed by a
+/// full drain of the queue.
+#[test]
+fn mixed_churn_scenario_is_consistent() {
+    let result = skueue::workloads::run_churn_scenario(8, 4, 3, 99);
+    assert!(result.consistent);
+    assert_eq!(result.final_processes, 9);
+    assert!(result.join_rounds > 0 && result.leave_rounds > 0);
+}
+
+/// The baseline comparison (ablation E8): an overloaded central server has
+/// linearly growing latency, Skueue does not.
+#[test]
+fn central_baseline_saturates_where_skueue_does_not() {
+    let skueue_result = run_per_node_rate(
+        ScenarioParams::per_node_rate(40, Mode::Queue, 1.0).with_generation_rounds(25),
+    );
+    let central = skueue::workloads::run_central_baseline(40, 1.0, 0.5, 25, 2, 7);
+    assert!(skueue_result.consistent);
+    // 40 requests/round against a capacity of 2/round: the central server's
+    // queueing delay grows linearly with the backlog, far beyond Skueue's
+    // aggregation latency at the same offered load.
+    assert!(
+        central.avg_rounds_per_request > skueue_result.avg_rounds_per_request * 1.5,
+        "central {} vs skueue {}",
+        central.avg_rounds_per_request,
+        skueue_result.avg_rounds_per_request
+    );
+}
