@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn batch_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_size");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // Micro: combining many batches (the anchor's hot path).
     group.bench_function("combine_1000_batches", |b| {
@@ -16,7 +18,11 @@ fn batch_ops(c: &mut Criterion) {
             .map(|i| {
                 let mut batch = Batch::empty();
                 for j in 0..(i % 7) {
-                    batch.push_op(if j % 2 == 0 { BatchOp::Enqueue } else { BatchOp::Dequeue });
+                    batch.push_op(if j % 2 == 0 {
+                        BatchOp::Enqueue
+                    } else {
+                        BatchOp::Dequeue
+                    });
                 }
                 batch
             })

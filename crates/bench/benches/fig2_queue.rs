@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn fig2_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_queue");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[50usize, 200] {
         for &ratio in &[0.5f64, 1.0] {
             let id = BenchmarkId::new(format!("ratio_{ratio}"), n);

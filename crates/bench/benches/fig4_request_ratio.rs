@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn fig4_request_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_request_ratio");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for mode in [Mode::Queue, Mode::Stack] {
         for &p in &[0.1f64, 0.5] {
             let id = BenchmarkId::new(format!("{mode:?}"), p);

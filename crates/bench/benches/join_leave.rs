@@ -6,7 +6,9 @@ use std::time::Duration;
 
 fn join_leave(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_leave");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &(n, joins, leaves) in &[(8usize, 3usize, 2usize), (16, 6, 4)] {
         let id = BenchmarkId::new("churn", format!("n{n}_j{joins}_l{leaves}"));
         group.bench_with_input(id, &(n, joins, leaves), |b, &(n, joins, leaves)| {

@@ -10,12 +10,18 @@ use std::time::Duration;
 
 fn micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_components");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("anchor_assign_mixed_batch", |b| {
         let mut batch = Batch::empty();
         for i in 0..1000 {
-            batch.push_op(if i % 3 == 0 { BatchOp::Dequeue } else { BatchOp::Enqueue });
+            batch.push_op(if i % 3 == 0 {
+                BatchOp::Dequeue
+            } else {
+                BatchOp::Enqueue
+            });
         }
         b.iter(|| {
             let mut anchor = AnchorState::new();
@@ -58,7 +64,7 @@ fn micro(c: &mut Criterion) {
             let mut acc = 0u64;
             let mut x = Label::from_raw(0x0123_4567_89AB_CDEF);
             for _ in 0..10_000 {
-                x = x.debruijn_step(acc % 2 == 0);
+                x = x.debruijn_step(acc.is_multiple_of(2));
                 acc = acc.wrapping_add(x.ring_distance(Label::HALF));
             }
             acc

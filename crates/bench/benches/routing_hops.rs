@@ -2,15 +2,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skueue_overlay::{
-    recommended_bit_budget, route_step, LabelHasher, Label, RouteAction, RouteProgress, Topology,
-    VirtualId, VKind,
+    recommended_bit_budget, route_step, Label, LabelHasher, RouteAction, RouteProgress, Topology,
+    VKind, VirtualId,
 };
 use skueue_sim::ids::{NodeId, ProcessId};
 use std::time::Duration;
 
 fn route_once(topology: &Topology, from: VirtualId, key: Label) -> u32 {
     let node_of = |v: VirtualId| NodeId(v.process.raw() * 3 + v.kind.index() as u64);
-    let vid_of = |n: NodeId| VirtualId::new(ProcessId(n.0 / 3), VKind::from_index((n.0 % 3) as usize));
+    let vid_of =
+        |n: NodeId| VirtualId::new(ProcessId(n.0 / 3), VKind::from_index((n.0 % 3) as usize));
     let mut current = from;
     let mut progress = RouteProgress::new(key, recommended_bit_budget(topology.num_processes()));
     loop {
@@ -27,23 +28,29 @@ fn route_once(topology: &Topology, from: VirtualId, key: Label) -> u32 {
 
 fn routing_hops(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing_hops");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[100u64, 1000, 10_000] {
         let processes: Vec<ProcessId> = (0..n).map(ProcessId).collect();
         let topology = Topology::build(&processes, LabelHasher::default()).expect("non-empty");
-        group.bench_with_input(BenchmarkId::new("route_100_keys", n), &topology, |b, topo| {
-            b.iter(|| {
-                let mut total_hops = 0u32;
-                let mut raw = 0x1234_5678u64;
-                for i in 0..100u64 {
-                    raw = raw.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let key = Label::from_raw(raw);
-                    let from = topo.at_rank((i as usize * 31) % topo.len()).vid;
-                    total_hops += route_once(topo, from, key);
-                }
-                total_hops
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("route_100_keys", n),
+            &topology,
+            |b, topo| {
+                b.iter(|| {
+                    let mut total_hops = 0u32;
+                    let mut raw = 0x1234_5678u64;
+                    for i in 0..100u64 {
+                        raw = raw.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let key = Label::from_raw(raw);
+                        let from = topo.at_rank((i as usize * 31) % topo.len()).vid;
+                        total_hops += route_once(topo, from, key);
+                    }
+                    total_hops
+                })
+            },
+        );
     }
     group.finish();
 }

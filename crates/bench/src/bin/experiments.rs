@@ -91,7 +91,10 @@ fn main() {
 /// Lemma 3 shape check).
 fn scaling(config: SweepConfig, seed: u64) {
     println!("\n=== E4: scaling of rounds-per-request and DHT hops with n ===");
-    println!("{:>10} {:>14} {:>12} {:>14}", "n", "avg rounds", "mean hops", "max batch");
+    println!(
+        "{:>10} {:>14} {:>12} {:>14}",
+        "n", "avg rounds", "mean hops", "max batch"
+    );
     for &n in &config.process_counts() {
         let params = ScenarioParams::fixed_rate(n, Mode::Queue, 0.5)
             .with_generation_rounds(config.generation_rounds().min(100))
@@ -107,7 +110,10 @@ fn scaling(config: SweepConfig, seed: u64) {
 /// E5: batch sizes under one request per node per round (Theorems 18 and 20).
 fn batch_size(config: SweepConfig, seed: u64) {
     println!("\n=== E5: batch sizes at one request per node per round ===");
-    println!("{:>8} {:>10} {:>16} {:>16}", "mode", "n", "mean batch size", "max batch size");
+    println!(
+        "{:>8} {:>10} {:>16} {:>16}",
+        "mode", "n", "mean batch size", "max batch size"
+    );
     let n = config.fig4_processes().min(2000);
     for mode in [Mode::Queue, Mode::Stack] {
         let params = ScenarioParams::per_node_rate(n, mode, 1.0)
@@ -148,7 +154,10 @@ fn churn(config: SweepConfig, seed: u64) {
 /// E7: fairness of the element distribution (Corollary 19).
 fn fairness(config: SweepConfig, seed: u64) {
     println!("\n=== E7: fairness of the stored-element distribution ===");
-    println!("{:>10} {:>10} {:>14} {:>10}", "n", "elements", "max/mean", "cv");
+    println!(
+        "{:>10} {:>10} {:>14} {:>10}",
+        "n", "elements", "max/mean", "cv"
+    );
     let cases: Vec<(usize, u64)> = match config {
         SweepConfig::Smoke => vec![(10, 300)],
         SweepConfig::Default => vec![(20, 2_000), (50, 5_000), (100, 10_000)],
@@ -156,7 +165,10 @@ fn fairness(config: SweepConfig, seed: u64) {
     };
     for (n, elements) in cases {
         let r = run_fairness_scenario(n, elements, seed);
-        println!("{:>10} {:>10} {:>14.2} {:>10.3}", n, r.elements, r.max_over_mean, r.cv);
+        println!(
+            "{:>10} {:>10} {:>14.2} {:>10.3}",
+            n, r.elements, r.max_over_mean, r.cv
+        );
     }
 }
 

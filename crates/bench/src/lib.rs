@@ -18,6 +18,4 @@
 
 pub mod harness;
 
-pub use harness::{
-    fig2_sweep, fig3_sweep, fig4_sweep, print_series, ExperimentPoint, SweepConfig,
-};
+pub use harness::{fig2_sweep, fig3_sweep, fig4_sweep, print_series, ExperimentPoint, SweepConfig};

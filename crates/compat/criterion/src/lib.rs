@@ -1,0 +1,212 @@
+//! Offline stand-in for the slice of the `criterion` benchmarking API used by
+//! `skueue-bench` (see `crates/compat/README.md`).
+//!
+//! The build environment has no access to crates.io, so the real `criterion`
+//! cannot be vendored.  This shim keeps the bench targets compiling and
+//! *actually measures* wall-clock time with `std::time::Instant`: each
+//! benchmark runs its closure `sample_size` times (after one warm-up
+//! iteration) and prints the mean per-iteration time.  It deliberately does
+//! no statistical analysis, outlier rejection, or HTML reporting — swap in
+//! the real `criterion` for that once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (mirrors `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    /// Mean per-iteration time of the routine benchmarked last.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `samples` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / self.samples.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores the time target and
+    /// always runs exactly `sample_size` iterations.
+    pub fn measurement_time(&mut self, _target: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's warm-up is a single call.
+    pub fn warm_up_time(&mut self, _target: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), bencher.elapsed);
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), bencher.elapsed);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: u64,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: 10,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(name, bencher.elapsed);
+    }
+
+    /// Number of benchmarks reported so far.
+    pub fn benchmarks_run(&self) -> u64 {
+        self.benchmarks_run
+    }
+
+    fn report(&mut self, label: &str, mean: Duration) {
+        self.benchmarks_run += 1;
+        println!("{label:<60} {mean:>12.2?}/iter");
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a set of benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // One warm-up + three samples per bench.
+        assert_eq!(calls, 4);
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the tiny slice of the `rand` crate this workspace
+//! uses (see `crates/compat/README.md`).
+//!
+//! All randomness in the workspace flows through `skueue_sim::SimRng`, which
+//! implements [`RngCore`] purely so that generic code written against the
+//! `rand` ecosystem keeps working.  Only the `RngCore` trait and its `Error`
+//! type are provided.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (mirrors `rand::Error`).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_usable_with_default_try_fill() {
+        let mut rng = Counter(0);
+        assert_eq!(rng.next_u64(), 1);
+        let mut buf = [0u8; 4];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `serde` crate (see `crates/compat/README.md`).
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the real `serde` cannot be vendored.  Nothing in the workspace actually
+//! serialises anything yet — the derives on result/record types exist so that
+//! downstream users *can* serialise them once a real serializer is available.
+//! This stub keeps those declarations compiling source-compatibly:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so bounds like `T: Serialize` are always satisfied,
+//! * `#[derive(Serialize, Deserialize)]` resolves to no-op derive macros.
+//!
+//! Swapping this stub for the real `serde` is a one-line change in the
+//! workspace manifests and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: u64,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+    fn assert_deserialize<'de, T: super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket() {
+        assert_serialize::<Probe>();
+        assert_deserialize::<Probe>();
+        assert_eq!(Probe { x: 1 }, Probe { x: 1 });
+    }
+}

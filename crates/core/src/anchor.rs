@@ -77,7 +77,13 @@ pub struct AnchorState {
 impl AnchorState {
     /// Fresh anchor state for an empty queue/stack.
     pub fn new() -> Self {
-        AnchorState { first: 1, last: 0, counter: 1, ticket: 0, epoch: 0 }
+        AnchorState {
+            first: 1,
+            last: 0,
+            counter: 1,
+            ticket: 0,
+            epoch: 0,
+        }
     }
 
     /// Number of elements currently in the structure according to the
@@ -211,7 +217,11 @@ mod tests {
         let mut b = Batch::empty();
         for (i, &count) in runs.iter().enumerate() {
             for _ in 0..count {
-                b.push_op(if i % 2 == 0 { BatchOp::Enqueue } else { BatchOp::Dequeue });
+                b.push_op(if i % 2 == 0 {
+                    BatchOp::Enqueue
+                } else {
+                    BatchOp::Dequeue
+                });
             }
         }
         b
@@ -291,7 +301,7 @@ mod tests {
         assert_eq!(asg[2].pos_lo, 3);
         assert_eq!(asg[2].pos_hi, 5);
         assert_eq!(a.size(), 4); // 5 enqueued, 1 dequeued
-        // Order values are consecutive over the whole batch.
+                                 // Order values are consecutive over the whole batch.
         assert_eq!(asg[0].value_base, 1);
         assert_eq!(asg[1].value_base, 3);
         assert_eq!(asg[2].value_base, 4);

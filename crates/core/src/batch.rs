@@ -56,12 +56,22 @@ pub struct Batch {
 impl Batch {
     /// The empty queue-layout batch `(0)`.
     pub fn empty() -> Self {
-        Batch { runs: Vec::new(), first: FirstRun::Enqueues, joins: 0, leaves: 0 }
+        Batch {
+            runs: Vec::new(),
+            first: FirstRun::Enqueues,
+            joins: 0,
+            leaves: 0,
+        }
     }
 
     /// The empty stack-layout batch.
     pub fn empty_stack() -> Self {
-        Batch { runs: Vec::new(), first: FirstRun::Dequeues, joins: 0, leaves: 0 }
+        Batch {
+            runs: Vec::new(),
+            first: FirstRun::Dequeues,
+            joins: 0,
+            leaves: 0,
+        }
     }
 
     /// True when the batch carries neither operations nor join/leave counts.
@@ -96,7 +106,7 @@ impl Batch {
             FirstRun::Enqueues => BatchOp::Enqueue,
             FirstRun::Dequeues => BatchOp::Dequeue,
         };
-        if index % 2 == 0 {
+        if index.is_multiple_of(2) {
             first_kind
         } else {
             match first_kind {
@@ -153,7 +163,10 @@ impl Batch {
     /// `PUSH()`es.  Only valid for stack-layout batches.
     pub fn push_stack_residual(&mut self, pops: u64, pushes: u64) {
         debug_assert_eq!(self.first, FirstRun::Dequeues);
-        debug_assert!(self.runs.is_empty(), "residual must be set on an empty batch");
+        debug_assert!(
+            self.runs.is_empty(),
+            "residual must be set on an empty batch"
+        );
         if pops == 0 && pushes == 0 {
             return;
         }
@@ -191,7 +204,10 @@ impl Batch {
     }
 
     /// Combines a sequence of batches (used by tests and the anchor).
-    pub fn combine_all<'a>(layout: FirstRun, batches: impl IntoIterator<Item = &'a Batch>) -> Batch {
+    pub fn combine_all<'a>(
+        layout: FirstRun,
+        batches: impl IntoIterator<Item = &'a Batch>,
+    ) -> Batch {
         let mut acc = match layout {
             FirstRun::Enqueues => Batch::empty(),
             FirstRun::Dequeues => Batch::empty_stack(),

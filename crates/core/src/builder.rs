@@ -1,0 +1,442 @@
+//! The fluent, validating constructor for [`SkueueCluster`].
+//!
+//! [`SkueueBuilder`] replaces the old `new(n, cfg, sim_cfg)` / `queue(n,
+//! seed)` / `stack(n, seed)` constructor zoo with a single entry point that
+//! validates the whole configuration in one place:
+//!
+//! ```
+//! use skueue_core::{Mode, Skueue};
+//!
+//! let cluster = Skueue::builder()
+//!     .processes(64)
+//!     .mode(Mode::Queue)
+//!     .seed(42)
+//!     .build()?;
+//! assert_eq!(cluster.active_processes(), 64);
+//! # Ok::<(), skueue_core::BuildError>(())
+//! ```
+//!
+//! Invalid configurations are reported as structured [`BuildError`]s instead
+//! of panicking deep inside the constructor:
+//!
+//! ```
+//! use skueue_core::{BuildError, Skueue};
+//!
+//! let err = Skueue::builder().processes(0).build().unwrap_err();
+//! assert_eq!(err, BuildError::NoProcesses);
+//! ```
+
+use crate::cluster::SkueueCluster;
+use crate::config::{Mode, ProtocolConfig};
+use skueue_sim::{DeliveryModel, SimConfig};
+
+/// Width of an overlay label in bits; the distance-halving bit budget cannot
+/// exceed it.
+const MAX_BIT_BUDGET: u32 = 64;
+
+/// A configuration rejected by [`SkueueBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A cluster needs at least one process.
+    NoProcesses,
+    /// The distance-halving bit budget exceeds the label width.
+    BitBudgetTooLarge {
+        /// The requested budget.
+        requested: u32,
+        /// The largest valid budget (the label width).
+        max: u32,
+    },
+    /// The anchor's update threshold must be at least one pending request.
+    ZeroUpdateThreshold,
+    /// The simulation configuration is invalid (e.g. an empty delay range).
+    InvalidSimConfig(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoProcesses => {
+                write!(f, "a Skueue cluster needs at least one process")
+            }
+            BuildError::BitBudgetTooLarge { requested, max } => write!(
+                f,
+                "bit budget {requested} exceeds the {max}-bit label width"
+            ),
+            BuildError::ZeroUpdateThreshold => {
+                write!(f, "the update threshold must be at least 1")
+            }
+            BuildError::InvalidSimConfig(reason) => {
+                write!(f, "invalid simulation config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent builder for [`SkueueCluster`]; created by
+/// [`SkueueCluster::builder`].
+///
+/// Defaults: one process would be pointless, so there is no default size —
+/// call [`processes`](Self::processes).  Everything else defaults to the
+/// paper's evaluation setup: queue mode, the synchronous round scheduler,
+/// seed 0, and a bit budget derived from the initial system size.  Switching
+/// to [`Mode::Stack`] also switches on the stack's protocol switches (local
+/// combining and the stage-4 barrier), exactly like the old
+/// `ProtocolConfig::stack()` defaults; the individual setters below override
+/// either choice.
+#[derive(Debug, Clone)]
+pub struct SkueueBuilder {
+    processes: usize,
+    mode: Mode,
+    seed: u64,
+    hash_seed: Option<u64>,
+    bit_budget: u32,
+    local_combining: Option<bool>,
+    stage4_barrier: Option<bool>,
+    update_threshold: u64,
+    delivery: DeliveryModel,
+    shuffle_node_order: Option<bool>,
+    record_trace: bool,
+}
+
+impl Default for SkueueBuilder {
+    fn default() -> Self {
+        SkueueBuilder {
+            processes: 0,
+            mode: Mode::Queue,
+            seed: 0,
+            hash_seed: None,
+            bit_budget: 0,
+            local_combining: None,
+            stage4_barrier: None,
+            update_threshold: 1,
+            delivery: DeliveryModel::Synchronous,
+            shuffle_node_order: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl SkueueBuilder {
+    /// Starts a builder with the defaults described on the type.
+    pub fn new() -> Self {
+        SkueueBuilder::default()
+    }
+
+    /// Number of processes of the initial system (each emulates three
+    /// virtual De Bruijn nodes).  Required; zero is rejected by
+    /// [`build`](Self::build).
+    pub fn processes(mut self, n: usize) -> Self {
+        self.processes = n;
+        self
+    }
+
+    /// Queue (FIFO) or stack (LIFO) semantics.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.mode(Mode::Queue)`.
+    pub fn queue(self) -> Self {
+        self.mode(Mode::Queue)
+    }
+
+    /// Shorthand for `.mode(Mode::Stack)`.
+    pub fn stack(self) -> Self {
+        self.mode(Mode::Stack)
+    }
+
+    /// Seed of the simulation substrate (message delays, tie breaking).
+    /// The same seed reproduces the same run.  The publicly known hash
+    /// function (process labels, position keys) keeps its fixed default
+    /// seed — matching the paper's setup, where varying the workload seed
+    /// does not move the overlay — unless [`hash_seed`](Self::hash_seed)
+    /// overrides it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the seed of the publicly known pseudorandom hash function
+    /// (process labels and position keys) independently of the simulation
+    /// seed.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = Some(seed);
+        self
+    }
+
+    /// Number of distance-halving bits used when routing DHT operations.
+    /// `0` (the default) derives the budget from the initial system size.
+    /// Budgets beyond the 64-bit label width are rejected by
+    /// [`build`](Self::build).
+    pub fn bit_budget(mut self, bits: u32) -> Self {
+        self.bit_budget = bits;
+        self
+    }
+
+    /// Stack only: locally combine a node's own push/pop pairs so they
+    /// complete without involving the anchor (Section VI; the E9 ablation
+    /// switch).  Defaults to on in stack mode, off in queue mode.
+    pub fn local_combining(mut self, enabled: bool) -> Self {
+        self.local_combining = Some(enabled);
+        self
+    }
+
+    /// Stack only: wait at the end of stage 4 until all DHT operations
+    /// issued by this node have finished before starting the next
+    /// aggregation phase (required for stack correctness, Section VI).
+    /// Defaults to on in stack mode, off in queue mode.
+    pub fn stage4_barrier(mut self, enabled: bool) -> Self {
+        self.stage4_barrier = Some(enabled);
+        self
+    }
+
+    /// Batching of membership changes: the minimum number of pending
+    /// `JOIN()`/`LEAVE()` requests the anchor observes before it triggers an
+    /// update phase.  `1` (the default) keeps the system maximally up to
+    /// date; larger thresholds batch more churn per update phase.  Zero is
+    /// rejected by [`build`](Self::build).
+    pub fn update_threshold(mut self, threshold: u64) -> Self {
+        self.update_threshold = threshold;
+        self
+    }
+
+    /// Runs on the synchronous round scheduler the paper evaluates on (the
+    /// default).
+    pub fn synchronous(mut self) -> Self {
+        self.delivery = DeliveryModel::Synchronous;
+        self
+    }
+
+    /// Runs under asynchronous, non-FIFO delivery with uniform delays in
+    /// `[1, max_delay]` — the model the correctness proof targets.  Also
+    /// shuffles the per-round node iteration order (override with
+    /// [`shuffle_node_order`](Self::shuffle_node_order)).
+    pub fn asynchronous(mut self, max_delay: u64) -> Self {
+        self.delivery = DeliveryModel::uniform(max_delay);
+        self
+    }
+
+    /// Uses an explicit delivery model (e.g.
+    /// [`DeliveryModel::Adversarial`]).
+    pub fn delivery(mut self, delivery: DeliveryModel) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Shuffles (or pins) the per-round node iteration order.  Defaults to
+    /// shuffled for asynchronous delivery models and pinned for the
+    /// synchronous scheduler.
+    pub fn shuffle_node_order(mut self, shuffle: bool) -> Self {
+        self.shuffle_node_order = Some(shuffle);
+        self
+    }
+
+    /// Records an event trace of the simulation (costs memory; intended for
+    /// tests and debugging).
+    pub fn record_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The [`ProtocolConfig`] this builder currently describes.
+    pub fn protocol_config(&self) -> ProtocolConfig {
+        let mut cfg = match self.mode {
+            Mode::Queue => ProtocolConfig::queue(),
+            Mode::Stack => ProtocolConfig::stack(),
+        };
+        if let Some(seed) = self.hash_seed {
+            cfg.hash_seed = seed;
+        }
+        cfg.bit_budget = self.bit_budget;
+        if let Some(enabled) = self.local_combining {
+            cfg.local_combining = enabled;
+        }
+        if let Some(enabled) = self.stage4_barrier {
+            cfg.stage4_barrier = enabled;
+        }
+        cfg.update_threshold = self.update_threshold;
+        cfg
+    }
+
+    /// The [`SimConfig`] this builder currently describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let synchronous = self.delivery.is_synchronous();
+        SimConfig {
+            seed: self.seed,
+            delivery: self.delivery,
+            shuffle_node_order: self.shuffle_node_order.unwrap_or(!synchronous),
+            record_trace: self.record_trace,
+            max_rounds: 0,
+        }
+    }
+
+    /// Validates the configuration and builds the cluster.
+    pub fn build(self) -> Result<SkueueCluster, BuildError> {
+        let sim_cfg = self.sim_config();
+        let protocol_cfg = self.protocol_config();
+        validate_config(self.processes, &protocol_cfg, &sim_cfg)?;
+        Ok(SkueueCluster::from_config(
+            self.processes,
+            protocol_cfg,
+            sim_cfg,
+        ))
+    }
+}
+
+/// The single validation gate for cluster configurations — used by
+/// [`SkueueBuilder::build`] and by the deprecated constructor shims, so both
+/// entry points accept exactly the same configurations.
+pub(crate) fn validate_config(
+    processes: usize,
+    protocol_cfg: &ProtocolConfig,
+    sim_cfg: &SimConfig,
+) -> Result<(), BuildError> {
+    if processes == 0 {
+        return Err(BuildError::NoProcesses);
+    }
+    if protocol_cfg.bit_budget > MAX_BIT_BUDGET {
+        return Err(BuildError::BitBudgetTooLarge {
+            requested: protocol_cfg.bit_budget,
+            max: MAX_BIT_BUDGET,
+        });
+    }
+    if protocol_cfg.update_threshold == 0 {
+        return Err(BuildError::ZeroUpdateThreshold);
+    }
+    sim_cfg.validate().map_err(|e| match e {
+        // Unwrap the reason so the BuildError Display doesn't repeat the
+        // "invalid simulation config" prefix.
+        skueue_sim::SimError::InvalidConfig(reason) => BuildError::InvalidSimConfig(reason),
+        other => BuildError::InvalidSimConfig(other.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_overlay::recommended_bit_budget;
+
+    #[test]
+    fn zero_processes_is_rejected() {
+        assert_eq!(
+            SkueueBuilder::new().build().unwrap_err(),
+            BuildError::NoProcesses
+        );
+        assert_eq!(
+            SkueueBuilder::new()
+                .processes(0)
+                .seed(1)
+                .build()
+                .unwrap_err(),
+            BuildError::NoProcesses
+        );
+    }
+
+    #[test]
+    fn oversized_bit_budget_is_rejected() {
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .bit_budget(65)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::BitBudgetTooLarge {
+                requested: 65,
+                max: 64
+            }
+        );
+        assert!(err.to_string().contains("65"));
+    }
+
+    #[test]
+    fn zero_update_threshold_is_rejected() {
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .update_threshold(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroUpdateThreshold);
+    }
+
+    #[test]
+    fn invalid_delivery_model_is_rejected() {
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .delivery(DeliveryModel::UniformRandom {
+                min_delay: 9,
+                max_delay: 2,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidSimConfig(_)));
+    }
+
+    #[test]
+    fn defaults_match_the_papers_queue_setup() {
+        let builder = SkueueBuilder::new().processes(8).seed(3);
+        let cfg = builder.protocol_config();
+        assert_eq!(cfg.mode, Mode::Queue);
+        assert!(!cfg.local_combining);
+        assert!(!cfg.stage4_barrier);
+        let sim = builder.sim_config();
+        assert!(sim.delivery.is_synchronous());
+        assert!(!sim.shuffle_node_order);
+        assert_eq!(sim.seed, 3);
+    }
+
+    #[test]
+    fn stack_mode_switches_stack_defaults_on() {
+        let cfg = SkueueBuilder::new().processes(8).stack().protocol_config();
+        assert_eq!(cfg.mode, Mode::Stack);
+        assert!(cfg.local_combining);
+        assert!(cfg.stage4_barrier);
+        // …and the individual switches still override.
+        let cfg = SkueueBuilder::new()
+            .processes(8)
+            .stack()
+            .local_combining(false)
+            .protocol_config();
+        assert!(!cfg.local_combining);
+        assert!(cfg.stage4_barrier);
+    }
+
+    #[test]
+    fn asynchronous_shuffles_by_default_and_can_be_pinned() {
+        let sim = SkueueBuilder::new()
+            .processes(4)
+            .asynchronous(5)
+            .sim_config();
+        assert!(!sim.delivery.is_synchronous());
+        assert!(sim.shuffle_node_order);
+        let sim = SkueueBuilder::new()
+            .processes(4)
+            .asynchronous(5)
+            .shuffle_node_order(false)
+            .sim_config();
+        assert!(!sim.shuffle_node_order);
+    }
+
+    #[test]
+    fn built_cluster_derives_bit_budget_from_size() {
+        let cluster = SkueueBuilder::new().processes(16).seed(1).build().unwrap();
+        assert_eq!(cluster.config().bit_budget, recommended_bit_budget(16));
+        assert_eq!(cluster.active_processes(), 16);
+    }
+
+    #[test]
+    fn hash_seed_and_explicit_bit_budget_are_respected() {
+        let cluster = SkueueBuilder::new()
+            .processes(4)
+            .seed(9)
+            .hash_seed(1234)
+            .bit_budget(17)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.config().hash_seed, 1234);
+        assert_eq!(cluster.config().bit_budget, 17);
+    }
+}

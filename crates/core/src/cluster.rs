@@ -1,34 +1,76 @@
 //! The cluster driver: the public API a user of the library works with.
 //!
-//! [`SkueueCluster`] owns a [`Simulation`] of [`SkueueNode`]s, one per
-//! virtual node (three per process), plus the bookkeeping needed to inject
-//! requests, drive rounds, and collect results:
+//! [`SkueueCluster`] (aliased as [`Skueue`]) owns a [`Simulation`] of
+//! [`SkueueNode`]s, one per virtual node (three per process), plus the
+//! bookkeeping needed to inject requests, drive rounds, and resolve results.
+//! The API has three pieces:
 //!
-//! * [`SkueueCluster::enqueue`] / [`SkueueCluster::dequeue`] (or
-//!   [`SkueueCluster::push`] / [`SkueueCluster::pop`] in stack mode)
-//!   generate a request at a process, exactly like the workload of the
-//!   paper's evaluation ("we generate 10 queue requests and assign them to
-//!   random nodes"),
-//! * [`SkueueCluster::join`] / [`SkueueCluster::leave`] add or remove
-//!   processes through the Section IV protocol,
-//! * [`SkueueCluster::run_round`] advances the synchronous simulation by one
-//!   round and collects completed operations into the execution
-//!   [`History`], which can be fed to `skueue-verify`,
-//! * accessor methods expose the measurements the paper reports (per-request
-//!   round counts, batch sizes, per-node element counts, …).
+//! 1. **Construction** goes through the fluent, validating
+//!    [`SkueueCluster::builder`]:
+//!
+//!    ```
+//!    use skueue_core::Skueue;
+//!
+//!    let cluster = Skueue::builder().processes(8).seed(42).build()?;
+//!    # drop(cluster);
+//!    # Ok::<(), skueue_core::BuildError>(())
+//!    ```
+//!
+//! 2. **Operations are typed tickets.**  [`SkueueCluster::enqueue`] /
+//!    [`SkueueCluster::dequeue`] (or `push`/`pop` in stack mode, usually via
+//!    a per-process [`ClientHandle`] from [`SkueueCluster::client`]) return
+//!    an [`OpTicket`]; [`SkueueCluster::run_until_done`],
+//!    [`SkueueCluster::outcome`] and [`SkueueCluster::status`] resolve
+//!    tickets to structured [`OpOutcome`]s, so callers never scan the raw
+//!    execution history to learn what a dequeue returned:
+//!
+//!    ```
+//!    use skueue_core::Skueue;
+//!    use skueue_sim::ids::ProcessId;
+//!
+//!    let mut cluster = Skueue::builder().processes(8).seed(42).build()?;
+//!    let put = cluster.client(ProcessId(0)).enqueue(7)?;
+//!    let got = cluster.client(ProcessId(5)).dequeue()?;
+//!    let outcomes = cluster.run_until_done(&[put, got], 500)?;
+//!    assert_eq!(outcomes[1].value(), Some(7));
+//!    # Ok::<(), Box<dyn std::error::Error>>(())
+//!    ```
+//!
+//! 3. **One completion stream.**  Every completed operation is published as
+//!    a [`CompletionEvent`] to the observers registered with
+//!    [`SkueueCluster::on_complete`]; the execution
+//!    [`History`] handed to `skueue-verify` is itself built from that same
+//!    stream, so workloads, benches and the verifier all see identical data.
+//!
+//! [`SkueueCluster::join`] / [`SkueueCluster::leave`] add or remove
+//! processes through the Section IV protocol, and accessor methods expose
+//! the measurements the paper reports (per-request round counts, batch
+//! sizes, per-node element counts, …).
 
 use crate::batch::BatchOp;
+use crate::builder::{BuildError, SkueueBuilder};
+use crate::client::ClientHandle;
 use crate::config::{Mode, ProtocolConfig};
 use crate::messages::SkueueMsg;
 use crate::node::SkueueNode;
+use crate::ticket::{CompletionEvent, OpOutcome, OpStatus, OpTicket};
 use skueue_dht::load_stats;
 use skueue_dht::LoadStats;
-use skueue_overlay::{recommended_bit_budget, LabelHasher, LocalView, NeighborInfo, Topology, VKind, VirtualId};
+use skueue_overlay::{
+    recommended_bit_budget, LabelHasher, LocalView, NeighborInfo, Topology, VKind, VirtualId,
+};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
 use skueue_sim::{SimConfig, SimError, Simulation};
-use skueue_verify::History;
+use skueue_verify::{History, OpKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of per-instance cluster ids, stamped into every [`OpTicket`] so a
+/// ticket can never resolve against a cluster other than the one that
+/// issued it (request ids alone are deterministic and collide across
+/// clusters).
+static NEXT_CLUSTER_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Errors surfaced by the cluster driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,9 +79,23 @@ pub enum ClusterError {
     UnknownProcess(ProcessId),
     /// The process is not an integrated member (still joining or leaving).
     ProcessNotActive(ProcessId),
+    /// A queue operation was issued on a stack cluster or vice versa.
+    WrongMode {
+        /// The mode the called operation belongs to.
+        required: Mode,
+        /// The mode the cluster actually runs.
+        actual: Mode,
+    },
     /// The process currently hosting the anchor cannot leave (documented
     /// restriction of this reproduction).
     AnchorCannotLeave(ProcessId),
+    /// A ticket issued by a different cluster was passed to
+    /// [`SkueueCluster::run_until_done`]; it can never complete here.
+    ForeignTicket(OpTicket),
+    /// The configuration was rejected (see [`BuildError`]); only surfaced
+    /// through the deprecated constructor shims — [`SkueueBuilder::build`]
+    /// reports the [`BuildError`] directly.
+    Config(BuildError),
     /// The simulation reported an error.
     Sim(SimError),
     /// A run exceeded its round budget before the condition became true.
@@ -56,11 +112,22 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::UnknownProcess(p) => write!(f, "unknown process {p}"),
             ClusterError::ProcessNotActive(p) => write!(f, "process {p} is not active"),
+            ClusterError::WrongMode { required, actual } => write!(
+                f,
+                "operation requires {required:?} mode but the cluster runs in {actual:?} mode"
+            ),
             ClusterError::AnchorCannotLeave(p) => {
                 write!(f, "process {p} hosts the anchor and cannot leave")
             }
+            ClusterError::ForeignTicket(t) => {
+                write!(f, "{t} was issued by a different cluster")
+            }
+            ClusterError::Config(e) => write!(f, "invalid configuration: {e}"),
             ClusterError::Sim(e) => write!(f, "simulation error: {e}"),
-            ClusterError::RoundLimitExceeded { limit, open_requests } => write!(
+            ClusterError::RoundLimitExceeded {
+                limit,
+                open_requests,
+            } => write!(
                 f,
                 "round limit of {limit} exceeded with {open_requests} open requests"
             ),
@@ -73,6 +140,12 @@ impl std::error::Error for ClusterError {}
 impl From<SimError> for ClusterError {
     fn from(e: SimError) -> Self {
         ClusterError::Sim(e)
+    }
+}
+
+impl From<BuildError> for ClusterError {
+    fn from(e: BuildError) -> Self {
+        ClusterError::Config(e)
     }
 }
 
@@ -94,8 +167,11 @@ struct ProcessHandle {
     next_seq: u64,
 }
 
+/// Observer callback invoked once per completed operation.
+type CompletionObserver = Box<dyn FnMut(&CompletionEvent)>;
+
 /// A running Skueue deployment (queue or stack) on top of the simulation
-/// substrate.
+/// substrate.  See the [module docs](self) for the API tour.
 pub struct SkueueCluster {
     sim: Simulation<SkueueNode>,
     cfg: ProtocolConfig,
@@ -103,29 +179,56 @@ pub struct SkueueCluster {
     processes: Vec<ProcessHandle>,
     index_of: HashMap<ProcessId, usize>,
     history: History,
+    outcomes: HashMap<RequestId, OpOutcome>,
+    observers: Vec<CompletionObserver>,
     issued: u64,
     next_process_id: u64,
+    /// This instance's id (see [`NEXT_CLUSTER_ID`]).
+    cluster_id: u64,
+}
+
+/// Short alias for [`SkueueCluster`]; lets code read
+/// `Skueue::builder()…build()`.
+pub type Skueue = SkueueCluster;
+
+impl std::fmt::Debug for SkueueCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkueueCluster")
+            .field("mode", &self.cfg.mode)
+            .field("round", &self.sim.round())
+            .field("processes", &self.processes.len())
+            .field("active_processes", &self.active_processes())
+            .field("requests_issued", &self.issued)
+            .field("requests_completed", &self.requests_completed())
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SkueueCluster {
-    /// Builds a cluster of `n` processes with the given protocol and
-    /// simulation configuration.
-    pub fn new(n: usize, mut cfg: ProtocolConfig, sim_cfg: SimConfig) -> Result<Self, ClusterError> {
-        assert!(n >= 1, "a Skueue cluster needs at least one process");
+    /// Starts the fluent builder — the entry point for constructing
+    /// clusters.
+    pub fn builder() -> SkueueBuilder {
+        SkueueBuilder::new()
+    }
+
+    /// Builds the cluster from an already-validated configuration (the
+    /// builder's backend).
+    pub(crate) fn from_config(n: usize, mut cfg: ProtocolConfig, sim_cfg: SimConfig) -> Self {
+        debug_assert!(n >= 1, "validated by SkueueBuilder::build");
         if cfg.bit_budget == 0 {
             cfg.bit_budget = recommended_bit_budget(n);
         }
         let hasher = cfg.hasher();
         let process_ids: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
-        let topology = Topology::build(&process_ids, hasher)
-            .expect("non-empty, duplicate-free process set");
+        let topology =
+            Topology::build(&process_ids, hasher).expect("non-empty, duplicate-free process set");
 
-        let mut sim = Simulation::new(sim_cfg)?;
+        let mut sim = Simulation::new(sim_cfg).expect("validated by SkueueBuilder::build");
         // Node ids are assigned densely: process i gets nodes 3i, 3i+1, 3i+2
         // in VKind order (Left, Middle, Right).
-        let node_of = |vid: VirtualId| -> NodeId {
-            NodeId(vid.process.raw() * 3 + vid.kind.index() as u64)
-        };
+        let node_of =
+            |vid: VirtualId| -> NodeId { NodeId(vid.process.raw() * 3 + vid.kind.index() as u64) };
         let anchor_vid = topology.anchor();
         let mut processes = Vec::with_capacity(n);
         let mut index_of = HashMap::with_capacity(n);
@@ -141,34 +244,66 @@ impl SkueueCluster {
                 debug_assert_eq!(assigned, node_of(vid));
                 nodes[kind.index()] = assigned;
             }
-            processes.push(ProcessHandle { id: pid, nodes, state: ProcessState::Active, next_seq: 0 });
+            processes.push(ProcessHandle {
+                id: pid,
+                nodes,
+                state: ProcessState::Active,
+                next_seq: 0,
+            });
             index_of.insert(pid, i);
         }
 
-        Ok(SkueueCluster {
+        SkueueCluster {
             sim,
             cfg,
             hasher,
             processes,
             index_of,
             history: History::new(),
+            outcomes: HashMap::new(),
+            observers: Vec::new(),
             issued: 0,
             next_process_id: n as u64,
-        })
+            cluster_id: NEXT_CLUSTER_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Builds a cluster of `n` processes with the given protocol and
+    /// simulation configuration.
+    #[deprecated(since = "0.2.0", note = "use `SkueueCluster::builder()` instead")]
+    pub fn new(n: usize, cfg: ProtocolConfig, sim_cfg: SimConfig) -> Result<Self, ClusterError> {
+        crate::builder::validate_config(n, &cfg, &sim_cfg)?;
+        Ok(SkueueCluster::from_config(n, cfg, sim_cfg))
     }
 
     /// Convenience constructor: a queue over `n` processes on the synchronous
     /// scheduler.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SkueueCluster::builder().processes(n).seed(seed).build()` instead"
+    )]
     pub fn queue(n: usize, seed: u64) -> Self {
-        SkueueCluster::new(n, ProtocolConfig::queue(), SimConfig::synchronous(seed))
-            .expect("synchronous config is always valid")
+        SkueueCluster::builder()
+            .processes(n)
+            .queue()
+            .seed(seed)
+            .build()
+            .expect("synchronous config is always valid for n >= 1")
     }
 
     /// Convenience constructor: a stack over `n` processes on the synchronous
     /// scheduler.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SkueueCluster::builder().processes(n).stack().seed(seed).build()` instead"
+    )]
     pub fn stack(n: usize, seed: u64) -> Self {
-        SkueueCluster::new(n, ProtocolConfig::stack(), SimConfig::synchronous(seed))
-            .expect("synchronous config is always valid")
+        SkueueCluster::builder()
+            .processes(n)
+            .stack()
+            .seed(seed)
+            .build()
+            .expect("synchronous config is always valid for n >= 1")
     }
 
     // ------------------------------------------------------------------
@@ -217,7 +352,11 @@ impl SkueueCluster {
         self.issued - self.requests_completed()
     }
 
-    /// The execution history collected so far.
+    /// The execution history collected so far (one record per completed
+    /// request, built from the same completion stream the
+    /// [`on_complete`](Self::on_complete) observers see).  Pass it to the
+    /// `skueue-verify` checkers; to learn what an individual operation
+    /// returned, use [`outcome`](Self::outcome) instead.
     pub fn history(&self) -> &History {
         &self.history
     }
@@ -275,14 +414,41 @@ impl SkueueCluster {
 
     /// Total number of requests resolved by the stack's local combining.
     pub fn locally_combined(&self) -> u64 {
-        self.sim.iter().map(|(_, n)| n.stats().locally_combined).sum()
+        self.sim
+            .iter()
+            .map(|(_, n)| n.stats().locally_combined)
+            .sum()
     }
 
     // ------------------------------------------------------------------
     // Request injection.
     // ------------------------------------------------------------------
 
-    fn issue(&mut self, process: ProcessId, kind: BatchOp, value: u64) -> Result<RequestId, ClusterError> {
+    /// A request-issuing [`ClientHandle`] bound to `process`.
+    ///
+    /// The handle is a cheap borrow; validity of the process is checked when
+    /// an operation is issued, so handles for joining processes become
+    /// usable the moment the process is integrated.
+    pub fn client(&mut self, process: ProcessId) -> ClientHandle<'_> {
+        ClientHandle::new(self, process)
+    }
+
+    fn require_mode(&self, required: Mode) -> Result<(), ClusterError> {
+        if self.cfg.mode != required {
+            return Err(ClusterError::WrongMode {
+                required,
+                actual: self.cfg.mode,
+            });
+        }
+        Ok(())
+    }
+
+    fn issue(
+        &mut self,
+        process: ProcessId,
+        kind: BatchOp,
+        value: u64,
+    ) -> Result<OpTicket, ClusterError> {
         let idx = *self
             .index_of
             .get(&process)
@@ -296,49 +462,136 @@ impl SkueueCluster {
         // Requests are generated at the process's middle virtual node.
         let node_id = self.processes[idx].nodes[VKind::Middle.index()];
         let round = self.sim.round();
-        let node = self.sim.node_mut(node_id).expect("node registered at build time");
+        let node = self
+            .sim
+            .node_mut(node_id)
+            .expect("node registered at build time");
         node.generate_op(id, kind, value, round);
         self.issued += 1;
-        Ok(id)
+        let op_kind = match kind {
+            BatchOp::Enqueue => OpKind::Enqueue,
+            BatchOp::Dequeue => OpKind::Dequeue,
+        };
+        Ok(OpTicket::new(self.cluster_id, id, op_kind, round))
     }
 
-    /// Issues an `ENQUEUE(value)` at `process`.
-    pub fn enqueue(&mut self, process: ProcessId, value: u64) -> Result<RequestId, ClusterError> {
-        debug_assert_eq!(self.cfg.mode, Mode::Queue, "enqueue on a stack cluster");
+    /// Issues an `ENQUEUE(value)` at `process` and returns its ticket.
+    pub fn enqueue(&mut self, process: ProcessId, value: u64) -> Result<OpTicket, ClusterError> {
+        self.require_mode(Mode::Queue)?;
         self.issue(process, BatchOp::Enqueue, value)
     }
 
-    /// Issues a `DEQUEUE()` at `process`.
-    pub fn dequeue(&mut self, process: ProcessId) -> Result<RequestId, ClusterError> {
-        debug_assert_eq!(self.cfg.mode, Mode::Queue, "dequeue on a stack cluster");
+    /// Issues a `DEQUEUE()` at `process` and returns its ticket.
+    pub fn dequeue(&mut self, process: ProcessId) -> Result<OpTicket, ClusterError> {
+        self.require_mode(Mode::Queue)?;
         self.issue(process, BatchOp::Dequeue, 0)
     }
 
-    /// Issues a `PUSH(value)` at `process` (stack mode).
-    pub fn push(&mut self, process: ProcessId, value: u64) -> Result<RequestId, ClusterError> {
-        debug_assert_eq!(self.cfg.mode, Mode::Stack, "push on a queue cluster");
+    /// Issues a `PUSH(value)` at `process` (stack mode) and returns its
+    /// ticket.
+    pub fn push(&mut self, process: ProcessId, value: u64) -> Result<OpTicket, ClusterError> {
+        self.require_mode(Mode::Stack)?;
         self.issue(process, BatchOp::Enqueue, value)
     }
 
-    /// Issues a `POP()` at `process` (stack mode).
-    pub fn pop(&mut self, process: ProcessId) -> Result<RequestId, ClusterError> {
-        debug_assert_eq!(self.cfg.mode, Mode::Stack, "pop on a queue cluster");
+    /// Issues a `POP()` at `process` (stack mode) and returns its ticket.
+    pub fn pop(&mut self, process: ProcessId) -> Result<OpTicket, ClusterError> {
+        self.require_mode(Mode::Stack)?;
         self.issue(process, BatchOp::Dequeue, 0)
     }
 
     /// Issues an operation without caring about queue/stack naming (used by
-    /// the workload generators).
+    /// the workload generators, usually through
+    /// [`ClientHandle::issue`]).
     pub fn issue_op(
         &mut self,
         process: ProcessId,
         is_insert: bool,
         value: u64,
-    ) -> Result<RequestId, ClusterError> {
+    ) -> Result<OpTicket, ClusterError> {
         self.issue(
             process,
-            if is_insert { BatchOp::Enqueue } else { BatchOp::Dequeue },
+            if is_insert {
+                BatchOp::Enqueue
+            } else {
+                BatchOp::Dequeue
+            },
             value,
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Resolving tickets.
+    // ------------------------------------------------------------------
+
+    /// The structured outcome of a completed operation, or `None` while it
+    /// is still in flight.  A ticket issued by a *different* cluster always
+    /// resolves to `None` (tickets carry their issuing cluster's identity).
+    pub fn outcome(&self, ticket: OpTicket) -> Option<OpOutcome> {
+        if ticket.cluster_id() != self.cluster_id {
+            return None;
+        }
+        self.outcomes.get(&ticket.request_id()).copied()
+    }
+
+    /// Completion state of a ticket.  A ticket issued by a different
+    /// cluster reports [`OpStatus::Foreign`] — it can never become `Done`
+    /// here, so polling it further is pointless.
+    pub fn status(&self, ticket: OpTicket) -> OpStatus {
+        if ticket.cluster_id() != self.cluster_id {
+            return OpStatus::Foreign;
+        }
+        match self.outcome(ticket) {
+            Some(outcome) => OpStatus::Done(outcome),
+            None => OpStatus::Pending,
+        }
+    }
+
+    /// Registers an observer on the completion stream; it fires once per
+    /// completed operation, in completion order, including operations that
+    /// complete within the registering call's round.  All registered
+    /// observers see every event.
+    pub fn on_complete<F>(&mut self, observer: F)
+    where
+        F: FnMut(&CompletionEvent) + 'static,
+    {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Runs rounds until every ticket in `tickets` has completed (or the
+    /// budget is exhausted — `max_rounds == 0` means unlimited) and returns
+    /// their outcomes in the same order as `tickets`.
+    ///
+    /// A ticket issued by a different cluster can never complete here and is
+    /// rejected up front with [`ClusterError::ForeignTicket`].  Unrelated
+    /// in-flight operations keep making progress but are not waited for; use
+    /// [`run_until_all_complete`](Self::run_until_all_complete) to drain
+    /// everything.
+    pub fn run_until_done(
+        &mut self,
+        tickets: &[OpTicket],
+        max_rounds: u64,
+    ) -> Result<Vec<OpOutcome>, ClusterError> {
+        if let Some(foreign) = tickets.iter().find(|t| t.cluster_id() != self.cluster_id) {
+            return Err(ClusterError::ForeignTicket(*foreign));
+        }
+        let start = self.sim.round();
+        while tickets.iter().any(|t| self.outcome(*t).is_none()) {
+            if max_rounds > 0 && self.sim.round() - start >= max_rounds {
+                return Err(ClusterError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    open_requests: tickets
+                        .iter()
+                        .filter(|t| self.outcome(**t).is_none())
+                        .count(),
+                });
+            }
+            self.run_round();
+        }
+        Ok(tickets
+            .iter()
+            .map(|t| self.outcome(*t).expect("loop above waited for completion"))
+            .collect())
     }
 
     // ------------------------------------------------------------------
@@ -378,7 +631,12 @@ impl SkueueCluster {
             let label = kind.label_from_middle(middle_label);
             let vid = VirtualId::new(pid, kind);
             let me = NeighborInfo::new(NodeId(0), vid, label); // placeholder id, fixed below
-            let view = LocalView { me, pred: me, succ: me, siblings: [me, me, me] };
+            let view = LocalView {
+                me,
+                pred: me,
+                succ: me,
+                siblings: [me, me, me],
+            };
             let node = SkueueNode::new_joining(self.cfg, view);
             let id = self.sim.add_node(node);
             created.push((kind, id));
@@ -386,14 +644,27 @@ impl SkueueCluster {
         }
         // Fix up identities and sibling pointers now that all ids are known.
         let siblings: [NeighborInfo; 3] = [
-            NeighborInfo::new(nodes[0], VirtualId::left(pid), VKind::Left.label_from_middle(middle_label)),
+            NeighborInfo::new(
+                nodes[0],
+                VirtualId::left(pid),
+                VKind::Left.label_from_middle(middle_label),
+            ),
             NeighborInfo::new(nodes[1], VirtualId::middle(pid), middle_label),
-            NeighborInfo::new(nodes[2], VirtualId::right(pid), VKind::Right.label_from_middle(middle_label)),
+            NeighborInfo::new(
+                nodes[2],
+                VirtualId::right(pid),
+                VKind::Right.label_from_middle(middle_label),
+            ),
         ];
         for (kind, id) in created {
             let me = siblings[kind.index()];
             let node = self.sim.node_mut(id).expect("just created");
-            node.view = LocalView { me, pred: me, succ: me, siblings };
+            node.view = LocalView {
+                me,
+                pred: me,
+                succ: me,
+                siblings,
+            };
             node.set_bootstrap(bootstrap_node);
         }
         self.processes.push(ProcessHandle {
@@ -438,13 +709,27 @@ impl SkueueCluster {
         Ok(())
     }
 
+    /// True while `process` may issue requests: the driver considers it an
+    /// integrated member and no `leave()` has been requested for it.  This
+    /// is exactly the condition the request-issuing methods check — unlike
+    /// [`process_is_active`](Self::process_is_active), which only looks at
+    /// node integration and stays true for a process whose leave is pending.
+    pub fn process_may_issue(&self, process: ProcessId) -> bool {
+        match self.index_of.get(&process) {
+            Some(&idx) => self.processes[idx].state == ProcessState::Active,
+            None => false,
+        }
+    }
+
     /// True once all three virtual nodes of a process are integrated members.
     pub fn process_is_active(&self, process: ProcessId) -> bool {
         match self.index_of.get(&process) {
-            Some(&idx) => self.processes[idx]
-                .nodes
-                .iter()
-                .all(|&n| self.sim.node(n).map(|node| node.is_integrated()).unwrap_or(false)),
+            Some(&idx) => self.processes[idx].nodes.iter().all(|&n| {
+                self.sim
+                    .node(n)
+                    .map(|node| node.is_integrated())
+                    .unwrap_or(false)
+            }),
             None => false,
         }
     }
@@ -464,7 +749,8 @@ impl SkueueCluster {
     // Driving the simulation.
     // ------------------------------------------------------------------
 
-    /// Runs one synchronous round and collects completed requests.
+    /// Runs one synchronous round, publishes the round's completions to the
+    /// event stream, and refreshes membership states.
     pub fn run_round(&mut self) {
         self.sim.run_round();
         self.collect_completions();
@@ -479,7 +765,7 @@ impl SkueueCluster {
     }
 
     /// Runs until every issued request has completed, or the round budget is
-    /// exhausted.
+    /// exhausted (`max_rounds == 0` means unlimited).
     pub fn run_until_all_complete(&mut self, max_rounds: u64) -> Result<u64, ClusterError> {
         let start = self.sim.round();
         while self.open_requests() > 0 {
@@ -512,14 +798,28 @@ impl SkueueCluster {
         Ok(self.sim.round() - start)
     }
 
+    /// Drains completion records from every node into the single completion
+    /// stream: resolve the ticket, append the record to the history, then
+    /// fan the event out to the registered observers.
     fn collect_completions(&mut self) {
-        // Drain completion records from every node into the history.
         let mut drained = Vec::new();
         for (_, node) in self.sim.iter_mut() {
             drained.append(&mut node.drain_completed());
         }
         for record in drained {
+            let outcome = OpOutcome::from_record(&record);
+            let ticket =
+                OpTicket::new(self.cluster_id, record.id, record.kind, record.issued_round);
+            self.outcomes.insert(record.id, outcome);
             self.history.push(record);
+            let event = CompletionEvent {
+                ticket,
+                outcome,
+                record,
+            };
+            for observer in &mut self.observers {
+                observer(&event);
+            }
         }
     }
 
@@ -527,10 +827,12 @@ impl SkueueCluster {
         for p in &mut self.processes {
             match p.state {
                 ProcessState::Joining => {
-                    let all_active = p
-                        .nodes
-                        .iter()
-                        .all(|&n| self.sim.node(n).map(|node| node.is_integrated()).unwrap_or(false));
+                    let all_active = p.nodes.iter().all(|&n| {
+                        self.sim
+                            .node(n)
+                            .map(|node| node.is_integrated())
+                            .unwrap_or(false)
+                    });
                     if all_active {
                         p.state = ProcessState::Active;
                     }
@@ -572,52 +874,73 @@ impl SkueueCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ticket::OpOutcome;
     use skueue_verify::{check_queue, check_stack, OpKind};
+
+    fn queue_cluster(n: usize, seed: u64) -> SkueueCluster {
+        SkueueCluster::builder()
+            .processes(n)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn stack_cluster(n: usize, seed: u64) -> SkueueCluster {
+        SkueueCluster::builder()
+            .processes(n)
+            .stack()
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn single_process_enqueue_dequeue() {
-        let mut cluster = SkueueCluster::queue(1, 1);
+        let mut cluster = queue_cluster(1, 1);
         let p = ProcessId(0);
-        cluster.enqueue(p, 10).unwrap();
-        cluster.enqueue(p, 20).unwrap();
-        cluster.dequeue(p).unwrap();
-        cluster.dequeue(p).unwrap();
-        cluster.dequeue(p).unwrap(); // ⊥
-        let rounds = cluster.run_until_all_complete(500).unwrap();
-        assert!(rounds > 0);
-        let history = cluster.history();
-        assert_eq!(history.len(), 5);
-        assert_eq!(history.count_empty(), 1);
-        check_queue(history).assert_consistent();
+        let tickets = [
+            cluster.enqueue(p, 10).unwrap(),
+            cluster.enqueue(p, 20).unwrap(),
+            cluster.dequeue(p).unwrap(),
+            cluster.dequeue(p).unwrap(),
+            cluster.dequeue(p).unwrap(), // ⊥
+        ];
+        let outcomes = cluster.run_until_done(&tickets, 500).unwrap();
+        assert!(matches!(outcomes[0], OpOutcome::Enqueued { .. }));
+        assert_eq!(outcomes[2].value(), Some(10), "FIFO: first dequeue gets 10");
+        assert_eq!(outcomes[3].value(), Some(20));
+        assert!(outcomes[4].is_empty(), "third dequeue must return ⊥");
+        assert_eq!(cluster.history().len(), 5);
+        check_queue(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn small_cluster_fifo_order_across_processes() {
-        let mut cluster = SkueueCluster::queue(4, 7);
-        for i in 0..8u64 {
-            cluster.enqueue(ProcessId(i % 4), 100 + i).unwrap();
-        }
-        cluster.run_until_all_complete(500).unwrap();
-        for i in 0..8u64 {
-            cluster.dequeue(ProcessId((i + 1) % 4)).unwrap();
-        }
-        cluster.run_until_all_complete(500).unwrap();
-        let history = cluster.history();
-        assert_eq!(history.len(), 16);
-        assert_eq!(history.count_empty(), 0);
-        check_queue(history).assert_consistent();
+        let mut cluster = queue_cluster(4, 7);
+        let puts: Vec<_> = (0..8u64)
+            .map(|i| cluster.client(ProcessId(i % 4)).enqueue(100 + i).unwrap())
+            .collect();
+        cluster.run_until_done(&puts, 500).unwrap();
+        let gets: Vec<_> = (0..8u64)
+            .map(|i| cluster.client(ProcessId((i + 1) % 4)).dequeue().unwrap())
+            .collect();
+        let outcomes = cluster.run_until_done(&gets, 500).unwrap();
+        assert!(outcomes.iter().all(|o| !o.is_empty()));
+        assert_eq!(cluster.history().len(), 16);
+        check_queue(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn queue_interleaved_workload_is_consistent() {
-        let mut cluster = SkueueCluster::queue(6, 3);
+        let mut cluster = queue_cluster(6, 3);
         let mut rng = skueue_sim::SimRng::new(99);
         for step in 0..120u64 {
             let p = ProcessId(rng.gen_range(6));
+            let mut client = cluster.client(p);
             if rng.gen_bool(0.6) {
-                cluster.enqueue(p, step).unwrap();
+                client.enqueue(step).unwrap();
             } else {
-                cluster.dequeue(p).unwrap();
+                client.dequeue().unwrap();
             }
             if step % 3 == 0 {
                 cluster.run_round();
@@ -631,47 +954,52 @@ mod tests {
 
     #[test]
     fn stack_lifo_semantics() {
-        let mut cluster = SkueueCluster::stack(3, 5);
+        let mut cluster = stack_cluster(3, 5);
         let p = ProcessId(0);
-        cluster.push(p, 1).unwrap();
-        cluster.push(p, 2).unwrap();
-        cluster.run_until_all_complete(500).unwrap();
-        cluster.pop(ProcessId(1)).unwrap();
-        cluster.run_until_all_complete(500).unwrap();
-        cluster.pop(ProcessId(2)).unwrap();
-        cluster.pop(ProcessId(2)).unwrap(); // ⊥
-        cluster.run_until_all_complete(500).unwrap();
-        let history = cluster.history();
-        assert_eq!(history.len(), 5);
-        check_stack(history).assert_consistent();
+        let a = cluster.push(p, 1).unwrap();
+        let b = cluster.push(p, 2).unwrap();
+        cluster.run_until_done(&[a, b], 500).unwrap();
+        let pop1 = cluster.pop(ProcessId(1)).unwrap();
+        let o1 = cluster.run_until_done(&[pop1], 500).unwrap();
         // The first pop must return the element pushed second (value 2).
-        let pops: Vec<_> = history
-            .records()
-            .iter()
-            .filter(|r| r.kind == OpKind::Dequeue)
-            .collect();
-        assert_eq!(pops.len(), 3);
+        assert_eq!(o1[0].value(), Some(2));
+        let pop2 = cluster.pop(ProcessId(2)).unwrap();
+        let pop3 = cluster.pop(ProcessId(2)).unwrap(); // ⊥
+        let rest = cluster.run_until_done(&[pop2, pop3], 500).unwrap();
+        assert_eq!(rest[0].value(), Some(1));
+        assert!(rest[1].is_empty());
+        check_stack(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn stack_local_combining_completes_instantly() {
-        let mut cluster = SkueueCluster::stack(2, 11);
+        let mut cluster = stack_cluster(2, 11);
         let p = ProcessId(0);
         // Push+pop issued back-to-back at the same process combine locally.
-        cluster.push(p, 7).unwrap();
-        cluster.pop(p).unwrap();
+        let push = cluster.push(p, 7).unwrap();
+        let pop = cluster.pop(p).unwrap();
         assert_eq!(cluster.open_requests(), 2);
         cluster.run_round();
-        assert_eq!(cluster.open_requests(), 0, "locally combined pair must complete immediately");
+        assert_eq!(
+            cluster.open_requests(),
+            0,
+            "locally combined pair must complete immediately"
+        );
         assert_eq!(cluster.locally_combined(), 2);
+        assert!(cluster.status(push).is_done());
+        assert_eq!(
+            cluster.outcome(pop).unwrap().value(),
+            Some(7),
+            "the pop's outcome must carry the locally matched element"
+        );
         check_stack(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn fairness_over_many_enqueues() {
-        let mut cluster = SkueueCluster::queue(8, 13);
+        let mut cluster = queue_cluster(8, 13);
         for i in 0..400u64 {
-            cluster.enqueue(ProcessId(i % 8), i).unwrap();
+            cluster.client(ProcessId(i % 8)).enqueue(i).unwrap();
             if i % 10 == 0 {
                 cluster.run_round();
             }
@@ -681,20 +1009,24 @@ mod tests {
         assert_eq!(stats.total, 400);
         // With 24 virtual nodes and 400 elements the imbalance should be
         // bounded (consistent hashing fairness, Lemma 4).
-        assert!(stats.max_over_mean < 6.0, "imbalance {:.2}", stats.max_over_mean);
+        assert!(
+            stats.max_over_mean < 6.0,
+            "imbalance {:.2}",
+            stats.max_over_mean
+        );
         check_queue(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn anchor_window_tracks_queue_size() {
-        let mut cluster = SkueueCluster::queue(3, 17);
+        let mut cluster = queue_cluster(3, 17);
         for i in 0..10u64 {
-            cluster.enqueue(ProcessId(i % 3), i).unwrap();
+            cluster.client(ProcessId(i % 3)).enqueue(i).unwrap();
         }
         cluster.run_until_all_complete(500).unwrap();
         assert_eq!(cluster.anchor_state().unwrap().size(), 10);
         for i in 0..4u64 {
-            cluster.dequeue(ProcessId(i % 3)).unwrap();
+            cluster.client(ProcessId(i % 3)).dequeue().unwrap();
         }
         cluster.run_until_all_complete(500).unwrap();
         assert_eq!(cluster.anchor_state().unwrap().size(), 6);
@@ -702,7 +1034,7 @@ mod tests {
 
     #[test]
     fn join_integrates_new_process() {
-        let mut cluster = SkueueCluster::queue(3, 21);
+        let mut cluster = queue_cluster(3, 21);
         let new_pid = cluster.join(None).unwrap();
         assert!(!cluster.process_is_active(new_pid));
         cluster
@@ -710,17 +1042,18 @@ mod tests {
             .unwrap();
         assert!(cluster.process_is_active(new_pid));
         // The new process can issue requests that complete consistently.
-        cluster.enqueue(new_pid, 42).unwrap();
-        cluster.dequeue(ProcessId(0)).unwrap();
-        cluster.run_until_all_complete(600).unwrap();
+        let put = cluster.client(new_pid).enqueue(42).unwrap();
+        let got = cluster.client(ProcessId(0)).dequeue().unwrap();
+        let outcomes = cluster.run_until_done(&[put, got], 600).unwrap();
+        assert!(!outcomes[1].is_empty());
         check_queue(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn leave_removes_process_and_preserves_data() {
-        let mut cluster = SkueueCluster::queue(5, 23);
+        let mut cluster = queue_cluster(5, 23);
         for i in 0..30u64 {
-            cluster.enqueue(ProcessId(i % 5), i).unwrap();
+            cluster.client(ProcessId(i % 5)).enqueue(i).unwrap();
         }
         cluster.run_until_all_complete(800).unwrap();
 
@@ -736,18 +1069,25 @@ mod tests {
         // All 30 elements must still be retrievable in FIFO order.
         let survivors: Vec<ProcessId> = cluster.active_process_ids();
         assert_eq!(survivors.len(), 4);
-        for i in 0..30u64 {
-            cluster.dequeue(survivors[(i % 4) as usize]).unwrap();
-        }
-        cluster.run_until_all_complete(2000).unwrap();
-        let history = cluster.history();
-        assert_eq!(history.count_empty(), 0, "all elements must be found after the leave");
-        check_queue(history).assert_consistent();
+        let gets: Vec<_> = (0..30u64)
+            .map(|i| {
+                cluster
+                    .client(survivors[(i % 4) as usize])
+                    .dequeue()
+                    .unwrap()
+            })
+            .collect();
+        let outcomes = cluster.run_until_done(&gets, 2000).unwrap();
+        assert!(
+            outcomes.iter().all(|o| !o.is_empty()),
+            "all elements must be found after the leave"
+        );
+        check_queue(cluster.history()).assert_consistent();
     }
 
     #[test]
     fn anchor_process_cannot_leave() {
-        let mut cluster = SkueueCluster::queue(3, 31);
+        let mut cluster = queue_cluster(3, 31);
         cluster.run_rounds(2);
         let anchor_process = cluster
             .nodes()
@@ -762,7 +1102,7 @@ mod tests {
 
     #[test]
     fn errors_for_unknown_or_inactive_processes() {
-        let mut cluster = SkueueCluster::queue(2, 1);
+        let mut cluster = queue_cluster(2, 1);
         assert!(matches!(
             cluster.enqueue(ProcessId(99), 1),
             Err(ClusterError::UnknownProcess(_))
@@ -771,6 +1111,143 @@ mod tests {
         assert!(matches!(
             cluster.enqueue(joining, 1),
             Err(ClusterError::ProcessNotActive(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_mode_is_a_real_error() {
+        let mut queue = queue_cluster(2, 1);
+        assert!(matches!(
+            queue.push(ProcessId(0), 1),
+            Err(ClusterError::WrongMode {
+                required: Mode::Stack,
+                actual: Mode::Queue
+            })
+        ));
+        assert!(queue.pop(ProcessId(0)).is_err());
+        let mut stack = stack_cluster(2, 1);
+        assert!(matches!(
+            stack.dequeue(ProcessId(0)),
+            Err(ClusterError::WrongMode {
+                required: Mode::Queue,
+                actual: Mode::Stack
+            })
+        ));
+    }
+
+    #[test]
+    fn outcome_is_none_while_pending_and_resolves_after() {
+        let mut cluster = queue_cluster(2, 9);
+        let put = cluster.client(ProcessId(0)).enqueue(5).unwrap();
+        assert_eq!(cluster.outcome(put), None);
+        assert_eq!(cluster.status(put), OpStatus::Pending);
+        cluster.run_until_all_complete(500).unwrap();
+        assert!(cluster.status(put).is_done());
+        assert!(matches!(
+            cluster.outcome(put),
+            Some(OpOutcome::Enqueued { .. })
+        ));
+    }
+
+    #[test]
+    fn run_until_done_respects_round_budget() {
+        let mut cluster = queue_cluster(4, 3);
+        let put = cluster.client(ProcessId(0)).enqueue(1).unwrap();
+        // One round is never enough for the full aggregate/assign/serve/DHT
+        // pipeline.
+        let err = cluster.run_until_done(&[put], 1).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::RoundLimitExceeded {
+                limit: 1,
+                open_requests: 1
+            }
+        );
+        // The same ticket resolves once given enough budget.
+        let outcomes = cluster.run_until_done(&[put], 500).unwrap();
+        assert_eq!(outcomes.len(), 1);
+    }
+
+    #[test]
+    fn completion_observers_see_every_event() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        type SeenEvents = Rc<RefCell<Vec<(OpKind, Option<u64>)>>>;
+        let mut cluster = queue_cluster(3, 8);
+        let seen: SeenEvents = Rc::default();
+        let sink = Rc::clone(&seen);
+        cluster.on_complete(move |event| {
+            sink.borrow_mut()
+                .push((event.ticket.kind(), event.outcome.value()));
+        });
+        let put = cluster.client(ProcessId(0)).enqueue(77).unwrap();
+        let got = cluster.client(ProcessId(1)).dequeue().unwrap();
+        cluster.run_until_done(&[put, got], 500).unwrap();
+        let events = seen.borrow();
+        assert_eq!(events.len(), 2);
+        assert!(events.contains(&(OpKind::Enqueue, None)));
+        assert!(events.contains(&(OpKind::Dequeue, Some(77))));
+        // The history was built from the same stream.
+        assert_eq!(cluster.history().len(), events.len());
+    }
+
+    #[test]
+    fn foreign_tickets_never_resolve() {
+        let mut a = queue_cluster(2, 1);
+        let mut b = queue_cluster(2, 1);
+        // Identical deterministic RequestIds (p0#0) on both clusters.
+        let ticket_a = a.client(ProcessId(0)).enqueue(7).unwrap();
+        let ticket_b = b.client(ProcessId(0)).enqueue(8).unwrap();
+        assert_eq!(ticket_a.request_id(), ticket_b.request_id());
+        a.run_until_all_complete(500).unwrap();
+        b.run_until_all_complete(500).unwrap();
+        // Each cluster resolves only its own ticket.
+        assert!(a.outcome(ticket_a).is_some());
+        assert!(b.outcome(ticket_b).is_some());
+        assert_eq!(a.outcome(ticket_b), None, "foreign ticket must not resolve");
+        assert_eq!(b.outcome(ticket_a), None, "foreign ticket must not resolve");
+        assert_eq!(b.status(ticket_a), OpStatus::Foreign);
+        assert!(b.status(ticket_a).is_foreign());
+        assert_eq!(b.status(ticket_a).outcome(), None);
+        // Waiting on a foreign ticket is rejected up front instead of
+        // spinning against a ticket that can never complete.
+        assert_eq!(
+            b.run_until_done(&[ticket_a], 0).unwrap_err(),
+            ClusterError::ForeignTicket(ticket_a)
+        );
+    }
+
+    #[test]
+    fn deprecated_new_applies_the_builders_validation() {
+        #![allow(deprecated)]
+        let mut bad_threshold = ProtocolConfig::queue();
+        bad_threshold.update_threshold = 0;
+        assert_eq!(
+            SkueueCluster::new(4, bad_threshold, SimConfig::synchronous(1)).err(),
+            Some(ClusterError::Config(BuildError::ZeroUpdateThreshold))
+        );
+        let bad_budget = ProtocolConfig::queue().with_bit_budget(65);
+        assert!(matches!(
+            SkueueCluster::new(4, bad_budget, SimConfig::synchronous(1)),
+            Err(ClusterError::Config(BuildError::BitBudgetTooLarge {
+                requested: 65,
+                max: 64
+            }))
+        ));
+    }
+
+    #[test]
+    fn deprecated_shims_still_construct_clusters() {
+        #![allow(deprecated)]
+        let mut cluster = SkueueCluster::queue(2, 4);
+        cluster.enqueue(ProcessId(0), 1).unwrap();
+        cluster.run_until_all_complete(500).unwrap();
+        let stack = SkueueCluster::stack(2, 4);
+        assert!(stack.config().is_stack());
+        assert!(matches!(
+            SkueueCluster::new(0, ProtocolConfig::queue(), SimConfig::synchronous(1)),
+            Err(ClusterError::Config(BuildError::NoProcesses))
         ));
     }
 }

@@ -85,7 +85,10 @@ pub fn decompose(assignments: &[RunAssignment], sub_batches: &[&Batch]) -> Vec<V
                 result[sub_idx].push(piece);
             }
         }
-        debug_assert_eq!(cursor.count, 0, "sub-batches must account for every operation of run {run_idx}");
+        debug_assert_eq!(
+            cursor.count, 0,
+            "sub-batches must account for every operation of run {run_idx}"
+        );
     }
     result
 }
@@ -102,7 +105,11 @@ mod tests {
         let mut b = Batch::empty();
         for (i, &count) in runs.iter().enumerate() {
             for _ in 0..count {
-                b.push_op(if i % 2 == 0 { BatchOp::Enqueue } else { BatchOp::Dequeue });
+                b.push_op(if i % 2 == 0 {
+                    BatchOp::Enqueue
+                } else {
+                    BatchOp::Dequeue
+                });
             }
         }
         b

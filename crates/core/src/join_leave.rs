@@ -29,7 +29,7 @@ use crate::batch::Batch;
 use crate::messages::{AbsorbPayload, JoinHandover, SkueueMsg};
 use crate::node::{JoinerRecord, LeaverRecord, Role, SkueueNode, UpdatePhase};
 use skueue_dht::{PendingGet, StoredEntry};
-use skueue_overlay::{Label, NeighborInfo, RouteAction, RouteProgress, route_step};
+use skueue_overlay::{route_step, Label, NeighborInfo, RouteAction, RouteProgress};
 use skueue_sim::actor::Context;
 use skueue_sim::ids::NodeId;
 
@@ -73,7 +73,10 @@ impl SkueueNode {
             let progress = RouteProgress::new(self.view.me.label, self.cfg.bit_budget);
             ctx.send(
                 bootstrap,
-                SkueueMsg::JoinRequest { joiner: self.view.me, progress },
+                SkueueMsg::JoinRequest {
+                    joiner: self.view.me,
+                    progress,
+                },
             );
             self.join_sent = true;
         }
@@ -91,7 +94,12 @@ impl SkueueNode {
             && self.pending_leavers.is_empty()
             && self.anchor.is_none()
         {
-            ctx.send(self.view.pred.node, SkueueMsg::LeaveRequest { leaver: self.view.me });
+            ctx.send(
+                self.view.pred.node,
+                SkueueMsg::LeaveRequest {
+                    leaver: self.view.me,
+                },
+            );
             self.leave_requested = true;
         }
     }
@@ -212,7 +220,10 @@ impl SkueueNode {
                 if self.joiners.iter().any(|j| j.info.node == joiner.node) {
                     return; // duplicate announcement
                 }
-                self.joiners.push(JoinerRecord { info: joiner, handed_over: false });
+                self.joiners.push(JoinerRecord {
+                    info: joiner,
+                    handed_over: false,
+                });
                 self.pending_join_count += 1;
             }
         }
@@ -224,8 +235,12 @@ impl SkueueNode {
         if self.joiners.is_empty() {
             return 0;
         }
-        let mut joiners: Vec<JoinerRecord> =
-            self.joiners.iter().filter(|j| !j.handed_over).copied().collect();
+        let mut joiners: Vec<JoinerRecord> = self
+            .joiners
+            .iter()
+            .filter(|j| !j.handed_over)
+            .copied()
+            .collect();
         if joiners.is_empty() {
             return 0;
         }
@@ -239,13 +254,26 @@ impl SkueueNode {
         // Hand out the data and the final neighbour pointers.
         let count = joiners.len();
         for (i, j) in joiners.iter().enumerate() {
-            let pred = if i == 0 { self.view.me } else { joiners[i - 1].info };
-            let succ = if i + 1 < count { joiners[i + 1].info } else { old_succ };
+            let pred = if i == 0 {
+                self.view.me
+            } else {
+                joiners[i - 1].info
+            };
+            let succ = if i + 1 < count {
+                joiners[i + 1].info
+            } else {
+                old_succ
+            };
             let (entries, pending) = self.extract_store_range(j.info.label, succ.label);
             ctx.send(
                 j.info.node,
                 SkueueMsg::Integrate {
-                    handover: Box::new(JoinHandover { pred, succ, entries, pending }),
+                    handover: Box::new(JoinHandover {
+                        pred,
+                        succ,
+                        entries,
+                        pending,
+                    }),
                 },
             );
         }
@@ -253,7 +281,12 @@ impl SkueueNode {
         // joiner, and the old successor's predecessor becomes the last one.
         self.view.succ = joiners[0].info;
         if old_succ.node != self.view.me.node {
-            ctx.send(old_succ.node, SkueueMsg::SetPred { new_pred: joiners[count - 1].info });
+            ctx.send(
+                old_succ.node,
+                SkueueMsg::SetPred {
+                    new_pred: joiners[count - 1].info,
+                },
+            );
         } else {
             // Single-node corner case: we are our own successor; the last
             // joiner becomes our predecessor.
@@ -290,7 +323,10 @@ impl SkueueNode {
         for satisfied in self.store.absorb(handover.entries, handover.pending) {
             ctx.send(
                 satisfied.get.requester,
-                SkueueMsg::DhtReply { request: satisfied.get.request, entry: satisfied.entry },
+                SkueueMsg::DhtReply {
+                    request: satisfied.get.request,
+                    entry: satisfied.entry,
+                },
             );
         }
         // Re-route DHT operations that arrived while we were not yet part of
@@ -311,7 +347,13 @@ impl SkueueNode {
         for kind in skueue_overlay::VKind::ALL {
             let sibling = self.view.siblings[kind.index()];
             if sibling.node != self.view.me.node {
-                ctx.send(sibling.node, SkueueMsg::SiblingStatus { kind: my_kind, active });
+                ctx.send(
+                    sibling.node,
+                    SkueueMsg::SiblingStatus {
+                        kind: my_kind,
+                        active,
+                    },
+                );
             }
         }
     }
@@ -355,7 +397,10 @@ impl SkueueNode {
             ctx.send(leaver.node, SkueueMsg::LeaveGranted);
             return;
         }
-        self.pending_leavers.push(LeaverRecord { info: leaver, absorb_requested: false });
+        self.pending_leavers.push(LeaverRecord {
+            info: leaver,
+            absorb_requested: false,
+        });
         self.pending_leave_count += 1;
         ctx.send(leaver.node, SkueueMsg::LeaveGranted);
     }
@@ -390,8 +435,11 @@ impl SkueueNode {
         let entries: Vec<StoredEntry> = self.store.iter_entries().copied().collect();
         let pending: Vec<(u64, PendingGet)> =
             self.store.iter_pending().map(|(p, g)| (p, *g)).collect();
-        let child_batches: Vec<(NodeId, Batch)> =
-            self.child_batches.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let child_batches: Vec<(NodeId, Batch)> = self
+            .child_batches
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         self.child_batches.clear();
         let payload = AbsorbPayload {
             succ: self.view.succ,
@@ -416,7 +464,10 @@ impl SkueueNode {
         for satisfied in self.store.absorb(payload.entries, pending) {
             ctx.send(
                 satisfied.get.requester,
-                SkueueMsg::DhtReply { request: satisfied.get.request, entry: satisfied.entry },
+                SkueueMsg::DhtReply {
+                    request: satisfied.get.request,
+                    entry: satisfied.entry,
+                },
             );
         }
         // Inherit not-yet-forwarded sub-batches of the leaver's children.
@@ -433,7 +484,12 @@ impl SkueueNode {
             self.view.pred = self.view.me;
         } else {
             self.view.succ = payload.succ;
-            ctx.send(payload.succ.node, SkueueMsg::SetPred { new_pred: self.view.me });
+            ctx.send(
+                payload.succ.node,
+                SkueueMsg::SetPred {
+                    new_pred: self.view.me,
+                },
+            );
         }
         // If the leaver held the anchor state, pass it on to the new leftmost
         // node (the leaver's successor); the cluster normally prevents this
@@ -548,5 +604,4 @@ impl SkueueNode {
             ctx.send(self.view.pred.node, SkueueMsg::AnchorTransfer { state });
         }
     }
-
 }

@@ -5,24 +5,29 @@
 //! by aggregating requests into batches over an implicit aggregation tree on
 //! the Linearized De Bruijn overlay.
 //!
-//! The public entry point is [`SkueueCluster`]: build a cluster of `n`
-//! processes, issue `ENQUEUE()`/`DEQUEUE()` (or `PUSH()`/`POP()`) requests at
-//! any process, drive the simulation round by round, and read back the
-//! execution [`skueue_verify::History`] plus the measurements the paper
-//! reports (per-request rounds, batch sizes, per-node load, …).
+//! The public entry point is [`SkueueCluster`] (aliased [`Skueue`]): build a
+//! cluster with the validating [`SkueueBuilder`], issue operations through
+//! per-process [`ClientHandle`]s, and resolve the returned [`OpTicket`]s to
+//! structured [`OpOutcome`]s:
 //!
 //! ```
-//! use skueue_core::{SkueueCluster};
+//! use skueue_core::Skueue;
 //! use skueue_sim::ids::ProcessId;
 //! use skueue_verify::check_queue;
 //!
-//! let mut cluster = SkueueCluster::queue(4, 42);
-//! cluster.enqueue(ProcessId(0), 7).unwrap();
-//! cluster.enqueue(ProcessId(1), 8).unwrap();
-//! cluster.dequeue(ProcessId(2)).unwrap();
-//! cluster.run_until_all_complete(500).unwrap();
+//! let mut cluster = Skueue::builder().processes(4).seed(42).build()?;
+//! let put = cluster.client(ProcessId(0)).enqueue(7)?;
+//! let got = cluster.client(ProcessId(2)).dequeue()?;
+//! let outcomes = cluster.run_until_done(&[put, got], 500)?;
+//! assert_eq!(outcomes[1].value(), Some(7));
 //! check_queue(cluster.history()).assert_consistent();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Every completion is also published as a [`CompletionEvent`] on the
+//! cluster's event stream ([`SkueueCluster::on_complete`]); the execution
+//! [`skueue_verify::History`] is built from that same stream, so workloads,
+//! benches and the verifier all consume identical data.
 //!
 //! Internally the crate is organised along the paper's structure:
 //!
@@ -33,6 +38,9 @@
 //! | [`interval`] | §III-E (Stage 3) | decomposition of position intervals over sub-batches |
 //! | [`node`] | §III (Stages 1–4), §VI | the per-virtual-node state machine |
 //! | [`join_leave`] | §IV | lazy joins/leaves, update phase, anchor hand-off |
+//! | [`builder`] | — | the validating [`SkueueBuilder`] |
+//! | [`ticket`] | — | [`OpTicket`], [`OpOutcome`], the completion stream |
+//! | [`client`] | — | per-process [`ClientHandle`]s |
 //! | [`cluster`] | §VII | the driver API used by workloads, examples and tests |
 
 #![forbid(unsafe_code)]
@@ -40,16 +48,22 @@
 
 pub mod anchor;
 pub mod batch;
+pub mod builder;
+pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod interval;
 pub mod join_leave;
 pub mod messages;
 pub mod node;
+pub mod ticket;
 
 pub use anchor::{AnchorState, RunAssignment};
 pub use batch::{Batch, BatchOp, FirstRun};
-pub use cluster::{ClusterError, SkueueCluster};
+pub use builder::{BuildError, SkueueBuilder};
+pub use client::ClientHandle;
+pub use cluster::{ClusterError, Skueue, SkueueCluster};
 pub use config::{Mode, ProtocolConfig};
 pub use messages::{DhtOp, SkueueMsg};
 pub use node::{LocalOp, NodeStats, Role, SkueueNode};
+pub use ticket::{CompletionEvent, OpOutcome, OpStatus, OpTicket};

@@ -217,7 +217,12 @@ mod tests {
         );
         let put = DhtOp::Put {
             entry,
-            meta: PutMeta { issued_round: 1, order: 2, needs_ack: false, issuer: NodeId(0) },
+            meta: PutMeta {
+                issued_round: 1,
+                order: 2,
+                needs_ack: false,
+                issuer: NodeId(0),
+            },
         };
         assert_eq!(put.position(), 7);
         let get = DhtOp::Get {
@@ -231,7 +236,9 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_comparable() {
-        let a = SkueueMsg::Aggregate { batch: Batch::empty() };
+        let a = SkueueMsg::Aggregate {
+            batch: Batch::empty(),
+        };
         assert_eq!(a.clone(), a);
         let b = SkueueMsg::UpdateOver;
         assert_ne!(a, b);

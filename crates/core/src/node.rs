@@ -211,7 +211,11 @@ impl SkueueNode {
             hasher,
             view,
             role: Role::Active,
-            anchor: if is_anchor { Some(AnchorState::new()) } else { None },
+            anchor: if is_anchor {
+                Some(AnchorState::new())
+            } else {
+                None
+            },
             own_batch,
             own_log: Vec::new(),
             child_batches: BTreeMap::new(),
@@ -376,7 +380,12 @@ impl SkueueNode {
             "only active nodes generate requests"
         );
         self.stats.requests_generated += 1;
-        let op = LocalOp { id, kind, value, issued_round: round };
+        let op = LocalOp {
+            id,
+            kind,
+            value,
+            issued_round: round,
+        };
 
         if self.cfg.is_stack() && self.cfg.local_combining {
             match kind {
@@ -400,8 +409,10 @@ impl SkueueNode {
                         // will never receive an anchor order value of its
                         // own); a single re-anchoring call keeps them in
                         // issue order.
-                        let mut records =
-                            self.pairs_by_anchor.remove(&push.id.seq).unwrap_or_default();
+                        let mut records = self
+                            .pairs_by_anchor
+                            .remove(&push.id.seq)
+                            .unwrap_or_default();
                         records.extend(self.make_combined_pair(push, op, round));
                         self.reanchor_pairs(records, round);
                         return;
@@ -439,7 +450,7 @@ impl SkueueNode {
             OpRecord {
                 id: pop.id,
                 kind: OpKind::Dequeue,
-                value: 0,
+                value: push.value,
                 result: OpResult::Returned(push.id),
                 order: OrderKey::local(0, origin, 0),
                 issued_round: pop.issued_round,
@@ -564,8 +575,7 @@ impl SkueueNode {
         if let Some(anchor) = self.anchor {
             // Stage 2 happens right here: the anchor serves itself.
             let mut anchor = anchor;
-            let enter_update =
-                anchor_should_update(&combined, self.cfg.update_threshold);
+            let enter_update = anchor_should_update(&combined, self.cfg.update_threshold);
             let assignments = anchor.assign(&combined, self.cfg.mode);
             self.anchor = Some(anchor);
             self.serve_sources(&assignments, sources, enter_update, ctx);
@@ -583,7 +593,10 @@ impl SkueueNode {
                     return;
                 }
             };
-            self.pending = Some(PendingBatch { combined: combined.clone(), sources });
+            self.pending = Some(PendingBatch {
+                combined: combined.clone(),
+                sources,
+            });
             ctx.send(parent, SkueueMsg::Aggregate { batch: combined });
         }
     }
@@ -647,7 +660,11 @@ impl SkueueNode {
                 match run.kind {
                     BatchOp::Enqueue => {
                         let position = run.pos_lo + j;
-                        let ticket = if self.cfg.is_stack() { run.ticket_base + j } else { 0 };
+                        let ticket = if self.cfg.is_stack() {
+                            run.ticket_base + j
+                        } else {
+                            0
+                        };
                         self.issue_put(op, position, ticket, order_major, ctx);
                     }
                     BatchOp::Dequeue => {
@@ -777,7 +794,12 @@ impl SkueueNode {
     }
 
     /// Applies a DHT operation at the responsible node.
-    pub(crate) fn apply_dht(&mut self, op: DhtOp, progress: &RouteProgress, ctx: &mut Context<SkueueMsg>) {
+    pub(crate) fn apply_dht(
+        &mut self,
+        op: DhtOp,
+        progress: &RouteProgress,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
         self.stats.dht_hops.record(progress.hops as u64);
         match op {
             DhtOp::Put { entry, meta } => {
@@ -793,7 +815,12 @@ impl SkueueNode {
                     completed_round: ctx.round(),
                 });
                 if meta.needs_ack {
-                    ctx.send(meta.issuer, SkueueMsg::PutAck { request: entry.element.id });
+                    ctx.send(
+                        meta.issuer,
+                        SkueueMsg::PutAck {
+                            request: entry.element.id,
+                        },
+                    );
                 }
                 for satisfied in self.store.put(entry) {
                     ctx.send(
@@ -805,7 +832,12 @@ impl SkueueNode {
                     );
                 }
             }
-            DhtOp::Get { position, max_ticket, request, requester } => {
+            DhtOp::Get {
+                position,
+                max_ticket,
+                request,
+                requester,
+            } => {
                 match self.store.get(position, max_ticket, request, requester) {
                     GetOutcome::Found(entry) => {
                         ctx.send(requester, SkueueMsg::DhtReply { request, entry });
@@ -818,7 +850,12 @@ impl SkueueNode {
         }
     }
 
-    fn handle_dht_reply(&mut self, request: RequestId, entry: StoredEntry, ctx: &mut Context<SkueueMsg>) {
+    fn handle_dht_reply(
+        &mut self,
+        request: RequestId,
+        entry: StoredEntry,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
         if let Some(meta) = self.outstanding_gets.remove(&request) {
             if self.cfg.stage4_barrier {
                 self.outstanding_dht = self.outstanding_dht.saturating_sub(1);
@@ -826,7 +863,7 @@ impl SkueueNode {
             self.completed.push(OpRecord {
                 id: request,
                 kind: OpKind::Dequeue,
-                value: 0,
+                value: entry.element.value,
                 result: OpResult::Returned(entry.element.id),
                 // `value` carried the order major (see `issue_get`).
                 order: OrderKey::anchor(meta.value, request.origin),

@@ -51,12 +51,22 @@ pub struct StoredEntry {
 impl StoredEntry {
     /// Creates a queue entry (ticket 0).
     pub fn queue(position: u64, key: Label, element: Element) -> Self {
-        StoredEntry { position, key, ticket: 0, element }
+        StoredEntry {
+            position,
+            key,
+            ticket: 0,
+            element,
+        }
     }
 
     /// Creates a stack entry with a ticket.
     pub fn stack(position: u64, key: Label, ticket: u64, element: Element) -> Self {
-        StoredEntry { position, key, ticket, element }
+        StoredEntry {
+            position,
+            key,
+            ticket,
+            element,
+        }
     }
 }
 

@@ -111,11 +111,17 @@ mod tests {
         let mut counts = vec![0u64; nodes];
         let mut x = 0x12345678u64;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             counts[(x >> 32) as usize % nodes] += 1;
         }
         let stats = load_stats(&counts).unwrap();
-        assert!(stats.max_over_mean < 1.5, "imbalance {:.2}", stats.max_over_mean);
+        assert!(
+            stats.max_over_mean < 1.5,
+            "imbalance {:.2}",
+            stats.max_over_mean
+        );
         assert!(stats.cv < 0.2, "cv {:.3}", stats.cv);
     }
 

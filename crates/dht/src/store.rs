@@ -139,10 +139,11 @@ impl NodeStore {
                 return GetOutcome::Found(entry);
             }
         }
-        self.pending
-            .entry(position)
-            .or_default()
-            .push(PendingGet { request, requester, max_ticket });
+        self.pending.entry(position).or_default().push(PendingGet {
+            request,
+            requester,
+            max_ticket,
+        });
         GetOutcome::Parked
     }
 
@@ -158,7 +159,10 @@ impl NodeStore {
 
     /// Returns (without removing) the entries stored for a position.
     pub fn peek(&self, position: u64) -> &[StoredEntry] {
-        self.entries.get(&position).map(Vec::as_slice).unwrap_or(&[])
+        self.entries
+            .get(&position)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Extracts every stored entry **and** parked GET whose position-key
@@ -268,10 +272,7 @@ mod tests {
     #[test]
     fn get_before_put_parks_and_is_satisfied_later() {
         let mut store = NodeStore::new();
-        assert_eq!(
-            store.get_queue(7, rid(4), NodeId(2)),
-            GetOutcome::Parked
-        );
+        assert_eq!(store.get_queue(7, rid(4), NodeId(2)), GetOutcome::Parked);
         assert_eq!(store.pending_gets(), 1);
         let entry = queue_entry(7, key(0.1), rid(0), 13);
         let satisfied = store.put(entry);

@@ -183,11 +183,9 @@ mod tests {
 
     #[test]
     fn middle_children_include_own_right_and_left_successor() {
-        let children =
-            aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Left, false);
+        let children = aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Left, false);
         assert_eq!(children, vec!["r", "succ"]);
-        let children =
-            aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Middle, false);
+        let children = aggregation_children(VKind::Middle, "r", "m", "succ", VKind::Middle, false);
         assert_eq!(children, vec!["r"]);
     }
 
@@ -216,13 +214,19 @@ mod tests {
 
     #[test]
     fn tree_neighbors_helpers() {
-        let root: TreeNeighbors<u32> = TreeNeighbors { parent: None, children: vec![1, 2] };
+        let root: TreeNeighbors<u32> = TreeNeighbors {
+            parent: None,
+            children: vec![1, 2],
+        };
         assert!(root.is_root());
         assert!(!root.is_leaf());
         assert!(root.has_child(&1));
         assert!(!root.has_child(&3));
 
-        let leaf: TreeNeighbors<u32> = TreeNeighbors { parent: Some(0), children: vec![] };
+        let leaf: TreeNeighbors<u32> = TreeNeighbors {
+            parent: Some(0),
+            children: vec![],
+        };
         assert!(!leaf.is_root());
         assert!(leaf.is_leaf());
     }

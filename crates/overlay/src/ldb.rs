@@ -308,14 +308,19 @@ impl Topology {
             info(vid.sibling(VKind::Middle))?,
             info(vid.sibling(VKind::Right))?,
         ];
-        Ok(LocalView { me, pred, succ, siblings })
+        Ok(LocalView {
+            me,
+            pred,
+            succ,
+            siblings,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routing::{route_step, RouteAction, RouteProgress, recommended_bit_budget};
+    use crate::routing::{recommended_bit_budget, route_step, RouteAction, RouteProgress};
     use proptest::prelude::*;
 
     fn pids(n: u64) -> Vec<ProcessId> {
@@ -498,7 +503,10 @@ mod tests {
     #[test]
     fn cannot_remove_last_process() {
         let mut t = topo(1);
-        assert_eq!(t.remove_process(ProcessId(0)).unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            t.remove_process(ProcessId(0)).unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]
@@ -510,7 +518,10 @@ mod tests {
             assert_eq!(view.me.vid, n.vid);
             assert_eq!(view.pred.vid, t.pred(n.vid).unwrap());
             assert_eq!(view.succ.vid, t.succ(n.vid).unwrap());
-            assert_eq!(view.sibling(VKind::Middle).vid, n.vid.sibling(VKind::Middle));
+            assert_eq!(
+                view.sibling(VKind::Middle).vid,
+                n.vid.sibling(VKind::Middle)
+            );
             assert_eq!(view.is_anchor(), n.vid == t.anchor());
             assert_eq!(view.successor_wraps(), n.vid == t.max_node());
         }
@@ -583,7 +594,10 @@ mod tests {
             "routing hops grew super-logarithmically: {small} -> {large}"
         );
         // And stay in a sane absolute band.
-        assert!(large < 120.0, "mean hops {large} too high for n=1024 processes");
+        assert!(
+            large < 120.0,
+            "mean hops {large} too high for n=1024 processes"
+        );
     }
 
     proptest! {

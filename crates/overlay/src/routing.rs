@@ -288,7 +288,10 @@ mod tests {
             ],
         };
         let mut progress = RouteProgress::new(Label::from_f64(0.9), 4);
-        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(12)));
+        assert_eq!(
+            route_step(&view, &mut progress),
+            RouteAction::Forward(NodeId(12))
+        );
         // No bit consumed while searching for a middle node.
         assert_eq!(progress.bits.len(), 4);
     }
@@ -298,16 +301,27 @@ mod tests {
         let view = middle_view();
         // Target slightly below this node: go to pred.
         let mut progress = RouteProgress::linear_only(Label::from_f64(0.5));
-        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(10)));
+        assert_eq!(
+            route_step(&view, &mut progress),
+            RouteAction::Forward(NodeId(10))
+        );
         // Target slightly above the successor: go to succ.
         let mut progress = RouteProgress::linear_only(Label::from_f64(0.7));
-        assert_eq!(route_step(&view, &mut progress), RouteAction::Forward(NodeId(11)));
+        assert_eq!(
+            route_step(&view, &mut progress),
+            RouteAction::Forward(NodeId(11))
+        );
     }
 
     #[test]
     fn single_node_cycle_is_responsible_for_everything() {
         let me = info(0, 0, VKind::Middle, 0.4);
-        let view = LocalView { me, pred: me, succ: me, siblings: [me, me, me] };
+        let view = LocalView {
+            me,
+            pred: me,
+            succ: me,
+            siblings: [me, me, me],
+        };
         assert!(view.is_responsible_for(Label::from_f64(0.99)));
         assert!(view.is_anchor());
         assert!(view.successor_wraps());
@@ -320,8 +334,8 @@ mod tests {
         assert!(recommended_bit_budget(1) >= 3);
         let b1k = recommended_bit_budget(1_000);
         let b100k = recommended_bit_budget(100_000);
-        assert!(b1k >= 11 && b1k <= 14, "{b1k}");
-        assert!(b100k >= 18 && b100k <= 21, "{b100k}");
+        assert!((11..=14).contains(&b1k), "{b1k}");
+        assert!((18..=21).contains(&b100k), "{b100k}");
         assert!(b100k > b1k);
     }
 

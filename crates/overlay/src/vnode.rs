@@ -103,7 +103,8 @@ impl VirtualId {
 
     /// Computes this virtual node's label using the given hasher.
     pub fn label(&self, hasher: &LabelHasher) -> Label {
-        self.kind.label_from_middle(hasher.process_label(self.process))
+        self.kind
+            .label_from_middle(hasher.process_label(self.process))
     }
 
     /// The sibling virtual node of the same process with the given kind.

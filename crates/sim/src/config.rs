@@ -63,9 +63,7 @@ impl SimConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SimError> {
-        self.delivery
-            .validate()
-            .map_err(SimError::InvalidConfig)
+        self.delivery.validate().map_err(SimError::InvalidConfig)
     }
 }
 
@@ -106,7 +104,10 @@ mod tests {
     #[test]
     fn invalid_delivery_is_rejected() {
         let mut c = SimConfig::synchronous(1);
-        c.delivery = DeliveryModel::UniformRandom { min_delay: 5, max_delay: 1 };
+        c.delivery = DeliveryModel::UniformRandom {
+            min_delay: 5,
+            max_delay: 1,
+        };
         assert!(matches!(c.validate(), Err(SimError::InvalidConfig(_))));
     }
 

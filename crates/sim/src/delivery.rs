@@ -11,10 +11,11 @@ use crate::Round;
 use serde::{Deserialize, Serialize};
 
 /// How message delays are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DeliveryModel {
     /// The synchronous model of the paper's evaluation: every message sent in
     /// round `i` is delivered in round `i + 1`.
+    #[default]
     Synchronous,
     /// Asynchronous delivery: every message independently receives a uniform
     /// delay in `[min_delay, max_delay]` rounds.  Because later messages may
@@ -50,7 +51,10 @@ impl DeliveryModel {
     pub fn validate(&self) -> Result<(), String> {
         match *self {
             DeliveryModel::Synchronous => Ok(()),
-            DeliveryModel::UniformRandom { min_delay, max_delay } => {
+            DeliveryModel::UniformRandom {
+                min_delay,
+                max_delay,
+            } => {
                 if min_delay == 0 {
                     Err("min_delay must be at least 1".into())
                 } else if max_delay < min_delay {
@@ -59,7 +63,10 @@ impl DeliveryModel {
                     Ok(())
                 }
             }
-            DeliveryModel::Adversarial { straggle_prob, straggle_delay } => {
+            DeliveryModel::Adversarial {
+                straggle_prob,
+                straggle_delay,
+            } => {
                 if !(0.0..=1.0).contains(&straggle_prob) {
                     Err(format!("straggle_prob {straggle_prob} not in [0, 1]"))
                 } else if straggle_delay == 0 {
@@ -80,10 +87,14 @@ impl DeliveryModel {
     pub fn draw_delay(&self, rng: &mut SimRng) -> Round {
         match *self {
             DeliveryModel::Synchronous => 1,
-            DeliveryModel::UniformRandom { min_delay, max_delay } => {
-                rng.gen_range_inclusive(min_delay, max_delay)
-            }
-            DeliveryModel::Adversarial { straggle_prob, straggle_delay } => {
+            DeliveryModel::UniformRandom {
+                min_delay,
+                max_delay,
+            } => rng.gen_range_inclusive(min_delay, max_delay),
+            DeliveryModel::Adversarial {
+                straggle_prob,
+                straggle_delay,
+            } => {
                 if rng.gen_bool(straggle_prob) {
                     straggle_delay
                 } else {
@@ -91,12 +102,6 @@ impl DeliveryModel {
                 }
             }
         }
-    }
-}
-
-impl Default for DeliveryModel {
-    fn default() -> Self {
-        DeliveryModel::Synchronous
     }
 }
 
@@ -115,7 +120,10 @@ mod tests {
     #[test]
     fn uniform_within_bounds() {
         let mut rng = SimRng::new(2);
-        let model = DeliveryModel::UniformRandom { min_delay: 2, max_delay: 6 };
+        let model = DeliveryModel::UniformRandom {
+            min_delay: 2,
+            max_delay: 6,
+        };
         for _ in 0..1000 {
             let d = model.draw_delay(&mut rng);
             assert!((2..=6).contains(&d));
@@ -126,14 +134,20 @@ mod tests {
     fn uniform_constructor_clamps() {
         assert_eq!(
             DeliveryModel::uniform(0),
-            DeliveryModel::UniformRandom { min_delay: 1, max_delay: 1 }
+            DeliveryModel::UniformRandom {
+                min_delay: 1,
+                max_delay: 1
+            }
         );
     }
 
     #[test]
     fn adversarial_mixes_delays() {
         let mut rng = SimRng::new(3);
-        let model = DeliveryModel::Adversarial { straggle_prob: 0.3, straggle_delay: 50 };
+        let model = DeliveryModel::Adversarial {
+            straggle_prob: 0.3,
+            straggle_delay: 50,
+        };
         let mut slow = 0;
         let mut fast = 0;
         for _ in 0..1000 {
@@ -150,21 +164,36 @@ mod tests {
     #[test]
     fn validation_catches_bad_parameters() {
         assert!(DeliveryModel::Synchronous.validate().is_ok());
-        assert!(DeliveryModel::UniformRandom { min_delay: 0, max_delay: 3 }
-            .validate()
-            .is_err());
-        assert!(DeliveryModel::UniformRandom { min_delay: 4, max_delay: 3 }
-            .validate()
-            .is_err());
-        assert!(DeliveryModel::Adversarial { straggle_prob: 1.5, straggle_delay: 5 }
-            .validate()
-            .is_err());
-        assert!(DeliveryModel::Adversarial { straggle_prob: 0.5, straggle_delay: 0 }
-            .validate()
-            .is_err());
-        assert!(DeliveryModel::Adversarial { straggle_prob: 0.5, straggle_delay: 2 }
-            .validate()
-            .is_ok());
+        assert!(DeliveryModel::UniformRandom {
+            min_delay: 0,
+            max_delay: 3
+        }
+        .validate()
+        .is_err());
+        assert!(DeliveryModel::UniformRandom {
+            min_delay: 4,
+            max_delay: 3
+        }
+        .validate()
+        .is_err());
+        assert!(DeliveryModel::Adversarial {
+            straggle_prob: 1.5,
+            straggle_delay: 5
+        }
+        .validate()
+        .is_err());
+        assert!(DeliveryModel::Adversarial {
+            straggle_prob: 0.5,
+            straggle_delay: 0
+        }
+        .validate()
+        .is_err());
+        assert!(DeliveryModel::Adversarial {
+            straggle_prob: 0.5,
+            straggle_delay: 2
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -124,7 +124,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             running += c;
             if running >= target {
-                let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
                 return Some(upper.min(self.max).max(self.min));
             }
         }

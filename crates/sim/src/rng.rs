@@ -45,10 +45,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -207,7 +204,10 @@ mod tests {
         }
         for &c in &counts {
             // Expected 10_000 each; allow generous slack.
-            assert!((8_500..=11_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_500..=11_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
@@ -237,7 +237,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left slice unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left slice unchanged"
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl<A: Actor> Simulation<A> {
             inbox: Vec::new(),
         });
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::NodeAdded { node: id, round: self.round });
+            trace.push(TraceEvent::NodeAdded {
+                node: id,
+                round: self.round,
+            });
         }
         id
     }
@@ -178,7 +181,10 @@ impl<A: Actor> Simulation<A> {
 
     /// Whether a node is currently active.
     pub fn is_active(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).map(|s| s.active).unwrap_or(false)
+        self.nodes
+            .get(id.index())
+            .map(|s| s.active)
+            .unwrap_or(false)
     }
 
     /// Injects a message from the outside world (delivered like any other
@@ -214,7 +220,12 @@ impl<A: Actor> Simulation<A> {
         self.metrics.messages_sent += 1;
         self.metrics.delays.record(delay);
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Sent { from, to, round: self.round, deliver_at });
+            trace.push(TraceEvent::Sent {
+                from,
+                to,
+                round: self.round,
+                deliver_at,
+            });
         }
         self.in_flight += 1;
         self.nodes[to.index()].inbox.push(Envelope {
@@ -271,7 +282,11 @@ impl<A: Actor> Simulation<A> {
                 let mut ctx = Context::new(self_id, round, ctx_rng);
                 for env in deliverable {
                     if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEvent::Delivered { from: env.from, to: self_id, round });
+                        trace.push(TraceEvent::Delivered {
+                            from: env.from,
+                            to: self_id,
+                            round,
+                        });
                     }
                     slot.actor.on_message(env.from, env.payload, &mut ctx);
                 }
@@ -279,7 +294,10 @@ impl<A: Actor> Simulation<A> {
                     slot.actor.on_timeout(&mut ctx);
                     self.metrics.timeouts_fired += 1;
                     if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEvent::Timeout { node: self_id, round });
+                        trace.push(TraceEvent::Timeout {
+                            node: self_id,
+                            round,
+                        });
                     }
                 }
                 ctx.into_outbox()
@@ -292,7 +310,9 @@ impl<A: Actor> Simulation<A> {
 
         self.metrics.messages_delivered += delivered_total as u64;
         self.metrics.rounds = round;
-        self.metrics.per_round_deliveries.record(delivered_total as u64);
+        self.metrics
+            .per_round_deliveries
+            .record(delivered_total as u64);
         delivered_total
     }
 
@@ -373,7 +393,12 @@ mod tests {
             self.received.push(msg.remaining);
             if msg.remaining > 0 {
                 let next = NodeId((ctx.self_id().0 + 1) % self.n);
-                ctx.send(next, Token { remaining: msg.remaining - 1 });
+                ctx.send(
+                    next,
+                    Token {
+                        remaining: msg.remaining - 1,
+                    },
+                );
             }
         }
 
@@ -385,7 +410,11 @@ mod tests {
     fn ring_sim(n: u64, config: SimConfig) -> Simulation<Ring> {
         let mut sim = Simulation::new(config).unwrap();
         for _ in 0..n {
-            sim.add_node(Ring { n, received: Vec::new(), timeouts: 0 });
+            sim.add_node(Ring {
+                n,
+                received: Vec::new(),
+                timeouts: 0,
+            });
         }
         sim
     }
@@ -401,7 +430,8 @@ mod tests {
     #[test]
     fn token_travels_one_hop_per_round_in_sync_mode() {
         let mut sim = ring_sim(5, SimConfig::synchronous(1));
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: 4 }).unwrap();
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 4 })
+            .unwrap();
         assert_eq!(sim.in_flight(), 1);
         // 5 deliveries: remaining 4,3,2,1,0 — one per round.
         for expected_round in 1..=5u64 {
@@ -430,7 +460,8 @@ mod tests {
         let mut sim = ring_sim(3, SimConfig::synchronous(3));
         sim.deactivate(NodeId(1)).unwrap();
         assert!(!sim.is_active(NodeId(1)));
-        sim.inject(NodeId(0), NodeId(1), Token { remaining: 0 }).unwrap();
+        sim.inject(NodeId(0), NodeId(1), Token { remaining: 0 })
+            .unwrap();
         sim.run_rounds(5);
         assert_eq!(sim.node(NodeId(1)).unwrap().timeouts, 0);
         assert_eq!(sim.node(NodeId(1)).unwrap().received, vec![0]);
@@ -453,7 +484,8 @@ mod tests {
     #[test]
     fn run_until_quiescence() {
         let mut sim = ring_sim(4, SimConfig::synchronous(5));
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: 10 }).unwrap();
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 10 })
+            .unwrap();
         let rounds = sim.run_to_quiescence(100).unwrap();
         assert_eq!(rounds, 11);
         let total: usize = sim.iter().map(|(_, n)| n.received.len()).sum();
@@ -463,17 +495,23 @@ mod tests {
     #[test]
     fn run_until_predicate() {
         let mut sim = ring_sim(4, SimConfig::synchronous(5));
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: 100 }).unwrap();
-        let outcome = sim
-            .run_until(|s| s.round() >= 7, 1000)
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 100 })
             .unwrap();
+        let outcome = sim.run_until(|s| s.round() >= 7, 1000).unwrap();
         assert_eq!(outcome, RunOutcome::Satisfied(7));
     }
 
     #[test]
     fn run_until_round_limit() {
         let mut sim = ring_sim(4, SimConfig::synchronous(5));
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: u64::MAX }).unwrap();
+        sim.inject(
+            NodeId(0),
+            NodeId(0),
+            Token {
+                remaining: u64::MAX,
+            },
+        )
+        .unwrap();
         let err = sim.run_until(|_| false, 20).unwrap_err();
         assert_eq!(err, SimError::RoundLimitExceeded { limit: 20 });
     }
@@ -484,23 +522,30 @@ mod tests {
         config.record_trace = true;
         let mut sim = ring_sim(6, config);
         for i in 0..6u64 {
-            sim.inject(NodeId(i), NodeId(i), Token { remaining: 9 }).unwrap();
+            sim.inject(NodeId(i), NodeId(i), Token { remaining: 9 })
+                .unwrap();
         }
         sim.run_to_quiescence(10_000).unwrap();
         let total: usize = sim.iter().map(|(_, n)| n.received.len()).sum();
         assert_eq!(total, 60, "each of the 6 tokens must make 10 hops");
-        assert_eq!(sim.metrics().messages_sent, sim.metrics().messages_delivered);
+        assert_eq!(
+            sim.metrics().messages_sent,
+            sim.metrics().messages_delivered
+        );
     }
 
     #[test]
     fn async_mode_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let mut sim = ring_sim(5, SimConfig::asynchronous(seed, 5));
-            sim.inject(NodeId(0), NodeId(0), Token { remaining: 20 }).unwrap();
+            sim.inject(NodeId(0), NodeId(0), Token { remaining: 20 })
+                .unwrap();
             sim.run_to_quiescence(100_000).unwrap();
             (
                 sim.round(),
-                sim.iter().map(|(_, n)| n.received.clone()).collect::<Vec<_>>(),
+                sim.iter()
+                    .map(|(_, n)| n.received.clone())
+                    .collect::<Vec<_>>(),
             )
         };
         assert_eq!(run(77), run(77));
@@ -515,7 +560,8 @@ mod tests {
     #[test]
     fn metrics_track_messages_and_delays() {
         let mut sim = ring_sim(3, SimConfig::synchronous(4));
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: 5 }).unwrap();
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 5 })
+            .unwrap();
         sim.run_to_quiescence(100).unwrap();
         let m = sim.metrics();
         assert_eq!(m.messages_sent, 6);
@@ -528,7 +574,8 @@ mod tests {
     fn trace_records_send_and_delivery() {
         let config = SimConfig::synchronous(1).with_trace();
         let mut sim = ring_sim(2, config);
-        sim.inject(NodeId(0), NodeId(1), Token { remaining: 0 }).unwrap();
+        sim.inject(NodeId(0), NodeId(1), Token { remaining: 0 })
+            .unwrap();
         sim.run_rounds(2);
         let trace = sim.trace().unwrap();
         assert!(trace
@@ -548,9 +595,13 @@ mod tests {
     #[test]
     fn adversarial_delivery_still_delivers_all() {
         let mut config = SimConfig::synchronous(11);
-        config.delivery = DeliveryModel::Adversarial { straggle_prob: 0.5, straggle_delay: 40 };
+        config.delivery = DeliveryModel::Adversarial {
+            straggle_prob: 0.5,
+            straggle_delay: 40,
+        };
         let mut sim = ring_sim(4, config);
-        sim.inject(NodeId(0), NodeId(0), Token { remaining: 30 }).unwrap();
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 30 })
+            .unwrap();
         sim.run_to_quiescence(100_000).unwrap();
         let total: usize = sim.iter().map(|(_, n)| n.received.len()).sum();
         assert_eq!(total, 31);

@@ -132,9 +132,20 @@ mod tests {
     #[test]
     fn push_and_query() {
         let mut t = Trace::with_capacity(0);
-        t.push(TraceEvent::NodeAdded { node: NodeId(1), round: 0 });
-        t.push(TraceEvent::Sent { from: NodeId(1), to: NodeId(2), round: 1, deliver_at: 2 });
-        t.push(TraceEvent::Timeout { node: NodeId(3), round: 1 });
+        t.push(TraceEvent::NodeAdded {
+            node: NodeId(1),
+            round: 0,
+        });
+        t.push(TraceEvent::Sent {
+            from: NodeId(1),
+            to: NodeId(2),
+            round: 1,
+            deliver_at: 2,
+        });
+        t.push(TraceEvent::Timeout {
+            node: NodeId(3),
+            round: 1,
+        });
         assert_eq!(t.events().len(), 3);
         assert_eq!(t.involving(NodeId(1)).len(), 2);
         assert_eq!(t.involving(NodeId(3)).len(), 1);
@@ -146,7 +157,10 @@ mod tests {
     fn capacity_bound_drops_oldest() {
         let mut t = Trace::with_capacity(4);
         for r in 0..10 {
-            t.push(TraceEvent::Timeout { node: NodeId(0), round: r });
+            t.push(TraceEvent::Timeout {
+                node: NodeId(0),
+                round: r,
+            });
         }
         assert!(t.events().len() <= 4 + 1);
         assert!(t.dropped() > 0);
@@ -158,18 +172,39 @@ mod tests {
     #[test]
     fn event_round_accessor() {
         assert_eq!(
-            TraceEvent::Delivered { from: NodeId(0), to: NodeId(1), round: 7 }.round(),
+            TraceEvent::Delivered {
+                from: NodeId(0),
+                to: NodeId(1),
+                round: 7
+            }
+            .round(),
             7
         );
-        assert_eq!(TraceEvent::NodeDeactivated { node: NodeId(0), round: 3 }.round(), 3);
+        assert_eq!(
+            TraceEvent::NodeDeactivated {
+                node: NodeId(0),
+                round: 3
+            }
+            .round(),
+            3
+        );
     }
 
     #[test]
     fn clear_resets() {
         let mut t = Trace::with_capacity(2);
-        t.push(TraceEvent::Timeout { node: NodeId(0), round: 0 });
-        t.push(TraceEvent::Timeout { node: NodeId(0), round: 1 });
-        t.push(TraceEvent::Timeout { node: NodeId(0), round: 2 });
+        t.push(TraceEvent::Timeout {
+            node: NodeId(0),
+            round: 0,
+        });
+        t.push(TraceEvent::Timeout {
+            node: NodeId(0),
+            round: 1,
+        });
+        t.push(TraceEvent::Timeout {
+            node: NodeId(0),
+            round: 2,
+        });
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);

@@ -40,12 +40,20 @@ pub struct OrderKey {
 impl OrderKey {
     /// Key of an anchor-ordered request.
     pub fn anchor(major: u64, origin: ProcessId) -> Self {
-        OrderKey { major, origin: origin.raw(), minor: 0 }
+        OrderKey {
+            major,
+            origin: origin.raw(),
+            minor: 0,
+        }
     }
 
     /// Key of a locally combined request anchored after `major`.
     pub fn local(major: u64, origin: ProcessId, minor: u64) -> Self {
-        OrderKey { major, origin: origin.raw(), minor }
+        OrderKey {
+            major,
+            origin: origin.raw(),
+            minor,
+        }
     }
 }
 
@@ -89,7 +97,8 @@ pub struct OpRecord {
     pub id: RequestId,
     /// Whether this is an enqueue/push or dequeue/pop.
     pub kind: OpKind,
-    /// Payload value carried by an enqueue/push (0 for dequeues).
+    /// Payload value carried by an enqueue/push; for a dequeue/pop, the
+    /// payload of the element it returned (0 when it returned `⊥`).
     pub value: u64,
     /// The outcome.
     pub result: OpResult,
@@ -188,9 +197,38 @@ impl History {
         self.records.iter().map(|r| r.latency()).sum::<u64>() as f64 / self.records.len() as f64
     }
 
-    /// Merges another history into this one.
-    pub fn extend(&mut self, other: History) {
-        self.records.extend(other.records);
+    /// Largest single-record latency (0 when empty).
+    pub fn max_latency(&self) -> u64 {
+        self.records.iter().map(|r| r.latency()).max().unwrap_or(0)
+    }
+}
+
+impl Extend<OpRecord> for History {
+    /// Appends records from any record stream — another [`History`], a
+    /// `Vec<OpRecord>`, or an iterator of collected
+    /// `CompletionEvent::record`s.
+    fn extend<I: IntoIterator<Item = OpRecord>>(&mut self, records: I) {
+        self.records.extend(records);
+    }
+}
+
+impl IntoIterator for History {
+    type Item = OpRecord;
+    type IntoIter = std::vec::IntoIter<OpRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl FromIterator<OpRecord> for History {
+    /// Builds a history from a stream of completion records — the natural
+    /// consumer of an event-observer hook that collects
+    /// `CompletionEvent::record`s.
+    fn from_iter<I: IntoIterator<Item = OpRecord>>(records: I) -> Self {
+        History {
+            records: records.into_iter().collect(),
+        }
     }
 }
 
@@ -218,7 +256,10 @@ mod tests {
         let d = OrderKey::anchor(6, ProcessId(0));
         assert!(a < b && b < c && c < d);
         let other_origin = OrderKey::local(5, ProcessId(1), 7);
-        assert!(other_origin < b, "smaller origin sorts first at the same major");
+        assert!(
+            other_origin < b,
+            "smaller origin sorts first at the same major"
+        );
         assert_eq!(format!("{a}"), "5");
         assert_eq!(format!("{b}"), "5+9.2");
     }
@@ -236,7 +277,13 @@ mod tests {
     fn counting_helpers() {
         let mut h = History::new();
         h.push(rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 1));
-        h.push(rec(0, 1, OpKind::Dequeue, OpResult::Returned(RequestId::new(ProcessId(0), 0)), 2));
+        h.push(rec(
+            0,
+            1,
+            OpKind::Dequeue,
+            OpResult::Returned(RequestId::new(ProcessId(0), 0)),
+            2,
+        ));
         h.push(rec(1, 0, OpKind::Dequeue, OpResult::Empty, 3));
         assert_eq!(h.len(), 3);
         assert_eq!(h.count_kind(OpKind::Enqueue), 1);
@@ -276,6 +323,20 @@ mod tests {
         b.push(rec(1, 0, OpKind::Enqueue, OpResult::Enqueued, 2));
         a.extend(b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn collects_from_record_stream() {
+        let records = vec![
+            rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 1),
+            rec(0, 1, OpKind::Dequeue, OpResult::Empty, 2),
+        ];
+        let h: History = records.iter().copied().collect();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.max_latency(), 4);
+        let mut extended = History::new();
+        extended.extend(records);
+        assert_eq!(extended.len(), 2);
     }
 
     #[test]

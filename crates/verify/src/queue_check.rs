@@ -25,9 +25,19 @@ pub(crate) struct PreparedMatching {
 /// Well-formedness checks plus matching construction, shared with the stack
 /// checker (push/pop map onto enqueue/dequeue in [`OpKind`]).
 pub(crate) fn prepare_for_stack(history: &History) -> PreparedMatching {
-    let Prepared { report, matched, unmatched_enqueues, empty_orders, records: _ } =
-        prepare(history);
-    PreparedMatching { report, matched, unmatched_enqueues, empty_orders }
+    let Prepared {
+        report,
+        matched,
+        unmatched_enqueues,
+        empty_orders,
+        records: _,
+    } = prepare(history);
+    PreparedMatching {
+        report,
+        matched,
+        unmatched_enqueues,
+        empty_orders,
+    }
 }
 
 /// Shared preprocessing of a history: well-formedness checks and the
@@ -57,12 +67,15 @@ fn prepare(history: &History) -> Prepared<'_> {
     let mut by_order: BTreeMap<OrderKey, RequestId> = BTreeMap::new();
     for r in records {
         if let Some(previous) = by_request.insert(r.id, r) {
-            report.violations.push(Violation::DuplicateRequest { request: previous.id });
+            report.violations.push(Violation::DuplicateRequest {
+                request: previous.id,
+            });
         }
         if let Some(previous) = by_order.insert(r.order, r.id) {
-            report
-                .violations
-                .push(Violation::DuplicateOrder { order: r.order, requests: (previous, r.id) });
+            report.violations.push(Violation::DuplicateOrder {
+                order: r.order,
+                requests: (previous, r.id),
+            });
         }
     }
 
@@ -72,32 +85,30 @@ fn prepare(history: &History) -> Prepared<'_> {
     let mut empty_orders = Vec::new();
     for r in records {
         match (r.kind, r.result) {
-            (OpKind::Dequeue, OpResult::Returned(source)) => {
-                match by_request.get(&source) {
-                    Some(enq) if enq.kind == OpKind::Enqueue => {
-                        if let Some(&other) = consumer_of.get(&source) {
-                            report.violations.push(Violation::DuplicateDelivery {
-                                enqueue: source,
-                                dequeues: (other, r.id),
-                            });
-                        } else {
-                            consumer_of.insert(source, r.id);
-                            matched.push(MatchedPair {
-                                enqueue: source,
-                                dequeue: r.id,
-                                enqueue_order: enq.order,
-                                dequeue_order: r.order,
-                            });
-                        }
-                    }
-                    _ => {
-                        report.violations.push(Violation::PhantomElement {
+            (OpKind::Dequeue, OpResult::Returned(source)) => match by_request.get(&source) {
+                Some(enq) if enq.kind == OpKind::Enqueue => {
+                    if let Some(&other) = consumer_of.get(&source) {
+                        report.violations.push(Violation::DuplicateDelivery {
+                            enqueue: source,
+                            dequeues: (other, r.id),
+                        });
+                    } else {
+                        consumer_of.insert(source, r.id);
+                        matched.push(MatchedPair {
+                            enqueue: source,
                             dequeue: r.id,
-                            claimed_enqueue: source,
+                            enqueue_order: enq.order,
+                            dequeue_order: r.order,
                         });
                     }
                 }
-            }
+                _ => {
+                    report.violations.push(Violation::PhantomElement {
+                        dequeue: r.id,
+                        claimed_enqueue: source,
+                    });
+                }
+            },
             (OpKind::Dequeue, OpResult::Empty) => empty_orders.push(r.order),
             _ => {}
         }
@@ -113,7 +124,13 @@ fn prepare(history: &History) -> Prepared<'_> {
     report.matched_pairs = matched.len();
     report.empty_dequeues = empty_orders.len();
 
-    Prepared { report, matched, unmatched_enqueues, empty_orders, records }
+    Prepared {
+        report,
+        matched,
+        unmatched_enqueues,
+        empty_orders,
+        records,
+    }
 }
 
 /// Checks the local (per-process) issue-order property — property 4 of
@@ -123,9 +140,10 @@ fn check_process_order(history: &History, report: &mut ConsistencyReport) {
         for window in ops.windows(2) {
             let (a, b) = (window[0], window[1]);
             if a.order >= b.order {
-                report
-                    .violations
-                    .push(Violation::ProcessOrderViolation { earlier: a.id, later: b.id });
+                report.violations.push(Violation::ProcessOrderViolation {
+                    earlier: a.id,
+                    later: b.id,
+                });
             }
         }
     }
@@ -134,8 +152,13 @@ fn check_process_order(history: &History, report: &mut ConsistencyReport) {
 /// Checks the four properties of Definition 1 against the order witnessed in
 /// the history.
 pub fn check_queue_definition1(history: &History) -> ConsistencyReport {
-    let Prepared { mut report, matched, unmatched_enqueues, empty_orders, records: _ } =
-        prepare(history);
+    let Prepared {
+        mut report,
+        matched,
+        unmatched_enqueues,
+        empty_orders,
+        records: _,
+    } = prepare(history);
 
     // Property 1: enqueue before its dequeue.
     for pair in &matched {
@@ -179,11 +202,13 @@ pub fn check_queue_definition1(history: &History) -> ConsistencyReport {
         for pair in &matched {
             if first_unmatched_order < pair.enqueue_order && pair.enqueue_order < pair.dequeue_order
             {
-                report.violations.push(Violation::UnmatchedEnqueueOvertaken {
-                    unmatched_enqueue: first_unmatched,
-                    matched_enqueue: pair.enqueue,
-                    matched_dequeue: pair.dequeue,
-                });
+                report
+                    .violations
+                    .push(Violation::UnmatchedEnqueueOvertaken {
+                        unmatched_enqueue: first_unmatched,
+                        matched_enqueue: pair.enqueue,
+                        matched_dequeue: pair.dequeue,
+                    });
                 // One witness per unmatched enqueue is enough to fail the
                 // check; avoid flooding the report.
                 break;
@@ -237,13 +262,17 @@ pub fn check_queue_replay(history: &History) -> ConsistencyReport {
                     (Some(exp), OpResult::Empty) => {
                         report.violations.push(Violation::ReplayMismatch {
                             request: record.id,
-                            detail: format!("returned ⊥ but sequential queue holds element of {exp}"),
+                            detail: format!(
+                                "returned ⊥ but sequential queue holds element of {exp}"
+                            ),
                         });
                     }
                     (None, OpResult::Returned(got)) => {
                         report.violations.push(Violation::ReplayMismatch {
                             request: record.id,
-                            detail: format!("returned element of {got} but sequential queue is empty"),
+                            detail: format!(
+                                "returned element of {got} but sequential queue is empty"
+                            ),
                         });
                     }
                     (_, OpResult::Enqueued) => {
@@ -486,10 +515,10 @@ mod tests {
     fn interleaved_multi_process_history_passes() {
         // Three processes, interleaved operations consistent with FIFO.
         let h = history(vec![
-            enq(0, 0, 1),  // A
-            enq(1, 0, 2),  // B
+            enq(0, 0, 1),                  // A
+            enq(1, 0, 2),                  // B
             deq(2, 0, 3, Some(rid(0, 0))), // -> A
-            enq(0, 1, 4),  // C
+            enq(0, 1, 4),                  // C
             deq(1, 1, 5, Some(rid(1, 0))), // -> B
             deq(2, 1, 6, Some(rid(0, 1))), // -> C
             deq(0, 2, 7, None),            // ⊥

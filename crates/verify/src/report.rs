@@ -231,7 +231,8 @@ mod tests {
     #[test]
     fn report_with_violation_is_inconsistent() {
         let mut r = ConsistencyReport::default();
-        r.violations.push(Violation::DuplicateRequest { request: rid(0, 1) });
+        r.violations
+            .push(Violation::DuplicateRequest { request: rid(0, 1) });
         assert!(!r.is_consistent());
         assert!(r.to_string().contains("INCONSISTENT"));
     }
@@ -240,15 +241,23 @@ mod tests {
     #[should_panic(expected = "NOT sequentially consistent")]
     fn assert_consistent_panics_on_violation() {
         let mut r = ConsistencyReport::default();
-        r.violations.push(Violation::DuplicateRequest { request: rid(0, 1) });
+        r.violations
+            .push(Violation::DuplicateRequest { request: rid(0, 1) });
         r.assert_consistent();
     }
 
     #[test]
     fn merge_combines_violations() {
-        let mut a = ConsistencyReport { records_checked: 5, ..Default::default() };
-        let mut b = ConsistencyReport { records_checked: 9, ..Default::default() };
-        b.violations.push(Violation::DuplicateRequest { request: rid(0, 0) });
+        let mut a = ConsistencyReport {
+            records_checked: 5,
+            ..Default::default()
+        };
+        let mut b = ConsistencyReport {
+            records_checked: 9,
+            ..Default::default()
+        };
+        b.violations
+            .push(Violation::DuplicateRequest { request: rid(0, 0) });
         a.merge(b);
         assert_eq!(a.violations.len(), 1);
         assert_eq!(a.records_checked, 9);
@@ -261,9 +270,18 @@ mod tests {
                 order: OrderKey::anchor(5, ProcessId(0)),
                 requests: (rid(0, 1), rid(1, 1)),
             },
-            Violation::PhantomElement { dequeue: rid(0, 1), claimed_enqueue: rid(9, 9) },
-            Violation::DuplicateDelivery { enqueue: rid(0, 0), dequeues: (rid(1, 0), rid(2, 0)) },
-            Violation::DequeueBeforeEnqueue { enqueue: rid(0, 0), dequeue: rid(1, 0) },
+            Violation::PhantomElement {
+                dequeue: rid(0, 1),
+                claimed_enqueue: rid(9, 9),
+            },
+            Violation::DuplicateDelivery {
+                enqueue: rid(0, 0),
+                dequeues: (rid(1, 0), rid(2, 0)),
+            },
+            Violation::DequeueBeforeEnqueue {
+                enqueue: rid(0, 0),
+                dequeue: rid(1, 0),
+            },
             Violation::EmptyDequeueBetweenMatch {
                 enqueue: rid(0, 0),
                 dequeue: rid(1, 0),
@@ -274,10 +292,22 @@ mod tests {
                 matched_enqueue: rid(1, 0),
                 matched_dequeue: rid(2, 0),
             },
-            Violation::FifoViolation { first_enqueue: rid(0, 0), second_enqueue: rid(1, 0) },
-            Violation::LifoViolation { first_push: rid(0, 0), second_push: rid(1, 0) },
-            Violation::ProcessOrderViolation { earlier: rid(0, 0), later: rid(0, 1) },
-            Violation::ReplayMismatch { request: rid(0, 0), detail: "oops".into() },
+            Violation::FifoViolation {
+                first_enqueue: rid(0, 0),
+                second_enqueue: rid(1, 0),
+            },
+            Violation::LifoViolation {
+                first_push: rid(0, 0),
+                second_push: rid(1, 0),
+            },
+            Violation::ProcessOrderViolation {
+                earlier: rid(0, 0),
+                later: rid(0, 1),
+            },
+            Violation::ReplayMismatch {
+                request: rid(0, 0),
+                detail: "oops".into(),
+            },
         ];
         for v in samples {
             assert!(!v.to_string().is_empty());

@@ -24,8 +24,12 @@ use skueue_sim::ids::RequestId;
 /// Checks the adjusted Definition 1 (LIFO version) against the witnessed
 /// order.
 pub fn check_stack_ordering(history: &History) -> ConsistencyReport {
-    let PreparedMatching { mut report, matched, unmatched_enqueues, empty_orders } =
-        prepare_for_stack(history);
+    let PreparedMatching {
+        mut report,
+        matched,
+        unmatched_enqueues,
+        empty_orders,
+    } = prepare_for_stack(history);
 
     // Property 1: push before its pop.
     for pair in &matched {
@@ -68,11 +72,13 @@ pub fn check_stack_ordering(history: &History) -> ConsistencyReport {
             let hi = pair.enqueue_order.max(pair.dequeue_order);
             let idx = unmatched_orders.partition_point(|&(o, _)| o <= lo);
             if idx < unmatched_orders.len() && unmatched_orders[idx].0 < hi {
-                report.violations.push(Violation::UnmatchedEnqueueOvertaken {
-                    unmatched_enqueue: unmatched_orders[idx].1,
-                    matched_enqueue: pair.enqueue,
-                    matched_dequeue: pair.dequeue,
-                });
+                report
+                    .violations
+                    .push(Violation::UnmatchedEnqueueOvertaken {
+                        unmatched_enqueue: unmatched_orders[idx].1,
+                        matched_enqueue: pair.enqueue,
+                        matched_dequeue: pair.dequeue,
+                    });
             }
         }
     }
@@ -112,9 +118,10 @@ pub fn check_stack_ordering(history: &History) -> ConsistencyReport {
         for window in ops.windows(2) {
             let (a, b) = (window[0], window[1]);
             if a.order >= b.order {
-                report
-                    .violations
-                    .push(Violation::ProcessOrderViolation { earlier: a.id, later: b.id });
+                report.violations.push(Violation::ProcessOrderViolation {
+                    earlier: a.id,
+                    later: b.id,
+                });
             }
         }
     }
@@ -147,13 +154,17 @@ pub fn check_stack_replay(history: &History) -> ConsistencyReport {
                     (Some(exp), OpResult::Empty) => {
                         report.violations.push(Violation::ReplayMismatch {
                             request: record.id,
-                            detail: format!("returned ⊥ but sequential stack top is element of {exp}"),
+                            detail: format!(
+                                "returned ⊥ but sequential stack top is element of {exp}"
+                            ),
                         });
                     }
                     (None, OpResult::Returned(got)) => {
                         report.violations.push(Violation::ReplayMismatch {
                             request: record.id,
-                            detail: format!("popped element of {got} but sequential stack is empty"),
+                            detail: format!(
+                                "popped element of {got} but sequential stack is empty"
+                            ),
                         });
                     }
                     (_, OpResult::Enqueued) => {
@@ -172,9 +183,10 @@ pub fn check_stack_replay(history: &History) -> ConsistencyReport {
         for window in ops.windows(2) {
             let (a, b) = (window[0], window[1]);
             if a.order >= b.order {
-                report
-                    .violations
-                    .push(Violation::ProcessOrderViolation { earlier: a.id, later: b.id });
+                report.violations.push(Violation::ProcessOrderViolation {
+                    earlier: a.id,
+                    later: b.id,
+                });
             }
         }
     }

@@ -23,7 +23,11 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum BaselineMsg {
     /// A client request (insert or remove) tagged with its issue round.
-    Request { is_insert: bool, value: u64, issued_round: u64 },
+    Request {
+        is_insert: bool,
+        value: u64,
+        issued_round: u64,
+    },
     /// The server's answer, echoing the issue round.
     Reply { issued_round: u64 },
 }
@@ -63,7 +67,9 @@ impl Actor for BaselineNode {
             }
             BaselineNode::Client(client) => {
                 if let BaselineMsg::Reply { issued_round } = msg {
-                    client.latencies.push(ctx.round().saturating_sub(issued_round));
+                    client
+                        .latencies
+                        .push(ctx.round().saturating_sub(issued_round));
                 }
             }
         }
@@ -72,8 +78,15 @@ impl Actor for BaselineNode {
     fn on_timeout(&mut self, ctx: &mut Context<BaselineMsg>) {
         if let BaselineNode::Server(server) = self {
             for _ in 0..server.capacity_per_round {
-                let Some((client, msg)) = server.backlog.pop_front() else { break };
-                if let BaselineMsg::Request { is_insert, value, issued_round } = msg {
+                let Some((client, msg)) = server.backlog.pop_front() else {
+                    break;
+                };
+                if let BaselineMsg::Request {
+                    is_insert,
+                    value,
+                    issued_round,
+                } = msg
+                {
                     if is_insert {
                         server.queue.push_back(value);
                     } else {
@@ -196,7 +209,10 @@ mod tests {
     fn baseline_answers_every_request() {
         let result = run_central_baseline(20, 0.5, 0.5, 30, 10, 1);
         assert!(result.requests > 0);
-        assert!(result.avg_rounds_per_request >= 2.0, "round trip costs at least 2 rounds");
+        assert!(
+            result.avg_rounds_per_request >= 2.0,
+            "round trip costs at least 2 rounds"
+        );
     }
 
     #[test]

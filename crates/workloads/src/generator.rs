@@ -1,4 +1,9 @@
 //! Request generators matching the paper's evaluation setup.
+//!
+//! Generators drive the cluster through per-process
+//! [`ClientHandle`](skueue_core::ClientHandle)s — the same request path an
+//! application would use — and discard the returned tickets (the scenario
+//! layer reads results through the cluster's completion stream).
 
 use skueue_core::{ClusterError, SkueueCluster};
 use skueue_sim::ids::ProcessId;
@@ -52,7 +57,9 @@ impl FixedRateGenerator {
             let target = targets[self.rng.choose_index(targets.len())];
             let is_insert = self.rng.gen_bool(self.insert_ratio);
             self.value_counter += 1;
-            cluster.issue_op(target, is_insert, self.value_counter)?;
+            cluster
+                .client(target)
+                .issue(is_insert, self.value_counter)?;
             issued += 1;
         }
         Ok(issued)
@@ -75,7 +82,12 @@ pub struct PerNodeRateGenerator {
 
 impl PerNodeRateGenerator {
     /// Creates a generator with the given per-node probability.
-    pub fn new(request_probability: f64, insert_ratio: f64, generation_rounds: u64, seed: u64) -> Self {
+    pub fn new(
+        request_probability: f64,
+        insert_ratio: f64,
+        generation_rounds: u64,
+        seed: u64,
+    ) -> Self {
         PerNodeRateGenerator {
             request_probability,
             insert_ratio,
@@ -96,7 +108,9 @@ impl PerNodeRateGenerator {
             if self.rng.gen_bool(self.request_probability) {
                 let is_insert = self.rng.gen_bool(self.insert_ratio);
                 self.value_counter += 1;
-                cluster.issue_op(target, is_insert, self.value_counter)?;
+                cluster
+                    .client(target)
+                    .issue(is_insert, self.value_counter)?;
                 issued += 1;
             }
         }
@@ -123,9 +137,17 @@ pub fn random_active_process(cluster: &SkueueCluster, rng: &mut SimRng) -> Optio
 mod tests {
     use super::*;
 
+    fn queue_cluster(n: usize, seed: u64) -> SkueueCluster {
+        SkueueCluster::builder()
+            .processes(n)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn fixed_rate_issues_requested_count() {
-        let mut cluster = SkueueCluster::queue(4, 1);
+        let mut cluster = queue_cluster(4, 1);
         let mut gen = FixedRateGenerator::new(0.5, 3, 7).with_requests_per_round(5);
         let mut total = 0;
         for round in 0..10 {
@@ -139,7 +161,7 @@ mod tests {
 
     #[test]
     fn fixed_rate_insert_ratio_extremes() {
-        let mut cluster = SkueueCluster::queue(2, 2);
+        let mut cluster = queue_cluster(2, 2);
         let mut gen = FixedRateGenerator::new(1.0, 5, 3).with_requests_per_round(4);
         for round in 0..5 {
             gen.tick(&mut cluster, round).unwrap();
@@ -155,7 +177,7 @@ mod tests {
 
     #[test]
     fn per_node_rate_scales_with_probability() {
-        let mut cluster = SkueueCluster::queue(50, 3);
+        let mut cluster = queue_cluster(50, 3);
         let mut gen = PerNodeRateGenerator::new(0.5, 0.5, 20, 11);
         let mut total = 0;
         for round in 0..20 {
@@ -171,7 +193,7 @@ mod tests {
 
     #[test]
     fn per_node_rate_zero_probability_generates_nothing() {
-        let mut cluster = SkueueCluster::queue(5, 4);
+        let mut cluster = queue_cluster(5, 4);
         let mut gen = PerNodeRateGenerator::new(0.0, 0.5, 10, 1);
         for round in 0..10 {
             assert_eq!(gen.tick(&mut cluster, round).unwrap(), 0);
@@ -180,7 +202,7 @@ mod tests {
 
     #[test]
     fn random_process_helper() {
-        let cluster = SkueueCluster::queue(3, 5);
+        let cluster = queue_cluster(3, 5);
         let mut rng = SimRng::new(1);
         let p = random_active_process(&cluster, &mut rng).unwrap();
         assert!(p.raw() < 3);

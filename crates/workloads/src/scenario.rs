@@ -7,9 +7,8 @@
 
 use crate::generator::{FixedRateGenerator, PerNodeRateGenerator};
 use serde::{Deserialize, Serialize};
-use skueue_core::{Mode, ProtocolConfig, SkueueCluster};
+use skueue_core::{Mode, SkueueCluster};
 use skueue_sim::ids::ProcessId;
-use skueue_sim::SimConfig;
 use skueue_verify::{check_queue, check_stack};
 
 /// Parameters of a fixed-rate or per-node-rate scenario run.
@@ -85,11 +84,13 @@ impl ScenarioParams {
         self
     }
 
-    fn protocol_config(&self) -> ProtocolConfig {
-        match self.mode {
-            Mode::Queue => ProtocolConfig::queue(),
-            Mode::Stack => ProtocolConfig::stack(),
-        }
+    fn build_cluster(&self) -> SkueueCluster {
+        SkueueCluster::builder()
+            .processes(self.processes)
+            .mode(self.mode)
+            .seed(self.seed)
+            .build()
+            .expect("scenario parameters describe a valid cluster")
     }
 }
 
@@ -127,19 +128,10 @@ pub struct ScenarioResult {
     pub locally_combined: u64,
 }
 
-fn finish(
-    cluster: SkueueCluster,
-    params: &ScenarioParams,
-    drain_rounds: u64,
-) -> ScenarioResult {
+fn finish(cluster: SkueueCluster, params: &ScenarioParams, drain_rounds: u64) -> ScenarioResult {
     let history = cluster.history();
-    let latencies: Vec<u64> = history.records().iter().map(|r| r.latency()).collect();
-    let avg = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-    };
-    let max = latencies.iter().copied().max().unwrap_or(0);
+    let avg = history.mean_latency();
+    let max = history.max_latency();
     let batch_hist = cluster.batch_size_histogram();
     let hop_hist = cluster.dht_hop_histogram();
 
@@ -174,18 +166,18 @@ fn finish(
 /// Runs one data point of the Figure 2 / Figure 3 workload: a fixed number of
 /// requests per round assigned to random processes.
 pub fn run_fixed_rate(params: ScenarioParams) -> ScenarioResult {
-    let mut cluster = SkueueCluster::new(
-        params.processes,
-        params.protocol_config(),
-        SimConfig::synchronous(params.seed),
+    let mut cluster = params.build_cluster();
+    let mut generator = FixedRateGenerator::new(
+        params.insert_ratio,
+        params.generation_rounds,
+        params.seed ^ 0xA5,
     )
-    .expect("synchronous config is valid");
-    let mut generator =
-        FixedRateGenerator::new(params.insert_ratio, params.generation_rounds, params.seed ^ 0xA5)
-            .with_requests_per_round(params.requests_per_round);
+    .with_requests_per_round(params.requests_per_round);
 
     for round in 0..params.generation_rounds {
-        generator.tick(&mut cluster, round).expect("active processes exist");
+        generator
+            .tick(&mut cluster, round)
+            .expect("active processes exist");
         cluster.run_round();
     }
     let drain_rounds = cluster
@@ -197,12 +189,7 @@ pub fn run_fixed_rate(params: ScenarioParams) -> ScenarioResult {
 /// Runs one data point of the Figure 4 workload: every process generates a
 /// request with probability `request_probability` per round.
 pub fn run_per_node_rate(params: ScenarioParams) -> ScenarioResult {
-    let mut cluster = SkueueCluster::new(
-        params.processes,
-        params.protocol_config(),
-        SimConfig::synchronous(params.seed),
-    )
-    .expect("synchronous config is valid");
+    let mut cluster = params.build_cluster();
     let mut generator = PerNodeRateGenerator::new(
         params.request_probability,
         params.insert_ratio,
@@ -211,7 +198,9 @@ pub fn run_per_node_rate(params: ScenarioParams) -> ScenarioResult {
     );
 
     for round in 0..params.generation_rounds {
-        generator.tick(&mut cluster, round).expect("active processes exist");
+        generator
+            .tick(&mut cluster, round)
+            .expect("active processes exist");
         cluster.run_round();
     }
     let drain_rounds = cluster
@@ -248,15 +237,22 @@ pub fn run_churn_scenario(
     leaves: usize,
     seed: u64,
 ) -> ChurnResult {
-    let mut cluster = SkueueCluster::queue(initial_processes, seed);
+    let mut cluster = SkueueCluster::builder()
+        .processes(initial_processes)
+        .seed(seed)
+        .build()
+        .expect("at least one initial process");
 
     // Warm-up load.
     for i in 0..(initial_processes as u64 * 2) {
         cluster
-            .enqueue(ProcessId(i % initial_processes as u64), i)
+            .client(ProcessId(i % initial_processes as u64))
+            .enqueue(i)
             .expect("initial processes are active");
     }
-    cluster.run_until_all_complete(20_000).expect("warm-up drains");
+    cluster
+        .run_until_all_complete(20_000)
+        .expect("warm-up drains");
 
     // Bulk join.
     let mut joined = Vec::new();
@@ -265,18 +261,20 @@ pub fn run_churn_scenario(
     }
     let join_start = cluster.round();
     cluster
-        .run_until(
-            |c| joined.iter().all(|&p| c.process_is_active(p)),
-            100_000,
-        )
+        .run_until(|c| joined.iter().all(|&p| c.process_is_active(p)), 100_000)
         .expect("joins must integrate");
     let join_rounds = cluster.round() - join_start;
 
     // Load that exercises the new members.
     for (i, &p) in joined.iter().enumerate() {
-        cluster.enqueue(p, 10_000 + i as u64).expect("joined processes are active");
+        cluster
+            .client(p)
+            .enqueue(10_000 + i as u64)
+            .expect("joined processes are active");
     }
-    cluster.run_until_all_complete(20_000).expect("post-join load drains");
+    cluster
+        .run_until_all_complete(20_000)
+        .expect("post-join load drains");
 
     // Bulk leave (never the anchor's process).
     let mut left = Vec::new();
@@ -298,15 +296,20 @@ pub fn run_churn_scenario(
     // Post-churn load: drain the queue completely to prove no data was lost.
     let survivors = cluster.active_process_ids();
     let remaining = cluster.anchor_state().map(|a| a.size()).unwrap_or(0);
-    for i in 0..remaining {
-        cluster
-            .dequeue(survivors[(i % survivors.len() as u64) as usize])
-            .expect("survivors are active");
-    }
-    cluster.run_until_all_complete(50_000).expect("final drain");
+    let drains: Vec<_> = (0..remaining)
+        .map(|i| {
+            cluster
+                .client(survivors[(i % survivors.len() as u64) as usize])
+                .dequeue()
+                .expect("survivors are active")
+        })
+        .collect();
+    let outcomes = cluster
+        .run_until_done(&drains, 50_000)
+        .expect("final drain");
 
-    let consistent = check_queue(cluster.history()).is_consistent()
-        && cluster.history().count_empty() == 0;
+    let consistent =
+        check_queue(cluster.history()).is_consistent() && outcomes.iter().all(|o| !o.is_empty());
     ChurnResult {
         initial_processes,
         joins,
@@ -334,16 +337,23 @@ pub struct FairnessResult {
 /// Runs an enqueue-heavy workload and reports how evenly the stored elements
 /// spread over the virtual nodes.
 pub fn run_fairness_scenario(processes: usize, elements: u64, seed: u64) -> FairnessResult {
-    let mut cluster = SkueueCluster::queue(processes, seed);
+    let mut cluster = SkueueCluster::builder()
+        .processes(processes)
+        .seed(seed)
+        .build()
+        .expect("at least one process");
     for i in 0..elements {
         cluster
-            .enqueue(ProcessId(i % processes as u64), i)
+            .client(ProcessId(i % processes as u64))
+            .enqueue(i)
             .expect("processes are active");
         if i % 50 == 0 {
             cluster.run_round();
         }
     }
-    cluster.run_until_all_complete(100_000).expect("enqueues drain");
+    cluster
+        .run_until_all_complete(100_000)
+        .expect("enqueues drain");
     let stats = cluster.fairness().expect("at least one node");
     FairnessResult {
         processes,

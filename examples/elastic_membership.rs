@@ -8,12 +8,16 @@
 use skueue::prelude::*;
 
 fn main() {
-    let mut cluster = SkueueCluster::queue(8, 11);
+    let mut cluster = Skueue::builder()
+        .processes(8)
+        .seed(11)
+        .build()
+        .expect("8 synchronous processes are a valid deployment");
 
     // Fill the queue with some baseline work.
     println!("phase 1: 40 enqueues on the initial 8 processes");
     for i in 0..40u64 {
-        cluster.enqueue(ProcessId(i % 8), i).expect("active");
+        cluster.client(ProcessId(i % 8)).enqueue(i).expect("active");
     }
     cluster.run_until_all_complete(5_000).expect("drains");
 
@@ -25,19 +29,19 @@ fn main() {
         joined.push(cluster.join(None).expect("bootstrap available"));
     }
     let rounds = cluster
-        .run_until(
-            |c| joined.iter().all(|&p| c.process_is_active(p)),
-            50_000,
-        )
+        .run_until(|c| joined.iter().all(|&p| c.process_is_active(p)), 50_000)
         .expect("joins integrate");
     println!("  all 4 processes integrated after {rounds} rounds");
     println!("  active processes: {}", cluster.active_processes());
 
-    // The new members immediately take part in the queue.
+    // The new members immediately take part in the queue — their client
+    // handles become usable the moment integration completes.
     println!("phase 3: new members enqueue 20 more elements");
     for (i, &p) in joined.iter().enumerate() {
+        let mut client = cluster.client(p);
+        assert!(client.is_active(), "joined process serves requests");
         for j in 0..5u64 {
-            cluster.enqueue(p, 1_000 + (i as u64) * 5 + j).expect("active");
+            client.enqueue(1_000 + (i as u64) * 5 + j).expect("active");
         }
     }
     cluster.run_until_all_complete(5_000).expect("drains");
@@ -57,24 +61,34 @@ fn main() {
     let rounds = cluster
         .run_until(|c| left.iter().all(|&p| c.process_has_left(p)), 50_000)
         .expect("leaves complete");
-    println!("  {:?} left after {rounds} rounds; active processes: {}", left, cluster.active_processes());
+    println!(
+        "  {left:?} left after {rounds} rounds; active processes: {}",
+        cluster.active_processes()
+    );
 
-    // Drain the entire queue: all 60 elements must still be there, in order.
+    // Drain the entire queue: all 60 elements must still be there, and every
+    // drain ticket must resolve to a real element (no ⊥ = nothing lost).
     println!("phase 5: drain the queue through the surviving processes");
     let survivors = cluster.active_process_ids();
     let remaining = cluster.anchor_state().map(|a| a.size()).unwrap_or(0);
-    for i in 0..remaining {
-        cluster
-            .dequeue(survivors[(i as usize) % survivors.len()])
-            .expect("active");
-    }
-    cluster.run_until_all_complete(20_000).expect("drains");
+    let drains: Vec<OpTicket> = (0..remaining)
+        .map(|i| {
+            cluster
+                .client(survivors[(i as usize) % survivors.len()])
+                .dequeue()
+                .expect("active")
+        })
+        .collect();
+    let outcomes = cluster.run_until_done(&drains, 20_000).expect("drains");
+    assert_eq!(outcomes.len(), 60);
+    assert!(
+        outcomes.iter().all(|o| !o.is_empty()),
+        "no element may be lost across churn"
+    );
 
-    let history = cluster.history();
-    assert_eq!(history.count_empty(), 0, "no element may be lost across churn");
-    check_queue(history).assert_consistent();
+    check_queue(cluster.history()).assert_consistent();
     println!(
         "verified: {} requests, sequentially consistent, zero lost elements ✓",
-        history.len()
+        cluster.history().len()
     );
 }

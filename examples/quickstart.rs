@@ -1,5 +1,6 @@
-//! Quickstart: build a distributed queue, enqueue and dequeue a few
-//! elements, and verify that the execution was sequentially consistent.
+//! Quickstart: build a distributed queue with the builder, enqueue and
+//! dequeue through ticketed client handles, and verify that the execution
+//! was sequentially consistent.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -10,40 +11,68 @@ use skueue::prelude::*;
 fn main() {
     // A Skueue deployment over 16 processes (48 virtual De Bruijn nodes),
     // driven by the synchronous round scheduler the paper evaluates on.
-    let mut cluster = SkueueCluster::queue(16, 2024);
+    let mut cluster = Skueue::builder()
+        .processes(16)
+        .seed(2024)
+        .build()
+        .expect("16 synchronous processes are a valid deployment");
 
-    // Enqueue ten elements from different processes.
+    // Enqueue ten elements from ten different processes; every operation
+    // hands back a typed ticket.
     println!("enqueueing 10 elements from 10 different processes…");
-    for i in 0..10u64 {
-        cluster.enqueue(ProcessId(i % 16), 100 + i).expect("process is active");
-    }
+    let puts: Vec<OpTicket> = (0..10u64)
+        .map(|i| {
+            cluster
+                .client(ProcessId(i % 16))
+                .enqueue(100 + i)
+                .expect("process is active")
+        })
+        .collect();
 
     // Dequeue twelve times from other processes — the last two find the
     // queue empty and return ⊥.
     println!("dequeueing 12 times (the last two hit an empty queue)…");
-    for i in 0..12u64 {
-        cluster.dequeue(ProcessId((i + 5) % 16)).expect("process is active");
-    }
+    let gets: Vec<OpTicket> = (0..12u64)
+        .map(|i| {
+            cluster
+                .client(ProcessId((i + 5) % 16))
+                .dequeue()
+                .expect("process is active")
+        })
+        .collect();
 
-    // Drive the simulation until every request has completed.
-    let rounds = cluster.run_until_all_complete(2_000).expect("requests drain");
-    println!("all 22 requests completed after {rounds} simulated rounds");
-
-    // Inspect the execution history.
-    let history = cluster.history();
+    // Drive the simulation until every ticket has resolved.
+    let mut tickets = puts.clone();
+    tickets.extend(&gets);
+    let start_round = cluster.round();
+    cluster
+        .run_until_done(&tickets, 2_000)
+        .expect("requests drain");
     println!(
-        "history: {} records, {} returned ⊥, mean latency {:.1} rounds",
-        history.len(),
-        history.count_empty(),
-        history.mean_latency()
+        "all {} requests completed after {} simulated rounds",
+        tickets.len(),
+        cluster.round() - start_round
     );
-    for record in history.sorted_by_order().iter().take(6) {
-        println!("  {:?} {:?} -> {:?}", record.id, record.kind, record.result);
-    }
+
+    // Tickets resolve to structured outcomes — no history scanning needed.
+    let dequeued: Vec<Option<u64>> = gets
+        .iter()
+        .map(|&t| cluster.outcome(t).expect("completed above").value())
+        .collect();
+    let empties = dequeued.iter().filter(|v| v.is_none()).count();
+    println!("dequeue results (issue order): {dequeued:?}");
+    assert_eq!(empties, 2, "exactly two of the twelve dequeues hit ⊥");
+
+    let mean_rounds = tickets
+        .iter()
+        .map(|&t| cluster.outcome(t).expect("completed above").rounds())
+        .sum::<u64>() as f64
+        / tickets.len() as f64;
+    println!("mean latency {mean_rounds:.1} rounds/request");
 
     // The library's own checker proves the run was sequentially consistent
     // (Definition 1 of the paper + a sequential replay).
-    check_queue(history).assert_consistent();
+    check_queue(cluster.history()).assert_consistent();
     println!("sequential consistency verified ✓");
 
     // The elements were spread fairly over the virtual nodes (Corollary 19).

@@ -3,7 +3,8 @@
 //! Multiple editor processes push undo records; whoever hits "undo" pops the
 //! most recent one — LIFO semantics with sequential consistency, plus the
 //! local-combining optimisation for processes that immediately undo their own
-//! latest action.
+//! latest action.  Pops are tickets whose outcomes carry the popped element
+//! directly.
 //!
 //! ```text
 //! cargo run --example undo_stack
@@ -12,58 +13,70 @@
 use skueue::prelude::*;
 
 fn main() {
-    let mut cluster = SkueueCluster::stack(12, 5);
+    let mut cluster = Skueue::builder()
+        .processes(12)
+        .stack()
+        .seed(5)
+        .build()
+        .expect("12 synchronous processes are a valid deployment");
 
-    // Editors 0..3 perform actions (pushes); the payload encodes the action.
+    // Editors 0..3 perform actions (pushes) one after another — an undo log
+    // is a record of actions as they happen, so each action completes before
+    // the next is taken.  The payload encodes the action.
     println!("pushing 30 undo records from 4 editors…");
     for action in 0..30u64 {
         let editor = ProcessId(action % 4);
-        cluster.push(editor, action).expect("editor is active");
-        if action % 5 == 0 {
-            cluster.run_rounds(1);
-        }
+        let ticket = cluster
+            .client(editor)
+            .push(action)
+            .expect("editor is active");
+        cluster
+            .run_until_done(&[ticket], 5_000)
+            .expect("push completes");
     }
-    cluster.run_until_all_complete(5_000).expect("pushes drain");
 
     // Editor 7 hits undo ten times: it must receive the ten most recent
-    // actions in reverse order (LIFO).
+    // actions in reverse order (LIFO), each straight from its ticket.
     println!("editor 7 undoes the last 10 actions…");
+    let mut undone = Vec::new();
     for _ in 0..10 {
-        cluster.pop(ProcessId(7)).expect("editor is active");
+        let undo = cluster
+            .client(ProcessId(7))
+            .pop()
+            .expect("editor is active");
+        let outcome = cluster
+            .run_until_done(&[undo], 5_000)
+            .expect("pop completes")[0];
+        undone.push(outcome.value().expect("stack holds 30 records"));
     }
-    cluster.run_until_all_complete(5_000).expect("pops drain");
+    println!("editor 7 undid actions (most recent first): {undone:?}");
+    assert_eq!(undone, (20..30u64).rev().collect::<Vec<_>>());
 
     // Editor 2 performs an action and immediately undoes it: with the
     // paper's local-combining optimisation this completes without touching
     // the anchor or the DHT at all.
     println!("editor 2 does and immediately undoes an action (local combining)…");
     let before = cluster.locally_combined();
-    cluster.push(ProcessId(2), 999).expect("active");
-    cluster.pop(ProcessId(2)).expect("active");
+    let push = cluster.client(ProcessId(2)).push(999).expect("active");
+    let pop = cluster.client(ProcessId(2)).pop().expect("active");
     cluster.run_rounds(1);
     assert_eq!(cluster.locally_combined(), before + 2);
-    println!("  completed instantly, {} requests resolved locally so far", cluster.locally_combined());
+    assert!(cluster.status(push).is_done());
+    assert_eq!(
+        cluster.outcome(pop).expect("combined instantly").value(),
+        Some(999),
+        "the pop's ticket resolves to the matching push's payload"
+    );
+    println!(
+        "  completed instantly, {} requests resolved locally so far",
+        cluster.locally_combined()
+    );
     cluster.run_until_all_complete(5_000).expect("drains");
 
     // Verify LIFO semantics over the whole run.
-    let history = cluster.history();
-    check_stack(history).assert_consistent();
-
-    // Extract the undo order editor 7 observed.
-    let undone: Vec<u64> = history
-        .sorted_by_order()
-        .iter()
-        .filter(|r| r.kind == OpKind::Dequeue && r.id.origin == ProcessId(7))
-        .filter_map(|r| match r.result {
-            skueue::verify::OpResult::Returned(src) => history
-                .records()
-                .iter()
-                .find(|e| e.id == src)
-                .map(|e| e.value),
-            _ => None,
-        })
-        .collect();
-    println!("editor 7 undid actions (most recent first): {undone:?}");
-    assert_eq!(undone, (20..30u64).rev().collect::<Vec<_>>());
-    println!("LIFO order verified ✓ ({} records total)", history.len());
+    check_stack(cluster.history()).assert_consistent();
+    println!(
+        "LIFO order verified ✓ ({} records total)",
+        cluster.history().len()
+    );
 }

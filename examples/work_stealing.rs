@@ -3,9 +3,10 @@
 //! "A distributed queue can be used to … realize fair work stealing, since
 //! tasks available in the system would be fetched in FIFO order."  This
 //! example runs a producer/consumer job system on top of Skueue: a few
-//! producer processes enqueue jobs, every process dequeues work, and the
-//! FIFO guarantee means jobs are executed in submission order regardless of
-//! which worker grabs them.
+//! producer processes enqueue jobs, random workers pull work in waves, and
+//! every worker learns the job it got straight from its ticket's outcome —
+//! the FIFO guarantee means each wave receives exactly the oldest jobs still
+//! in the queue.
 //!
 //! ```text
 //! cargo run --example work_stealing
@@ -14,64 +15,80 @@
 use skueue::prelude::*;
 use std::collections::BTreeMap;
 
-fn main() {
-    const WORKERS: usize = 24;
-    const JOBS: u64 = 120;
+const WORKERS: usize = 24;
+const JOBS: u64 = 120;
+const WAVE: u64 = 12;
 
-    let mut cluster = SkueueCluster::queue(WORKERS, 7);
+fn main() {
+    let mut cluster = Skueue::builder()
+        .processes(WORKERS)
+        .seed(7)
+        .build()
+        .expect("24 synchronous processes are a valid deployment");
     let mut rng = SimRng::new(99);
 
-    // Phase 1: three producer processes submit batches of jobs, interleaved
-    // with simulation rounds (jobs arrive over time, as in a real system).
+    // Phase 1: three producer processes submit jobs in rounds of three (one
+    // per producer), each round of submissions completing before the next —
+    // jobs arrive over time, as in a real system.  Concurrent submissions
+    // within one round are serialised by the anchor in some order; across
+    // rounds the FIFO order equals the submission order.
     let producers = [ProcessId(0), ProcessId(1), ProcessId(2)];
-    let mut submitted = Vec::new();
-    for job in 0..JOBS {
-        let producer = producers[(job % 3) as usize];
-        let id = cluster.enqueue(producer, job).expect("producer is active");
-        submitted.push((id, job));
-        if job % 8 == 0 {
-            cluster.run_rounds(2);
-        }
+    for batch in 0..(JOBS / 3) {
+        let tickets: Vec<OpTicket> = producers
+            .iter()
+            .enumerate()
+            .map(|(i, &producer)| {
+                let job = batch * 3 + i as u64;
+                cluster
+                    .client(producer)
+                    .enqueue(job)
+                    .expect("producer is active")
+            })
+            .collect();
+        cluster
+            .run_until_done(&tickets, 10_000)
+            .expect("submissions drain");
     }
 
-    // Phase 2: every worker repeatedly pulls work until the queue is empty.
-    let mut pulls = 0u64;
-    while pulls < JOBS + WORKERS as u64 {
-        let worker = ProcessId(rng.gen_range(WORKERS as u64));
-        cluster.dequeue(worker).expect("worker is active");
-        pulls += 1;
-        if pulls % 16 == 0 {
-            cluster.run_rounds(1);
-        }
-    }
-    cluster.run_until_all_complete(10_000).expect("all requests drain");
-
-    // Analyse: which worker executed which job, and in which order?
-    let history = cluster.history();
-    check_queue(history).assert_consistent();
-
+    // Phase 2: workers pull jobs in waves of 12 concurrent dequeues from
+    // random workers, until all jobs are taken.  Each wave runs strictly
+    // after the previous one, so FIFO ordering across waves is observable
+    // from the ticket outcomes alone: wave k must receive exactly the jobs
+    // k*WAVE..(k+1)*WAVE, in some worker interleaving.
     let mut per_worker: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
-    let mut executed_in_order = Vec::new();
-    for record in history.sorted_by_order() {
-        if let (OpKind::Dequeue, skueue::verify::OpResult::Returned(source)) =
-            (record.kind, record.result)
-        {
-            // The job payload is the enqueue's value; find it.
-            let job = history
-                .records()
-                .iter()
-                .find(|r| r.id == source)
-                .map(|r| r.value)
-                .expect("matched enqueue exists");
-            per_worker.entry(record.id.origin).or_default().push(job);
-            executed_in_order.push(job);
-        }
-    }
+    let mut next_expected = 0u64;
+    while next_expected < JOBS {
+        let pulls: Vec<OpTicket> = (0..WAVE)
+            .map(|_| {
+                let worker = ProcessId(rng.gen_range(WORKERS as u64));
+                cluster.client(worker).dequeue().expect("worker is active")
+            })
+            .collect();
+        let outcomes = cluster.run_until_done(&pulls, 10_000).expect("wave drains");
 
-    // FIFO means the execution order equals the submission order.
-    let expected: Vec<u64> = (0..JOBS).collect();
-    assert_eq!(executed_in_order, expected, "jobs must be executed in FIFO order");
-    println!("all {JOBS} jobs executed in submission order ✓");
+        let mut wave_jobs: Vec<u64> = Vec::with_capacity(pulls.len());
+        for (ticket, outcome) in pulls.iter().zip(&outcomes) {
+            let job = outcome
+                .value()
+                .expect("queue still held jobs for this wave");
+            per_worker.entry(ticket.origin()).or_default().push(job);
+            wave_jobs.push(job);
+        }
+        // FIFO: this wave got exactly the WAVE oldest jobs still queued.
+        wave_jobs.sort_unstable();
+        let expected: Vec<u64> = (next_expected..next_expected + WAVE).collect();
+        assert_eq!(
+            wave_jobs, expected,
+            "a wave must receive the oldest remaining jobs"
+        );
+        next_expected += WAVE;
+    }
+    println!(
+        "all {JOBS} jobs executed in submission order across {} waves ✓",
+        JOBS / WAVE
+    );
+
+    check_queue(cluster.history()).assert_consistent();
 
     let busiest = per_worker.values().map(Vec::len).max().unwrap_or(0);
     let idle = WORKERS - per_worker.len();
@@ -82,8 +99,7 @@ fn main() {
         idle
     );
     println!(
-        "average latency per request: {:.1} rounds on a {}-process overlay",
-        history.mean_latency(),
-        WORKERS
+        "average latency per request: {:.1} rounds on a {WORKERS}-process overlay",
+        cluster.history().mean_latency()
     );
 }

@@ -4,30 +4,63 @@
 //! Setzer: *"Skueue: A Scalable and Sequentially Consistent Distributed
 //! Queue"*, IPDPS 2018).  It re-exports the whole workspace so downstream
 //! code (and the examples and integration tests in this repository) can use a
-//! single dependency:
+//! single dependency.
+//!
+//! ## Quick tour
+//!
+//! Clusters are constructed with the fluent, validating builder; operations
+//! return typed [`OpTicket`](prelude::OpTicket)s that resolve to structured
+//! [`OpOutcome`](prelude::OpOutcome)s — no scanning of the raw execution
+//! history required:
 //!
 //! ```
-//! use skueue::core::SkueueCluster;
-//! use skueue::sim::ids::ProcessId;
-//! use skueue::verify::check_queue;
+//! use skueue::prelude::*;
 //!
 //! // A distributed queue over 8 processes (24 virtual De Bruijn nodes).
-//! let mut cluster = SkueueCluster::queue(8, 42);
-//! cluster.enqueue(ProcessId(0), 7).unwrap();
-//! cluster.enqueue(ProcessId(3), 8).unwrap();
-//! cluster.dequeue(ProcessId(5)).unwrap();
-//! cluster.run_until_all_complete(500).unwrap();
+//! let mut cluster = Skueue::builder().processes(8).seed(42).build()?;
+//!
+//! // Issue operations through per-process client handles; keep the tickets.
+//! let put_a = cluster.client(ProcessId(0)).enqueue(7)?;
+//! let put_b = cluster.client(ProcessId(3)).enqueue(8)?;
+//! let get = cluster.client(ProcessId(5)).dequeue()?;
+//!
+//! // Drive the simulation until those tickets resolve, then read outcomes.
+//! let outcomes = cluster.run_until_done(&[put_a, put_b, get], 500)?;
+//! assert_eq!(outcomes[2].value(), Some(7), "FIFO: the dequeue returns 7");
+//!
+//! // The collected history proves the run was sequentially consistent.
 //! check_queue(cluster.history()).assert_consistent();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Crate map:
+//! Every completion is also published on the cluster's event stream
+//! ([`SkueueCluster::on_complete`](prelude::SkueueCluster::on_complete)), so
+//! workloads, benches and the verifier all consume the same data:
+//!
+//! ```
+//! use skueue::prelude::*;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let mut cluster = Skueue::builder().processes(4).seed(7).build()?;
+//! let latencies: Rc<RefCell<Vec<u64>>> = Rc::default();
+//! let sink = Rc::clone(&latencies);
+//! cluster.on_complete(move |event| sink.borrow_mut().push(event.outcome.rounds()));
+//! let ticket = cluster.client(ProcessId(1)).enqueue(1)?;
+//! cluster.run_until_done(&[ticket], 500)?;
+//! assert_eq!(latencies.borrow().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
 //!
 //! * [`sim`] — deterministic synchronous/asynchronous message-passing
 //!   simulator (the execution substrate),
 //! * [`overlay`] — the Linearized De Bruijn network: labels, routing,
 //!   aggregation tree,
 //! * [`dht`] — the consistent-hashing storage layer,
-//! * [`core`] — the Skueue protocol itself (queue + stack, join/leave),
+//! * [`core`] — the Skueue protocol itself (queue + stack, join/leave) and
+//!   the builder/ticket/client API,
 //! * [`verify`] — sequential-consistency checkers,
 //! * [`workloads`] — the paper's workload generators, scenarios and the
 //!   central-server baseline.
@@ -44,12 +77,15 @@ pub use skueue_workloads as workloads;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
-    pub use skueue_core::{ClusterError, Mode, ProtocolConfig, SkueueCluster};
+    pub use skueue_core::{
+        BuildError, ClientHandle, ClusterError, CompletionEvent, Mode, OpOutcome, OpStatus,
+        OpTicket, ProtocolConfig, Skueue, SkueueBuilder, SkueueCluster,
+    };
+    pub use skueue_dht::Element;
     pub use skueue_sim::ids::{NodeId, ProcessId, RequestId};
-    pub use skueue_sim::{SimConfig, SimRng};
+    pub use skueue_sim::{DeliveryModel, SimConfig, SimRng};
     pub use skueue_verify::{check_queue, check_stack, History, OpKind};
     pub use skueue_workloads::{
-        run_fixed_rate, run_per_node_rate, FixedRateGenerator, PerNodeRateGenerator,
-        ScenarioParams,
+        run_fixed_rate, run_per_node_rate, FixedRateGenerator, PerNodeRateGenerator, ScenarioParams,
     };
 }

@@ -1,5 +1,5 @@
 //! Integration tests for the stack variant (Section VI) and for join/leave
-//! churn (Section IV).
+//! churn (Section IV), driven through the builder + ticket API.
 
 use skueue::prelude::*;
 
@@ -7,42 +7,51 @@ use skueue::prelude::*;
 /// the synchronous scheduler.
 #[test]
 fn stack_random_workload_is_sequentially_consistent() {
-    let mut cluster = SkueueCluster::stack(10, 0xCAFE);
+    let mut cluster = Skueue::builder()
+        .processes(10)
+        .stack()
+        .seed(0xCAFE)
+        .build()
+        .unwrap();
     let mut rng = SimRng::new(9);
+    let mut tickets = Vec::new();
     for step in 0..250u64 {
         let p = ProcessId(rng.gen_range(10));
-        if rng.gen_bool(0.55) {
-            cluster.push(p, step).unwrap();
+        let mut client = cluster.client(p);
+        tickets.push(if rng.gen_bool(0.55) {
+            client.push(step).unwrap()
         } else {
-            cluster.pop(p).unwrap();
-        }
+            client.pop().unwrap()
+        });
         if rng.gen_bool(0.3) {
             cluster.run_round();
         }
     }
-    cluster.run_until_all_complete(20_000).unwrap();
-    let history = cluster.history();
-    assert_eq!(history.len(), 250);
-    check_stack(history).assert_consistent();
+    let outcomes = cluster.run_until_done(&tickets, 20_000).unwrap();
+    assert_eq!(outcomes.len(), 250);
+    assert_eq!(cluster.history().len(), 250);
+    check_stack(cluster.history()).assert_consistent();
 }
 
 /// The stack under asynchronous delivery — the exact reordering scenario
 /// Section VI's tickets and stage-4 barrier exist for.
 #[test]
 fn stack_asynchronous_delivery_is_consistent() {
-    let mut cluster = skueue::core::SkueueCluster::new(
-        6,
-        skueue::core::ProtocolConfig::stack(),
-        SimConfig::asynchronous(77, 3),
-    )
-    .unwrap();
+    let mut cluster = Skueue::builder()
+        .processes(6)
+        .stack()
+        .asynchronous(3)
+        .seed(77)
+        .build()
+        .unwrap();
     let mut rng = SimRng::new(4);
     for step in 0..120u64 {
         let p = ProcessId(rng.gen_range(6));
+        let mut client = cluster.client(p);
         if rng.gen_bool(0.5) {
-            cluster.push(p, step).unwrap();
+            client.push(step).unwrap();
         } else {
-            cluster.pop(p).unwrap();
+            client.pop().unwrap();
         }
         if rng.gen_bool(0.2) {
             cluster.run_round();
@@ -56,32 +65,49 @@ fn stack_asynchronous_delivery_is_consistent() {
 /// return the right elements (the Section VI motivating example).
 #[test]
 fn stack_position_reuse_is_disambiguated_by_tickets() {
-    let mut cluster = SkueueCluster::stack(4, 8);
+    let mut cluster = Skueue::builder()
+        .processes(4)
+        .stack()
+        .seed(8)
+        .build()
+        .unwrap();
     // Interleave so the operations land in different batches and reuse
     // position 1 repeatedly.
     for round in 0..6u64 {
-        cluster.push(ProcessId(0), 100 + round).unwrap();
-        cluster.run_until_all_complete(2_000).unwrap();
-        cluster.pop(ProcessId(1)).unwrap();
-        cluster.run_until_all_complete(2_000).unwrap();
+        let push = cluster.client(ProcessId(0)).push(100 + round).unwrap();
+        cluster.run_until_done(&[push], 2_000).unwrap();
+        let pop = cluster.client(ProcessId(1)).pop().unwrap();
+        let outcome = cluster.run_until_done(&[pop], 2_000).unwrap()[0];
+        // Each pop must return exactly the value pushed in this iteration.
+        assert_eq!(outcome.value(), Some(100 + round));
     }
-    let history = cluster.history();
-    check_stack(history).assert_consistent();
-    assert_eq!(history.count_empty(), 0);
+    check_stack(cluster.history()).assert_consistent();
 }
 
 /// Local combining (ablation E9 sanity): a process that alternates push/pop
-/// resolves everything locally, without anchor round trips.
+/// resolves everything locally, without anchor round trips, and every pop
+/// ticket resolves to its own push's payload.
 #[test]
 fn local_combining_resolves_alternating_workload_instantly() {
-    let mut cluster = SkueueCluster::stack(8, 13);
+    let mut cluster = Skueue::builder()
+        .processes(8)
+        .stack()
+        .seed(13)
+        .build()
+        .unwrap();
+    let mut pairs = Vec::new();
     for i in 0..40u64 {
-        cluster.push(ProcessId(3), i).unwrap();
-        cluster.pop(ProcessId(3)).unwrap();
+        let push = cluster.client(ProcessId(3)).push(i).unwrap();
+        let pop = cluster.client(ProcessId(3)).pop().unwrap();
+        pairs.push((i, push, pop));
     }
     cluster.run_round();
     assert_eq!(cluster.open_requests(), 0);
     assert_eq!(cluster.locally_combined(), 80);
+    for (value, push, pop) in pairs {
+        assert!(cluster.status(push).is_done());
+        assert_eq!(cluster.outcome(pop).unwrap().value(), Some(value));
+    }
     check_stack(cluster.history()).assert_consistent();
 }
 
@@ -89,9 +115,9 @@ fn local_combining_resolves_alternating_workload_instantly() {
 /// history stays consistent.
 #[test]
 fn join_under_load_is_consistent() {
-    let mut cluster = SkueueCluster::queue(6, 31);
+    let mut cluster = Skueue::builder().processes(6).seed(31).build().unwrap();
     for i in 0..30u64 {
-        cluster.enqueue(ProcessId(i % 6), i).unwrap();
+        cluster.client(ProcessId(i % 6)).enqueue(i).unwrap();
     }
     cluster.run_rounds(5);
     let new_a = cluster.join(None).unwrap();
@@ -103,11 +129,12 @@ fn join_under_load_is_consistent() {
         )
         .unwrap();
     // New processes serve requests immediately.
+    let mut tickets = Vec::new();
     for i in 0..10u64 {
-        cluster.enqueue(new_a, 1000 + i).unwrap();
-        cluster.dequeue(new_b).unwrap();
+        tickets.push(cluster.client(new_a).enqueue(1000 + i).unwrap());
+        tickets.push(cluster.client(new_b).dequeue().unwrap());
     }
-    cluster.run_until_all_complete(30_000).unwrap();
+    cluster.run_until_done(&tickets, 30_000).unwrap();
     check_queue(cluster.history()).assert_consistent();
     assert_eq!(cluster.active_processes(), 8);
 }
@@ -116,9 +143,9 @@ fn join_under_load_is_consistent() {
 /// dequeued afterwards, exactly once, in FIFO order.
 #[test]
 fn leave_preserves_all_elements() {
-    let mut cluster = SkueueCluster::queue(7, 17);
+    let mut cluster = Skueue::builder().processes(7).seed(17).build().unwrap();
     for i in 0..56u64 {
-        cluster.enqueue(ProcessId(i % 7), i).unwrap();
+        cluster.client(ProcessId(i % 7)).enqueue(i).unwrap();
     }
     cluster.run_until_all_complete(10_000).unwrap();
 
@@ -138,13 +165,20 @@ fn leave_preserves_all_elements() {
     assert_eq!(cluster.active_processes(), 5);
 
     let survivors = cluster.active_process_ids();
-    for i in 0..56u64 {
-        cluster.dequeue(survivors[(i as usize) % survivors.len()]).unwrap();
-    }
-    cluster.run_until_all_complete(30_000).unwrap();
-    let history = cluster.history();
-    assert_eq!(history.count_empty(), 0, "no element may be lost");
-    check_queue(history).assert_consistent();
+    let gets: Vec<OpTicket> = (0..56u64)
+        .map(|i| {
+            cluster
+                .client(survivors[(i as usize) % survivors.len()])
+                .dequeue()
+                .unwrap()
+        })
+        .collect();
+    let outcomes = cluster.run_until_done(&gets, 30_000).unwrap();
+    assert!(
+        outcomes.iter().all(|o| !o.is_empty()),
+        "no element may be lost"
+    );
+    check_queue(cluster.history()).assert_consistent();
 }
 
 /// Mixed churn: joins and leaves in the same update phases, followed by a
