@@ -1,0 +1,151 @@
+//! Throughput snapshot binary — produces `BENCH_pr2.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p skueue-bench --release --bin throughput -- [FLAGS]
+//!
+//! FLAGS: --quick        two points, one repeat (CI smoke; default)
+//!        --full         four points, best of three repeats
+//!        --seed <u64>   workload/simulation seed (default 42)
+//!        --out <path>   write the JSON report there (default: stdout only)
+//! ```
+//!
+//! The report contains the *measured* numbers of the current tree plus the
+//! frozen pre-PR-2 baseline (measured on the same machine class with the
+//! same methodology, commit 74bb838) so the speedup of the hot-loop rework
+//! is tracked in-repo.  See PERF.md for interpretation.
+
+use skueue_bench::{
+    points_to_json, print_throughput, run_throughput, ThroughputConfig, ThroughputPoint,
+};
+
+/// Seed the frozen baseline was measured with; other seeds run a different
+/// schedule and are not comparable.
+const BASELINE_SEED: u64 = 42;
+
+/// Pre-PR-2 throughput at the fig2 points (queue, insert ratio 0.5,
+/// 10 requests/round, 100 generation rounds, seed 42), measured at commit
+/// 74bb838 with the flat-inbox scheduler and cloning batch aggregation
+/// (full mode, best of three repeats).
+const BASELINE: &[ThroughputPoint] = &[
+    ThroughputPoint {
+        processes: 100,
+        requests: 1000,
+        rounds: 308,
+        wall_ms: 9.6,
+        ops_per_sec: 103_781.0,
+        rounds_per_sec: 31_964.6,
+    },
+    ThroughputPoint {
+        processes: 300,
+        requests: 1000,
+        rounds: 646,
+        wall_ms: 27.4,
+        ops_per_sec: 36_459.6,
+        rounds_per_sec: 23_552.9,
+    },
+    ThroughputPoint {
+        processes: 1000,
+        requests: 1000,
+        rounds: 973,
+        wall_ms: 108.5,
+        ops_per_sec: 9_214.9,
+        rounds_per_sec: 8_966.1,
+    },
+    ThroughputPoint {
+        processes: 3000,
+        requests: 1000,
+        rounds: 2582,
+        wall_ms: 1105.0,
+        ops_per_sec: 905.0,
+        rounds_per_sec: 2_336.6,
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = true;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let config = if quick {
+        ThroughputConfig::quick(seed)
+    } else {
+        ThroughputConfig::full(seed)
+    };
+    println!(
+        "Skueue throughput harness — mode: {}, seed: {seed}",
+        if quick { "quick" } else { "full" }
+    );
+    let current = run_throughput(&config);
+    print_throughput("fig2 throughput (queue, insert ratio 0.5)", &current);
+    print_throughput("pre-PR-2 baseline (commit 74bb838)", BASELINE);
+
+    // The baseline was measured with seed 42; a different seed runs a
+    // different schedule (different round counts), so comparing ops/sec
+    // against it would be meaningless — report null instead.
+    let speedup = if seed == BASELINE_SEED {
+        speedup_at(1000, BASELINE, &current)
+    } else {
+        println!("\nseed {seed} != baseline seed {BASELINE_SEED}: speedup not comparable");
+        None
+    };
+    if let Some(s) = speedup {
+        println!("\nspeedup at n=1000 vs baseline: {s:.2}x (ops/sec)");
+    }
+
+    let json = report_json(seed, quick, &current, speedup);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write report file");
+            println!("wrote {path}");
+        }
+        None => println!("\n{json}"),
+    }
+}
+
+/// Ops/sec ratio current/baseline at the given point, if both sides have it.
+fn speedup_at(n: usize, baseline: &[ThroughputPoint], current: &[ThroughputPoint]) -> Option<f64> {
+    let b = baseline.iter().find(|p| p.processes == n)?;
+    let c = current.iter().find(|p| p.processes == n)?;
+    if b.ops_per_sec > 0.0 {
+        Some(c.ops_per_sec / b.ops_per_sec)
+    } else {
+        None
+    }
+}
+
+fn report_json(
+    seed: u64,
+    quick: bool,
+    current: &[ThroughputPoint],
+    speedup: Option<f64>,
+) -> String {
+    let speedup_str = speedup
+        .map(|s| format!("{s:.2}"))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\n  \"pr\": 2,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n  \"baseline_commit\": \"74bb838\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup_ops_per_sec_n1000\": {speedup_str}\n}}\n",
+        if quick { "quick" } else { "full" },
+        points_to_json(BASELINE, "  "),
+        points_to_json(current, "  "),
+    )
+}

@@ -1,0 +1,201 @@
+//! Wall-clock throughput harness — the tracked perf baseline.
+//!
+//! The Criterion benches time micro components; this module times whole
+//! fig2-style sweep points (`run_fixed_rate` at insert ratio 0.5) and reports
+//! **ops/sec** (completed requests per wall-clock second) and **rounds/sec**
+//! (simulated rounds per wall-clock second).  The `throughput` binary wraps
+//! it and emits a machine-readable `BENCH_pr2.json` at the repo root so the
+//! perf trajectory of the hot loops is tracked across PRs (see PERF.md).
+//!
+//! Verification is disabled for the timed runs: the harness measures the
+//! simulator's delivery loop and the protocol's aggregation path, not the
+//! O(history²)-ish consistency checkers.
+
+use serde::{Deserialize, Serialize};
+use skueue_core::Mode;
+use skueue_workloads::{run_fixed_rate, ScenarioParams};
+use std::time::Instant;
+
+/// One timed fig2-style sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Number of processes (the fig2 x-axis).
+    pub processes: usize,
+    /// Requests completed during the run.
+    pub requests: u64,
+    /// Total simulated rounds (generation + drain).
+    pub rounds: u64,
+    /// Best wall-clock time over the configured repeats, in milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Simulated rounds per wall-clock second.
+    pub rounds_per_sec: f64,
+}
+
+/// Parameters of a throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Process counts to sweep (fig2 x-axis points).
+    pub process_counts: Vec<usize>,
+    /// Rounds of request generation per point.
+    pub generation_rounds: u64,
+    /// Timed repetitions per point; the best (minimum) wall time is kept.
+    pub repeats: usize,
+    /// Workload / simulation seed.
+    pub seed: u64,
+}
+
+impl ThroughputConfig {
+    /// Quick mode for CI smoke runs (seconds).
+    pub fn quick(seed: u64) -> Self {
+        ThroughputConfig {
+            process_counts: vec![100, 1000],
+            generation_rounds: 100,
+            repeats: 1,
+            seed,
+        }
+    }
+
+    /// Full mode for the tracked baseline (a minute or two).
+    pub fn full(seed: u64) -> Self {
+        ThroughputConfig {
+            process_counts: vec![100, 300, 1000, 3000],
+            generation_rounds: 100,
+            repeats: 3,
+            seed,
+        }
+    }
+}
+
+/// Times one fig2-style point (queue, insert ratio 0.5, 10 requests/round)
+/// and returns the best-of-`repeats` measurement.
+pub fn measure_fig2_point(
+    n: usize,
+    generation_rounds: u64,
+    repeats: usize,
+    seed: u64,
+) -> ThroughputPoint {
+    let mut best: Option<ThroughputPoint> = None;
+    for _ in 0..repeats.max(1) {
+        let params = ScenarioParams::fixed_rate(n, Mode::Queue, 0.5)
+            .with_generation_rounds(generation_rounds)
+            .with_seed(seed)
+            .without_verification();
+        let start = Instant::now();
+        let result = run_fixed_rate(params);
+        let wall = start.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let rounds = generation_rounds + result.drain_rounds;
+        let secs = wall.as_secs_f64().max(1e-9);
+        let point = ThroughputPoint {
+            processes: n,
+            requests: result.requests,
+            rounds,
+            wall_ms,
+            ops_per_sec: result.requests as f64 / secs,
+            rounds_per_sec: rounds as f64 / secs,
+        };
+        let better = best
+            .as_ref()
+            .map(|b| point.wall_ms < b.wall_ms)
+            .unwrap_or(true);
+        if better {
+            best = Some(point);
+        }
+    }
+    best.expect("repeats >= 1")
+}
+
+/// Runs the configured sweep and returns one point per process count.
+pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputPoint> {
+    config
+        .process_counts
+        .iter()
+        .map(|&n| measure_fig2_point(n, config.generation_rounds, config.repeats, config.seed))
+        .collect()
+}
+
+/// Renders a point list as a JSON array (hand-rolled: the offline `serde`
+/// stub does not serialise — see `crates/compat/README.md`).
+pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}  {{\"processes\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
+            p.processes,
+            p.requests,
+            p.rounds,
+            p.wall_ms,
+            p.ops_per_sec,
+            p.rounds_per_sec,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!("{indent}]"));
+    out
+}
+
+/// Prints a human-readable throughput table.
+pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>14} {:>14}",
+        "n", "requests", "rounds", "wall ms", "ops/sec", "rounds/sec"
+    );
+    for p in points {
+        println!(
+            "{:>10} {:>10} {:>10} {:>12.1} {:>14.1} {:>14.1}",
+            p.processes, p.requests, p.rounds, p.wall_ms, p.ops_per_sec, p.rounds_per_sec
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_point_measures_something() {
+        let p = measure_fig2_point(20, 10, 1, 1);
+        assert_eq!(p.processes, 20);
+        assert_eq!(p.requests, 100);
+        assert!(p.rounds >= 10);
+        assert!(p.wall_ms > 0.0);
+        assert!(p.ops_per_sec > 0.0);
+        assert!(p.rounds_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let points = vec![
+            ThroughputPoint {
+                processes: 10,
+                requests: 100,
+                rounds: 42,
+                wall_ms: 1.5,
+                ops_per_sec: 2.0,
+                rounds_per_sec: 3.0,
+            },
+            ThroughputPoint {
+                processes: 20,
+                requests: 200,
+                rounds: 43,
+                wall_ms: 2.5,
+                ops_per_sec: 4.0,
+                rounds_per_sec: 5.0,
+            },
+        ];
+        let json = points_to_json(&points, "  ");
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"processes\"").count(), 2);
+        assert_eq!(json.matches("},").count(), 1, "comma between, not after");
+    }
+
+    #[test]
+    fn configs_cover_the_n1000_point() {
+        assert!(ThroughputConfig::quick(1).process_counts.contains(&1000));
+        assert!(ThroughputConfig::full(1).process_counts.contains(&1000));
+    }
+}

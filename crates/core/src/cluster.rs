@@ -48,7 +48,7 @@
 //! sizes, per-node element counts, …).
 
 use crate::batch::BatchOp;
-use crate::builder::{BuildError, SkueueBuilder};
+use crate::builder::SkueueBuilder;
 use crate::client::ClientHandle;
 use crate::config::{Mode, ProtocolConfig};
 use crate::messages::SkueueMsg;
@@ -92,10 +92,6 @@ pub enum ClusterError {
     /// A ticket issued by a different cluster was passed to
     /// [`SkueueCluster::run_until_done`]; it can never complete here.
     ForeignTicket(OpTicket),
-    /// The configuration was rejected (see [`BuildError`]); only surfaced
-    /// through the deprecated constructor shims — [`SkueueBuilder::build`]
-    /// reports the [`BuildError`] directly.
-    Config(BuildError),
     /// The simulation reported an error.
     Sim(SimError),
     /// A run exceeded its round budget before the condition became true.
@@ -122,7 +118,6 @@ impl std::fmt::Display for ClusterError {
             ClusterError::ForeignTicket(t) => {
                 write!(f, "{t} was issued by a different cluster")
             }
-            ClusterError::Config(e) => write!(f, "invalid configuration: {e}"),
             ClusterError::Sim(e) => write!(f, "simulation error: {e}"),
             ClusterError::RoundLimitExceeded {
                 limit,
@@ -140,12 +135,6 @@ impl std::error::Error for ClusterError {}
 impl From<SimError> for ClusterError {
     fn from(e: SimError) -> Self {
         ClusterError::Sim(e)
-    }
-}
-
-impl From<BuildError> for ClusterError {
-    fn from(e: BuildError) -> Self {
-        ClusterError::Config(e)
     }
 }
 
@@ -185,6 +174,17 @@ pub struct SkueueCluster {
     next_process_id: u64,
     /// This instance's id (see [`NEXT_CLUSTER_ID`]).
     cluster_id: u64,
+    /// Scratch for the per-round completion sweep, reused across rounds.
+    completion_scratch: Vec<skueue_verify::OpRecord>,
+    /// Scratch holding the indices of the nodes to sweep for completions.
+    visit_scratch: Vec<usize>,
+    /// Nodes mutated driver-side since the last round (request injection can
+    /// complete operations immediately via the stack's local combining, and
+    /// such a node is not necessarily visited by the next round).
+    dirty_nodes: Vec<NodeId>,
+    /// Number of processes currently joining or leaving; the per-round state
+    /// refresh is skipped while it is zero.
+    transitioning: usize,
 }
 
 /// Short alias for [`SkueueCluster`]; lets code read
@@ -265,45 +265,11 @@ impl SkueueCluster {
             issued: 0,
             next_process_id: n as u64,
             cluster_id: NEXT_CLUSTER_ID.fetch_add(1, Ordering::Relaxed),
+            completion_scratch: Vec::new(),
+            visit_scratch: Vec::new(),
+            dirty_nodes: Vec::new(),
+            transitioning: 0,
         }
-    }
-
-    /// Builds a cluster of `n` processes with the given protocol and
-    /// simulation configuration.
-    #[deprecated(since = "0.2.0", note = "use `SkueueCluster::builder()` instead")]
-    pub fn new(n: usize, cfg: ProtocolConfig, sim_cfg: SimConfig) -> Result<Self, ClusterError> {
-        crate::builder::validate_config(n, &cfg, &sim_cfg)?;
-        Ok(SkueueCluster::from_config(n, cfg, sim_cfg))
-    }
-
-    /// Convenience constructor: a queue over `n` processes on the synchronous
-    /// scheduler.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SkueueCluster::builder().processes(n).seed(seed).build()` instead"
-    )]
-    pub fn queue(n: usize, seed: u64) -> Self {
-        SkueueCluster::builder()
-            .processes(n)
-            .queue()
-            .seed(seed)
-            .build()
-            .expect("synchronous config is always valid for n >= 1")
-    }
-
-    /// Convenience constructor: a stack over `n` processes on the synchronous
-    /// scheduler.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SkueueCluster::builder().processes(n).stack().seed(seed).build()` instead"
-    )]
-    pub fn stack(n: usize, seed: u64) -> Self {
-        SkueueCluster::builder()
-            .processes(n)
-            .stack()
-            .seed(seed)
-            .build()
-            .expect("synchronous config is always valid for n >= 1")
     }
 
     // ------------------------------------------------------------------
@@ -467,6 +433,9 @@ impl SkueueCluster {
             .node_mut(node_id)
             .expect("node registered at build time");
         node.generate_op(id, kind, value, round);
+        // Local combining may have completed records right here, and the
+        // node is not necessarily visited next round — remember to sweep it.
+        self.dirty_nodes.push(node_id);
         self.issued += 1;
         let op_kind = match kind {
             BatchOp::Enqueue => OpKind::Enqueue,
@@ -575,18 +544,28 @@ impl SkueueCluster {
         if let Some(foreign) = tickets.iter().find(|t| t.cluster_id() != self.cluster_id) {
             return Err(ClusterError::ForeignTicket(*foreign));
         }
+        // Track only the still-pending set against the completion stream
+        // (the history is built from it, in completion order): each round
+        // costs O(new completions), not O(tickets) outcome re-polls.
+        let mut pending: std::collections::HashSet<RequestId> = tickets
+            .iter()
+            .filter(|t| self.outcome(**t).is_none())
+            .map(|t| t.request_id())
+            .collect();
+        let mut watermark = self.history.len();
         let start = self.sim.round();
-        while tickets.iter().any(|t| self.outcome(*t).is_none()) {
+        while !pending.is_empty() {
             if max_rounds > 0 && self.sim.round() - start >= max_rounds {
                 return Err(ClusterError::RoundLimitExceeded {
                     limit: max_rounds,
-                    open_requests: tickets
-                        .iter()
-                        .filter(|t| self.outcome(**t).is_none())
-                        .count(),
+                    open_requests: pending.len(),
                 });
             }
             self.run_round();
+            for record in &self.history.records()[watermark..] {
+                pending.remove(&record.id);
+            }
+            watermark = self.history.len();
         }
         Ok(tickets
             .iter()
@@ -674,6 +653,7 @@ impl SkueueCluster {
             next_seq: 0,
         });
         self.index_of.insert(pid, self.processes.len() - 1);
+        self.transitioning += 1;
         Ok(pid)
     }
 
@@ -701,9 +681,13 @@ impl SkueueCluster {
             }
         }
         self.processes[idx].state = ProcessState::Leaving;
+        self.transitioning += 1;
         for node_id in nodes {
             if let Some(node) = self.sim.node_mut(node_id) {
                 node.request_leave();
+                // The leave wish re-arms the node's timeout (it must issue
+                // its `LeaveRequest` even while a batch is pending).
+                let _ = self.sim.refresh_timeout_interest(node_id);
             }
         }
         Ok(())
@@ -800,13 +784,36 @@ impl SkueueCluster {
 
     /// Drains completion records from every node into the single completion
     /// stream: resolve the ticket, append the record to the history, then
-    /// fan the event out to the registered observers.
+    /// fan the event out to the registered observers.  Uses a reused scratch
+    /// vector and leaves each node's buffer (and capacity) in place, so a
+    /// quiet round costs one emptiness check per node and zero allocations.
     fn collect_completions(&mut self) {
-        let mut drained = Vec::new();
-        for (_, node) in self.sim.iter_mut() {
-            drained.append(&mut node.drain_completed());
+        let mut drained = std::mem::take(&mut self.completion_scratch);
+        debug_assert!(drained.is_empty());
+        // Only nodes visited this round (plus driver-touched ones) can have
+        // produced records — sweeping all of them would be O(nodes) per
+        // round.
+        let mut visits = std::mem::take(&mut self.visit_scratch);
+        visits.clear();
+        visits.extend_from_slice(self.sim.visited_last_round());
+        for &idx in &visits {
+            if let Some(node) = self.sim.node_mut(NodeId(idx as u64)) {
+                if node.has_completed() {
+                    node.drain_completed_into(&mut drained);
+                }
+            }
         }
-        for record in drained {
+        self.visit_scratch = visits;
+        let mut dirty = std::mem::take(&mut self.dirty_nodes);
+        for id in dirty.drain(..) {
+            if let Some(node) = self.sim.node_mut(id) {
+                if node.has_completed() {
+                    node.drain_completed_into(&mut drained);
+                }
+            }
+        }
+        self.dirty_nodes = dirty;
+        for record in drained.drain(..) {
             let outcome = OpOutcome::from_record(&record);
             let ticket =
                 OpTicket::new(self.cluster_id, record.id, record.kind, record.issued_round);
@@ -821,9 +828,14 @@ impl SkueueCluster {
                 observer(&event);
             }
         }
+        self.completion_scratch = drained;
     }
 
     fn refresh_process_states(&mut self) {
+        // Membership is stable almost always; skip the sweep entirely then.
+        if self.transitioning == 0 {
+            return;
+        }
         for p in &mut self.processes {
             match p.state {
                 ProcessState::Joining => {
@@ -835,6 +847,7 @@ impl SkueueCluster {
                     });
                     if all_active {
                         p.state = ProcessState::Active;
+                        self.transitioning -= 1;
                     }
                 }
                 ProcessState::Leaving => {
@@ -844,6 +857,7 @@ impl SkueueCluster {
                         .all(|&n| self.sim.node(n).map(|node| node.has_left()).unwrap_or(true));
                     if all_left {
                         p.state = ProcessState::Left;
+                        self.transitioning -= 1;
                         for &n in &p.nodes {
                             let _ = self.sim.deactivate(n);
                         }
@@ -874,6 +888,7 @@ impl SkueueCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::BuildError;
     use crate::ticket::OpOutcome;
     use skueue_verify::{check_queue, check_stack, OpKind};
 
@@ -1219,35 +1234,46 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_new_applies_the_builders_validation() {
-        #![allow(deprecated)]
-        let mut bad_threshold = ProtocolConfig::queue();
-        bad_threshold.update_threshold = 0;
+    fn builder_is_the_only_constructor_and_validates() {
+        // The deprecated `new`/`queue`/`stack` shims are gone; the builder
+        // covers both construction paths and rejects bad configurations.
+        let mut cluster = SkueueCluster::builder()
+            .processes(2)
+            .seed(4)
+            .build()
+            .unwrap();
+        cluster.enqueue(ProcessId(0), 1).unwrap();
+        cluster.run_until_all_complete(500).unwrap();
+        let stack = SkueueCluster::builder()
+            .processes(2)
+            .stack()
+            .seed(4)
+            .build()
+            .unwrap();
+        assert!(stack.config().is_stack());
         assert_eq!(
-            SkueueCluster::new(4, bad_threshold, SimConfig::synchronous(1)).err(),
-            Some(ClusterError::Config(BuildError::ZeroUpdateThreshold))
+            SkueueCluster::builder().build().unwrap_err(),
+            BuildError::NoProcesses
         );
-        let bad_budget = ProtocolConfig::queue().with_bit_budget(65);
-        assert!(matches!(
-            SkueueCluster::new(4, bad_budget, SimConfig::synchronous(1)),
-            Err(ClusterError::Config(BuildError::BitBudgetTooLarge {
-                requested: 65,
-                max: 64
-            }))
-        ));
     }
 
     #[test]
-    fn deprecated_shims_still_construct_clusters() {
-        #![allow(deprecated)]
-        let mut cluster = SkueueCluster::queue(2, 4);
-        cluster.enqueue(ProcessId(0), 1).unwrap();
+    fn run_until_done_with_mixed_resolved_and_pending_tickets() {
+        // Exercises the pending-set bookkeeping: some tickets are already
+        // done when the wait starts, duplicates are fine, and the wait only
+        // tracks what is actually open.
+        let mut cluster = queue_cluster(3, 19);
+        let early = cluster.client(ProcessId(0)).enqueue(1).unwrap();
         cluster.run_until_all_complete(500).unwrap();
-        let stack = SkueueCluster::stack(2, 4);
-        assert!(stack.config().is_stack());
-        assert!(matches!(
-            SkueueCluster::new(0, ProtocolConfig::queue(), SimConfig::synchronous(1)),
-            Err(ClusterError::Config(BuildError::NoProcesses))
-        ));
+        let late_a = cluster.client(ProcessId(1)).enqueue(2).unwrap();
+        let late_b = cluster.client(ProcessId(2)).dequeue().unwrap();
+        let outcomes = cluster
+            .run_until_done(&[early, late_a, early, late_b], 500)
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(matches!(outcomes[0], OpOutcome::Enqueued { .. }));
+        assert_eq!(outcomes[0], outcomes[2]);
+        assert!(!outcomes[3].is_empty());
+        check_queue(cluster.history()).assert_consistent();
     }
 }

@@ -186,12 +186,12 @@ impl SkueueNode {
     /// Re-routes a DHT operation (used when re-injecting deferred operations).
     fn route_dht_forward(
         &mut self,
-        op: crate::messages::DhtOp,
+        op: Box<crate::messages::DhtOp>,
         mut progress: RouteProgress,
         ctx: &mut Context<SkueueMsg>,
     ) {
         match route_step(&self.view, &mut progress) {
-            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
             RouteAction::Forward(next) => {
                 progress.hops += 1;
                 ctx.send(next, SkueueMsg::Dht { op, progress });
@@ -435,12 +435,7 @@ impl SkueueNode {
         let entries: Vec<StoredEntry> = self.store.iter_entries().copied().collect();
         let pending: Vec<(u64, PendingGet)> =
             self.store.iter_pending().map(|(p, g)| (p, *g)).collect();
-        let child_batches: Vec<(NodeId, Batch)> = self
-            .child_batches
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
-        self.child_batches.clear();
+        let child_batches: Vec<(NodeId, Batch)> = self.child_batches.drain().collect();
         let payload = AbsorbPayload {
             succ: self.view.succ,
             entries,
@@ -472,7 +467,7 @@ impl SkueueNode {
         }
         // Inherit not-yet-forwarded sub-batches of the leaver's children.
         for (child, batch) in payload.child_batches {
-            self.child_batches.entry(child).or_insert(batch);
+            self.child_batches.insert_if_absent(child, batch);
         }
         // Splice the leaver out of the cycle.
         if payload.succ.node == from {
@@ -516,7 +511,7 @@ impl SkueueNode {
         ctx: &mut Context<SkueueMsg>,
     ) {
         self.suspended = true;
-        let awaiting_child_acks = self.tree_children();
+        let awaiting_child_acks = self.tree_children().to_vec();
         let integrated = self.integrate_joiners(ctx);
         // Ask granted leavers for their state.
         let mut absorb_requests = 0;

@@ -111,10 +111,13 @@ pub enum SkueueMsg {
         /// wave (Section IV).
         enter_update: bool,
     },
-    /// Stage 4: a DHT operation being routed over the LDB.
+    /// Stage 4: a DHT operation being routed over the LDB.  The operation is
+    /// boxed so that forwarding a hop moves a pointer, and so the large
+    /// `PUT` payload does not inflate every other message variant (the
+    /// aggregation wave dominates traffic).
     Dht {
         /// The operation.
-        op: DhtOp,
+        op: Box<DhtOp>,
         /// Routing state (target key, remaining distance-halving bits, hops).
         progress: RouteProgress,
     },

@@ -23,13 +23,14 @@ use crate::config::{Mode, ProtocolConfig};
 use crate::messages::{DhtOp, PutMeta, SkueueMsg};
 use skueue_dht::{Element, GetOutcome, NodeStore, StoredEntry};
 use skueue_overlay::{
-    aggregation_parent, route_step, LocalView, RouteAction, RouteProgress, VKind,
+    aggregation_child_set, aggregation_parent, route_step, ChildSet, LocalView, RouteAction,
+    RouteProgress, VKind,
 };
 use skueue_sim::actor::{Actor, Context};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
 use skueue_verify::{OpKind, OpRecord, OpResult, OrderKey};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// A locally generated request that has not been resolved yet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,11 +63,51 @@ impl BatchSource {
 }
 
 /// The batch a node has sent up the tree and not yet been served for, plus
-/// the memorised combination order needed for Stage 3.
+/// the memorised combination order needed for Stage 3.  Only the combined
+/// batch's run count is kept — the runs themselves travelled up the tree in
+/// the `Aggregate` message and come back as `Serve` assignments, so storing
+/// a clone of the whole batch here would be a pure waste.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingBatch {
-    pub(crate) combined: Batch,
+    pub(crate) num_runs: usize,
     pub(crate) sources: Vec<BatchSource>,
+}
+
+/// Sub-batches received from aggregation-tree children and not yet combined,
+/// stored inline (the tree bounds the fan-in at two; absorbing a leaver can
+/// temporarily add a couple more, hence a `Vec` — but its capacity is
+/// retained across waves, so steady-state inserts and removals do not touch
+/// the allocator, unlike the `BTreeMap` this replaced).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChildBatches {
+    entries: Vec<(NodeId, Batch)>,
+}
+
+impl ChildBatches {
+    /// True when a sub-batch from `child` is buffered.
+    pub(crate) fn contains(&self, child: &NodeId) -> bool {
+        self.entries.iter().any(|(n, _)| n == child)
+    }
+
+    /// Buffers a sub-batch; keeps the first one on duplicate inserts (the
+    /// protocol serves a child before it may send again, so duplicates only
+    /// occur transiently during absorb hand-overs).
+    pub(crate) fn insert_if_absent(&mut self, child: NodeId, batch: Batch) {
+        if !self.contains(&child) {
+            self.entries.push((child, batch));
+        }
+    }
+
+    /// Removes and returns the sub-batch from `child`, if any.
+    pub(crate) fn remove(&mut self, child: &NodeId) -> Option<Batch> {
+        let pos = self.entries.iter().position(|(n, _)| n == child)?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+
+    /// Drains all buffered `(child, sub-batch)` pairs.
+    pub(crate) fn drain(&mut self) -> impl Iterator<Item = (NodeId, Batch)> + '_ {
+        self.entries.drain(..)
+    }
 }
 
 /// Membership status of a virtual node (Section IV).
@@ -150,9 +191,15 @@ pub struct SkueueNode {
     // --- Stage 1 state ------------------------------------------------------
     pub(crate) own_batch: Batch,
     pub(crate) own_log: Vec<LocalOp>,
-    pub(crate) child_batches: BTreeMap<NodeId, Batch>,
+    pub(crate) child_batches: ChildBatches,
     pub(crate) pending: Option<PendingBatch>,
     pub(crate) suspended: bool,
+    /// Scratch for the batch-source list, reused across aggregation waves.
+    pub(crate) sources_scratch: Vec<BatchSource>,
+    /// Scratch for the Stage 3 run cursors, reused across serves.
+    pub(crate) cursors_scratch: Vec<RunAssignment>,
+    /// Scratch for the node's own run share in Stage 3, reused across serves.
+    pub(crate) runs_scratch: Vec<RunAssignment>,
 
     // --- Stage 4 state ------------------------------------------------------
     pub(crate) store: NodeStore,
@@ -181,7 +228,7 @@ pub struct SkueueNode {
     pub(crate) join_sent: bool,
     /// DHT operations received while still joining; re-routed after
     /// integration.
-    pub(crate) deferred_dht: Vec<(DhtOp, RouteProgress)>,
+    pub(crate) deferred_dht: Vec<(Box<DhtOp>, RouteProgress)>,
     pub(crate) joiners: Vec<JoinerRecord>,
     pub(crate) pending_leavers: Vec<LeaverRecord>,
     /// An absorber asked for our state while a batch was still pending; the
@@ -218,9 +265,12 @@ impl SkueueNode {
             },
             own_batch,
             own_log: Vec::new(),
-            child_batches: BTreeMap::new(),
+            child_batches: ChildBatches::default(),
             pending: None,
             suspended: false,
+            sources_scratch: Vec::new(),
+            cursors_scratch: Vec::new(),
+            runs_scratch: Vec::new(),
             store: NodeStore::new(),
             outstanding_gets: HashMap::new(),
             outstanding_dht: 0,
@@ -329,14 +379,26 @@ impl SkueueNode {
         std::mem::take(&mut self.completed)
     }
 
+    /// True when completion records are waiting to be drained.
+    pub fn has_completed(&self) -> bool {
+        !self.completed.is_empty()
+    }
+
+    /// Appends the completed-operation records to `out`, keeping this node's
+    /// buffer (and its capacity) in place — the allocation-free form of
+    /// [`Self::drain_completed`] used by the cluster's per-round collection.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<OpRecord>) {
+        out.append(&mut self.completed);
+    }
+
     /// One-line diagnostic summary of the node's protocol state (used by
     /// tests and the experiment harness when something stalls).
     pub fn diagnostics(&self) -> String {
-        let children = self.tree_children();
+        let children = self.tree_children().to_vec();
         let missing: Vec<NodeId> = children
             .iter()
             .copied()
-            .filter(|c| !self.child_batches.contains_key(c))
+            .filter(|c| !self.child_batches.contains(c))
             .collect();
         let update = match &self.update {
             Some(u) => format!(
@@ -407,13 +469,17 @@ impl SkueueNode {
                         // Pairs that were anchored to the removed push must be
                         // re-anchored together with the new pair (the push
                         // will never receive an anchor order value of its
-                        // own); a single re-anchoring call keeps them in
-                        // issue order.
+                        // own).  The push precedes and the pop follows every
+                        // record in the removed bucket, so placing them at
+                        // the ends keeps the whole list in issue (= seq)
+                        // order without re-sorting.
                         let mut records = self
                             .pairs_by_anchor
                             .remove(&push.id.seq)
                             .unwrap_or_default();
-                        records.extend(self.make_combined_pair(push, op, round));
+                        let [push_rec, pop_rec] = self.make_combined_pair(push, op, round);
+                        records.insert(0, push_rec);
+                        records.push(pop_rec);
                         self.reanchor_pairs(records, round);
                         return;
                     }
@@ -464,15 +530,29 @@ impl SkueueNode {
     /// known.  Records within one anchor bucket are kept in issue order (the
     /// local execution order), which is itself a valid sequential stack
     /// execution.
+    ///
+    /// `records` arrives in issue (= seq) order, and every record is newer
+    /// than anything already in the target bucket (re-anchoring only moves
+    /// records to an *older* anchor, see [`Self::generate_op`]), so a plain
+    /// append preserves the bucket's sort order — no re-sorting, which the
+    /// old `extend` + `sort_by_key` pattern paid on every combined pair.
     fn reanchor_pairs(&mut self, records: Vec<OpRecord>, _round: u64) {
+        debug_assert!(
+            records.windows(2).all(|w| w[0].id.seq < w[1].id.seq),
+            "combined records must arrive in issue order"
+        );
         if let Some(anchor_op) = self.own_log.last() {
             let bucket = self.pairs_by_anchor.entry(anchor_op.id.seq).or_default();
+            debug_assert!(
+                match (bucket.last(), records.first()) {
+                    (Some(last), Some(first)) => last.id.seq < first.id.seq,
+                    _ => true,
+                },
+                "re-anchored records must be newer than the bucket's contents"
+            );
             bucket.extend(records);
-            bucket.sort_by_key(|r| r.id.seq);
         } else {
             let origin = self.process();
-            let mut records = records;
-            records.sort_by_key(|r| r.id.seq);
             for mut record in records {
                 self.minor_counter += 1;
                 record.order = OrderKey::local(self.last_order_major, origin, self.minor_counter);
@@ -496,40 +576,44 @@ impl SkueueNode {
         )
     }
 
-    /// The node's current aggregation-tree children.
+    /// The node's current aggregation-tree children (inline, no allocation —
+    /// this runs on every `TIMEOUT` of every node).
     ///
     /// Sibling children (the process's own middle/right node) are only
     /// counted while they are integrated members — waiting for a sub-batch
     /// from a joining or draining sibling would deadlock the wave.
-    pub(crate) fn tree_children(&self) -> Vec<NodeId> {
+    pub(crate) fn tree_children(&self) -> ChildSet<NodeId> {
         let middle = self.view.sibling(VKind::Middle).node;
         let right = self.view.sibling(VKind::Right).node;
-        skueue_overlay::aggregation_children(
+        let raw = aggregation_child_set(
             self.view.kind(),
             right,
             middle,
             self.view.succ.node,
             self.view.succ.kind(),
             self.view.successor_wraps(),
-        )
-        .into_iter()
-        .filter(|&n| n != self.view.me.node)
-        .filter(|&n| {
-            if n == middle && n != self.view.succ.node {
+        );
+        let mut children = ChildSet::new();
+        for &n in raw.iter() {
+            if n == self.view.me.node {
+                continue;
+            }
+            let integrated = if n == middle && n != self.view.succ.node {
                 self.sibling_integrated[VKind::Middle.index()]
             } else if n == right && n != self.view.succ.node {
                 self.sibling_integrated[VKind::Right.index()]
             } else {
                 true
+            };
+            if integrated {
+                children.push(n);
             }
-        })
-        .collect()
+        }
+        children
     }
 
-    fn children_ready(&self) -> bool {
-        self.tree_children()
-            .iter()
-            .all(|c| self.child_batches.contains_key(c))
+    fn children_ready(&self, children: &ChildSet<NodeId>) -> bool {
+        children.iter().all(|c| self.child_batches.contains(c))
     }
 
     // ---------------------------------------------------------------------
@@ -537,37 +621,55 @@ impl SkueueNode {
     // ---------------------------------------------------------------------
 
     fn try_send_batch(&mut self, ctx: &mut Context<SkueueMsg>) {
-        if self.suspended
-            || self.pending.is_some()
-            || !matches!(self.role, Role::Active)
-            || !self.children_ready()
-        {
+        if self.suspended || self.pending.is_some() || !matches!(self.role, Role::Active) {
+            return;
+        }
+        let children = self.tree_children();
+        if !self.children_ready(&children) {
             return;
         }
         if self.cfg.stage4_barrier && self.outstanding_dht > 0 {
             return;
         }
+        let is_anchor = self.anchor.is_some();
+        let parent = if is_anchor {
+            None
+        } else {
+            match self.tree_parent() {
+                Some(p) => Some(p),
+                // Leftmost node that has not received the anchor state yet
+                // (anchor hand-off in flight): keep everything in the
+                // working state and retry next timeout.
+                None => return,
+            }
+        };
 
-        // Combine own batch + children sub-batches in a fixed order.
+        // Combine own batch + children sub-batches in a fixed order.  The
+        // sub-batches are *moved* into the source list (they are needed for
+        // the Stage 3 decomposition); the combined batch sums their runs
+        // without cloning any of them.
         let own = std::mem::replace(&mut self.own_batch, Self::fresh_batch(&self.cfg));
         // Every unsent push is now committed to the aggregation path and can
         // no longer be combined locally.
         self.local_stack.clear();
 
-        let mut sources = Vec::with_capacity(1 + self.child_batches.len());
-        let mut combined = own.clone();
+        let mut sources = std::mem::take(&mut self.sources_scratch);
+        debug_assert!(sources.is_empty());
+        sources.push(BatchSource::Own(own));
+        for &child in children.iter() {
+            if let Some(batch) = self.child_batches.remove(&child) {
+                sources.push(BatchSource::Child(child, batch));
+            }
+        }
+        let mut combined = Batch::combine_all(
+            self.own_batch.first_run(),
+            sources.iter().map(|s| s.batch()),
+        );
         // Join/leave counters this node is itself responsible for.
         combined.joins += self.pending_join_count;
         combined.leaves += self.pending_leave_count;
         self.pending_join_count = 0;
         self.pending_leave_count = 0;
-        sources.push(BatchSource::Own(own));
-        for child in self.tree_children() {
-            if let Some(batch) = self.child_batches.remove(&child) {
-                combined.combine(&batch);
-                sources.push(BatchSource::Child(child, batch));
-            }
-        }
 
         self.stats.batches_sent += 1;
         self.stats.batch_sizes.record(combined.size() as u64);
@@ -578,23 +680,15 @@ impl SkueueNode {
             let enter_update = anchor_should_update(&combined, self.cfg.update_threshold);
             let assignments = anchor.assign(&combined, self.cfg.mode);
             self.anchor = Some(anchor);
-            self.serve_sources(&assignments, sources, enter_update, ctx);
+            self.serve_sources(&assignments, &mut sources, enter_update, ctx);
+            self.sources_scratch = sources;
             if enter_update {
                 self.enter_update_phase(None, ctx);
             }
         } else {
-            let parent = match self.tree_parent() {
-                Some(p) => p,
-                None => {
-                    // Leftmost node that has not received the anchor state
-                    // yet (anchor hand-off in flight): put everything back
-                    // and wait.
-                    self.restore_unsent(sources);
-                    return;
-                }
-            };
+            let parent = parent.expect("checked above");
             self.pending = Some(PendingBatch {
-                combined: combined.clone(),
+                num_runs: combined.num_runs(),
                 sources,
             });
             ctx.send(parent, SkueueMsg::Aggregate { batch: combined });
@@ -605,23 +699,50 @@ impl SkueueNode {
     // Stage 3: decomposition and serving.
     // ---------------------------------------------------------------------
 
+    /// Splits the run assignments for the combined batch among its sources,
+    /// in combination order (the inlined, scratch-reusing form of
+    /// [`crate::interval::decompose`]): each source takes its share of every
+    /// run front-to-back.  Sub-assignments for children are forwarded; the
+    /// node's own share is resolved locally.  `sources` is drained — the
+    /// caller parks the emptied vector back in [`Self::sources_scratch`].
     fn serve_sources(
         &mut self,
         assignments: &[RunAssignment],
-        sources: Vec<BatchSource>,
+        sources: &mut Vec<BatchSource>,
         enter_update: bool,
         ctx: &mut Context<SkueueMsg>,
     ) {
-        let sub_batches: Vec<&Batch> = sources.iter().map(|s| s.batch()).collect();
-        let parts = crate::interval::decompose(assignments, &sub_batches);
-        for (source, runs) in sources.iter().zip(parts) {
+        let mut cursors = std::mem::take(&mut self.cursors_scratch);
+        cursors.clear();
+        cursors.extend_from_slice(assignments);
+        for source in sources.drain(..) {
             match source {
-                BatchSource::Own(_) => self.resolve_own(&runs, ctx),
-                BatchSource::Child(child, _) => {
-                    ctx.send(*child, SkueueMsg::Serve { runs, enter_update });
+                BatchSource::Own(own) => {
+                    // The own share is consumed locally right away — split it
+                    // into a reused scratch instead of a fresh Vec per wave.
+                    let mut runs = std::mem::take(&mut self.runs_scratch);
+                    runs.clear();
+                    for (run_idx, cursor) in cursors[..own.num_runs()].iter_mut().enumerate() {
+                        runs.push(cursor.split_front(own.runs()[run_idx]));
+                    }
+                    self.resolve_own(&runs, ctx);
+                    self.runs_scratch = runs;
+                }
+                BatchSource::Child(child, batch) => {
+                    // A child's share travels in a message and must be owned.
+                    let mut runs = Vec::with_capacity(batch.num_runs());
+                    for (run_idx, cursor) in cursors[..batch.num_runs()].iter_mut().enumerate() {
+                        runs.push(cursor.split_front(batch.runs()[run_idx]));
+                    }
+                    ctx.send(child, SkueueMsg::Serve { runs, enter_update });
                 }
             }
         }
+        debug_assert!(
+            cursors.iter().all(|c| c.count == 0),
+            "sources must account for every operation of the combined batch"
+        );
+        self.cursors_scratch = cursors;
     }
 
     fn handle_serve(
@@ -630,16 +751,17 @@ impl SkueueNode {
         enter_update: bool,
         ctx: &mut Context<SkueueMsg>,
     ) {
-        let pending = match self.pending.take() {
+        let mut pending = match self.pending.take() {
             Some(p) => p,
             None => {
                 debug_assert!(false, "Serve received without a pending batch");
                 return;
             }
         };
-        debug_assert_eq!(pending.combined.num_runs(), runs.len());
+        debug_assert_eq!(pending.num_runs, runs.len());
         let old_parent = self.tree_parent();
-        self.serve_sources(&runs, pending.sources, enter_update, ctx);
+        self.serve_sources(&runs, &mut pending.sources, enter_update, ctx);
+        self.sources_scratch = pending.sources;
         if enter_update {
             self.enter_update_phase(old_parent, ctx);
         }
@@ -708,8 +830,9 @@ impl SkueueNode {
     fn note_order_assigned(&mut self, seq: u64, major: u64) {
         self.last_order_major = major;
         self.minor_counter = 0;
-        if let Some(mut pairs) = self.pairs_by_anchor.remove(&seq) {
-            pairs.sort_by_key(|r| r.id.seq);
+        if let Some(pairs) = self.pairs_by_anchor.remove(&seq) {
+            // Buckets are maintained in seq order (see `reanchor_pairs`).
+            debug_assert!(pairs.windows(2).all(|w| w[0].id.seq < w[1].id.seq));
             for mut record in pairs {
                 self.minor_counter += 1;
                 record.order = OrderKey::local(major, self.process(), self.minor_counter);
@@ -748,7 +871,7 @@ impl SkueueNode {
         }
         self.stats.dht_ops_issued += 1;
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
-        self.route_dht(DhtOp::Put { entry, meta }, progress, ctx);
+        self.route_dht(Box::new(DhtOp::Put { entry, meta }), progress, ctx);
     }
 
     fn issue_get(
@@ -771,21 +894,26 @@ impl SkueueNode {
         self.stats.dht_ops_issued += 1;
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
         self.route_dht(
-            DhtOp::Get {
+            Box::new(DhtOp::Get {
                 position,
                 max_ticket,
                 request: op.id,
                 requester: self.view.me.node,
-            },
+            }),
             progress,
             ctx,
         );
     }
 
     /// Routes (or locally applies) a DHT operation.
-    fn route_dht(&mut self, op: DhtOp, mut progress: RouteProgress, ctx: &mut Context<SkueueMsg>) {
+    fn route_dht(
+        &mut self,
+        op: Box<DhtOp>,
+        mut progress: RouteProgress,
+        ctx: &mut Context<SkueueMsg>,
+    ) {
         match route_step(&self.view, &mut progress) {
-            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
             RouteAction::Forward(next) => {
                 progress.hops += 1;
                 ctx.send(next, SkueueMsg::Dht { op, progress });
@@ -883,29 +1011,6 @@ impl SkueueNode {
     pub(crate) fn adopt_anchor(&mut self, state: AnchorState) {
         self.anchor = Some(state);
     }
-
-    /// Puts batch sources back into the working state (used when a batch
-    /// cannot be sent after all, e.g. while waiting for an anchor hand-off).
-    fn restore_unsent(&mut self, sources: Vec<BatchSource>) {
-        self.stats.batches_sent -= 1;
-        for source in sources {
-            match source {
-                BatchSource::Own(own) => {
-                    // Re-merge our own operations; join/leave counters were
-                    // already moved into the combined batch and are restored
-                    // below via the pending counters.
-                    let mut restored = own;
-                    std::mem::swap(&mut self.own_batch, &mut restored);
-                    // `restored` is the fresh (empty) batch created above —
-                    // combine any operations generated in the meantime.
-                    self.own_batch.combine(&restored);
-                }
-                BatchSource::Child(child, batch) => {
-                    self.child_batches.insert(child, batch);
-                }
-            }
-        }
-    }
 }
 
 /// Whether the anchor should trigger an update phase for this batch.
@@ -933,10 +1038,10 @@ impl Actor for SkueueNode {
         match msg {
             SkueueMsg::Aggregate { batch } => {
                 debug_assert!(
-                    !self.child_batches.contains_key(&from),
+                    !self.child_batches.contains(&from),
                     "child {from} sent a second batch before being served"
                 );
-                self.child_batches.insert(from, batch);
+                self.child_batches.insert_if_absent(from, batch);
                 // Try to flush immediately; the timeout would also pick it up
                 // next round, but reacting now keeps latency at one round per
                 // tree level, matching the paper's accounting.
@@ -977,6 +1082,28 @@ impl Actor for SkueueNode {
     fn is_active(&self) -> bool {
         !matches!(self.role, Role::Draining { .. })
     }
+
+    /// A node's `TIMEOUT` is a provable no-op — and is therefore skipped by
+    /// the scheduler — while its batch is pending up the aggregation tree
+    /// and no membership duty is outstanding.  Every state change that can
+    /// flip this back (a `Serve`, an absorb request, an `UpdateOver`, …)
+    /// arrives as a message, after which the scheduler re-queries; the two
+    /// driver-side mutations that can flip it ([`Self::generate_op`] cannot
+    /// — sending still waits for the pending serve — but `request_leave`
+    /// can) are followed by a
+    /// [`refresh_timeout_interest`](skueue_sim::Simulation::refresh_timeout_interest)
+    /// call in the cluster driver.
+    fn wants_timeout(&self) -> bool {
+        match self.role {
+            Role::Active => {
+                self.pending.is_none()
+                    || self.absorb_deferred.is_some()
+                    || (self.wants_to_leave && !self.leave_requested && !self.leave_granted)
+            }
+            Role::Joining { .. } => !self.join_sent,
+            Role::Draining { .. } => false,
+        }
+    }
 }
 
 impl SkueueNode {
@@ -984,7 +1111,7 @@ impl SkueueNode {
     /// forwards it another hop.
     fn route_or_forward_dht(
         &mut self,
-        op: DhtOp,
+        op: Box<DhtOp>,
         mut progress: RouteProgress,
         ctx: &mut Context<SkueueMsg>,
     ) {
@@ -996,7 +1123,7 @@ impl SkueueNode {
             return;
         }
         match route_step(&self.view, &mut progress) {
-            RouteAction::Deliver => self.apply_dht(op, &progress, ctx),
+            RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
             RouteAction::Forward(next) => {
                 progress.hops += 1;
                 ctx.send(next, SkueueMsg::Dht { op, progress });

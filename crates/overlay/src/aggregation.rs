@@ -91,22 +91,94 @@ pub fn successor_is_child(own_kind: VKind, successor_kind: VKind, successor_wrap
     }
 }
 
-/// Resolves the aggregation-tree children to concrete handles.
+/// A node's aggregation-tree children — at most two, stored inline.
+///
+/// This is the allocation-free counterpart of [`aggregation_children`]: the
+/// protocol recomputes its children on every `TIMEOUT`, so the hot path must
+/// not heap-allocate a `Vec` per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChildSet<T> {
+    items: [Option<T>; 2],
+}
+
+impl<T> ChildSet<T> {
+    /// The empty child set.
+    pub fn new() -> Self {
+        ChildSet {
+            items: [None, None],
+        }
+    }
+
+    /// Adds a child.  Panics if both slots are taken — the tree rules bound
+    /// the fan-in at two.
+    pub fn push(&mut self, item: T) {
+        for slot in &mut self.items {
+            if slot.is_none() {
+                *slot = Some(item);
+                return;
+            }
+        }
+        panic!("an aggregation-tree node has at most two children");
+    }
+
+    /// Iterates over the children in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().flatten()
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.items.iter().flatten().count()
+    }
+
+    /// True when there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.items[0].is_none()
+    }
+
+    /// True when `item` is a child.
+    pub fn contains(&self, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.iter().any(|c| c == item)
+    }
+
+    /// Copies the children into a `Vec` (for callers that need ownership).
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T> IntoIterator for ChildSet<T> {
+    type Item = T;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<T>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().flatten()
+    }
+}
+
+/// Resolves the aggregation-tree children to concrete handles, without
+/// heap allocation.
 ///
 /// * `own_right` / `own_middle`: the process's own right and middle nodes,
 /// * `successor`: the cycle successor,
 /// * `successor_kind`: the successor's virtual-node kind,
 /// * `successor_wraps`: true if the successor edge wraps around (i.e. this
 ///   node has the maximum label).
-pub fn aggregation_children<T: Clone>(
+pub fn aggregation_child_set<T>(
     kind: VKind,
     own_right: T,
     own_middle: T,
     successor: T,
     successor_kind: VKind,
     successor_wraps: bool,
-) -> Vec<T> {
-    let mut children = Vec::with_capacity(2);
+) -> ChildSet<T> {
+    let mut children = ChildSet::new();
     match kind {
         VKind::Middle => children.push(own_right),
         VKind::Left => children.push(own_middle),
@@ -116,6 +188,28 @@ pub fn aggregation_children<T: Clone>(
         children.push(successor);
     }
     children
+}
+
+/// Resolves the aggregation-tree children into a `Vec` (see
+/// [`aggregation_child_set`] for the allocation-free variant the protocol's
+/// hot path uses).
+pub fn aggregation_children<T: Clone>(
+    kind: VKind,
+    own_right: T,
+    own_middle: T,
+    successor: T,
+    successor_kind: VKind,
+    successor_wraps: bool,
+) -> Vec<T> {
+    aggregation_child_set(
+        kind,
+        own_right,
+        own_middle,
+        successor,
+        successor_kind,
+        successor_wraps,
+    )
+    .to_vec()
 }
 
 /// A fully resolved view of a node's position in the aggregation tree,
@@ -201,6 +295,45 @@ mod tests {
     fn right_nodes_have_no_children() {
         let children = aggregation_children(VKind::Right, "r", "m", "succ", VKind::Left, false);
         assert!(children.is_empty());
+    }
+
+    #[test]
+    fn child_set_matches_vec_variant() {
+        for kind in [VKind::Left, VKind::Middle, VKind::Right] {
+            for succ_kind in [VKind::Left, VKind::Middle, VKind::Right] {
+                for wraps in [false, true] {
+                    let set = aggregation_child_set(kind, "r", "m", "succ", succ_kind, wraps);
+                    let vec = aggregation_children(kind, "r", "m", "succ", succ_kind, wraps);
+                    assert_eq!(set.to_vec(), vec, "{kind:?}/{succ_kind:?}/wraps={wraps}");
+                    assert_eq!(set.len(), vec.len());
+                    assert_eq!(set.is_empty(), vec.is_empty());
+                    for child in &vec {
+                        assert!(set.contains(child));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn child_set_push_iter_contains() {
+        let mut set: ChildSet<u32> = ChildSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        set.push(7);
+        set.push(9);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&7) && set.contains(&9) && !set.contains(&8));
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two children")]
+    fn child_set_rejects_a_third_child() {
+        let mut set: ChildSet<u32> = ChildSet::new();
+        set.push(1);
+        set.push(2);
+        set.push(3);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod ldb;
 pub mod routing;
 pub mod vnode;
 
-pub use aggregation::{aggregation_children, aggregation_parent, TreeNeighbors};
+pub use aggregation::{
+    aggregation_child_set, aggregation_children, aggregation_parent, ChildSet, TreeNeighbors,
+};
 pub use hash::LabelHasher;
 pub use label::Label;
 pub use ldb::{Topology, TopologyError, VirtualNodeInfo};

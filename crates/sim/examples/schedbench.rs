@@ -1,0 +1,54 @@
+//! Microbenchmark of the raw round-loop overhead (no protocol on top).
+//!
+//! Run with `cargo run --release -p skueue-sim --example schedbench`.
+
+use skueue_sim::actor::{Actor, Context};
+use skueue_sim::ids::NodeId;
+use skueue_sim::{SimConfig, Simulation};
+use std::time::Instant;
+
+/// Actor that sends `fanout` messages to fixed peers every timeout.
+struct Chatter {
+    n: u64,
+    fanout: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Ping;
+
+impl Actor for Chatter {
+    type Msg = Ping;
+
+    fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<Ping>) {}
+
+    fn on_timeout(&mut self, ctx: &mut Context<Ping>) {
+        let me = ctx.self_id().0;
+        for k in 1..=self.fanout {
+            ctx.send(NodeId((me + k * 7) % self.n), Ping);
+        }
+    }
+}
+
+fn run(n: u64, fanout: u64, rounds: u64) -> f64 {
+    let mut sim = Simulation::new(SimConfig::synchronous(42)).unwrap();
+    for _ in 0..n {
+        sim.add_node(Chatter { n, fanout });
+    }
+    let start = Instant::now();
+    sim.run_rounds(rounds);
+    let el = start.elapsed().as_secs_f64();
+    assert!(sim.metrics().messages_delivered > 0 || fanout == 0);
+    el * 1e9 / (n as f64 * rounds as f64)
+}
+
+fn main() {
+    for (n, fanout, rounds) in [
+        (3000u64, 0u64, 2000u64),
+        (3000, 1, 2000),
+        (3000, 4, 1000),
+        (9000, 4, 400),
+    ] {
+        let ns = run(n, fanout, rounds);
+        println!("n={n:>6} fanout={fanout} -> {ns:>8.1} ns/node-visit");
+    }
+}

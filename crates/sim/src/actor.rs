@@ -30,6 +30,22 @@ pub trait Actor {
     fn is_active(&self) -> bool {
         true
     }
+
+    /// Whether the node's `TIMEOUT` action would currently do anything.
+    ///
+    /// Defaults to `true` (a timeout every round, the paper's model).  An
+    /// actor may return `false` while its timeout is *provably a no-op* —
+    /// e.g. a Skueue node whose batch is pending up the aggregation tree —
+    /// and the scheduler then skips the visit entirely, which is what makes
+    /// large quiescent simulations cheap.  The scheduler re-queries this
+    /// after every delivery/timeout visit; a driver that mutates an actor
+    /// directly (via [`crate::Simulation::node_mut`]) must call
+    /// [`crate::Simulation::refresh_timeout_interest`] afterwards if the
+    /// mutation can change the answer.  Returning `false` never suppresses
+    /// message delivery.
+    fn wants_timeout(&self) -> bool {
+        true
+    }
 }
 
 /// Handle through which an actor interacts with the outside world during a
@@ -43,7 +59,11 @@ pub struct Context<M> {
     self_id: NodeId,
     round: Round,
     outbox: Vec<(NodeId, M)>,
-    rng: SimRng,
+    /// Seed for the lazily materialised per-invocation random stream.
+    rng_seed: u64,
+    /// The stream itself, created on first use — most protocol actors never
+    /// draw randomness, so the scheduler's hot loop only pays for a seed.
+    rng: Option<SimRng>,
     /// Number of messages the actor asked to send to itself synchronously
     /// (delivered next round like any other message — self-channels are
     /// ordinary channels in the paper's model).
@@ -58,7 +78,30 @@ impl<M> Context<M> {
             self_id,
             round,
             outbox: Vec::new(),
-            rng,
+            rng_seed: 0,
+            rng: Some(rng),
+            self_sends: 0,
+        }
+    }
+
+    /// Creates a context that reuses `outbox` (which must be empty) as its
+    /// send buffer and defers creating the random stream until the actor
+    /// asks for it.  The scheduler lends its scratch buffer this way so the
+    /// hot loop allocates nothing per invocation; reclaim the buffer with
+    /// [`Self::into_outbox`].
+    pub fn with_outbox(
+        self_id: NodeId,
+        round: Round,
+        rng_seed: u64,
+        outbox: Vec<(NodeId, M)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty(), "the lent outbox must start empty");
+        Context {
+            self_id,
+            round,
+            outbox,
+            rng_seed,
+            rng: None,
             self_sends: 0,
         }
     }
@@ -85,10 +128,12 @@ impl<M> Context<M> {
         self.outbox.push((to, msg));
     }
 
-    /// Deterministic per-invocation random stream.
+    /// Deterministic per-invocation random stream (materialised on first
+    /// use).
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.rng
+        let seed = self.rng_seed;
+        self.rng.get_or_insert_with(|| SimRng::new(seed))
     }
 
     /// Number of messages queued so far in this invocation.

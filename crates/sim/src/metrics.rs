@@ -192,8 +192,14 @@ pub struct SimMetrics {
     pub messages_sent: u64,
     /// Total messages delivered to actors.
     pub messages_delivered: u64,
-    /// Total `on_timeout` invocations.
+    /// Total `on_timeout` invocations actually executed.  Nodes whose actor
+    /// declared the timeout a no-op (`Actor::wants_timeout() == false`) are
+    /// skipped and not counted.
     pub timeouts_fired: u64,
+    /// Total node visits by the round loop (woken nodes: deliverable
+    /// messages or timeout interest).  `rounds × nodes − nodes_visited`
+    /// is the work the wake flags saved.
+    pub nodes_visited: u64,
     /// Number of completed rounds.
     pub rounds: u64,
     /// Distribution of per-message delays (in rounds).

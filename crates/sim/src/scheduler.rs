@@ -6,7 +6,9 @@
 //!
 //! 1. every node processes the messages that became deliverable this round
 //!    (in the synchronous model: everything sent in the previous round),
-//! 2. every *active* node then executes its `TIMEOUT` action,
+//! 2. every *active* node then executes its `TIMEOUT` action — unless the
+//!    actor declares the timeout a no-op via [`Actor::wants_timeout`], in
+//!    which case the visit is skipped entirely,
 //! 3. all messages produced in the round are scheduled for later rounds
 //!    according to the configured [`crate::DeliveryModel`].
 //!
@@ -14,6 +16,24 @@
 //! a run is bit-for-bit reproducible.  Nodes are processed in index order
 //! (optionally in a seeded shuffled order), and ties between messages are
 //! broken by a global sequence number.
+//!
+//! # Hot-loop design
+//!
+//! The round loop is allocation-free in steady state:
+//!
+//! * In-flight messages live in a round-bucketed **delivery wheel**
+//!   (`BTreeMap<Round, Vec<Envelope>>` keyed by `deliver_at`).  A round only
+//!   touches the envelopes that become deliverable in it — messages with a
+//!   far-future `deliver_at` are never rescanned, unlike the flat per-node
+//!   inbox this replaced.  Emptied bucket vectors are parked on a spare list
+//!   and reused when a new delivery round opens.
+//! * A per-round **wake list** visits only nodes that have deliverable
+//!   messages or are active (and therefore receive a `TIMEOUT`); deactivated
+//!   nodes without deliveries cost nothing.
+//! * Per-node pending queues, the wake list, and the actor outbox are
+//!   **scratch buffers** owned by the simulation and reused across rounds.
+//! * No per-round sorting: a bucket is filled in send order, so envelopes
+//!   arrive at a node already in `(deliver_at, seq)` order.
 
 use crate::actor::{Actor, Context};
 use crate::config::SimConfig;
@@ -24,6 +44,13 @@ use crate::metrics::SimMetrics;
 use crate::rng::SimRng;
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
+use std::collections::BTreeMap;
+
+/// Upper bound on parked spare bucket vectors.  Delivery models bound the
+/// number of distinct in-flight `deliver_at` rounds (1 for synchronous,
+/// `max_delay` / `straggle_delay` otherwise), so a small pool suffices; the
+/// cap only guards against unbounded growth under pathological models.
+const SPARE_BUCKET_LIMIT: usize = 64;
 
 /// Outcome of [`Simulation::run_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +67,9 @@ struct NodeSlot<A: Actor> {
     /// Whether the node takes part in timeouts. Channels remain usable even
     /// for deactivated nodes — the paper's channels never lose messages.
     active: bool,
-    inbox: Vec<Envelope<A::Msg>>,
+    /// Messages deliverable in the round currently executing, already in
+    /// `(deliver_at, seq)` order.  Drained every round; capacity is reused.
+    pending: Vec<Envelope<A::Msg>>,
 }
 
 /// A deterministic discrete-round message-passing simulation.
@@ -53,6 +82,31 @@ pub struct Simulation<A: Actor> {
     in_flight: usize,
     metrics: SimMetrics,
     trace: Option<Trace>,
+    /// Round-bucketed delivery wheel: `deliver_at → envelopes` in send order.
+    /// The next round's bucket is kept out of the map in `hot_bucket`, so in
+    /// the synchronous model (and for every delay-1 message) a post is a
+    /// plain `Vec::push` with no map traversal.
+    wheel: BTreeMap<Round, Vec<Envelope<A::Msg>>>,
+    /// The round `hot_bucket` collects messages for (always `round + 1`
+    /// while actors run).
+    hot_round: Round,
+    /// Bucket for `hot_round`, appended to in send (= seq) order.
+    hot_bucket: Vec<Envelope<A::Msg>>,
+    /// Emptied bucket vectors parked for reuse (see [`SPARE_BUCKET_LIMIT`]).
+    spare_buckets: Vec<Vec<Envelope<A::Msg>>>,
+    /// Bit-packed per-node wake flags: bit `i` is set iff node `i` is active
+    /// *and* wants its timeout (see [`Actor::wants_timeout`]).  Re-derived
+    /// after every visit; the round loop scans these words OR-ed with
+    /// [`Self::woken_bits`], so 64 quiescent nodes cost one word-load.
+    timeout_flags: Vec<u64>,
+    /// Bit-packed per-round delivery marks: bit `i` is set while node `i`
+    /// has deliverable messages this round.  Cleared at every round start.
+    woken_bits: Vec<u64>,
+    /// The indices visited by the current round, in visit order (also the
+    /// shuffle buffer and the `visited_last_round` result).
+    wake_order: Vec<usize>,
+    /// Scratch: outbox buffer lent to each actor invocation.
+    outbox: Vec<(NodeId, A::Msg)>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -74,6 +128,14 @@ impl<A: Actor> Simulation<A> {
             in_flight: 0,
             metrics: SimMetrics::new(),
             trace,
+            wheel: BTreeMap::new(),
+            hot_round: 1,
+            hot_bucket: Vec::new(),
+            spare_buckets: Vec::new(),
+            timeout_flags: Vec::new(),
+            woken_bits: Vec::new(),
+            wake_order: Vec::new(),
+            outbox: Vec::new(),
         })
     }
 
@@ -85,11 +147,19 @@ impl<A: Actor> Simulation<A> {
     /// Adds a node and returns its id. Ids are dense and assigned in
     /// insertion order.
     pub fn add_node(&mut self, actor: A) -> NodeId {
-        let id = NodeId(self.nodes.len() as u64);
+        let idx = self.nodes.len();
+        let id = NodeId(idx as u64);
+        if idx / 64 >= self.timeout_flags.len() {
+            self.timeout_flags.push(0);
+            self.woken_bits.push(0);
+        }
+        if actor.wants_timeout() {
+            self.timeout_flags[idx / 64] |= 1u64 << (idx % 64);
+        }
         self.nodes.push(NodeSlot {
             actor,
             active: true,
-            inbox: Vec::new(),
+            pending: Vec::new(),
         });
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::NodeAdded {
@@ -162,6 +232,7 @@ impl<A: Actor> Simulation<A> {
             .get_mut(id.index())
             .ok_or(SimError::UnknownNode(id))?;
         slot.active = false;
+        self.refresh_flag(id.index());
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::NodeDeactivated { node: id, round });
         }
@@ -176,7 +247,30 @@ impl<A: Actor> Simulation<A> {
             .get_mut(id.index())
             .ok_or(SimError::UnknownNode(id))?;
         slot.active = true;
+        self.refresh_flag(id.index());
         Ok(())
+    }
+
+    /// Re-evaluates a node's wake flag after a driver-side mutation that may
+    /// have changed [`Actor::wants_timeout`] (e.g. injecting a local request
+    /// or asking a node to leave through [`Self::node_mut`]).
+    pub fn refresh_timeout_interest(&mut self, id: NodeId) -> Result<(), SimError> {
+        if id.index() >= self.nodes.len() {
+            return Err(SimError::UnknownNode(id));
+        }
+        self.refresh_flag(id.index());
+        Ok(())
+    }
+
+    /// Re-derives node `idx`'s wake-flag bit from its current state.
+    fn refresh_flag(&mut self, idx: usize) {
+        let slot = &self.nodes[idx];
+        let bit = 1u64 << (idx % 64);
+        if slot.active && slot.actor.wants_timeout() {
+            self.timeout_flags[idx / 64] |= bit;
+        } else {
+            self.timeout_flags[idx / 64] &= !bit;
+        }
     }
 
     /// Whether a node is currently active.
@@ -212,7 +306,16 @@ impl<A: Actor> Simulation<A> {
         &self.config
     }
 
+    /// Indices of the nodes visited by the most recent [`Self::run_round`]
+    /// (in visit order).  Drivers use this to post-process only the nodes
+    /// that can have produced output — e.g. collecting completion records —
+    /// instead of sweeping every node every round.
+    pub fn visited_last_round(&self) -> &[usize] {
+        &self.wake_order
+    }
+
     fn post(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        debug_assert!(to.index() < self.nodes.len(), "send to unknown node {to}");
         let delay = self.config.delivery.draw_delay(&mut self.rng).max(1);
         let deliver_at = self.round + delay;
         let seq = self.seq;
@@ -228,85 +331,161 @@ impl<A: Actor> Simulation<A> {
             });
         }
         self.in_flight += 1;
-        self.nodes[to.index()].inbox.push(Envelope {
+        let envelope = Envelope {
             from,
             to,
             sent_at: self.round,
             deliver_at,
             seq,
             payload: msg,
-        });
+        };
+        if deliver_at == self.hot_round {
+            self.hot_bucket.push(envelope);
+        } else {
+            self.wheel
+                .entry(deliver_at)
+                .or_insert_with(|| self.spare_buckets.pop().unwrap_or_default())
+                .push(envelope);
+        }
+    }
+
+    /// Delivers a node's pending messages, fires its timeout if it is
+    /// active, and posts everything it sent.  The pending queue and the
+    /// outbox scratch are moved out and back so their capacity is reused;
+    /// the moves are skipped entirely on the (hot) quiet path.
+    #[inline]
+    fn visit_node(&mut self, idx: usize, round: Round) {
+        let self_id = NodeId(idx as u64);
+        // Equivalent to handing the context `self.rng.fork()`, but the
+        // xoshiro state is only set up if the actor actually draws bits.
+        let ctx_seed = self.rng.next_u64();
+        let mut ctx =
+            Context::with_outbox(self_id, round, ctx_seed, std::mem::take(&mut self.outbox));
+        if !self.nodes[idx].pending.is_empty() {
+            let mut pending = std::mem::take(&mut self.nodes[idx].pending);
+            let slot = &mut self.nodes[idx];
+            for env in pending.drain(..) {
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Delivered {
+                        from: env.from,
+                        to: self_id,
+                        round,
+                    });
+                }
+                slot.actor.on_message(env.from, env.payload, &mut ctx);
+            }
+            self.nodes[idx].pending = pending;
+        }
+        let slot = &mut self.nodes[idx];
+        if slot.active {
+            slot.actor.on_timeout(&mut ctx);
+            self.metrics.timeouts_fired += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Timeout {
+                    node: self_id,
+                    round,
+                });
+            }
+        }
+        let mut outbox = ctx.into_outbox();
+        if !outbox.is_empty() {
+            for (to, msg) in outbox.drain(..) {
+                self.post(self_id, to, msg);
+            }
+        }
+        self.outbox = outbox;
     }
 
     /// Executes one round and returns the number of messages delivered in it.
     pub fn run_round(&mut self) -> usize {
         self.round += 1;
         let round = self.round;
-        let n = self.nodes.len();
 
-        let mut order: Vec<usize> = (0..n).collect();
-        if self.config.shuffle_node_order {
-            self.rng.shuffle(&mut order);
+        // Phase 1: scatter this round's bucket(s) into the per-node pending
+        // queues, marking each destination as woken.  Buckets are drained
+        // in ascending `deliver_at` order and were filled in send order, so
+        // each pending queue ends up in `(deliver_at, seq)` order without
+        // sorting.
+        for word in &mut self.woken_bits {
+            *word = 0;
         }
-
         let mut delivered_total = 0usize;
-        for idx in order {
-            // Pull out the messages that became deliverable this round.
-            let mut deliverable: Vec<Envelope<A::Msg>> = Vec::new();
-            {
-                let slot = &mut self.nodes[idx];
-                if slot.inbox.is_empty() && !slot.active {
-                    continue;
-                }
-                let mut i = 0;
-                while i < slot.inbox.len() {
-                    if slot.inbox[i].deliver_at <= round {
-                        deliverable.push(slot.inbox.swap_remove(i));
-                    } else {
-                        i += 1;
-                    }
-                }
+        if self.hot_round == round {
+            let mut bucket = std::mem::take(&mut self.hot_bucket);
+            delivered_total += bucket.len();
+            for env in bucket.drain(..) {
+                let idx = env.to.index();
+                self.woken_bits[idx / 64] |= 1u64 << (idx % 64);
+                self.nodes[idx].pending.push(env);
             }
-            // Deterministic processing order (channels are unordered in the
-            // asynchronous model; the sequence number only breaks ties).
-            deliverable.sort_by_key(|e| (e.deliver_at, e.seq));
-
-            let delivered_here = deliverable.len();
-            delivered_total += delivered_here;
-            self.in_flight -= delivered_here;
-
-            let self_id = NodeId(idx as u64);
-            let ctx_rng = self.rng.fork();
-            let outbox = {
-                let slot = &mut self.nodes[idx];
-                let mut ctx = Context::new(self_id, round, ctx_rng);
-                for env in deliverable {
-                    if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEvent::Delivered {
-                            from: env.from,
-                            to: self_id,
-                            round,
-                        });
-                    }
-                    slot.actor.on_message(env.from, env.payload, &mut ctx);
-                }
-                if slot.active {
-                    slot.actor.on_timeout(&mut ctx);
-                    self.metrics.timeouts_fired += 1;
-                    if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEvent::Timeout {
-                            node: self_id,
-                            round,
-                        });
-                    }
-                }
-                ctx.into_outbox()
-            };
-            for (to, msg) in outbox {
-                debug_assert!(to.index() < self.nodes.len(), "send to unknown node {to}");
-                self.post(self_id, to, msg);
+            self.hot_bucket = bucket;
+        }
+        while let Some(entry) = self.wheel.first_entry() {
+            if *entry.key() > round {
+                break;
+            }
+            let mut bucket = entry.remove();
+            delivered_total += bucket.len();
+            for env in bucket.drain(..) {
+                let idx = env.to.index();
+                self.woken_bits[idx / 64] |= 1u64 << (idx % 64);
+                self.nodes[idx].pending.push(env);
+            }
+            if self.spare_buckets.len() < SPARE_BUCKET_LIMIT {
+                self.spare_buckets.push(bucket);
             }
         }
+        self.in_flight -= delivered_total;
+
+        // Advance the hot bucket to the next round: adopt an already-open
+        // wheel bucket for it (keeping seq order — its envelopes were posted
+        // earlier), or reuse the drained vector.
+        self.hot_round = round + 1;
+        if let Some(early) = self.wheel.remove(&(round + 1)) {
+            let drained = std::mem::replace(&mut self.hot_bucket, early);
+            if self.spare_buckets.len() < SPARE_BUCKET_LIMIT {
+                self.spare_buckets.push(drained);
+            }
+        }
+
+        // Phases 2+3: visit exactly the woken nodes — those whose wake-flag
+        // bit is set (active + timeout interest) or that received a message
+        // this round.  The scan is over the OR of the two bit words, so 64
+        // quiescent nodes cost a single word-load; the shuffle mode
+        // materialises the wake list before visiting.  A node's flag is
+        // re-derived after its visit, so timeout interest follows the
+        // actor's state from round to round.
+        self.wake_order.clear();
+        let words = self.timeout_flags.len();
+        if !self.config.shuffle_node_order {
+            for wi in 0..words {
+                let mut word = self.timeout_flags[wi] | self.woken_bits[wi];
+                while word != 0 {
+                    let idx = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.visit_node(idx, round);
+                    self.refresh_flag(idx);
+                    self.wake_order.push(idx);
+                }
+            }
+        } else {
+            for wi in 0..words {
+                let mut word = self.timeout_flags[wi] | self.woken_bits[wi];
+                while word != 0 {
+                    let idx = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.wake_order.push(idx);
+                }
+            }
+            let mut wake = std::mem::take(&mut self.wake_order);
+            self.rng.shuffle(&mut wake);
+            for &idx in &wake {
+                self.visit_node(idx, round);
+                self.refresh_flag(idx);
+            }
+            self.wake_order = wake;
+        }
+        self.metrics.nodes_visited += self.wake_order.len() as u64;
 
         self.metrics.messages_delivered += delivered_total as u64;
         self.metrics.rounds = round;
@@ -613,5 +792,166 @@ mod tests {
         sim.node_mut(NodeId(0)).unwrap().timeouts = 99;
         assert_eq!(sim.node(NodeId(0)).unwrap().timeouts, 99);
         assert!(sim.node_mut(NodeId(5)).is_none());
+    }
+
+    /// An actor that only wants timeouts while `armed` is set; receiving a
+    /// message arms it once.
+    #[derive(Debug, Default)]
+    struct Sleeper {
+        armed: bool,
+        timeouts: u64,
+        received: u64,
+    }
+
+    impl Actor for Sleeper {
+        type Msg = ();
+
+        fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<()>) {
+            self.received += 1;
+            self.armed = true;
+        }
+
+        fn on_timeout(&mut self, _ctx: &mut Context<()>) {
+            self.timeouts += 1;
+            self.armed = false;
+        }
+
+        fn wants_timeout(&self) -> bool {
+            self.armed
+        }
+    }
+
+    #[test]
+    fn wants_timeout_false_skips_visits_but_not_deliveries() {
+        let mut sim: Simulation<Sleeper> = Simulation::synchronous(1);
+        let a = sim.add_node(Sleeper::default());
+        let b = sim.add_node(Sleeper::default());
+        sim.run_rounds(5);
+        // Nobody is armed: no timeouts fire, no nodes are visited.
+        assert_eq!(sim.metrics().timeouts_fired, 0);
+        assert_eq!(sim.metrics().nodes_visited, 0);
+        // A message still wakes the destination, whose next timeout then
+        // fires exactly once (on_timeout disarms again).
+        sim.inject(a, b, ()).unwrap();
+        sim.run_rounds(3);
+        assert_eq!(sim.node(b).unwrap().received, 1);
+        assert_eq!(sim.node(b).unwrap().timeouts, 1);
+        assert_eq!(sim.node(a).unwrap().timeouts, 0);
+    }
+
+    #[test]
+    fn refresh_timeout_interest_after_driver_mutation() {
+        let mut sim: Simulation<Sleeper> = Simulation::synchronous(2);
+        let a = sim.add_node(Sleeper::default());
+        sim.run_rounds(2);
+        assert_eq!(sim.node(a).unwrap().timeouts, 0);
+        // Driver-side arming is invisible until the interest is refreshed.
+        sim.node_mut(a).unwrap().armed = true;
+        sim.refresh_timeout_interest(a).unwrap();
+        sim.run_rounds(1);
+        assert_eq!(sim.node(a).unwrap().timeouts, 1);
+        assert!(sim.refresh_timeout_interest(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn visited_last_round_lists_woken_nodes() {
+        let mut sim = ring_sim(3, SimConfig::synchronous(4));
+        sim.run_rounds(1);
+        // All ring nodes want timeouts, so all are visited in index order.
+        assert_eq!(sim.visited_last_round(), &[0, 1, 2]);
+    }
+
+    /// A node that counts received payloads and asserts delivery-time bounds.
+    #[derive(Debug)]
+    struct BoundsChecker {
+        n: u64,
+        min_delay: u64,
+        max_delay: u64,
+        received: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Hop {
+        sent_at: u64,
+        remaining: u64,
+    }
+
+    impl Actor for BoundsChecker {
+        type Msg = Hop;
+
+        fn on_message(&mut self, _from: NodeId, msg: Hop, ctx: &mut Context<Hop>) {
+            let now = ctx.round();
+            assert!(
+                now >= msg.sent_at + self.min_delay,
+                "delivered at {now}, sent at {} with min delay {}",
+                msg.sent_at,
+                self.min_delay
+            );
+            assert!(
+                now <= msg.sent_at + self.max_delay,
+                "delivered at {now}, sent at {} with max delay {}",
+                msg.sent_at,
+                self.max_delay
+            );
+            self.received += 1;
+            if msg.remaining > 0 {
+                let next = NodeId((ctx.self_id().0 + 1) % self.n);
+                ctx.send(
+                    next,
+                    Hop {
+                        sent_at: now,
+                        remaining: msg.remaining - 1,
+                    },
+                );
+            }
+        }
+
+        fn on_timeout(&mut self, _ctx: &mut Context<Hop>) {}
+    }
+
+    proptest::proptest! {
+        /// The bucketed delivery wheel never delivers a message before its
+        /// `deliver_at` (sent round + model delay), never after the model's
+        /// maximum delay, and never drops or duplicates one.
+        #[test]
+        fn prop_bucketed_delivery_respects_bounds_and_loses_nothing(
+            seed in proptest::any::<u64>(),
+            n in 2u64..12,
+            min_delay in 1u64..4,
+            extra in 0u64..5,
+            hops in 1u64..30,
+            injections in 1u64..5,
+        ) {
+            let max_delay = min_delay + extra;
+            let mut config = SimConfig::asynchronous(seed, max_delay);
+            config.delivery = crate::DeliveryModel::UniformRandom { min_delay, max_delay };
+            let mut sim = Simulation::new(config).unwrap();
+            for _ in 0..n {
+                sim.add_node(BoundsChecker {
+                    n,
+                    min_delay,
+                    max_delay,
+                    received: 0,
+                });
+            }
+            for i in 0..injections {
+                sim.inject(
+                    NodeId(i % n),
+                    NodeId(i % n),
+                    Hop { sent_at: 0, remaining: hops },
+                )
+                .unwrap();
+            }
+            sim.run_to_quiescence(1_000_000).unwrap();
+            let total: u64 = (0..n).map(|i| sim.node(NodeId(i)).unwrap().received).sum();
+            // Every injected token makes hops + 1 deliveries; nothing lost,
+            // nothing duplicated.
+            proptest::prop_assert_eq!(total, injections * (hops + 1));
+            proptest::prop_assert_eq!(
+                sim.metrics().messages_sent,
+                sim.metrics().messages_delivered
+            );
+            proptest::prop_assert_eq!(sim.in_flight(), 0);
+        }
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the tracked throughput snapshot (BENCH_pr2.json at the repo
+# root) with the fig2-point throughput harness.  See PERF.md.
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # quick mode (two points, ~seconds)
+#   scripts/bench_snapshot.sh --full     # full mode (four points, best of 3)
+#
+# Any extra arguments are passed through to the harness (e.g. --seed 7).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+    MODE="--full"
+    shift
+fi
+
+cargo run --release -p skueue-bench --bin throughput -- \
+    "$MODE" --out BENCH_pr2.json "$@"
+
+echo "snapshot written to BENCH_pr2.json"
