@@ -1,4 +1,4 @@
-//! Throughput snapshot binary — produces `BENCH_pr2.json`.
+//! Throughput snapshot binary — produces `BENCH_pr3.json`.
 //!
 //! Usage:
 //!
@@ -7,14 +7,20 @@
 //!
 //! FLAGS: --quick        two points, one repeat (CI smoke; default)
 //!        --full         four points, best of three repeats
+//!        --paper-smoke  one fig2 point at n = 10⁴, capped rounds (CI
+//!                       pipelining/batching regression canary)
 //!        --seed <u64>   workload/simulation seed (default 42)
 //!        --out <path>   write the JSON report there (default: stdout only)
 //! ```
 //!
 //! The report contains the *measured* numbers of the current tree plus the
-//! frozen pre-PR-2 baseline (measured on the same machine class with the
-//! same methodology, commit 74bb838) so the speedup of the hot-loop rework
-//! is tracked in-repo.  See PERF.md for interpretation.
+//! frozen PR-2 baseline (the `current` numbers committed in BENCH_pr2.json,
+//! measured with the same methodology right before the batched-routing /
+//! pipelined-wave rework) so the speedup of the protocol-path rework is
+//! tracked in-repo.  See PERF.md for interpretation — note that `rounds`
+//! differs from the baseline by design: PR 3 changes the protocol schedule
+//! (demand-driven pipelined waves need fewer rounds), so `ops_per_sec` is
+//! the end-to-end comparable number.
 
 use skueue_bench::{
     points_to_json, print_throughput, run_throughput, ThroughputConfig, ThroughputPoint,
@@ -24,55 +30,76 @@ use skueue_bench::{
 /// schedule and are not comparable.
 const BASELINE_SEED: u64 = 42;
 
-/// Pre-PR-2 throughput at the fig2 points (queue, insert ratio 0.5,
-/// 10 requests/round, 100 generation rounds, seed 42), measured at commit
-/// 74bb838 with the flat-inbox scheduler and cloning batch aggregation
-/// (full mode, best of three repeats).
+/// Pre-PR-3 throughput at the fig2 points (queue, insert ratio 0.5,
+/// 10 requests/round, 100 generation rounds, seed 42): the `current` block
+/// of the committed BENCH_pr2.json — per-op hop-by-hop DHT routing and the
+/// single implicit in-flight wave.  The Stage-4 batching metrics did not
+/// exist yet; they are recorded as zero ("not measured").
 const BASELINE: &[ThroughputPoint] = &[
     ThroughputPoint {
         processes: 100,
         requests: 1000,
         rounds: 308,
-        wall_ms: 9.6,
-        ops_per_sec: 103_781.0,
-        rounds_per_sec: 31_964.6,
+        wall_ms: 4.8,
+        ops_per_sec: 210_203.0,
+        rounds_per_sec: 64_742.5,
+        dht_hops_mean: 0.0,
+        dht_ops_per_message_mean: 0.0,
+        max_waves_in_flight: 1,
     },
     ThroughputPoint {
         processes: 300,
         requests: 1000,
         rounds: 646,
-        wall_ms: 27.4,
-        ops_per_sec: 36_459.6,
-        rounds_per_sec: 23_552.9,
+        wall_ms: 10.1,
+        ops_per_sec: 99_353.1,
+        rounds_per_sec: 64_182.1,
+        dht_hops_mean: 0.0,
+        dht_ops_per_message_mean: 0.0,
+        max_waves_in_flight: 1,
     },
     ThroughputPoint {
         processes: 1000,
         requests: 1000,
         rounds: 973,
-        wall_ms: 108.5,
-        ops_per_sec: 9_214.9,
-        rounds_per_sec: 8_966.1,
+        wall_ms: 26.9,
+        ops_per_sec: 37_175.3,
+        rounds_per_sec: 36_171.6,
+        dht_hops_mean: 0.0,
+        dht_ops_per_message_mean: 0.0,
+        max_waves_in_flight: 1,
     },
     ThroughputPoint {
         processes: 3000,
         requests: 1000,
         rounds: 2582,
-        wall_ms: 1105.0,
-        ops_per_sec: 905.0,
-        rounds_per_sec: 2_336.6,
+        wall_ms: 202.0,
+        ops_per_sec: 4_951.0,
+        rounds_per_sec: 12_783.4,
+        dht_hops_mean: 0.0,
+        dht_ops_per_message_mean: 0.0,
+        max_waves_in_flight: 1,
     },
 ];
 
+#[derive(PartialEq)]
+enum ModeFlag {
+    Quick,
+    Full,
+    PaperSmoke,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = true;
+    let mut mode = ModeFlag::Quick;
     let mut seed = 42u64;
     let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
+            "--quick" => mode = ModeFlag::Quick,
+            "--full" => mode = ModeFlag::Full,
+            "--paper-smoke" => mode = ModeFlag::PaperSmoke,
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -86,33 +113,55 @@ fn main() {
         i += 1;
     }
 
-    let config = if quick {
-        ThroughputConfig::quick(seed)
-    } else {
-        ThroughputConfig::full(seed)
+    let (config, mode_name) = match mode {
+        ModeFlag::Quick => (ThroughputConfig::quick(seed), "quick"),
+        ModeFlag::Full => (ThroughputConfig::full(seed), "full"),
+        ModeFlag::PaperSmoke => (ThroughputConfig::paper_smoke(seed), "paper-smoke"),
     };
-    println!(
-        "Skueue throughput harness — mode: {}, seed: {seed}",
-        if quick { "quick" } else { "full" }
-    );
+    println!("Skueue throughput harness — mode: {mode_name}, seed: {seed}");
     let current = run_throughput(&config);
     print_throughput("fig2 throughput (queue, insert ratio 0.5)", &current);
-    print_throughput("pre-PR-2 baseline (commit 74bb838)", BASELINE);
 
-    // The baseline was measured with seed 42; a different seed runs a
-    // different schedule (different round counts), so comparing ops/sec
-    // against it would be meaningless — report null instead.
-    let speedup = if seed == BASELINE_SEED {
-        speedup_at(1000, BASELINE, &current)
-    } else {
-        println!("\nseed {seed} != baseline seed {BASELINE_SEED}: speedup not comparable");
-        None
-    };
-    if let Some(s) = speedup {
-        println!("\nspeedup at n=1000 vs baseline: {s:.2}x (ops/sec)");
+    if mode == ModeFlag::PaperSmoke {
+        // The paper-scale canary: completing at all within the CI time
+        // budget is the check; print the point and exit without a report.
+        let p = &current[0];
+        println!(
+            "\npaper-scale smoke point done: n={} requests={} in {:.1} ms ({:.1} ops/sec, {} waves in flight)",
+            p.processes, p.requests, p.wall_ms, p.ops_per_sec, p.max_waves_in_flight
+        );
+        assert!(
+            p.max_waves_in_flight >= 2,
+            "wave pipelining regressed: no overlapping waves observed"
+        );
+        return;
     }
 
-    let json = report_json(seed, quick, &current, speedup);
+    print_throughput(
+        "pre-PR-3 baseline (BENCH_pr2.json current; per-op routing, single wave)",
+        BASELINE,
+    );
+
+    // The baseline was measured with seed 42; a different seed runs a
+    // different schedule, so comparing ops/sec against it would be
+    // meaningless — report null instead.
+    let (speedup_n1000, speedup_n3000) = if seed == BASELINE_SEED {
+        (
+            speedup_at(1000, BASELINE, &current),
+            speedup_at(3000, BASELINE, &current),
+        )
+    } else {
+        println!("\nseed {seed} != baseline seed {BASELINE_SEED}: speedup not comparable");
+        (None, None)
+    };
+    if let Some(s) = speedup_n3000 {
+        println!("\nspeedup at n=3000 vs pre-PR-3: {s:.2}x (ops/sec)");
+    }
+    if let Some(s) = speedup_n1000 {
+        println!("speedup at n=1000 vs pre-PR-3: {s:.2}x (ops/sec)");
+    }
+
+    let json = report_json(seed, mode_name, &current, speedup_n1000, speedup_n3000);
     match out {
         Some(path) => {
             std::fs::write(&path, &json).expect("write report file");
@@ -135,17 +184,20 @@ fn speedup_at(n: usize, baseline: &[ThroughputPoint], current: &[ThroughputPoint
 
 fn report_json(
     seed: u64,
-    quick: bool,
+    mode: &str,
     current: &[ThroughputPoint],
-    speedup: Option<f64>,
+    speedup_n1000: Option<f64>,
+    speedup_n3000: Option<f64>,
 ) -> String {
-    let speedup_str = speedup
-        .map(|s| format!("{s:.2}"))
-        .unwrap_or_else(|| "null".to_string());
+    let fmt = |s: Option<f64>| {
+        s.map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
     format!(
-        "{{\n  \"pr\": 2,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n  \"baseline_commit\": \"74bb838\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup_ops_per_sec_n1000\": {speedup_str}\n}}\n",
-        if quick { "quick" } else { "full" },
+        "{{\n  \"pr\": 3,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"mode\": \"{mode}\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup_ops_per_sec_n1000\": {},\n  \"speedup_ops_per_sec_n3000\": {}\n}}\n",
         points_to_json(BASELINE, "  "),
         points_to_json(current, "  "),
+        fmt(speedup_n1000),
+        fmt(speedup_n3000),
     )
 }

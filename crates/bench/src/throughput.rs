@@ -3,9 +3,11 @@
 //! The Criterion benches time micro components; this module times whole
 //! fig2-style sweep points (`run_fixed_rate` at insert ratio 0.5) and reports
 //! **ops/sec** (completed requests per wall-clock second) and **rounds/sec**
-//! (simulated rounds per wall-clock second).  The `throughput` binary wraps
-//! it and emits a machine-readable `BENCH_pr2.json` at the repo root so the
-//! perf trajectory of the hot loops is tracked across PRs (see PERF.md).
+//! (simulated rounds per wall-clock second), plus the Stage-4 batching
+//! metrics (`hops_per_op`, `dht_ops_per_message`) and the maximum number of
+//! pipelined waves observed.  The `throughput` binary wraps it and emits a
+//! machine-readable `BENCH_pr3.json` at the repo root so the perf trajectory
+//! of the hot paths is tracked across PRs (see PERF.md).
 //!
 //! Verification is disabled for the timed runs: the harness measures the
 //! simulator's delivery loop and the protocol's aggregation path, not the
@@ -31,6 +33,12 @@ pub struct ThroughputPoint {
     pub ops_per_sec: f64,
     /// Simulated rounds per wall-clock second.
     pub rounds_per_sec: f64,
+    /// Mean DHT routing hops per operation (`hops_per_op`).
+    pub dht_hops_mean: f64,
+    /// Mean DHT operations per `DhtBatch` message (coalescing factor).
+    pub dht_ops_per_message_mean: f64,
+    /// Largest number of aggregation waves any node had in flight.
+    pub max_waves_in_flight: u64,
 }
 
 /// Parameters of a throughput run.
@@ -66,6 +74,18 @@ impl ThroughputConfig {
             seed,
         }
     }
+
+    /// Paper-scale smoke point (fig2, n = 10⁴, capped rounds): one data
+    /// point big enough that a pipelining or batching regression shows up
+    /// as a multi-minute CI step instead of a pass.
+    pub fn paper_smoke(seed: u64) -> Self {
+        ThroughputConfig {
+            process_counts: vec![10_000],
+            generation_rounds: 50,
+            repeats: 1,
+            seed,
+        }
+    }
 }
 
 /// Times one fig2-style point (queue, insert ratio 0.5, 10 requests/round)
@@ -95,6 +115,9 @@ pub fn measure_fig2_point(
             wall_ms,
             ops_per_sec: result.requests as f64 / secs,
             rounds_per_sec: rounds as f64 / secs,
+            dht_hops_mean: result.mean_dht_hops,
+            dht_ops_per_message_mean: result.mean_dht_ops_per_message,
+            max_waves_in_flight: result.max_waves_in_flight,
         };
         let better = best
             .as_ref()
@@ -122,13 +145,16 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
     let mut out = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "{indent}  {{\"processes\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}}}{}\n",
+            "{indent}  {{\"processes\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}}}{}\n",
             p.processes,
             p.requests,
             p.rounds,
             p.wall_ms,
             p.ops_per_sec,
             p.rounds_per_sec,
+            p.dht_hops_mean,
+            p.dht_ops_per_message_mean,
+            p.max_waves_in_flight,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -140,13 +166,29 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
 pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
     println!("\n=== {title} ===");
     println!(
-        "{:>10} {:>10} {:>10} {:>12} {:>14} {:>14}",
-        "n", "requests", "rounds", "wall ms", "ops/sec", "rounds/sec"
+        "{:>8} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "n",
+        "requests",
+        "rounds",
+        "wall ms",
+        "ops/sec",
+        "rounds/sec",
+        "hops/op",
+        "ops/msg",
+        "waves"
     );
     for p in points {
         println!(
-            "{:>10} {:>10} {:>10} {:>12.1} {:>14.1} {:>14.1}",
-            p.processes, p.requests, p.rounds, p.wall_ms, p.ops_per_sec, p.rounds_per_sec
+            "{:>8} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6}",
+            p.processes,
+            p.requests,
+            p.rounds,
+            p.wall_ms,
+            p.ops_per_sec,
+            p.rounds_per_sec,
+            p.dht_hops_mean,
+            p.dht_ops_per_message_mean,
+            p.max_waves_in_flight,
         );
     }
 }
@@ -164,38 +206,43 @@ mod tests {
         assert!(p.wall_ms > 0.0);
         assert!(p.ops_per_sec > 0.0);
         assert!(p.rounds_per_sec > 0.0);
+        assert!(p.dht_hops_mean >= 0.0);
+        assert!(
+            p.dht_ops_per_message_mean >= 1.0,
+            "every DhtBatch carries at least one op"
+        );
+        assert!(
+            p.max_waves_in_flight >= 2,
+            "the wave pipeline must actually overlap waves"
+        );
     }
 
     #[test]
     fn json_rendering_is_well_formed() {
-        let points = vec![
-            ThroughputPoint {
-                processes: 10,
-                requests: 100,
-                rounds: 42,
-                wall_ms: 1.5,
-                ops_per_sec: 2.0,
-                rounds_per_sec: 3.0,
-            },
-            ThroughputPoint {
-                processes: 20,
-                requests: 200,
-                rounds: 43,
-                wall_ms: 2.5,
-                ops_per_sec: 4.0,
-                rounds_per_sec: 5.0,
-            },
-        ];
+        let mk = |processes, wall_ms| ThroughputPoint {
+            processes,
+            requests: 100,
+            rounds: 42,
+            wall_ms,
+            ops_per_sec: 2.0,
+            rounds_per_sec: 3.0,
+            dht_hops_mean: 4.5,
+            dht_ops_per_message_mean: 1.5,
+            max_waves_in_flight: 3,
+        };
+        let points = vec![mk(10, 1.5), mk(20, 2.5)];
         let json = points_to_json(&points, "  ");
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with(']'));
         assert_eq!(json.matches("\"processes\"").count(), 2);
+        assert_eq!(json.matches("\"dht_ops_per_message_mean\"").count(), 2);
         assert_eq!(json.matches("},").count(), 1, "comma between, not after");
     }
 
     #[test]
-    fn configs_cover_the_n1000_point() {
+    fn configs_cover_the_key_points() {
         assert!(ThroughputConfig::quick(1).process_counts.contains(&1000));
-        assert!(ThroughputConfig::full(1).process_counts.contains(&1000));
+        assert!(ThroughputConfig::full(1).process_counts.contains(&3000));
+        assert_eq!(ThroughputConfig::paper_smoke(1).process_counts, [10_000]);
     }
 }

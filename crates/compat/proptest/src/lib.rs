@@ -271,6 +271,16 @@ macro_rules! prop_assert_eq {
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
 }
 
 /// Inequality assertion inside a property.

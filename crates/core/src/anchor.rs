@@ -60,6 +60,12 @@ impl RunAssignment {
 }
 
 /// State maintained by the anchor node (and transferred on anchor hand-off).
+///
+/// The state is *epoch-aware*: every assigned wave advances [`Self::epoch`],
+/// and the epoch travels with the state on re-anchoring (`AnchorTransfer`),
+/// so a new anchor continues the wave numbering — and the churn accounting —
+/// exactly where the old one stopped, even while older waves are still being
+/// decomposed down the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AnchorState {
     /// Lowest occupied position (queue only; `first = last + 1` when empty).
@@ -70,8 +76,18 @@ pub struct AnchorState {
     pub counter: u64,
     /// Stack only: number of pushes ever processed (Section VI).
     pub ticket: u64,
-    /// Number of batches processed by this anchor (diagnostics).
+    /// Number of waves (combined batches) assigned by the anchor so far.
     pub epoch: u64,
+    /// Number of update phases this anchor lineage has started (tags all
+    /// update-phase control messages; monotone across re-anchoring).
+    pub phases_started: u64,
+    /// Pending `JOIN()`/`LEAVE()` requests reported by batch counters and not
+    /// yet discharged by an update phase.  Accumulated across waves — with
+    /// pipelined waves, batches carrying churn counters can arrive while an
+    /// update phase is already running (or while the flag is in flight), and
+    /// their counts must survive until the *next* phase instead of being
+    /// evaluated per batch in isolation.
+    pub pending_churn: u64,
 }
 
 impl AnchorState {
@@ -83,6 +99,8 @@ impl AnchorState {
             counter: 1,
             ticket: 0,
             epoch: 0,
+            phases_started: 0,
+            pending_churn: 0,
         }
     }
 
@@ -95,6 +113,30 @@ impl AnchorState {
     /// The invariant `first ≤ last + 1`.
     pub fn invariant_holds(&self) -> bool {
         self.first <= self.last + 1
+    }
+
+    /// Processes one combined batch (Stage 2), folding the batch's
+    /// join/leave counters into [`Self::pending_churn`], and returns one
+    /// assignment per run of the batch.  Whether the churn triggers an
+    /// update phase is decided separately via [`Self::take_update_decision`]
+    /// so churn carried by waves assigned *during* an update phase is
+    /// deferred, not dropped.
+    pub fn assign_wave(&mut self, batch: &Batch, mode: Mode) -> Vec<RunAssignment> {
+        self.pending_churn += batch.joins + batch.leaves;
+        self.assign(batch, mode)
+    }
+
+    /// Whether the accumulated churn warrants entering an update phase now;
+    /// consumes the pending count and returns the new phase's number when it
+    /// does.  `threshold == 0` disables update phases.
+    pub fn take_update_decision(&mut self, threshold: u64) -> Option<u64> {
+        if threshold > 0 && self.pending_churn >= threshold {
+            self.pending_churn = 0;
+            self.phases_started += 1;
+            Some(self.phases_started)
+        } else {
+            None
+        }
     }
 
     /// Processes one combined batch (Stage 2) and returns one assignment per
@@ -314,6 +356,40 @@ mod tests {
         a.assign(&queue_batch(&[1]), Mode::Queue);
         a.assign(&queue_batch(&[1]), Mode::Queue);
         assert_eq!(a.epoch, 2);
+    }
+
+    #[test]
+    fn assign_wave_matches_assign_and_advances_the_epoch() {
+        let mut a = AnchorState::new();
+        let mut b = AnchorState::new();
+        let batch = queue_batch(&[2, 1]);
+        let runs = a.assign_wave(&batch, Mode::Queue);
+        assert_eq!(runs, b.assign(&batch, Mode::Queue));
+        assert_eq!(a.epoch, 1);
+        a.assign_wave(&batch, Mode::Queue);
+        assert_eq!(a.epoch, 2);
+    }
+
+    #[test]
+    fn churn_accumulates_across_waves_and_is_consumed_on_trigger() {
+        let mut a = AnchorState::new();
+        let mut batch = queue_batch(&[1]);
+        batch.joins = 1;
+        a.assign_wave(&batch, Mode::Queue);
+        // Threshold 3 not reached yet; the count is deferred, not dropped.
+        assert_eq!(a.take_update_decision(3), None);
+        assert_eq!(a.pending_churn, 1);
+        let mut batch = queue_batch(&[0]);
+        batch.leaves = 2;
+        a.assign_wave(&batch, Mode::Queue);
+        assert_eq!(a.take_update_decision(3), Some(1), "phases are numbered");
+        assert_eq!(a.pending_churn, 0, "a triggered phase consumes the count");
+        // Threshold 0 disables update phases entirely.
+        let mut batch = queue_batch(&[0]);
+        batch.joins = 9;
+        a.assign_wave(&batch, Mode::Queue);
+        assert_eq!(a.take_update_decision(0), None);
+        assert_eq!(a.pending_churn, 9);
     }
 
     #[test]

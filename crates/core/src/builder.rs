@@ -48,6 +48,8 @@ pub enum BuildError {
     },
     /// The anchor's update threshold must be at least one pending request.
     ZeroUpdateThreshold,
+    /// The wave pipeline needs at least one slot per node.
+    ZeroPipelineDepth,
     /// The simulation configuration is invalid (e.g. an empty delay range).
     InvalidSimConfig(String),
 }
@@ -64,6 +66,9 @@ impl std::fmt::Display for BuildError {
             ),
             BuildError::ZeroUpdateThreshold => {
                 write!(f, "the update threshold must be at least 1")
+            }
+            BuildError::ZeroPipelineDepth => {
+                write!(f, "the wave pipeline depth must be at least 1")
             }
             BuildError::InvalidSimConfig(reason) => {
                 write!(f, "invalid simulation config: {reason}")
@@ -95,6 +100,7 @@ pub struct SkueueBuilder {
     local_combining: Option<bool>,
     stage4_barrier: Option<bool>,
     update_threshold: u64,
+    pipeline_depth: usize,
     delivery: DeliveryModel,
     shuffle_node_order: Option<bool>,
     record_trace: bool,
@@ -111,6 +117,7 @@ impl Default for SkueueBuilder {
             local_combining: None,
             stage4_barrier: None,
             update_threshold: 1,
+            pipeline_depth: crate::config::DEFAULT_PIPELINE_DEPTH,
             delivery: DeliveryModel::Synchronous,
             shuffle_node_order: None,
             record_trace: false,
@@ -203,6 +210,20 @@ impl SkueueBuilder {
         self
     }
 
+    /// Maximum number of aggregation waves each node keeps in flight
+    /// concurrently (default
+    /// [`DEFAULT_PIPELINE_DEPTH`](crate::config::DEFAULT_PIPELINE_DEPTH),
+    /// chosen to sit above the anchor round-trip time so the ring bounds
+    /// state without throttling).  `1` reproduces the strictly alternating
+    /// wave of the original analysis; larger depths overlap aggregation of
+    /// wave `k+1` with the serve/DHT phases of wave `k` (Skeap-style
+    /// pipelining).  The stack's stage-4 barrier serialises waves
+    /// regardless.  Zero is rejected by [`build`](Self::build).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// Runs on the synchronous round scheduler the paper evaluates on (the
     /// default).
     pub fn synchronous(mut self) -> Self {
@@ -258,6 +279,11 @@ impl SkueueBuilder {
             cfg.stage4_barrier = enabled;
         }
         cfg.update_threshold = self.update_threshold;
+        cfg.pipeline_depth = self.pipeline_depth;
+        // The synchronous round scheduler delivers per-channel in send
+        // order; every other model may reorder, which the protocol's
+        // aggregate credit must compensate for.
+        cfg.fifo_channels = self.delivery.is_synchronous();
         cfg
     }
 
@@ -305,6 +331,9 @@ pub(crate) fn validate_config(
     }
     if protocol_cfg.update_threshold == 0 {
         return Err(BuildError::ZeroUpdateThreshold);
+    }
+    if protocol_cfg.pipeline_depth == 0 {
+        return Err(BuildError::ZeroPipelineDepth);
     }
     sim_cfg.validate().map_err(|e| match e {
         // Unwrap the reason so the BuildError Display doesn't repeat the
@@ -360,6 +389,21 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, BuildError::ZeroUpdateThreshold);
+    }
+
+    #[test]
+    fn zero_pipeline_depth_is_rejected() {
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .pipeline_depth(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroPipelineDepth);
+        let cfg = SkueueBuilder::new()
+            .processes(4)
+            .pipeline_depth(3)
+            .protocol_config();
+        assert_eq!(cfg.pipeline_depth, 3);
     }
 
     #[test]

@@ -39,7 +39,34 @@ pub struct ProtocolConfig {
     /// issued by this node have finished before starting the next
     /// aggregation phase (required for stack correctness, Section VI).
     pub stage4_barrier: bool,
+    /// True when the transport delivers each channel's messages in send
+    /// order (the synchronous round model).  FIFO channels make the
+    /// `AggregateAck` credit redundant: a child may keep several aggregates
+    /// to the same parent in flight because they cannot overtake each other
+    /// (re-parenting is covered separately by the wave slots' parent guard).
+    /// Under reordering delivery this must be `false`, and the credit
+    /// serialises every child→parent channel.  Set by the cluster builder
+    /// from the configured delivery model.
+    pub fifo_channels: bool,
+    /// Maximum number of aggregation waves a node keeps in flight
+    /// concurrently (the size of its `WaveSlot` ring): a node may combine
+    /// and forward wave `k+1` while wave `k`'s assignments are still
+    /// travelling back down the tree, as in Skeap/Seap's overlapping phases.
+    /// `1` reproduces the strictly alternating wave of the original Skueue
+    /// analysis.  The stack's stage-4 barrier serialises waves regardless,
+    /// so this knob effectively applies to the queue.
+    pub pipeline_depth: usize,
 }
+
+/// Default number of concurrently in-flight aggregation waves per node.
+///
+/// The slot ring is bookkeeping for epoch-matched serves, not flow control:
+/// capping it below the anchor round-trip time (≈ 2·tree height rounds)
+/// throttles every tree level and costs O(height) extra latency per level.
+/// In-flight waves self-limit at about one round trip's worth, so 32 covers
+/// trees of height ≈ 16 (hundreds of thousands of processes) without ever
+/// becoming the bottleneck, while still bounding per-node state.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 32;
 
 impl ProtocolConfig {
     /// Default queue configuration.
@@ -51,6 +78,8 @@ impl ProtocolConfig {
             local_combining: false,
             update_threshold: 1,
             stage4_barrier: false,
+            fifo_channels: true,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         }
     }
 
@@ -64,6 +93,8 @@ impl ProtocolConfig {
             local_combining: true,
             update_threshold: 1,
             stage4_barrier: true,
+            fifo_channels: true,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         }
     }
 
@@ -83,6 +114,23 @@ impl ProtocolConfig {
     pub fn with_local_combining(mut self, enabled: bool) -> Self {
         self.local_combining = enabled;
         self
+    }
+
+    /// Overrides the wave pipeline depth (must be at least 1).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The effective number of wave slots a node uses: the stack's stage-4
+    /// barrier requires strictly alternating waves, so it pins the depth
+    /// to 1 regardless of the configured value.
+    pub fn effective_pipeline_depth(&self) -> usize {
+        if self.stage4_barrier {
+            1
+        } else {
+            self.pipeline_depth.max(1)
+        }
     }
 
     /// The hasher corresponding to this configuration.
@@ -139,5 +187,18 @@ mod tests {
     #[test]
     fn default_is_queue() {
         assert_eq!(ProtocolConfig::default().mode, Mode::Queue);
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_and_barrier_override() {
+        let c = ProtocolConfig::queue();
+        assert_eq!(c.pipeline_depth, DEFAULT_PIPELINE_DEPTH);
+        assert_eq!(c.effective_pipeline_depth(), DEFAULT_PIPELINE_DEPTH);
+        let c = c.with_pipeline_depth(5);
+        assert_eq!(c.effective_pipeline_depth(), 5);
+        // The stack's stage-4 barrier serialises waves regardless of the
+        // configured depth.
+        let s = ProtocolConfig::stack().with_pipeline_depth(5);
+        assert_eq!(s.effective_pipeline_depth(), 1);
     }
 }

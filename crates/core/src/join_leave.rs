@@ -26,7 +26,7 @@
 
 use crate::anchor::AnchorState;
 use crate::batch::Batch;
-use crate::messages::{AbsorbPayload, JoinHandover, SkueueMsg};
+use crate::messages::{AbsorbPayload, DhtReplyItem, JoinHandover, SkueueMsg};
 use crate::node::{JoinerRecord, LeaverRecord, Role, SkueueNode, UpdatePhase};
 use skueue_dht::{PendingGet, StoredEntry};
 use skueue_overlay::{route_step, Label, NeighborInfo, RouteAction, RouteProgress};
@@ -92,6 +92,7 @@ impl SkueueNode {
             && self.own_log.is_empty()
             && self.outstanding_gets.is_empty()
             && self.pending_leavers.is_empty()
+            && self.joiners.is_empty()
             && self.anchor.is_none()
         {
             ctx.send(
@@ -155,46 +156,35 @@ impl SkueueNode {
             SkueueMsg::SetSucc { new_succ } => {
                 self.view.succ = new_succ;
             }
-            SkueueMsg::UpdateAck => {
+            SkueueMsg::UpdateFlag { phase } => {
+                if matches!(self.role, Role::Active) && self.update.is_none() && !self.suspended {
+                    self.enter_update_phase(phase, Some(from), ctx);
+                } else {
+                    // Still busy with an older phase, flagged twice across a
+                    // splice, freshly integrated (no duties yet, resumes on
+                    // `UpdateOver`), or draining: confirm right away so the
+                    // flagger never waits on us.  Duties this node thereby
+                    // misses re-arm themselves when its own phase ends (see
+                    // `handle_update_over`).
+                    ctx.send(from, SkueueMsg::UpdateAck { phase });
+                }
+            }
+            SkueueMsg::UpdateAck { phase } => {
                 if let Some(update) = self.update.as_mut() {
-                    update.awaiting_child_acks.retain(|&c| c != from);
+                    if update.phase == phase {
+                        update.awaiting_child_acks.retain(|&c| c != from);
+                    }
                 }
                 self.check_update_done(ctx);
             }
-            SkueueMsg::UpdateOver => self.handle_update_over(ctx),
+            SkueueMsg::UpdateOver { phase } => self.handle_update_over(phase, ctx),
             SkueueMsg::AnchorTransfer { state } => self.handle_anchor_transfer(state, ctx),
-            // Stage 1–4 messages that reach a joining node are deferred or
-            // dropped defensively (they cannot occur for integrated nodes —
-            // the main dispatch handles them there).
-            SkueueMsg::Dht { op, progress } => {
-                if matches!(self.role, Role::Joining { .. }) {
-                    self.deferred_dht.push((op, progress));
-                } else {
-                    self.route_dht_forward(op, progress, ctx);
-                }
-            }
             other => {
                 debug_assert!(
                     false,
                     "unexpected message {other:?} in membership handler at {}",
                     self.view.me.vid
                 );
-            }
-        }
-    }
-
-    /// Re-routes a DHT operation (used when re-injecting deferred operations).
-    fn route_dht_forward(
-        &mut self,
-        op: Box<crate::messages::DhtOp>,
-        mut progress: RouteProgress,
-        ctx: &mut Context<SkueueMsg>,
-    ) {
-        match route_step(&self.view, &mut progress) {
-            RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
-            RouteAction::Forward(next) => {
-                progress.hops += 1;
-                ctx.send(next, SkueueMsg::Dht { op, progress });
             }
         }
     }
@@ -251,7 +241,11 @@ impl SkueueNode {
         joiners.sort_by_key(|j| me_label.cw_distance(j.info.label));
         let old_succ = self.view.succ;
 
-        // Hand out the data and the final neighbour pointers.
+        // Hand out the data and the final neighbour pointers.  Remember the
+        // joiners so the phase-ending `UpdateOver` reaches them even if
+        // their `SiblingStatus` races the broadcast at their tree parents.
+        self.integrated_joiners
+            .extend(joiners.iter().map(|j| j.info.node));
         let count = joiners.len();
         for (i, j) in joiners.iter().enumerate() {
             let pred = if i == 0 {
@@ -321,18 +315,18 @@ impl SkueueNode {
         // Do not start batching before the update phase is over.
         self.suspended = true;
         for satisfied in self.store.absorb(handover.entries, handover.pending) {
-            ctx.send(
+            self.reply_buffer.push(
                 satisfied.get.requester,
-                SkueueMsg::DhtReply {
+                DhtReplyItem {
                     request: satisfied.get.request,
                     entry: satisfied.entry,
                 },
             );
         }
         // Re-route DHT operations that arrived while we were not yet part of
-        // the cycle.
-        for (op, progress) in std::mem::take(&mut self.deferred_dht) {
-            self.route_dht_forward(op, progress, ctx);
+        // the cycle (coalesced with everything else this visit routes).
+        for routed in std::mem::take(&mut self.deferred_dht) {
+            self.dispatch_dht(routed.op, routed.progress, ctx);
         }
         // Tell the sibling virtual nodes of this process that we are now an
         // integrated member (they may treat us as an aggregation-tree child).
@@ -405,12 +399,14 @@ impl SkueueNode {
         ctx.send(leaver.node, SkueueMsg::LeaveGranted);
     }
 
-    /// A leaver may only hand itself over once (a) its pending batch has been
-    /// served and (b) it has discharged its own update-phase duties (sent its
-    /// `UpdateAck`).  Both are guaranteed to happen within the same update
-    /// wave, so deferring is always temporary.
+    /// A leaver may only hand itself over once (a) every in-flight wave of
+    /// its own has been served (it has no slot a later `Serve` could still
+    /// address) and (b) it has discharged its own update-phase duties (sent
+    /// its `UpdateAck`).  The update phase's wave draining (see
+    /// `SkueueNode::try_drain_wave`) guarantees in-flight waves keep moving
+    /// even below suspended ancestors, so deferring is always temporary.
     fn ready_to_be_absorbed(&self) -> bool {
-        self.pending.is_none() && self.update.as_ref().map(|u| u.acked).unwrap_or(true)
+        self.slots.is_empty() && self.update.as_ref().map(|u| u.acked).unwrap_or(true)
     }
 
     fn handle_absorb_request(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg>) {
@@ -435,12 +431,20 @@ impl SkueueNode {
         let entries: Vec<StoredEntry> = self.store.iter_entries().copied().collect();
         let pending: Vec<(u64, PendingGet)> =
             self.store.iter_pending().map(|(p, g)| (p, *g)).collect();
-        let child_batches: Vec<(NodeId, Batch)> = self.child_batches.drain().collect();
+        let child_batches: Vec<(NodeId, u64, Batch)> = self.child_batches.drain_all();
+        // Joiners this node was responsible for but never integrated (their
+        // announcement can race the leave) move to the absorber wholesale.
+        let joiners: Vec<NeighborInfo> = std::mem::take(&mut self.joiners)
+            .into_iter()
+            .filter(|j| !j.handed_over)
+            .map(|j| j.info)
+            .collect();
         let payload = AbsorbPayload {
             succ: self.view.succ,
             entries,
             pending,
             child_batches,
+            joiners,
             anchor: self.anchor.take(),
         };
         ctx.send(from, SkueueMsg::AbsorbData(Box::new(payload)));
@@ -457,17 +461,30 @@ impl SkueueNode {
         // Take over the leaver's DHT data and parked GETs.
         let pending: Vec<(u64, PendingGet)> = payload.pending;
         for satisfied in self.store.absorb(payload.entries, pending) {
-            ctx.send(
+            self.reply_buffer.push(
                 satisfied.get.requester,
-                SkueueMsg::DhtReply {
+                DhtReplyItem {
                     request: satisfied.get.request,
                     entry: satisfied.entry,
                 },
             );
         }
-        // Inherit not-yet-forwarded sub-batches of the leaver's children.
-        for (child, batch) in payload.child_batches {
-            self.child_batches.insert_if_absent(child, batch);
+        // Inherit not-yet-forwarded sub-batches of the leaver's children
+        // (per-child FIFO order preserved; they are combined into this
+        // node's next wave and served back under the children's epochs).
+        for (child, epoch, batch) in payload.child_batches {
+            self.child_batches.push(child, epoch, batch);
+        }
+        // Take over the leaver's pending joiners and re-count them so a
+        // future update phase integrates them here.
+        for info in payload.joiners {
+            if !self.joiners.iter().any(|j| j.info.node == info.node) {
+                self.joiners.push(JoinerRecord {
+                    info,
+                    handed_over: false,
+                });
+                self.pending_join_count += 1;
+            }
         }
         // Splice the leaver out of the cycle.
         if payload.succ.node == from {
@@ -493,6 +510,9 @@ impl SkueueNode {
             ctx.send(self.view.succ.node, SkueueMsg::AnchorTransfer { state });
         }
         self.pending_leavers.retain(|l| l.info.node != from);
+        // The leaver is out of the new tree; remember it so the phase-ending
+        // `UpdateOver` still reaches its old subtree through it.
+        self.absorbed_leavers.push(from);
         if let Some(update) = self.update.as_mut() {
             update.awaiting_absorb_data = update.awaiting_absorb_data.saturating_sub(1);
         }
@@ -503,15 +523,24 @@ impl SkueueNode {
     // Update phase.
     // ---------------------------------------------------------------------
 
-    /// Enters the update phase: suspends batching, performs this node's
-    /// integration/absorption duties, and prepares the ack bookkeeping.
+    /// Enters the update phase: suspends batching, flags this node's current
+    /// children (exactly the set it will await `UpdateAck`s from), performs
+    /// its integration/absorption duties, and prepares the ack bookkeeping.
+    /// `old_parent` is the node the flag came from (`None` at the anchor) —
+    /// the node this one acks to once its subtree is done.
     pub(crate) fn enter_update_phase(
         &mut self,
+        phase: u64,
         old_parent: Option<NodeId>,
         ctx: &mut Context<SkueueMsg>,
     ) {
         self.suspended = true;
         let awaiting_child_acks = self.tree_children().to_vec();
+        // Flag the children *before* integrating joiners or splicing the
+        // cycle, so the flagged set matches the awaited set.
+        for &child in &awaiting_child_acks {
+            ctx.send(child, SkueueMsg::UpdateFlag { phase });
+        }
         let integrated = self.integrate_joiners(ctx);
         // Ask granted leavers for their state.
         let mut absorb_requests = 0;
@@ -529,6 +558,7 @@ impl SkueueNode {
             l.absorb_requested = true;
         }
         self.update = Some(UpdatePhase {
+            phase,
             awaiting_child_acks,
             old_parent,
             awaiting_integrate_acks: integrated,
@@ -553,24 +583,27 @@ impl SkueueNode {
         if !done {
             return;
         }
-        let old_parent = self.update.as_ref().and_then(|u| u.old_parent);
+        let (old_parent, phase) = match self.update.as_ref() {
+            Some(u) => (u.old_parent, u.phase),
+            None => return,
+        };
         if let Some(update) = self.update.as_mut() {
             update.acked = true;
         }
         match old_parent {
-            Some(parent) => ctx.send(parent, SkueueMsg::UpdateAck),
-            None => self.finish_update_phase(ctx),
+            Some(parent) => ctx.send(parent, SkueueMsg::UpdateAck { phase }),
+            None => self.finish_update_phase(phase, ctx),
         }
     }
 
     /// The (old) anchor ends the update phase: either by broadcasting
     /// `UpdateOver` down the new tree, or — when a smaller-labelled node has
     /// joined — by handing the anchor state to the new leftmost node first.
-    fn finish_update_phase(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn finish_update_phase(&mut self, phase: u64, ctx: &mut Context<SkueueMsg>) {
         if self.view.is_anchor() || self.anchor.is_none() {
             // Still the leftmost node (or not the anchor at all — defensive):
             // end the phase ourselves.
-            self.handle_update_over(ctx);
+            self.handle_update_over(phase, ctx);
         } else {
             // A node with a smaller label exists now; walk the anchor state
             // towards it.  The new anchor ends the update phase.
@@ -581,19 +614,63 @@ impl SkueueNode {
         }
     }
 
-    fn handle_update_over(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn handle_update_over(&mut self, phase: u64, ctx: &mut Context<SkueueMsg>) {
+        if let Some(update) = self.update.as_ref() {
+            if update.phase > phase {
+                // A delayed end-of-phase message from an *older* phase must
+                // not cancel the younger phase this node is participating in
+                // (it would wipe the ack bookkeeping and wedge the phase).
+                return;
+            }
+        }
+        // Forward only when this node was actually participating (in the
+        // phase, or suspended as a freshly integrated joiner): a stray
+        // duplicate must not cascade down the whole subtree again, and a
+        // node that skipped the phase has no participants below it.
+        let participating = self.suspended || self.update.is_some();
         self.suspended = false;
         self.update = None;
-        for child in self.tree_children() {
-            ctx.send(child, SkueueMsg::UpdateOver);
+        if participating {
+            for child in self.tree_children() {
+                ctx.send(child, SkueueMsg::UpdateOver { phase });
+            }
+            // Leavers absorbed this phase are no longer anyone's tree child,
+            // but their old subtrees may contain nodes only reachable
+            // through them (a sibling that could not leave yet); relay the
+            // phase end.
+            for leaver in std::mem::take(&mut self.absorbed_leavers) {
+                ctx.send(leaver, SkueueMsg::UpdateOver { phase });
+            }
+            // Likewise for joiners integrated this phase, whose tree parents
+            // may not know them yet (`SiblingStatus` still in flight).
+            for joiner in std::mem::take(&mut self.integrated_joiners) {
+                ctx.send(joiner, SkueueMsg::UpdateOver { phase });
+            }
         }
+        // Duties this node could not discharge in the phases it saw —
+        // joiners announced after its `integrate_joiners` ran, leavers
+        // granted after its absorb requests went out, or phases it had to
+        // decline while busy with an older one — re-arm the churn counters
+        // so a future phase picks them up.  `max` (not `+=`) keeps this
+        // idempotent: an original announcement increment that has not been
+        // flushed into a wave yet, or a duplicate `UpdateOver` delivery,
+        // must not double-count the same duty.
+        let missed = self.joiners.iter().filter(|j| !j.handed_over).count() as u64;
+        self.pending_join_count = self.pending_join_count.max(missed);
+        let missed = self
+            .pending_leavers
+            .iter()
+            .filter(|l| !l.absorb_requested)
+            .count() as u64;
+        self.pending_leave_count = self.pending_leave_count.max(missed);
     }
 
     fn handle_anchor_transfer(&mut self, state: AnchorState, ctx: &mut Context<SkueueMsg>) {
         if self.view.is_anchor() {
+            let phase = state.phases_started;
             self.adopt_anchor(state);
             // The new anchor ends the update phase for everyone.
-            self.handle_update_over(ctx);
+            self.handle_update_over(phase, ctx);
         } else {
             // Keep walking left.
             ctx.send(self.view.pred.node, SkueueMsg::AnchorTransfer { state });

@@ -61,6 +61,27 @@ impl DhtOp {
     }
 }
 
+/// One DHT operation in flight, together with its routing state.  This is
+/// the unit the per-destination coalescing layer ([`skueue_overlay::RouteBuffer`])
+/// batches: all routed ops that share the next distance-halving hop travel
+/// in one [`SkueueMsg::DhtBatch`] per neighbour per round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedDhtOp {
+    /// The operation (boxed so moving an op between buffers moves a pointer).
+    pub op: Box<DhtOp>,
+    /// Routing state (target key, remaining distance-halving bits, hops).
+    pub progress: RouteProgress,
+}
+
+/// One answered `GET` inside a [`SkueueMsg::DhtReplyBatch`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhtReplyItem {
+    /// The dequeue/pop request the reply answers.
+    pub request: RequestId,
+    /// The stored entry that was removed for it.
+    pub entry: StoredEntry,
+}
+
 /// Payload of the join data handover: everything the responsible node gives a
 /// joining virtual node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -86,8 +107,15 @@ pub struct AbsorbPayload {
     /// The leaver's parked GETs.
     pub pending: Vec<(u64, PendingGet)>,
     /// Sub-batches the leaver had received from aggregation-tree children but
-    /// not yet forwarded.
-    pub child_batches: Vec<(NodeId, Batch)>,
+    /// not yet forwarded: `(child, child's wave epoch, batch)` in per-child
+    /// FIFO order, so the absorber can serve them under the epochs the
+    /// children are waiting on.
+    pub child_batches: Vec<(NodeId, u64, Batch)>,
+    /// Joining nodes the leaver was responsible for but had not integrated
+    /// yet; the absorber takes over the responsibility (and re-counts them
+    /// toward the next update phase) so no joiner is stranded by its
+    /// responsible node leaving.
+    pub joiners: Vec<NeighborInfo>,
     /// Anchor state, if the leaver was the anchor.
     pub anchor: Option<AnchorState>,
 }
@@ -97,36 +125,49 @@ pub struct AbsorbPayload {
 pub enum SkueueMsg {
     // ---- Stages 1-4 -------------------------------------------------------
     /// Stage 1: a child forwards its combined batch to its aggregation-tree
-    /// parent (`AGGREGATE`).
+    /// parent (`AGGREGATE`).  The wave `epoch` is the child's local wave
+    /// counter; the parent echoes it back in the matching [`Self::Serve`] so
+    /// the child can pair assignments with the right in-flight wave while
+    /// several waves are pipelined.  `child` identifies the sender at the
+    /// protocol level (the transport-level sender may be a draining node
+    /// forwarding on the child's behalf).
     Aggregate {
+        /// The aggregation-tree child this batch belongs to.
+        child: NodeId,
+        /// The child's wave epoch for this batch.
+        epoch: u64,
         /// The child's combined batch.
         batch: Batch,
     },
+    /// Receipt confirmation for an [`Self::Aggregate`]: the parent has
+    /// enqueued the sub-batch.  A child keeps at most one unconfirmed
+    /// aggregate in flight, which serialises the child→parent channel and
+    /// guarantees the parent commits a child's waves in epoch order even
+    /// under reordering (asynchronous) delivery.
+    AggregateAck,
     /// Stage 3: the parent returns the run assignments for the sub-batch this
-    /// node contributed (`SERVE`), possibly carrying the update-phase flag.
+    /// node contributed (`SERVE`).
     Serve {
-        /// One assignment per run of the receiver's pending batch.
+        /// The receiver's wave epoch these assignments answer.
+        epoch: u64,
+        /// One assignment per run of that wave's combined batch.
         runs: Vec<RunAssignment>,
-        /// True when the anchor decided to enter the update phase with this
-        /// wave (Section IV).
-        enter_update: bool,
     },
-    /// Stage 4: a DHT operation being routed over the LDB.  The operation is
-    /// boxed so that forwarding a hop moves a pointer, and so the large
-    /// `PUT` payload does not inflate every other message variant (the
-    /// aggregation wave dominates traffic).
-    Dht {
-        /// The operation.
-        op: Box<DhtOp>,
-        /// Routing state (target key, remaining distance-halving bits, hops).
-        progress: RouteProgress,
+    /// Stage 4: a batch of DHT operations being routed over the LDB, one
+    /// message per (sender, next hop) per round.  Ops that diverge at a
+    /// later hop are re-batched by every forwarding node, so the per-round
+    /// message count is bounded by the cut of the routing DAG instead of the
+    /// number of in-flight ops (the congestion argument of Theorem 15).
+    DhtBatch {
+        /// The batched operations, in issue order.
+        ops: Vec<RoutedDhtOp>,
     },
-    /// Reply to a `GET`: the element is returned to the requester.
-    DhtReply {
-        /// The dequeue/pop request the reply answers.
-        request: RequestId,
-        /// The stored entry that was removed for it.
-        entry: StoredEntry,
+    /// Replies to `GET`s, coalesced per requester: every element a node
+    /// hands back to the same requester within one visit travels in a
+    /// single message.
+    DhtReplyBatch {
+        /// The answered GETs, in application order.
+        replies: Vec<DhtReplyItem>,
     },
     /// Acknowledgement of a `PUT` (only requested by stack nodes enforcing
     /// the stage-4 barrier).
@@ -192,11 +233,33 @@ pub enum SkueueMsg {
     },
 
     // ---- Update phase control ----------------------------------------------
+    /// The anchor has started an update phase; propagated down the tree from
+    /// each participating node to its *current* children.  A dedicated
+    /// control message (rather than a flag on [`Self::Serve`]) because with
+    /// pipelined waves the contributors of an in-flight wave can differ from
+    /// a node's current children — and the set a node awaits `UpdateAck`s
+    /// from must be exactly the set it flagged.
+    UpdateFlag {
+        /// The anchor's update-phase number (monotone; survives
+        /// re-anchoring inside `AnchorState`).  All update-phase control is
+        /// tagged with it so delayed messages of an *older* phase can never
+        /// corrupt a younger one under reordering delivery.
+        phase: u64,
+    },
     /// Acknowledgement that the whole old subtree below the sender has
-    /// finished its update-phase duties (aggregated up the old tree).
-    UpdateAck,
-    /// The update phase is over; broadcast down the new aggregation tree.
-    UpdateOver,
+    /// finished its duties for the given update phase (aggregated up the
+    /// old tree).
+    UpdateAck {
+        /// The phase being acknowledged.
+        phase: u64,
+    },
+    /// The update phase is over; broadcast down the new aggregation tree
+    /// (and relayed through absorbed leavers to their old subtrees).
+    UpdateOver {
+        /// The phase that ended.  A node still participating in a *younger*
+        /// phase ignores it.
+        phase: u64,
+    },
     /// Anchor state hand-off, walking towards the leftmost node.
     AnchorTransfer {
         /// The anchor state being transferred.
@@ -240,10 +303,41 @@ mod tests {
     #[test]
     fn messages_are_cloneable_and_comparable() {
         let a = SkueueMsg::Aggregate {
+            child: NodeId(3),
+            epoch: 7,
             batch: Batch::empty(),
         };
         assert_eq!(a.clone(), a);
-        let b = SkueueMsg::UpdateOver;
+        let b = SkueueMsg::UpdateOver { phase: 1 };
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dht_batch_messages_carry_ops_and_replies() {
+        let entry = StoredEntry::queue(
+            2,
+            Label::from_f64(0.25),
+            Element::new(RequestId::new(ProcessId(1), 4), 17),
+        );
+        let batch = SkueueMsg::DhtBatch {
+            ops: vec![RoutedDhtOp {
+                op: Box::new(DhtOp::Get {
+                    position: 2,
+                    max_ticket: u64::MAX,
+                    request: RequestId::new(ProcessId(1), 4),
+                    requester: NodeId(9),
+                }),
+                progress: RouteProgress::linear_only(Label::from_f64(0.25)),
+            }],
+        };
+        assert_eq!(batch.clone(), batch);
+        let replies = SkueueMsg::DhtReplyBatch {
+            replies: vec![DhtReplyItem {
+                request: RequestId::new(ProcessId(1), 4),
+                entry,
+            }],
+        };
+        assert_eq!(replies.clone(), replies);
+        assert_ne!(batch, replies);
     }
 }

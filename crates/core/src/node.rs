@@ -16,21 +16,52 @@
 //!   node's own requests.
 //! * **Stage 4**: issue `PUT`/`GET` operations into the DHT, routed over the
 //!   LDB; record request completions for the history.
+//!
+//! # Pipelined waves
+//!
+//! Stage 1 is *pipelined*: instead of a single implicit in-flight wave, a
+//! node keeps a small ring of [`WaveSlot`]s tagged with a per-node wave
+//! epoch, so it can combine and forward wave `k+1` while wave `k`'s
+//! assignments (and the DHT operations they trigger) are still in flight —
+//! the overlapping-phases idea of Skeap/Seap applied to Skueue's aggregation
+//! tree.  Epochs travel in `Aggregate` and are echoed back in `Serve`, so a
+//! node pairs assignments with the right wave even when serves are reordered
+//! by asynchronous delivery; an `AggregateAck` credit keeps at most one
+//! aggregate per child→parent channel in flight, which guarantees the parent
+//! commits a child's waves to the anchor in epoch (= program) order.
+//!
+//! # Batched DHT routing
+//!
+//! Stage 4 is *batched*: every routed DHT operation a node would forward is
+//! parked in a per-destination [`RouteBuffer`] and flushed at the end of the
+//! visit as one `DhtBatch` message per neighbour per round; replies coalesce
+//! the same way per requester (`DhtReplyBatch`).  Ops sharing the next
+//! distance-halving hop — from a middle node there are only two virtual-edge
+//! targets — therefore cost one message, which is exactly the aggregation
+//! along shared routes the paper's congestion bound builds on.
 
 use crate::anchor::{AnchorState, RunAssignment};
 use crate::batch::{Batch, BatchOp};
 use crate::config::{Mode, ProtocolConfig};
-use crate::messages::{DhtOp, PutMeta, SkueueMsg};
-use skueue_dht::{Element, GetOutcome, NodeStore, StoredEntry};
+use crate::messages::{DhtOp, DhtReplyItem, PutMeta, RoutedDhtOp, SkueueMsg};
+use skueue_dht::{Element, GetOutcome, NodeStore, SatisfiedGet, StoredEntry};
 use skueue_overlay::{
     aggregation_child_set, aggregation_parent, route_step, ChildSet, LocalView, RouteAction,
-    RouteProgress, VKind,
+    RouteBuffer, RouteProgress, VKind,
 };
 use skueue_sim::actor::{Actor, Context};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
 use skueue_verify::{OpKind, OpRecord, OpResult, OrderKey};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Minimum number of rounds between two waves opened by the same node:
+/// letting sub-batches that travel towards a shared ancestor land in the
+/// same combined wave (instead of chasing each other one round apart) is
+/// what re-creates the paper's aggregation along shared routes under
+/// demand-driven waves.  `2` merges adjacent traffic while costing at most
+/// one extra round of latency per level.
+const WAVE_CADENCE: u64 = 2;
 
 /// A locally generated request that has not been resolved yet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,68 +76,128 @@ pub struct LocalOp {
     pub issued_round: u64,
 }
 
-/// Where a sub-batch of the node's pending batch came from.
+/// Where a sub-batch of a combined wave came from.
 #[derive(Debug, Clone)]
 pub(crate) enum BatchSource {
     /// The node's own working batch (its own requests).
     Own(Batch),
-    /// A child's sub-batch.
-    Child(NodeId, Batch),
+    /// A child's sub-batch, tagged with the child's wave epoch (echoed back
+    /// in the `Serve` so the child can match the assignments to the right
+    /// in-flight wave).
+    Child(NodeId, u64, Batch),
 }
 
 impl BatchSource {
     fn batch(&self) -> &Batch {
         match self {
-            BatchSource::Own(b) | BatchSource::Child(_, b) => b,
+            BatchSource::Own(b) | BatchSource::Child(_, _, b) => b,
         }
     }
 }
 
-/// The batch a node has sent up the tree and not yet been served for, plus
-/// the memorised combination order needed for Stage 3.  Only the combined
-/// batch's run count is kept — the runs themselves travelled up the tree in
-/// the `Aggregate` message and come back as `Serve` assignments, so storing
-/// a clone of the whole batch here would be a pure waste.
+/// One in-flight aggregation wave: the combined batch has been sent up the
+/// tree (to `parent`, under this node's wave `epoch`) and its assignments
+/// have not come back yet.  Only the combined batch's run count is kept —
+/// the runs themselves travelled up in the `Aggregate` message and come back
+/// as `Serve` assignments.
 #[derive(Debug, Clone)]
-pub(crate) struct PendingBatch {
+pub(crate) struct WaveSlot {
+    /// This node's wave epoch for the slot.
+    pub(crate) epoch: u64,
+    /// The parent the wave was sent to (new waves are held back while an
+    /// older slot points at a different parent, so re-parenting can never
+    /// reorder a node's waves at the anchor).
+    pub(crate) parent: NodeId,
+    /// Number of runs of the combined batch.
     pub(crate) num_runs: usize,
+    /// The memorised combination order for the Stage 3 decomposition.
     pub(crate) sources: Vec<BatchSource>,
 }
 
-/// Sub-batches received from aggregation-tree children and not yet combined,
-/// stored inline (the tree bounds the fan-in at two; absorbing a leaver can
-/// temporarily add a couple more, hence a `Vec` — but its capacity is
-/// retained across waves, so steady-state inserts and removals do not touch
-/// the allocator, unlike the `BTreeMap` this replaced).
+/// A `Serve` that arrived before the serves of older waves (asynchronous
+/// delivery can reorder them); parked until its epoch reaches the front of
+/// the slot ring.
+#[derive(Debug, Clone)]
+pub(crate) struct StashedServe {
+    pub(crate) epoch: u64,
+    pub(crate) runs: Vec<RunAssignment>,
+}
+
+/// Sub-batches received from aggregation-tree children and not yet combined
+/// into a wave: one FIFO queue per child, each entry tagged with the child's
+/// wave epoch.  With pipelining a child may legitimately have several
+/// batches queued here.  Lane entries (and queue capacity) are retained
+/// across waves, so steady-state pushes and pops do not touch the allocator.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ChildBatches {
-    entries: Vec<(NodeId, Batch)>,
+    entries: Vec<(NodeId, VecDeque<(u64, Batch)>)>,
 }
 
 impl ChildBatches {
-    /// True when a sub-batch from `child` is buffered.
+    /// True when at least one sub-batch from `child` is buffered.
     pub(crate) fn contains(&self, child: &NodeId) -> bool {
-        self.entries.iter().any(|(n, _)| n == child)
+        self.entries
+            .iter()
+            .any(|(n, q)| n == child && !q.is_empty())
     }
 
-    /// Buffers a sub-batch; keeps the first one on duplicate inserts (the
-    /// protocol serves a child before it may send again, so duplicates only
-    /// occur transiently during absorb hand-overs).
-    pub(crate) fn insert_if_absent(&mut self, child: NodeId, batch: Batch) {
-        if !self.contains(&child) {
-            self.entries.push((child, batch));
+    /// True when any sub-batch from any peer is buffered.
+    pub(crate) fn has_any(&self) -> bool {
+        self.entries.iter().any(|(_, q)| !q.is_empty())
+    }
+
+    /// Total number of buffered sub-batches.
+    pub(crate) fn total(&self) -> usize {
+        self.entries.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    /// Buffers a sub-batch from `child` under its wave `epoch`, keeping the
+    /// per-child queue in ascending epoch order.  Arrival order is *almost*
+    /// epoch order (the aggregate credit serialises each channel), but an
+    /// absorb hand-over races the draining parent's forwarded aggregates on
+    /// independently delayed messages — and commit order to the anchor must
+    /// stay epoch (= the child's program) order regardless.
+    pub(crate) fn push(&mut self, child: NodeId, epoch: u64, batch: Batch) {
+        for (n, q) in &mut self.entries {
+            if *n == child {
+                let pos = q.iter().position(|(e, _)| *e > epoch).unwrap_or(q.len());
+                q.insert(pos, (epoch, batch));
+                return;
+            }
+        }
+        self.entries.push((child, VecDeque::from([(epoch, batch)])));
+    }
+
+    /// Pops the oldest queued sub-batch of every peer that has one (in
+    /// first-contact order), appending them as [`BatchSource::Child`]
+    /// entries.  At most *one* batch per child per wave: run-length batch
+    /// combination is element-wise (run `i` of the combined batch is the
+    /// concatenation of every source's run `i`), so two sub-batches of the
+    /// same child in one wave would interleave that child's operations and
+    /// invert its program order in `≺` — distinct children carry no mutual
+    /// order constraint, consecutive waves of one child do.  Peers beyond
+    /// the current tree children are included on purpose: after an absorb
+    /// hand-over or a re-parenting, batches from former children must still
+    /// be combined and served (by node id) or their senders' wave slots
+    /// would never drain.
+    pub(crate) fn pop_oldest_into(&mut self, sources: &mut Vec<BatchSource>) {
+        for (child, q) in &mut self.entries {
+            if let Some((epoch, batch)) = q.pop_front() {
+                sources.push(BatchSource::Child(*child, epoch, batch));
+            }
         }
     }
 
-    /// Removes and returns the sub-batch from `child`, if any.
-    pub(crate) fn remove(&mut self, child: &NodeId) -> Option<Batch> {
-        let pos = self.entries.iter().position(|(n, _)| n == child)?;
-        Some(self.entries.swap_remove(pos).1)
-    }
-
-    /// Drains all buffered `(child, sub-batch)` pairs.
-    pub(crate) fn drain(&mut self) -> impl Iterator<Item = (NodeId, Batch)> + '_ {
-        self.entries.drain(..)
+    /// Drains every buffered `(child, epoch, sub-batch)`, preserving each
+    /// child's FIFO order (used for the leave hand-over).
+    pub(crate) fn drain_all(&mut self) -> Vec<(NodeId, u64, Batch)> {
+        let mut out = Vec::with_capacity(self.total());
+        for (child, q) in &mut self.entries {
+            for (epoch, batch) in q.drain(..) {
+                out.push((*child, epoch, batch));
+            }
+        }
+        out
     }
 }
 
@@ -147,6 +238,10 @@ pub(crate) struct LeaverRecord {
 /// State of an ongoing update phase at this node.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct UpdatePhase {
+    /// The anchor's phase number this participation belongs to; control
+    /// messages of other phases are ignored (or, for a younger flag,
+    /// acknowledged without duties).
+    pub(crate) phase: u64,
     /// Children (at flag time) we still expect an `UpdateAck` from.
     pub(crate) awaiting_child_acks: Vec<NodeId>,
     /// Parent (at flag time) to ack to once done.
@@ -169,9 +264,22 @@ pub struct NodeStats {
     pub batch_sizes: Histogram,
     /// Number of DHT operations this node issued.
     pub dht_ops_issued: u64,
-    /// Distribution of DHT routing hop counts observed at delivery (only
-    /// recorded at the responsible node).
+    /// Distribution of DHT routing hop counts per operation, observed at
+    /// delivery (only recorded at the responsible node).
     pub dht_hops: Histogram,
+    /// Number of `DhtBatch` messages this node sent.
+    pub dht_batches_sent: u64,
+    /// Distribution of DHT operations carried per `DhtBatch` message this
+    /// node sent — the direct measure of the per-destination coalescing win.
+    pub dht_ops_per_message: Histogram,
+    /// Distribution of the number of this node's aggregation waves in flight,
+    /// sampled whenever a wave is opened (`max ≥ 2` means the pipeline
+    /// actually overlapped waves).
+    pub waves_in_flight: Histogram,
+    /// `DhtReply` entries that arrived for a request this node does not know
+    /// — a reply can legitimately race its requester's departure during
+    /// join/leave, so this is a counter rather than an assertion.
+    pub unmatched_dht_replies: u64,
     /// Number of requests this node generated.
     pub requests_generated: u64,
     /// Number of requests resolved by local combining (stack only).
@@ -192,10 +300,22 @@ pub struct SkueueNode {
     pub(crate) own_batch: Batch,
     pub(crate) own_log: Vec<LocalOp>,
     pub(crate) child_batches: ChildBatches,
-    pub(crate) pending: Option<PendingBatch>,
+    /// In-flight waves, oldest first (bounded by the configured pipeline
+    /// depth).
+    pub(crate) slots: VecDeque<WaveSlot>,
+    /// The wave epoch of the most recently opened wave (0 before the first).
+    pub(crate) next_epoch: u64,
+    /// Round in which this node last opened a wave (wave-merging cadence).
+    pub(crate) last_wave_round: u64,
+    /// True while the most recent `Aggregate` has not been confirmed by the
+    /// parent (at most one per channel keeps commits in epoch order).
+    pub(crate) aggregate_unacked: bool,
+    /// Serves that arrived ahead of older waves (asynchronous reordering).
+    pub(crate) serve_stash: Vec<StashedServe>,
     pub(crate) suspended: bool,
-    /// Scratch for the batch-source list, reused across aggregation waves.
-    pub(crate) sources_scratch: Vec<BatchSource>,
+    /// Pool of batch-source lists, reused across aggregation waves (one
+    /// list per concurrently in-flight wave ends up here once served).
+    pub(crate) sources_pool: Vec<Vec<BatchSource>>,
     /// Scratch for the Stage 3 run cursors, reused across serves.
     pub(crate) cursors_scratch: Vec<RunAssignment>,
     /// Scratch for the node's own run share in Stage 3, reused across serves.
@@ -205,6 +325,14 @@ pub struct SkueueNode {
     pub(crate) store: NodeStore,
     pub(crate) outstanding_gets: HashMap<RequestId, LocalOp>,
     pub(crate) outstanding_dht: u64,
+    /// Per-destination coalescing buffer for routed DHT ops; flushed as one
+    /// `DhtBatch` per neighbour at the end of every visit.
+    pub(crate) route_buffer: RouteBuffer<RoutedDhtOp>,
+    /// Per-requester coalescing buffer for GET replies; flushed as one
+    /// `DhtReplyBatch` per requester at the end of every visit.
+    pub(crate) reply_buffer: RouteBuffer<DhtReplyItem>,
+    /// Scratch for satisfied parked GETs, reused across PUT applications.
+    pub(crate) satisfied_scratch: Vec<SatisfiedGet>,
 
     // --- Stack local combining ----------------------------------------------
     /// Unsent pushes eligible for local matching (indices into `own_log`).
@@ -228,12 +356,22 @@ pub struct SkueueNode {
     pub(crate) join_sent: bool,
     /// DHT operations received while still joining; re-routed after
     /// integration.
-    pub(crate) deferred_dht: Vec<(Box<DhtOp>, RouteProgress)>,
+    pub(crate) deferred_dht: Vec<RoutedDhtOp>,
     pub(crate) joiners: Vec<JoinerRecord>,
     pub(crate) pending_leavers: Vec<LeaverRecord>,
-    /// An absorber asked for our state while a batch was still pending; the
-    /// hand-over happens as soon as the batch has been served.
+    /// An absorber asked for our state while waves were still in flight; the
+    /// hand-over happens as soon as every slot has been served.
     pub(crate) absorb_deferred: Option<NodeId>,
+    /// Joiners this node integrated during the current update phase; the
+    /// phase-ending `UpdateOver` is relayed to them explicitly, because
+    /// their tree parents may not have processed the joiners'
+    /// `SiblingStatus` yet and would otherwise skip them in the broadcast.
+    pub(crate) integrated_joiners: Vec<NodeId>,
+    /// Leavers this node absorbed during the current update phase; they are
+    /// out of the new tree, so the phase-ending `UpdateOver` is forwarded to
+    /// them explicitly (they relay it down their old subtrees — e.g. to a
+    /// sibling that could not leave yet).
+    pub(crate) absorbed_leavers: Vec<NodeId>,
     pub(crate) wants_to_leave: bool,
     pub(crate) leave_granted: bool,
     pub(crate) leave_requested: bool,
@@ -266,14 +404,21 @@ impl SkueueNode {
             own_batch,
             own_log: Vec::new(),
             child_batches: ChildBatches::default(),
-            pending: None,
+            slots: VecDeque::new(),
+            next_epoch: 0,
+            last_wave_round: 0,
+            aggregate_unacked: false,
+            serve_stash: Vec::new(),
             suspended: false,
-            sources_scratch: Vec::new(),
+            sources_pool: Vec::new(),
             cursors_scratch: Vec::new(),
             runs_scratch: Vec::new(),
             store: NodeStore::new(),
             outstanding_gets: HashMap::new(),
             outstanding_dht: 0,
+            route_buffer: RouteBuffer::new(),
+            reply_buffer: RouteBuffer::new(),
+            satisfied_scratch: Vec::new(),
             local_stack: Vec::new(),
             pairs_by_anchor: HashMap::new(),
             last_order_major: 0,
@@ -285,6 +430,8 @@ impl SkueueNode {
             joiners: Vec::new(),
             pending_leavers: Vec::new(),
             absorb_deferred: None,
+            integrated_joiners: Vec::new(),
+            absorbed_leavers: Vec::new(),
             wants_to_leave: false,
             leave_granted: false,
             leave_requested: false,
@@ -364,6 +511,22 @@ impl SkueueNode {
         self.store.pending_gets()
     }
 
+    /// This node's DHT partition (diagnostics and tests).
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// Sizes of the node's transient Stage-4 buffers
+    /// `(route_buffer, reply_buffer, deferred_dht)` — all three must be
+    /// empty in a quiescent system (diagnostics and tests).
+    pub fn stage4_buffer_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.route_buffer.len(),
+            self.reply_buffer.len(),
+            self.deferred_dht.len(),
+        )
+    }
+
     /// Protocol statistics.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
@@ -372,6 +535,11 @@ impl SkueueNode {
     /// True while an update phase suspends batching at this node.
     pub fn is_suspended(&self) -> bool {
         self.suspended
+    }
+
+    /// Number of this node's aggregation waves currently in flight.
+    pub fn waves_in_flight(&self) -> usize {
+        self.slots.len()
     }
 
     /// Drains the completed-operation records collected since the last call.
@@ -402,18 +570,27 @@ impl SkueueNode {
             .collect();
         let update = match &self.update {
             Some(u) => format!(
-                "update(child_acks={:?},integrate={},absorb={},acked={})",
-                u.awaiting_child_acks, u.awaiting_integrate_acks, u.awaiting_absorb_data, u.acked
+                "update(phase={},child_acks={:?},integrate={},absorb={},acked={})",
+                u.phase,
+                u.awaiting_child_acks,
+                u.awaiting_integrate_acks,
+                u.awaiting_absorb_data,
+                u.acked
             ),
             None => "no-update".to_string(),
         };
+        let slots: Vec<(u64, NodeId)> = self.slots.iter().map(|s| (s.epoch, s.parent)).collect();
         format!(
-            "{} role={:?} suspended={} anchor={} pending={} children={:?} missing_child_batches={:?} joiners={} leavers={} own_log={} outstanding_gets={} outstanding_dht={} {}",
+            "{} role={:?} suspended={} anchor={} parent={:?} slots={:?} unacked={} stashed_serves={} queued_child_batches={} children={:?} missing_child_batches={:?} joiners={} leavers={} own_log={} outstanding_gets={} outstanding_dht={} leave(want={},req={},granted={},absorb_deferred={:?}) {}",
             self.view.me.vid,
             self.role,
             self.suspended,
             self.anchor.is_some(),
-            self.pending.is_some(),
+            self.tree_parent(),
+            slots,
+            self.aggregate_unacked,
+            self.serve_stash.len(),
+            self.child_batches.total(),
             children,
             missing,
             self.joiners.len(),
@@ -421,6 +598,10 @@ impl SkueueNode {
             self.own_log.len(),
             self.outstanding_gets.len(),
             self.outstanding_dht,
+            self.wants_to_leave,
+            self.leave_requested,
+            self.leave_granted,
+            self.absorb_deferred,
             update
         )
     }
@@ -612,27 +793,93 @@ impl SkueueNode {
         children
     }
 
-    fn children_ready(&self, children: &ChildSet<NodeId>) -> bool {
-        children.iter().all(|c| self.child_batches.contains(c))
+    // ---------------------------------------------------------------------
+    // Stage 1: batch aggregation (pipelined waves).
+    // ---------------------------------------------------------------------
+
+    /// True when this node may open a new wave towards `parent`: a free
+    /// slot, no unconfirmed aggregate, and no older slot addressed to a
+    /// *different* parent (after re-parenting, older waves must fully drain
+    /// first so the anchor keeps seeing this node's waves in epoch order).
+    /// The anchor (`parent == None`) serves itself synchronously and must
+    /// not overtake waves it still has in flight from before it adopted the
+    /// anchor state.
+    fn may_open_wave(&self, parent: Option<NodeId>) -> bool {
+        if self.aggregate_unacked {
+            return false;
+        }
+        match parent {
+            Some(p) => {
+                self.slots.len() < self.cfg.effective_pipeline_depth()
+                    && self.slots.iter().all(|s| s.parent == p)
+            }
+            None => self.slots.is_empty(),
+        }
     }
 
-    // ---------------------------------------------------------------------
-    // Stage 1: batch aggregation.
-    // ---------------------------------------------------------------------
+    /// True when this node has anything a wave would carry: own operations,
+    /// join/leave counters it is responsible for, or queued child
+    /// sub-batches.  Queue waves are *demand-driven* — a quiet node opens
+    /// none and goes fully quiescent, which is what keeps large mostly-idle
+    /// systems cheap.  (Queue correctness does not need the strictly
+    /// periodic empty waves of the paper's round model: serves are matched
+    /// per child by wave epoch, so a quiet child's next batch simply rides a
+    /// later wave.)
+    fn has_wave_work(&self) -> bool {
+        !self.own_batch.has_no_ops()
+            || self.pending_join_count > 0
+            || self.pending_leave_count > 0
+            || self.child_batches.has_any()
+    }
+
+    /// True when this node must run the *strict* wave lockstep of Section VI
+    /// instead of demand-driven waves: every node contributes a (possibly
+    /// empty) sub-batch to every wave, and a parent combines only when all
+    /// children contributed.  Composed with the per-node stage-4 barrier
+    /// this yields a global barrier — the anchor cannot assign any wave
+    /// `k+1` operation before *every* wave-`k` DHT operation completed —
+    /// which is exactly what the stack's ticket matching needs: without it,
+    /// a later pop generation's `GET` can steal the element an earlier
+    /// generation's still-outstanding `GET` is entitled to on a reused
+    /// position.
+    fn strict_waves(&self) -> bool {
+        self.cfg.stage4_barrier
+    }
 
     fn try_send_batch(&mut self, ctx: &mut Context<SkueueMsg>) {
-        if self.suspended || self.pending.is_some() || !matches!(self.role, Role::Active) {
+        if !matches!(self.role, Role::Active) {
             return;
         }
-        let children = self.tree_children();
-        if !self.children_ready(&children) {
+        if self.suspended {
+            // Update phase: new own waves are suspended, but in-flight waves
+            // queued below this node must keep moving (see
+            // [`Self::try_drain_wave`]).
+            self.try_drain_wave(ctx);
             return;
+        }
+        if self.strict_waves() {
+            // Global lockstep: wait for a (possibly empty) sub-batch from
+            // every current child before combining.
+            let children = self.tree_children();
+            if !children.iter().all(|c| self.child_batches.contains(c)) {
+                return;
+            }
+        } else {
+            if !self.has_wave_work() {
+                return;
+            }
+            // Wave-merging cadence: opening at most one wave every other
+            // round lets sub-batches travelling towards the same ancestor
+            // land in one combined wave instead of chasing each other one
+            // round apart (demand-driven waves otherwise never merge).
+            if self.next_epoch > 0 && ctx.round() < self.last_wave_round + WAVE_CADENCE {
+                return;
+            }
         }
         if self.cfg.stage4_barrier && self.outstanding_dht > 0 {
             return;
         }
-        let is_anchor = self.anchor.is_some();
-        let parent = if is_anchor {
+        let parent = if self.anchor.is_some() {
             None
         } else {
             match self.tree_parent() {
@@ -643,55 +890,126 @@ impl SkueueNode {
                 None => return,
             }
         };
+        if !self.may_open_wave(parent) {
+            return;
+        }
+        self.open_wave(parent, false, ctx);
+    }
 
-        // Combine own batch + children sub-batches in a fixed order.  The
-        // sub-batches are *moved* into the source list (they are needed for
-        // the Stage 3 decomposition); the combined batch sums their runs
+    /// Update-phase wave draining: while this node is suspended, sub-batches
+    /// queued from children (sent before their senders saw the update flag)
+    /// are still combined — *without* committing this node's own operations —
+    /// and forwarded, so every in-flight wave keeps moving toward the anchor.
+    /// Without this, a leaver whose younger wave is parked below a suspended
+    /// ancestor could never free its slots, and the update phase (which
+    /// waits for the leaver's `AbsorbData`) would deadlock.
+    fn try_drain_wave(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if !self.child_batches.has_any() {
+            return;
+        }
+        // The stack's stage-4 barrier applies to drain waves too: a node
+        // (in particular the anchor) must not commit further waves while its
+        // own DHT operations are unresolved, or a later pop generation could
+        // be assigned against elements an outstanding GET is entitled to.
+        if self.cfg.stage4_barrier && self.outstanding_dht > 0 {
+            return;
+        }
+        let parent = if self.anchor.is_some() {
+            None
+        } else {
+            match self.tree_parent() {
+                Some(p) => Some(p),
+                None => return,
+            }
+        };
+        if !self.may_open_wave(parent) {
+            return;
+        }
+        self.open_wave(parent, true, ctx);
+    }
+
+    /// Combines the current sources into one wave and commits it: as the
+    /// anchor by assigning and serving immediately (Stage 2+3), otherwise by
+    /// occupying a [`WaveSlot`] and forwarding the combined batch up the
+    /// tree.  `drain` waves (update phase) exclude the node's own working
+    /// batch and join/leave counters.
+    fn open_wave(&mut self, parent: Option<NodeId>, drain: bool, ctx: &mut Context<SkueueMsg>) {
+        let own = if drain {
+            Self::fresh_batch(&self.cfg)
+        } else {
+            let own = std::mem::replace(&mut self.own_batch, Self::fresh_batch(&self.cfg));
+            // Every unsent push is now committed to the aggregation path and
+            // can no longer be combined locally.
+            self.local_stack.clear();
+            own
+        };
+
+        // Combine own batch + queued children sub-batches in a fixed order.
+        // The sub-batches are *moved* into the source list (they are needed
+        // for the Stage 3 decomposition); the combined batch sums their runs
         // without cloning any of them.
-        let own = std::mem::replace(&mut self.own_batch, Self::fresh_batch(&self.cfg));
-        // Every unsent push is now committed to the aggregation path and can
-        // no longer be combined locally.
-        self.local_stack.clear();
-
-        let mut sources = std::mem::take(&mut self.sources_scratch);
+        let mut sources = self.sources_pool.pop().unwrap_or_default();
         debug_assert!(sources.is_empty());
         sources.push(BatchSource::Own(own));
-        for &child in children.iter() {
-            if let Some(batch) = self.child_batches.remove(&child) {
-                sources.push(BatchSource::Child(child, batch));
-            }
-        }
+        self.child_batches.pop_oldest_into(&mut sources);
+
         let mut combined = Batch::combine_all(
             self.own_batch.first_run(),
             sources.iter().map(|s| s.batch()),
         );
-        // Join/leave counters this node is itself responsible for.
-        combined.joins += self.pending_join_count;
-        combined.leaves += self.pending_leave_count;
-        self.pending_join_count = 0;
-        self.pending_leave_count = 0;
+        if !drain {
+            // Join/leave counters this node is itself responsible for.
+            combined.joins += self.pending_join_count;
+            combined.leaves += self.pending_leave_count;
+            self.pending_join_count = 0;
+            self.pending_leave_count = 0;
+        }
 
         self.stats.batches_sent += 1;
         self.stats.batch_sizes.record(combined.size() as u64);
 
-        if let Some(anchor) = self.anchor {
-            // Stage 2 happens right here: the anchor serves itself.
-            let mut anchor = anchor;
-            let enter_update = anchor_should_update(&combined, self.cfg.update_threshold);
-            let assignments = anchor.assign(&combined, self.cfg.mode);
-            self.anchor = Some(anchor);
-            self.serve_sources(&assignments, &mut sources, enter_update, ctx);
-            self.sources_scratch = sources;
-            if enter_update {
-                self.enter_update_phase(None, ctx);
+        self.last_wave_round = ctx.round();
+        match parent {
+            None => {
+                // Stage 2 happens right here: the anchor serves itself.
+                let mut anchor = self.anchor.take().expect("anchor path");
+                let assignments = anchor.assign_wave(&combined, self.cfg.mode);
+                // Churn carried by waves assigned during an update phase is
+                // accumulated (not dropped); it triggers the *next* phase.
+                let enter_update = if !drain && self.update.is_none() {
+                    anchor.take_update_decision(self.cfg.update_threshold)
+                } else {
+                    None
+                };
+                self.anchor = Some(anchor);
+                self.serve_sources(&assignments, &mut sources, ctx);
+                self.sources_pool.push(sources);
+                if let Some(phase) = enter_update {
+                    self.enter_update_phase(phase, None, ctx);
+                }
             }
-        } else {
-            let parent = parent.expect("checked above");
-            self.pending = Some(PendingBatch {
-                num_runs: combined.num_runs(),
-                sources,
-            });
-            ctx.send(parent, SkueueMsg::Aggregate { batch: combined });
+            Some(parent) => {
+                self.next_epoch += 1;
+                let epoch = self.next_epoch;
+                self.slots.push_back(WaveSlot {
+                    epoch,
+                    parent,
+                    num_runs: combined.num_runs(),
+                    sources,
+                });
+                self.stats.waves_in_flight.record(self.slots.len() as u64);
+                // FIFO transports cannot reorder a channel, so the credit
+                // round-trip is skipped entirely.
+                self.aggregate_unacked = !self.cfg.fifo_channels;
+                ctx.send(
+                    parent,
+                    SkueueMsg::Aggregate {
+                        child: self.view.me.node,
+                        epoch,
+                        batch: combined,
+                    },
+                );
+            }
         }
     }
 
@@ -704,12 +1022,11 @@ impl SkueueNode {
     /// [`crate::interval::decompose`]): each source takes its share of every
     /// run front-to-back.  Sub-assignments for children are forwarded; the
     /// node's own share is resolved locally.  `sources` is drained — the
-    /// caller parks the emptied vector back in [`Self::sources_scratch`].
+    /// caller parks the emptied vector back in [`Self::sources_pool`].
     fn serve_sources(
         &mut self,
         assignments: &[RunAssignment],
         sources: &mut Vec<BatchSource>,
-        enter_update: bool,
         ctx: &mut Context<SkueueMsg>,
     ) {
         let mut cursors = std::mem::take(&mut self.cursors_scratch);
@@ -728,13 +1045,13 @@ impl SkueueNode {
                     self.resolve_own(&runs, ctx);
                     self.runs_scratch = runs;
                 }
-                BatchSource::Child(child, batch) => {
+                BatchSource::Child(child, epoch, batch) => {
                     // A child's share travels in a message and must be owned.
                     let mut runs = Vec::with_capacity(batch.num_runs());
                     for (run_idx, cursor) in cursors[..batch.num_runs()].iter_mut().enumerate() {
                         runs.push(cursor.split_front(batch.runs()[run_idx]));
                     }
-                    ctx.send(child, SkueueMsg::Serve { runs, enter_update });
+                    ctx.send(child, SkueueMsg::Serve { epoch, runs });
                 }
             }
         }
@@ -745,26 +1062,45 @@ impl SkueueNode {
         self.cursors_scratch = cursors;
     }
 
-    fn handle_serve(
-        &mut self,
-        runs: Vec<RunAssignment>,
-        enter_update: bool,
-        ctx: &mut Context<SkueueMsg>,
-    ) {
-        let mut pending = match self.pending.take() {
-            Some(p) => p,
+    fn handle_serve(&mut self, epoch: u64, runs: Vec<RunAssignment>, ctx: &mut Context<SkueueMsg>) {
+        let front = match self.slots.front() {
+            Some(slot) => slot.epoch,
             None => {
-                debug_assert!(false, "Serve received without a pending batch");
+                debug_assert!(false, "Serve received without an in-flight wave");
                 return;
             }
         };
-        debug_assert_eq!(pending.num_runs, runs.len());
-        let old_parent = self.tree_parent();
-        self.serve_sources(&runs, &mut pending.sources, enter_update, ctx);
-        self.sources_scratch = pending.sources;
-        if enter_update {
-            self.enter_update_phase(old_parent, ctx);
+        if epoch != front {
+            // Serves can overtake each other under asynchronous delivery,
+            // but waves must be resolved in epoch order (the own-log prefix
+            // decomposition depends on it) — park until older waves caught
+            // up.
+            if self.slots.iter().any(|s| s.epoch == epoch) {
+                self.serve_stash.push(StashedServe { epoch, runs });
+            } else {
+                debug_assert!(false, "Serve for unknown wave epoch {epoch}");
+            }
+            return;
         }
+        self.apply_serve(runs, ctx);
+        // Release stashed serves that have reached the front of the ring.
+        while let Some(front) = self.slots.front().map(|s| s.epoch) {
+            match self.serve_stash.iter().position(|s| s.epoch == front) {
+                Some(idx) => {
+                    let stashed = self.serve_stash.swap_remove(idx);
+                    self.apply_serve(stashed.runs, ctx);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Resolves the oldest in-flight wave with the given assignments.
+    fn apply_serve(&mut self, runs: Vec<RunAssignment>, ctx: &mut Context<SkueueMsg>) {
+        let mut slot = self.slots.pop_front().expect("caller checked the front");
+        debug_assert_eq!(slot.num_runs, runs.len());
+        self.serve_sources(&runs, &mut slot.sources, ctx);
+        self.sources_pool.push(slot.sources);
     }
 
     /// Resolves the node's own requests from the run assignments of its own
@@ -842,7 +1178,7 @@ impl SkueueNode {
     }
 
     // ---------------------------------------------------------------------
-    // Stage 4: DHT operations.
+    // Stage 4: DHT operations (batched routing).
     // ---------------------------------------------------------------------
 
     fn issue_put(
@@ -871,7 +1207,7 @@ impl SkueueNode {
         }
         self.stats.dht_ops_issued += 1;
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
-        self.route_dht(Box::new(DhtOp::Put { entry, meta }), progress, ctx);
+        self.dispatch_dht(Box::new(DhtOp::Put { entry, meta }), progress, ctx);
     }
 
     fn issue_get(
@@ -893,7 +1229,7 @@ impl SkueueNode {
         }
         self.stats.dht_ops_issued += 1;
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
-        self.route_dht(
+        self.dispatch_dht(
             Box::new(DhtOp::Get {
                 position,
                 max_ticket,
@@ -905,23 +1241,44 @@ impl SkueueNode {
         );
     }
 
-    /// Routes (or locally applies) a DHT operation.
-    fn route_dht(
+    /// Routes one DHT operation a single step: applies it locally when this
+    /// node is responsible, otherwise parks it in the per-destination
+    /// [`RouteBuffer`] — the end-of-visit flush turns everything heading to
+    /// the same next hop into one `DhtBatch` message.
+    pub(crate) fn dispatch_dht(
         &mut self,
         op: Box<DhtOp>,
         mut progress: RouteProgress,
         ctx: &mut Context<SkueueMsg>,
     ) {
+        // If a joiner took over part of our interval but is not integrated
+        // into the cycle yet, forward operations for its range directly.
+        if let Some(target) = self.joiner_responsible_for(progress.target) {
+            progress.hops += 1;
+            self.route_buffer.push(target, RoutedDhtOp { op, progress });
+            return;
+        }
         match route_step(&self.view, &mut progress) {
             RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
             RouteAction::Forward(next) => {
                 progress.hops += 1;
-                ctx.send(next, SkueueMsg::Dht { op, progress });
+                self.route_buffer.push(next, RoutedDhtOp { op, progress });
             }
         }
     }
 
-    /// Applies a DHT operation at the responsible node.
+    /// Applies or re-routes every operation of a delivered `DhtBatch`, in
+    /// batch order.
+    fn handle_dht_batch(&mut self, ops: Vec<RoutedDhtOp>, ctx: &mut Context<SkueueMsg>) {
+        for routed in ops {
+            self.dispatch_dht(routed.op, routed.progress, ctx);
+        }
+    }
+
+    /// Applies a DHT operation at the responsible node.  Replies coalesce in
+    /// [`Self::reply_buffer`]; satisfied parked GETs reuse one scratch
+    /// vector via the store's bulk `put_into` entry point, so applying a
+    /// whole delivered batch is one pass without per-op allocations.
     pub(crate) fn apply_dht(
         &mut self,
         op: DhtOp,
@@ -950,15 +1307,19 @@ impl SkueueNode {
                         },
                     );
                 }
-                for satisfied in self.store.put(entry) {
-                    ctx.send(
-                        satisfied.get.requester,
-                        SkueueMsg::DhtReply {
-                            request: satisfied.get.request,
-                            entry: satisfied.entry,
+                let mut satisfied = std::mem::take(&mut self.satisfied_scratch);
+                debug_assert!(satisfied.is_empty());
+                self.store.put_into(entry, &mut satisfied);
+                for s in satisfied.drain(..) {
+                    self.reply_buffer.push(
+                        s.get.requester,
+                        DhtReplyItem {
+                            request: s.get.request,
+                            entry: s.entry,
                         },
                     );
                 }
+                self.satisfied_scratch = satisfied;
             }
             DhtOp::Get {
                 position,
@@ -968,13 +1329,20 @@ impl SkueueNode {
             } => {
                 match self.store.get(position, max_ticket, request, requester) {
                     GetOutcome::Found(entry) => {
-                        ctx.send(requester, SkueueMsg::DhtReply { request, entry });
+                        self.reply_buffer
+                            .push(requester, DhtReplyItem { request, entry });
                     }
                     GetOutcome::Parked => {
                         // Waits at this node until the PUT arrives (Stage 4).
                     }
                 }
             }
+        }
+    }
+
+    fn handle_dht_reply_batch(&mut self, replies: Vec<DhtReplyItem>, ctx: &mut Context<SkueueMsg>) {
+        for item in replies {
+            self.handle_dht_reply(item.request, item.entry, ctx);
         }
     }
 
@@ -999,7 +1367,35 @@ impl SkueueNode {
                 completed_round: ctx.round(),
             });
         } else {
-            debug_assert!(false, "DhtReply for unknown request {request}");
+            // A reply can legitimately race its requester's departure during
+            // join/leave (a draining node forwards the reply to an absorber
+            // that never issued the GET) — count it for the metrics instead
+            // of tripping a debug-build panic.
+            self.stats.unmatched_dht_replies += 1;
+        }
+    }
+
+    /// Emits the per-destination DHT batches accumulated during this visit:
+    /// one `DhtBatch` per next hop, one `DhtReplyBatch` per requester.
+    /// Called at the end of every `on_timeout`, which runs at the end of
+    /// every visit of a sim-active node — so buffered ops never survive a
+    /// visit and add no latency.
+    fn flush_dht_buffers(&mut self, ctx: &mut Context<SkueueMsg>) {
+        if !self.route_buffer.is_empty() {
+            let mut buf = std::mem::take(&mut self.route_buffer);
+            buf.flush(|to, ops| {
+                self.stats.dht_batches_sent += 1;
+                self.stats.dht_ops_per_message.record(ops.len() as u64);
+                ctx.send(to, SkueueMsg::DhtBatch { ops });
+            });
+            self.route_buffer = buf;
+        }
+        if !self.reply_buffer.is_empty() {
+            let mut buf = std::mem::take(&mut self.reply_buffer);
+            buf.flush(|to, replies| {
+                ctx.send(to, SkueueMsg::DhtReplyBatch { replies });
+            });
+            self.reply_buffer = buf;
         }
     }
 
@@ -1013,21 +1409,27 @@ impl SkueueNode {
     }
 }
 
-/// Whether the anchor should trigger an update phase for this batch.
-fn anchor_should_update(batch: &Batch, threshold: u64) -> bool {
-    threshold > 0 && batch.joins + batch.leaves >= threshold
-}
-
 impl Actor for SkueueNode {
     type Msg = SkueueMsg;
 
     fn on_message(&mut self, from: NodeId, msg: SkueueMsg, ctx: &mut Context<SkueueMsg>) {
         // Draining nodes forward everything to their absorber (reliable
-        // channels: nothing is lost while the node is on its way out).
+        // channels: nothing is lost while the node is on its way out) —
+        // except *node-local* messages, which would corrupt the absorber's
+        // own state if relayed: pointer updates, update-phase control, a
+        // sibling's integration status (the absorber belongs to a different
+        // process; applying the leaver's sibling flags to it would cut an
+        // innocent node out of the absorber's aggregation tree), and a late
+        // aggregate confirmation (it would clear the absorber's own
+        // channel-serialisation credit).
         if let Role::Draining { absorber } = self.role {
             match msg {
-                // Pointer updates and control traffic still apply to us.
-                SkueueMsg::SetPred { .. } | SkueueMsg::SetSucc { .. } | SkueueMsg::UpdateOver => {}
+                SkueueMsg::SetPred { .. }
+                | SkueueMsg::SetSucc { .. }
+                | SkueueMsg::UpdateOver { .. }
+                | SkueueMsg::UpdateFlag { .. }
+                | SkueueMsg::SiblingStatus { .. }
+                | SkueueMsg::AggregateAck => {}
                 other => {
                     ctx.send(absorber, other);
                     return;
@@ -1036,29 +1438,40 @@ impl Actor for SkueueNode {
         }
 
         match msg {
-            SkueueMsg::Aggregate { batch } => {
-                debug_assert!(
-                    !self.child_batches.contains(&from),
-                    "child {from} sent a second batch before being served"
-                );
-                self.child_batches.insert_if_absent(from, batch);
-                // Try to flush immediately; the timeout would also pick it up
-                // next round, but reacting now keeps latency at one round per
-                // tree level, matching the paper's accounting.
-                self.try_send_batch(ctx);
+            SkueueMsg::Aggregate {
+                child,
+                epoch,
+                batch,
+            } => {
+                // Confirm receipt right away (the credit that serialises the
+                // child→parent channel under reordering delivery) and queue
+                // the sub-batch.  Combining happens in this visit's timeout
+                // — after *all* of the round's messages — so sub-batches
+                // arriving in the same round still share one wave, and
+                // latency stays at one round per tree level, matching the
+                // paper's accounting.
+                if !self.cfg.fifo_channels {
+                    ctx.send(child, SkueueMsg::AggregateAck);
+                }
+                self.child_batches.push(child, epoch, batch);
             }
-            SkueueMsg::Serve { runs, enter_update } => {
-                self.handle_serve(runs, enter_update, ctx);
+            SkueueMsg::AggregateAck => {
+                self.aggregate_unacked = false;
+                // The next wave (if any is ready) opens in this visit's
+                // timeout.
             }
-            SkueueMsg::Dht { op, progress } => {
+            SkueueMsg::Serve { epoch, runs } => {
+                self.handle_serve(epoch, runs, ctx);
+            }
+            SkueueMsg::DhtBatch { ops } => {
                 if matches!(self.role, Role::Joining { .. }) {
                     // Not part of the cycle yet: re-route after integration.
-                    self.deferred_dht.push((op, progress));
+                    self.deferred_dht.extend(ops);
                 } else {
-                    self.route_or_forward_dht(op, progress, ctx);
+                    self.handle_dht_batch(ops, ctx);
                 }
             }
-            SkueueMsg::DhtReply { request, entry } => self.handle_dht_reply(request, entry, ctx),
+            SkueueMsg::DhtReplyBatch { replies } => self.handle_dht_reply_batch(replies, ctx),
             SkueueMsg::PutAck { .. } => {
                 if self.cfg.stage4_barrier {
                     self.outstanding_dht = self.outstanding_dht.saturating_sub(1);
@@ -1077,6 +1490,9 @@ impl Actor for SkueueNode {
             Role::Joining { .. } => self.joining_timeout(ctx),
             Role::Draining { .. } => {}
         }
+        // Everything routed during this visit (messages + timeout) leaves as
+        // one batch per destination.
+        self.flush_dht_buffers(ctx);
     }
 
     fn is_active(&self) -> bool {
@@ -1084,50 +1500,27 @@ impl Actor for SkueueNode {
     }
 
     /// A node's `TIMEOUT` is a provable no-op — and is therefore skipped by
-    /// the scheduler — while its batch is pending up the aggregation tree
-    /// and no membership duty is outstanding.  Every state change that can
-    /// flip this back (a `Serve`, an absorb request, an `UpdateOver`, …)
-    /// arrives as a message, after which the scheduler re-queries; the two
-    /// driver-side mutations that can flip it ([`Self::generate_op`] cannot
-    /// — sending still waits for the pending serve — but `request_leave`
-    /// can) are followed by a
+    /// the scheduler — while it has nothing a wave would carry, its wave
+    /// pipeline is full, or its latest aggregate is unconfirmed, and no
+    /// membership duty is outstanding.  Every state change that can flip
+    /// this back (a `Serve`, an `AggregateAck`, an incoming `Aggregate`, an
+    /// absorb request, an `UpdateOver`, …) arrives as a message, after
+    /// which the scheduler re-queries; the driver-side mutations that can
+    /// flip it (`generate_op` — new own work — and `request_leave`) are
+    /// followed by a
     /// [`refresh_timeout_interest`](skueue_sim::Simulation::refresh_timeout_interest)
     /// call in the cluster driver.
     fn wants_timeout(&self) -> bool {
         match self.role {
             Role::Active => {
-                self.pending.is_none()
+                let pipeline_open = self.slots.len() < self.cfg.effective_pipeline_depth()
+                    && !self.aggregate_unacked;
+                (pipeline_open && (self.strict_waves() || self.has_wave_work()))
                     || self.absorb_deferred.is_some()
                     || (self.wants_to_leave && !self.leave_requested && !self.leave_granted)
             }
             Role::Joining { .. } => !self.join_sent,
             Role::Draining { .. } => false,
-        }
-    }
-}
-
-impl SkueueNode {
-    /// Handles a routed DHT message: either applies it (responsible) or
-    /// forwards it another hop.
-    fn route_or_forward_dht(
-        &mut self,
-        op: Box<DhtOp>,
-        mut progress: RouteProgress,
-        ctx: &mut Context<SkueueMsg>,
-    ) {
-        // If a joiner took over part of our interval but is not integrated
-        // into the cycle yet, forward operations for its range directly.
-        if let Some(target) = self.joiner_responsible_for(progress.target) {
-            progress.hops += 1;
-            ctx.send(target, SkueueMsg::Dht { op, progress });
-            return;
-        }
-        match route_step(&self.view, &mut progress) {
-            RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
-            RouteAction::Forward(next) => {
-                progress.hops += 1;
-                ctx.send(next, SkueueMsg::Dht { op, progress });
-            }
         }
     }
 }

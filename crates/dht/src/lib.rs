@@ -30,4 +30,4 @@ pub mod store;
 
 pub use element::{Element, StoredEntry};
 pub use fairness::{load_stats, LoadStats};
-pub use store::{GetOutcome, NodeStore, PendingGet};
+pub use store::{GetOutcome, NodeStore, PendingGet, SatisfiedGet};

@@ -98,6 +98,16 @@ impl NodeStore {
     /// parked GETs for exactly that position match.  For the stack the entry
     /// satisfies the *oldest* parked GET whose `max_ticket` admits it.
     pub fn put(&mut self, entry: StoredEntry) -> Vec<SatisfiedGet> {
+        let mut satisfied = Vec::new();
+        self.put_into(entry, &mut satisfied);
+        satisfied
+    }
+
+    /// Allocation-free core of [`Self::put`]: satisfied GETs are appended to
+    /// `satisfied` instead of returned in a fresh `Vec`.  This is the entry
+    /// point the batched Stage-4 delivery path uses so that applying a whole
+    /// `DhtBatch` costs one sink vector, not one allocation per satisfied op.
+    pub fn put_into(&mut self, entry: StoredEntry, satisfied: &mut Vec<SatisfiedGet>) {
         self.puts_applied += 1;
         let position = entry.position;
         // Check parked GETs first: the new entry may be consumed immediately.
@@ -108,13 +118,42 @@ impl NodeStore {
                     self.pending.remove(&position);
                 }
                 self.gets_answered += 1;
-                return vec![SatisfiedGet { get, entry }];
+                satisfied.push(SatisfiedGet { get, entry });
+                return;
             }
         }
         let slot = self.entries.entry(position).or_default();
         slot.push(entry);
         slot.sort_by_key(|e| e.ticket);
-        Vec::new()
+    }
+
+    /// Bulk `PUT`: applies the entries in order (one pass) and returns every
+    /// parked GET they satisfy, in application order.
+    pub fn put_many(
+        &mut self,
+        entries: impl IntoIterator<Item = StoredEntry>,
+    ) -> Vec<SatisfiedGet> {
+        let mut satisfied = Vec::new();
+        for entry in entries {
+            self.put_into(entry, &mut satisfied);
+        }
+        satisfied
+    }
+
+    /// Bulk `GET`: applies `(position, get)` pairs in order (one pass).
+    /// Found entries are appended to `satisfied` paired with their GET;
+    /// everything else is parked, exactly like per-op [`Self::get`] calls.
+    pub fn get_many(
+        &mut self,
+        gets: impl IntoIterator<Item = (u64, PendingGet)>,
+        satisfied: &mut Vec<SatisfiedGet>,
+    ) {
+        for (position, get) in gets {
+            match self.get(position, get.max_ticket, get.request, get.requester) {
+                GetOutcome::Found(entry) => satisfied.push(SatisfiedGet { get, entry }),
+                GetOutcome::Parked => {}
+            }
+        }
     }
 
     /// Applies a `GET` for `position` with the given ticket bound.
@@ -206,19 +245,12 @@ impl NodeStore {
         entries: Vec<StoredEntry>,
         pending: Vec<(u64, PendingGet)>,
     ) -> Vec<SatisfiedGet> {
-        let mut satisfied = Vec::new();
-        for entry in entries {
-            satisfied.extend(self.put(entry));
-            // `put` counts these as fresh PUTs; undo the double count for
-            // handovers so fairness statistics track protocol-level PUTs.
-            self.puts_applied -= 1;
-        }
-        for (position, get) in pending {
-            match self.get(position, get.max_ticket, get.request, get.requester) {
-                GetOutcome::Found(entry) => satisfied.push(SatisfiedGet { get, entry }),
-                GetOutcome::Parked => {}
-            }
-        }
+        // `put_many` counts these as fresh PUTs; undo the double count for
+        // handovers so fairness statistics track protocol-level PUTs.
+        let absorbed = entries.len() as u64;
+        let mut satisfied = self.put_many(entries);
+        self.puts_applied -= absorbed;
+        self.get_many(pending, &mut satisfied);
         satisfied
     }
 
@@ -338,6 +370,64 @@ mod tests {
         // The original ticket-10 entry is still there.
         assert_eq!(store.peek(4).len(), 1);
         assert_eq!(store.peek(4)[0].ticket, 10);
+    }
+
+    #[test]
+    fn put_many_matches_sequential_puts() {
+        let mut a = NodeStore::new();
+        let mut b = NodeStore::new();
+        // Two parked GETs, then a bulk PUT covering both plus a new position.
+        for store in [&mut a, &mut b] {
+            store.get_queue(1, rid(10), NodeId(1));
+            store.get_queue(2, rid(11), NodeId(2));
+        }
+        let entries = vec![
+            queue_entry(1, key(0.1), rid(0), 100),
+            queue_entry(2, key(0.2), rid(1), 200),
+            queue_entry(3, key(0.3), rid(2), 300),
+        ];
+        let bulk = a.put_many(entries.clone());
+        let mut sequential = Vec::new();
+        for e in entries {
+            sequential.extend(b.put(e));
+        }
+        assert_eq!(bulk, sequential);
+        assert_eq!(bulk.len(), 2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.puts_applied(), 3);
+        assert_eq!(a.gets_answered(), 2);
+    }
+
+    #[test]
+    fn get_many_finds_and_parks_in_one_pass() {
+        let mut store = NodeStore::new();
+        store.put(queue_entry(5, key(0.5), rid(0), 50));
+        let mut satisfied = Vec::new();
+        store.get_many(
+            vec![
+                (
+                    5,
+                    PendingGet {
+                        request: rid(1),
+                        requester: NodeId(1),
+                        max_ticket: u64::MAX,
+                    },
+                ),
+                (
+                    6,
+                    PendingGet {
+                        request: rid(2),
+                        requester: NodeId(2),
+                        max_ticket: u64::MAX,
+                    },
+                ),
+            ],
+            &mut satisfied,
+        );
+        assert_eq!(satisfied.len(), 1);
+        assert_eq!(satisfied[0].get.request, rid(1));
+        assert_eq!(satisfied[0].entry.element.value, 50);
+        assert_eq!(store.pending_gets(), 1, "the miss must be parked");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use hash::LabelHasher;
 pub use label::Label;
 pub use ldb::{Topology, TopologyError, VirtualNodeInfo};
 pub use routing::{
-    recommended_bit_budget, route_step, LocalView, NeighborInfo, RouteAction, RouteProgress,
+    recommended_bit_budget, route_step, LocalView, NeighborInfo, RouteAction, RouteBuffer,
+    RouteProgress,
 };
 pub use vnode::{VKind, VirtualId};

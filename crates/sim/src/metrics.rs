@@ -206,6 +206,11 @@ pub struct SimMetrics {
     pub delays: Histogram,
     /// Distribution of per-round delivered-message counts.
     pub per_round_deliveries: Histogram,
+    /// Distribution of per-round *sent*-message counts.  Together with
+    /// [`Self::per_round_deliveries`] this makes message-coalescing effects
+    /// (e.g. the protocol layer batching many payload ops into one message)
+    /// directly observable at the substrate level.
+    pub per_round_sends: Histogram,
 }
 
 impl SimMetrics {
@@ -214,7 +219,17 @@ impl SimMetrics {
         SimMetrics {
             delays: Histogram::new(),
             per_round_deliveries: Histogram::new(),
+            per_round_sends: Histogram::new(),
             ..Default::default()
+        }
+    }
+
+    /// Average messages sent per round (0.0 before the first round).
+    pub fn avg_sends_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.rounds as f64
         }
     }
 

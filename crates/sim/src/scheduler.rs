@@ -400,6 +400,7 @@ impl<A: Actor> Simulation<A> {
     pub fn run_round(&mut self) -> usize {
         self.round += 1;
         let round = self.round;
+        let sends_before = self.metrics.messages_sent;
 
         // Phase 1: scatter this round's bucket(s) into the per-node pending
         // queues, marking each destination as woken.  Buckets are drained
@@ -492,6 +493,9 @@ impl<A: Actor> Simulation<A> {
         self.metrics
             .per_round_deliveries
             .record(delivered_total as u64);
+        self.metrics
+            .per_round_sends
+            .record(self.metrics.messages_sent - sends_before);
         delivered_total
     }
 

@@ -149,6 +149,11 @@ impl History {
         &self.records
     }
 
+    /// Consumes the history and returns the records in insertion order.
+    pub fn into_records(self) -> Vec<OpRecord> {
+        self.records
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -119,8 +119,15 @@ pub struct ScenarioResult {
     pub mean_batch_size: f64,
     /// Maximum batch size observed.
     pub max_batch_size: u64,
-    /// Mean DHT routing hops.
+    /// Mean DHT routing hops per operation (`hops_per_op`).
     pub mean_dht_hops: f64,
+    /// Mean DHT operations carried per `DhtBatch` message — the batched
+    /// routing layer's coalescing factor (1.0 means no sharing).
+    pub mean_dht_ops_per_message: f64,
+    /// Largest number of aggregation waves any node had in flight.
+    pub max_waves_in_flight: u64,
+    /// Replies that raced their requester's departure (counted, not fatal).
+    pub unmatched_dht_replies: u64,
     /// Whether the history passed the sequential-consistency checks
     /// (`true` when verification was skipped).
     pub consistent: bool,
@@ -134,6 +141,8 @@ fn finish(cluster: SkueueCluster, params: &ScenarioParams, drain_rounds: u64) ->
     let max = history.max_latency();
     let batch_hist = cluster.batch_size_histogram();
     let hop_hist = cluster.dht_hop_histogram();
+    let ops_per_msg_hist = cluster.dht_ops_per_message_histogram();
+    let waves_hist = cluster.waves_in_flight_histogram();
 
     let consistent = if params.verify {
         let report = match params.mode {
@@ -158,6 +167,9 @@ fn finish(cluster: SkueueCluster, params: &ScenarioParams, drain_rounds: u64) ->
         mean_batch_size: batch_hist.mean(),
         max_batch_size: batch_hist.max().unwrap_or(0),
         mean_dht_hops: hop_hist.mean(),
+        mean_dht_ops_per_message: ops_per_msg_hist.mean(),
+        max_waves_in_flight: waves_hist.max().unwrap_or(0),
+        unmatched_dht_replies: cluster.unmatched_dht_replies(),
         consistent,
         locally_combined: cluster.locally_combined(),
     }

@@ -29,9 +29,19 @@ fn main() {
         })
         .collect();
 
-    // Dequeue twelve times from other processes — the last two find the
-    // queue empty and return ⊥.
-    println!("dequeueing 12 times (the last two hit an empty queue)…");
+    // Wait for the enqueues before dequeueing: operations issued
+    // concurrently at different processes carry no cross-process ordering
+    // guarantee (a dequeue ordered before every enqueue legitimately
+    // returns ⊥), so the "exactly two ⊥" arithmetic below needs the ten
+    // elements committed first.
+    cluster
+        .run_until_done(&puts, 2_000)
+        .expect("enqueues drain");
+
+    // Dequeue twelve times from other processes — exactly two find the
+    // queue (10 elements deep by now) empty and return ⊥, regardless of
+    // how the twelve interleave.
+    println!("dequeueing 12 times (two hit an empty queue)…");
     let gets: Vec<OpTicket> = (0..12u64)
         .map(|i| {
             cluster

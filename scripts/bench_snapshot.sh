@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates the tracked throughput snapshot (BENCH_pr2.json at the repo
-# root) with the fig2-point throughput harness.  See PERF.md.
+# Regenerates the tracked throughput snapshot (BENCH_pr3.json at the repo
+# root) with the fig2-point throughput harness.  BENCH_pr2.json is the
+# frozen pre-PR-3 baseline and is never rewritten.  See PERF.md.
 #
 # Usage:
 #   scripts/bench_snapshot.sh            # quick mode (two points, ~seconds)
@@ -18,6 +19,6 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cargo run --release -p skueue-bench --bin throughput -- \
-    "$MODE" --out BENCH_pr2.json "$@"
+    "$MODE" --out BENCH_pr3.json "$@"
 
-echo "snapshot written to BENCH_pr2.json"
+echo "snapshot written to BENCH_pr3.json"

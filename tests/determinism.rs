@@ -45,6 +45,10 @@ fn run_workload(seed: u64, asynchronous: bool) -> (Vec<OpRecord>, SimMetrics) {
     cluster.run_until_all_complete(20_000).unwrap();
     // A few extra rounds so membership transitions settle identically.
     cluster.run_rounds(50);
+    assert!(
+        cluster.waves_in_flight_histogram().max().unwrap_or(0) >= 2,
+        "determinism must hold with at least two aggregation waves in flight"
+    );
     let metrics = cluster.sim_metrics().clone();
     let history = cluster.into_history();
     (history.records().to_vec(), metrics)
