@@ -1,98 +1,90 @@
-//! Throughput snapshot binary — produces `BENCH_pr3.json`.
+//! Throughput snapshot binary — produces `BENCH_pr4.json`.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p skueue-bench --release --bin throughput -- [FLAGS]
 //!
-//! FLAGS: --quick        two points, one repeat (CI smoke; default)
-//!        --full         four points, best of three repeats
-//!        --paper-smoke  one fig2 point at n = 10⁴, capped rounds (CI
-//!                       pipelining/batching regression canary)
-//!        --seed <u64>   workload/simulation seed (default 42)
-//!        --out <path>   write the JSON report there (default: stdout only)
+//! FLAGS: --quick          two points, one repeat, shard sweep at n = 10³
+//!                         (CI smoke; default)
+//!        --full           four points, best of three repeats, shard sweep
+//!                         at n = 3·10³
+//!        --paper-smoke    one fig2 point at n = 10⁴, capped rounds (CI
+//!                         pipelining/batching regression canary)
+//!        --sharded-smoke  fig2 at n = 10⁴ over 4 anchor shards with the
+//!                         cross-shard verifier ON; asserts consistency and
+//!                         that ≥ 2 shards assigned waves (CI canary)
+//!        --seed <u64>     workload/simulation seed (default 42)
+//!        --repeats <n>    override the mode's timed repetitions per point
+//!                         (best-of-n; raise on noisy/shared machines)
+//!        --out <path>     write the JSON report there (default: stdout)
+//!
+//! The two smoke modes are pass/fail canaries, not measurements: they take
+//! only --seed and ignore --repeats/--out (no report is produced).
 //! ```
 //!
-//! The report contains the *measured* numbers of the current tree plus the
-//! frozen PR-2 baseline (the `current` numbers committed in BENCH_pr2.json,
-//! measured with the same methodology right before the batched-routing /
-//! pipelined-wave rework) so the speedup of the protocol-path rework is
-//! tracked in-repo.  See PERF.md for interpretation — note that `rounds`
-//! differs from the baseline by design: PR 3 changes the protocol schedule
-//! (demand-driven pipelined waves need fewer rounds), so `ops_per_sec` is
-//! the end-to-end comparable number.
+//! The report contains the *measured* numbers of the current tree, the
+//! frozen PR-3 baseline (the `current` numbers committed in BENCH_pr3.json,
+//! measured with the same methodology right before anchor sharding), and a
+//! **shard sweep** — the same fig2 point at S ∈ {1, 2, 4, 8} anchor shards —
+//! so both the regression-free S = 1 path and the sharding win are tracked
+//! in-repo.  See PERF.md for interpretation.
 
 use skueue_bench::{
-    points_to_json, print_throughput, run_throughput, ThroughputConfig, ThroughputPoint,
+    points_to_json, print_throughput, run_shard_sweep, run_throughput, ThroughputConfig,
+    ThroughputPoint,
 };
+use skueue_workloads::run_sharded_fig2;
 
 /// Seed the frozen baseline was measured with; other seeds run a different
 /// schedule and are not comparable.
 const BASELINE_SEED: u64 = 42;
 
-/// Pre-PR-3 throughput at the fig2 points (queue, insert ratio 0.5,
+/// Shard counts of the tracked sweep section.
+const SHARD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Pre-PR-4 throughput at the fig2 points (queue, insert ratio 0.5,
 /// 10 requests/round, 100 generation rounds, seed 42): the `current` block
-/// of the committed BENCH_pr2.json — per-op hop-by-hop DHT routing and the
-/// single implicit in-flight wave.  The Stage-4 batching metrics did not
-/// exist yet; they are recorded as zero ("not measured").
-const BASELINE: &[ThroughputPoint] = &[
-    ThroughputPoint {
-        processes: 100,
-        requests: 1000,
-        rounds: 308,
-        wall_ms: 4.8,
-        ops_per_sec: 210_203.0,
-        rounds_per_sec: 64_742.5,
-        dht_hops_mean: 0.0,
-        dht_ops_per_message_mean: 0.0,
-        max_waves_in_flight: 1,
-    },
-    ThroughputPoint {
-        processes: 300,
-        requests: 1000,
-        rounds: 646,
-        wall_ms: 10.1,
-        ops_per_sec: 99_353.1,
-        rounds_per_sec: 64_182.1,
-        dht_hops_mean: 0.0,
-        dht_ops_per_message_mean: 0.0,
-        max_waves_in_flight: 1,
-    },
-    ThroughputPoint {
-        processes: 1000,
-        requests: 1000,
-        rounds: 973,
-        wall_ms: 26.9,
-        ops_per_sec: 37_175.3,
-        rounds_per_sec: 36_171.6,
-        dht_hops_mean: 0.0,
-        dht_ops_per_message_mean: 0.0,
-        max_waves_in_flight: 1,
-    },
-    ThroughputPoint {
-        processes: 3000,
-        requests: 1000,
-        rounds: 2582,
-        wall_ms: 202.0,
-        ops_per_sec: 4_951.0,
-        rounds_per_sec: 12_783.4,
-        dht_hops_mean: 0.0,
-        dht_ops_per_message_mean: 0.0,
-        max_waves_in_flight: 1,
-    },
-];
+/// of the committed BENCH_pr3.json — batched DHT routing and pipelined
+/// waves, single global anchor.  Shard metrics did not exist yet; they are
+/// recorded as empty/zero ("not measured").
+fn pr3_baseline() -> Vec<ThroughputPoint> {
+    let frozen =
+        |processes, requests, rounds, wall_ms, ops, rps, hops, opm, waves| ThroughputPoint {
+            processes,
+            shards: 1,
+            requests,
+            rounds,
+            wall_ms,
+            ops_per_sec: ops,
+            rounds_per_sec: rps,
+            dht_hops_mean: hops,
+            dht_ops_per_message_mean: opm,
+            max_waves_in_flight: waves,
+            per_shard_waves: Vec::new(),
+            unmatched_dht_replies: 0,
+        };
+    vec![
+        frozen(100, 1000, 266, 9.6, 103_868.7, 27_629.1, 43.67, 1.66, 26),
+        frozen(300, 1000, 328, 21.0, 47_564.1, 15_601.0, 46.80, 1.25, 26),
+        frozen(1000, 1000, 545, 40.6, 24_609.3, 13_412.1, 55.87, 1.10, 29),
+        frozen(3000, 1000, 1345, 84.1, 11_890.2, 15_992.3, 65.47, 1.03, 29),
+    ]
+}
 
 #[derive(PartialEq)]
 enum ModeFlag {
     Quick,
     Full,
     PaperSmoke,
+    ShardedSmoke,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = ModeFlag::Quick;
     let mut seed = 42u64;
+    let mut repeats: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -100,9 +92,14 @@ fn main() {
             "--quick" => mode = ModeFlag::Quick,
             "--full" => mode = ModeFlag::Full,
             "--paper-smoke" => mode = ModeFlag::PaperSmoke,
+            "--sharded-smoke" => mode = ModeFlag::ShardedSmoke,
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args.get(i).and_then(|s| s.parse().ok());
             }
             "--out" => {
                 i += 1;
@@ -113,11 +110,20 @@ fn main() {
         i += 1;
     }
 
-    let (config, mode_name) = match mode {
-        ModeFlag::Quick => (ThroughputConfig::quick(seed), "quick"),
-        ModeFlag::Full => (ThroughputConfig::full(seed), "full"),
-        ModeFlag::PaperSmoke => (ThroughputConfig::paper_smoke(seed), "paper-smoke"),
+    if mode == ModeFlag::ShardedSmoke {
+        run_sharded_smoke(seed);
+        return;
+    }
+
+    let (mut config, mode_name, sweep_n) = match mode {
+        ModeFlag::Quick => (ThroughputConfig::quick(seed), "quick", 1000),
+        ModeFlag::Full => (ThroughputConfig::full(seed), "full", 3000),
+        ModeFlag::PaperSmoke => (ThroughputConfig::paper_smoke(seed), "paper-smoke", 0),
+        ModeFlag::ShardedSmoke => unreachable!("handled above"),
     };
+    if let Some(r) = repeats {
+        config.repeats = r.max(1);
+    }
     println!("Skueue throughput harness — mode: {mode_name}, seed: {seed}");
     let current = run_throughput(&config);
     print_throughput("fig2 throughput (queue, insert ratio 0.5)", &current);
@@ -137,31 +143,55 @@ fn main() {
         return;
     }
 
+    // The shard sweep: the same fig2 point at S ∈ {1, 2, 4, 8}.
+    let sweep = run_shard_sweep(
+        sweep_n,
+        SHARD_SWEEP,
+        config.generation_rounds,
+        config.repeats,
+        seed,
+    );
     print_throughput(
-        "pre-PR-3 baseline (BENCH_pr2.json current; per-op routing, single wave)",
-        BASELINE,
+        &format!("shard sweep (fig2 point at n = {sweep_n})"),
+        &sweep,
+    );
+
+    let baseline = pr3_baseline();
+    print_throughput(
+        "pre-PR-4 baseline (BENCH_pr3.json current; single global anchor)",
+        &baseline,
     );
 
     // The baseline was measured with seed 42; a different seed runs a
     // different schedule, so comparing ops/sec against it would be
     // meaningless — report null instead.
-    let (speedup_n1000, speedup_n3000) = if seed == BASELINE_SEED {
+    let (speedup_s1, speedup_s4) = if seed == BASELINE_SEED {
         (
-            speedup_at(1000, BASELINE, &current),
-            speedup_at(3000, BASELINE, &current),
+            speedup_at(3000, 1, &baseline, &current),
+            speedup_at(3000, 4, &baseline, &sweep),
         )
     } else {
         println!("\nseed {seed} != baseline seed {BASELINE_SEED}: speedup not comparable");
         (None, None)
     };
-    if let Some(s) = speedup_n3000 {
-        println!("\nspeedup at n=3000 vs pre-PR-3: {s:.2}x (ops/sec)");
+    if let Some(s) = speedup_s1 {
+        println!("\nspeedup at n=3000, S=1 vs pre-PR-4: {s:.2}x (ops/sec)");
     }
-    if let Some(s) = speedup_n1000 {
-        println!("speedup at n=1000 vs pre-PR-3: {s:.2}x (ops/sec)");
+    if let Some(s) = speedup_s4 {
+        println!("speedup at n=3000, S=4 vs pre-PR-4: {s:.2}x (ops/sec)");
     }
 
-    let json = report_json(seed, mode_name, &current, speedup_n1000, speedup_n3000);
+    let json = report_json(
+        seed,
+        mode_name,
+        config.repeats,
+        sweep_n,
+        &baseline,
+        &current,
+        &sweep,
+        speedup_s1,
+        speedup_s4,
+    );
     match out {
         Some(path) => {
             std::fs::write(&path, &json).expect("write report file");
@@ -171,10 +201,48 @@ fn main() {
     }
 }
 
-/// Ops/sec ratio current/baseline at the given point, if both sides have it.
-fn speedup_at(n: usize, baseline: &[ThroughputPoint], current: &[ThroughputPoint]) -> Option<f64> {
+/// CI canary for the sharded protocol: the paper-scale fig2 point over four
+/// anchor shards with the cross-shard verifier enabled.  Panics (fails the
+/// CI step) on an inconsistent history or if the waves did not actually
+/// spread over the shards.
+fn run_sharded_smoke(seed: u64) {
+    println!("Skueue sharded smoke — fig2 n=10000, shards=4, verifier ON, seed {seed}");
+    let start = std::time::Instant::now();
+    let result = run_sharded_fig2(10_000, 4, seed);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "done in {:.1} s: {} requests, {} empty removes, waves per shard {:?}, unmatched replies {}",
+        wall,
+        result.requests,
+        result.empty_removes,
+        result.per_shard_waves,
+        result.unmatched_dht_replies
+    );
+    assert!(
+        result.consistent,
+        "cross-shard verifier rejected the sharded fig2 history"
+    );
+    let assigning = result.per_shard_waves.iter().filter(|&&w| w > 0).count();
+    assert!(
+        assigning >= 2,
+        "expected ≥ 2 shards to assign waves, got {:?}",
+        result.per_shard_waves
+    );
+    println!("sharded smoke OK: {assigning}/4 shards assigned waves, history verified");
+}
+
+/// Ops/sec ratio of a (process-count, shard-count) point against the
+/// unsharded baseline row at the same process count.
+fn speedup_at(
+    n: usize,
+    shards: usize,
+    baseline: &[ThroughputPoint],
+    current: &[ThroughputPoint],
+) -> Option<f64> {
     let b = baseline.iter().find(|p| p.processes == n)?;
-    let c = current.iter().find(|p| p.processes == n)?;
+    let c = current
+        .iter()
+        .find(|p| p.processes == n && p.shards == shards)?;
     if b.ops_per_sec > 0.0 {
         Some(c.ops_per_sec / b.ops_per_sec)
     } else {
@@ -182,22 +250,28 @@ fn speedup_at(n: usize, baseline: &[ThroughputPoint], current: &[ThroughputPoint
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report_json(
     seed: u64,
     mode: &str,
+    repeats: usize,
+    sweep_n: usize,
+    baseline: &[ThroughputPoint],
     current: &[ThroughputPoint],
-    speedup_n1000: Option<f64>,
-    speedup_n3000: Option<f64>,
+    sweep: &[ThroughputPoint],
+    speedup_s1: Option<f64>,
+    speedup_s4: Option<f64>,
 ) -> String {
     let fmt = |s: Option<f64>| {
         s.map(|v| format!("{v:.2}"))
             .unwrap_or_else(|| "null".to_string())
     };
     format!(
-        "{{\n  \"pr\": 3,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"mode\": \"{mode}\",\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup_ops_per_sec_n1000\": {},\n  \"speedup_ops_per_sec_n3000\": {}\n}}\n",
-        points_to_json(BASELINE, "  "),
+        "{{\n  \"pr\": 4,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"mode\": \"{mode}\",\n  \"repeats\": {repeats},\n  \"shard_sweep_processes\": {sweep_n},\n  \"baseline\": {},\n  \"current\": {},\n  \"shard_sweep\": {},\n  \"speedup_ops_per_sec_n3000_s1\": {},\n  \"speedup_ops_per_sec_n3000_s4\": {}\n}}\n",
+        points_to_json(baseline, "  "),
         points_to_json(current, "  "),
-        fmt(speedup_n1000),
-        fmt(speedup_n3000),
+        points_to_json(sweep, "  "),
+        fmt(speedup_s1),
+        fmt(speedup_s4),
     )
 }

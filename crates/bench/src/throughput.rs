@@ -4,10 +4,11 @@
 //! fig2-style sweep points (`run_fixed_rate` at insert ratio 0.5) and reports
 //! **ops/sec** (completed requests per wall-clock second) and **rounds/sec**
 //! (simulated rounds per wall-clock second), plus the Stage-4 batching
-//! metrics (`hops_per_op`, `dht_ops_per_message`) and the maximum number of
-//! pipelined waves observed.  The `throughput` binary wraps it and emits a
-//! machine-readable `BENCH_pr3.json` at the repo root so the perf trajectory
-//! of the hot paths is tracked across PRs (see PERF.md).
+//! metrics (`hops_per_op`, `dht_ops_per_message`), the maximum number of
+//! pipelined waves observed, and — for sharded runs — how the aggregation
+//! waves spread over the anchor shards.  The `throughput` binary wraps it
+//! and emits a machine-readable `BENCH_pr4.json` at the repo root so the
+//! perf trajectory of the hot paths is tracked across PRs (see PERF.md).
 //!
 //! Verification is disabled for the timed runs: the harness measures the
 //! simulator's delivery loop and the protocol's aggregation path, not the
@@ -23,6 +24,8 @@ use std::time::Instant;
 pub struct ThroughputPoint {
     /// Number of processes (the fig2 x-axis).
     pub processes: usize,
+    /// Number of anchor shards the point ran with (1 = unsharded).
+    pub shards: usize,
     /// Requests completed during the run.
     pub requests: u64,
     /// Total simulated rounds (generation + drain).
@@ -39,6 +42,14 @@ pub struct ThroughputPoint {
     pub dht_ops_per_message_mean: f64,
     /// Largest number of aggregation waves any node had in flight.
     pub max_waves_in_flight: u64,
+    /// Waves assigned per shard anchor (indexed by shard id) — shard
+    /// imbalance at a glance.  Empty for frozen baselines that predate
+    /// sharding.
+    pub per_shard_waves: Vec<u64>,
+    /// `DhtReply` entries that arrived for a request no node knows (the
+    /// benign reply/departure race; non-zero values under a churn-free
+    /// workload would flag a routing bug).
+    pub unmatched_dht_replies: u64,
 }
 
 /// Parameters of a throughput run.
@@ -52,6 +63,8 @@ pub struct ThroughputConfig {
     pub repeats: usize,
     /// Workload / simulation seed.
     pub seed: u64,
+    /// Anchor shards per point (1 = the unsharded protocol).
+    pub shards: usize,
 }
 
 impl ThroughputConfig {
@@ -62,6 +75,7 @@ impl ThroughputConfig {
             generation_rounds: 100,
             repeats: 1,
             seed,
+            shards: 1,
         }
     }
 
@@ -72,6 +86,7 @@ impl ThroughputConfig {
             generation_rounds: 100,
             repeats: 3,
             seed,
+            shards: 1,
         }
     }
 
@@ -84,23 +99,33 @@ impl ThroughputConfig {
             generation_rounds: 50,
             repeats: 1,
             seed,
+            shards: 1,
         }
+    }
+
+    /// Runs the same points over `shards` anchor shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
 /// Times one fig2-style point (queue, insert ratio 0.5, 10 requests/round)
-/// and returns the best-of-`repeats` measurement.
+/// over `shards` anchor shards and returns the best-of-`repeats`
+/// measurement.
 pub fn measure_fig2_point(
     n: usize,
     generation_rounds: u64,
     repeats: usize,
     seed: u64,
+    shards: usize,
 ) -> ThroughputPoint {
     let mut best: Option<ThroughputPoint> = None;
     for _ in 0..repeats.max(1) {
         let params = ScenarioParams::fixed_rate(n, Mode::Queue, 0.5)
             .with_generation_rounds(generation_rounds)
             .with_seed(seed)
+            .with_shards(shards)
             .without_verification();
         let start = Instant::now();
         let result = run_fixed_rate(params);
@@ -110,6 +135,7 @@ pub fn measure_fig2_point(
         let secs = wall.as_secs_f64().max(1e-9);
         let point = ThroughputPoint {
             processes: n,
+            shards,
             requests: result.requests,
             rounds,
             wall_ms,
@@ -118,6 +144,8 @@ pub fn measure_fig2_point(
             dht_hops_mean: result.mean_dht_hops,
             dht_ops_per_message_mean: result.mean_dht_ops_per_message,
             max_waves_in_flight: result.max_waves_in_flight,
+            per_shard_waves: result.per_shard_waves.clone(),
+            unmatched_dht_replies: result.unmatched_dht_replies,
         };
         let better = best
             .as_ref()
@@ -135,8 +163,36 @@ pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputPoint> {
     config
         .process_counts
         .iter()
-        .map(|&n| measure_fig2_point(n, config.generation_rounds, config.repeats, config.seed))
+        .map(|&n| {
+            measure_fig2_point(
+                n,
+                config.generation_rounds,
+                config.repeats,
+                config.seed,
+                config.shards,
+            )
+        })
         .collect()
+}
+
+/// Runs the shard sweep: the same fig2 point at every shard count in
+/// `shard_counts`, one measured point per count.
+pub fn run_shard_sweep(
+    n: usize,
+    shard_counts: &[usize],
+    generation_rounds: u64,
+    repeats: usize,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    shard_counts
+        .iter()
+        .map(|&s| measure_fig2_point(n, generation_rounds, repeats, seed, s))
+        .collect()
+}
+
+fn waves_json(waves: &[u64]) -> String {
+    let inner: Vec<String> = waves.iter().map(|w| w.to_string()).collect();
+    format!("[{}]", inner.join(", "))
 }
 
 /// Renders a point list as a JSON array (hand-rolled: the offline `serde`
@@ -145,8 +201,9 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
     let mut out = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "{indent}  {{\"processes\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}}}{}\n",
+            "{indent}  {{\"processes\": {}, \"shards\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}, \"per_shard_waves\": {}, \"unmatched_dht_replies\": {}}}{}\n",
             p.processes,
+            p.shards,
             p.requests,
             p.rounds,
             p.wall_ms,
@@ -155,6 +212,8 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
             p.dht_hops_mean,
             p.dht_ops_per_message_mean,
             p.max_waves_in_flight,
+            waves_json(&p.per_shard_waves),
+            p.unmatched_dht_replies,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -166,8 +225,9 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
 pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
     println!("\n=== {title} ===");
     println!(
-        "{:>8} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "{:>8} {:>3} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>9} {:>18}",
         "n",
+        "S",
         "requests",
         "rounds",
         "wall ms",
@@ -175,12 +235,20 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
         "rounds/sec",
         "hops/op",
         "ops/msg",
-        "waves"
+        "waves",
+        "unmatched",
+        "waves/shard"
     );
     for p in points {
+        let per_shard = if p.per_shard_waves.is_empty() {
+            "-".to_string()
+        } else {
+            waves_json(&p.per_shard_waves)
+        };
         println!(
-            "{:>8} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6}",
+            "{:>8} {:>3} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>18}",
             p.processes,
+            p.shards,
             p.requests,
             p.rounds,
             p.wall_ms,
@@ -189,6 +257,8 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
             p.dht_hops_mean,
             p.dht_ops_per_message_mean,
             p.max_waves_in_flight,
+            p.unmatched_dht_replies,
+            per_shard,
         );
     }
 }
@@ -199,8 +269,9 @@ mod tests {
 
     #[test]
     fn quick_point_measures_something() {
-        let p = measure_fig2_point(20, 10, 1, 1);
+        let p = measure_fig2_point(20, 10, 1, 1, 1);
         assert_eq!(p.processes, 20);
+        assert_eq!(p.shards, 1);
         assert_eq!(p.requests, 100);
         assert!(p.rounds >= 10);
         assert!(p.wall_ms > 0.0);
@@ -215,12 +286,37 @@ mod tests {
             p.max_waves_in_flight >= 2,
             "the wave pipeline must actually overlap waves"
         );
+        assert_eq!(
+            p.unmatched_dht_replies, 0,
+            "churn-free workloads must not orphan replies"
+        );
+    }
+
+    #[test]
+    fn sharded_point_spreads_waves() {
+        let p = measure_fig2_point(40, 10, 1, 1, 4);
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.per_shard_waves.len(), 4);
+        assert!(
+            p.per_shard_waves.iter().filter(|&&w| w > 0).count() >= 2,
+            "waves must spread over shards: {:?}",
+            p.per_shard_waves
+        );
+    }
+
+    #[test]
+    fn shard_sweep_covers_all_counts() {
+        let points = run_shard_sweep(24, &[1, 2], 5, 1, 3);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].shards, 1);
+        assert_eq!(points[1].shards, 2);
     }
 
     #[test]
     fn json_rendering_is_well_formed() {
         let mk = |processes, wall_ms| ThroughputPoint {
             processes,
+            shards: 2,
             requests: 100,
             rounds: 42,
             wall_ms,
@@ -229,13 +325,16 @@ mod tests {
             dht_hops_mean: 4.5,
             dht_ops_per_message_mean: 1.5,
             max_waves_in_flight: 3,
+            per_shard_waves: vec![7, 9],
+            unmatched_dht_replies: 0,
         };
         let points = vec![mk(10, 1.5), mk(20, 2.5)];
         let json = points_to_json(&points, "  ");
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with(']'));
         assert_eq!(json.matches("\"processes\"").count(), 2);
-        assert_eq!(json.matches("\"dht_ops_per_message_mean\"").count(), 2);
+        assert_eq!(json.matches("\"per_shard_waves\": [7, 9]").count(), 2);
+        assert_eq!(json.matches("\"unmatched_dht_replies\"").count(), 2);
         assert_eq!(json.matches("},").count(), 1, "comma between, not after");
     }
 
@@ -244,5 +343,6 @@ mod tests {
         assert!(ThroughputConfig::quick(1).process_counts.contains(&1000));
         assert!(ThroughputConfig::full(1).process_counts.contains(&3000));
         assert_eq!(ThroughputConfig::paper_smoke(1).process_counts, [10_000]);
+        assert_eq!(ThroughputConfig::quick(1).with_shards(4).shards, 4);
     }
 }

@@ -22,6 +22,12 @@ use serde::{Deserialize, Serialize};
 /// The positions, order values and tickets assigned to one run of a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunAssignment {
+    /// Epoch of the anchor wave that produced this assignment (monotone per
+    /// anchor lineage; survives re-anchoring).  In sharded deployments this
+    /// is the leading component of the `(wave, shard, local)` order merge;
+    /// it travels with the assignment through the Stage 3 decomposition so
+    /// every resolved request can witness it.
+    pub wave: u64,
     /// Kind of the operations in this run.
     pub kind: BatchOp,
     /// Number of operations in this run.
@@ -146,13 +152,14 @@ impl AnchorState {
         let mut assignments = Vec::with_capacity(batch.num_runs());
         for (i, &count) in batch.runs().iter().enumerate() {
             let kind = batch.kind_of_run(i);
-            let assignment = match (mode, kind) {
+            let mut assignment = match (mode, kind) {
                 (_, BatchOp::Enqueue) if mode == Mode::Queue => self.assign_enqueue(count),
                 (Mode::Queue, BatchOp::Dequeue) => self.assign_dequeue(count),
                 (Mode::Stack, BatchOp::Enqueue) => self.assign_push(count),
                 (Mode::Stack, BatchOp::Dequeue) => self.assign_pop(count),
                 (Mode::Queue, BatchOp::Enqueue) => unreachable!(),
             };
+            assignment.wave = self.epoch;
             assignments.push(assignment);
         }
         debug_assert!(self.invariant_holds());
@@ -171,6 +178,7 @@ impl AnchorState {
         let pos_hi = self.last + count; // empty (lo > hi) when count == 0
         self.last += count;
         RunAssignment {
+            wave: 0, // stamped by `assign` once the wave epoch is advanced
             kind: BatchOp::Enqueue,
             count,
             pos_lo,
@@ -191,6 +199,7 @@ impl AnchorState {
         };
         self.first = (self.first + count).min(self.last + 1);
         RunAssignment {
+            wave: 0, // stamped by `assign` once the wave epoch is advanced
             kind: BatchOp::Dequeue,
             count,
             pos_lo,
@@ -211,6 +220,7 @@ impl AnchorState {
         let ticket_base = self.ticket + 1;
         self.ticket += count;
         RunAssignment {
+            wave: 0, // stamped by `assign` once the wave epoch is advanced
             kind: BatchOp::Enqueue,
             count,
             pos_lo,
@@ -231,6 +241,7 @@ impl AnchorState {
         };
         self.last = self.last.saturating_sub(count);
         RunAssignment {
+            wave: 0, // stamped by `assign` once the wave epoch is advanced
             kind: BatchOp::Dequeue,
             count,
             pos_lo,
@@ -356,6 +367,22 @@ mod tests {
         a.assign(&queue_batch(&[1]), Mode::Queue);
         a.assign(&queue_batch(&[1]), Mode::Queue);
         assert_eq!(a.epoch, 2);
+    }
+
+    #[test]
+    fn assignments_carry_their_wave_epoch() {
+        let mut a = AnchorState::new();
+        let first = a.assign(&queue_batch(&[2, 1]), Mode::Queue);
+        assert!(first.iter().all(|r| r.wave == 1));
+        let second = a.assign(&queue_batch(&[1]), Mode::Queue);
+        assert!(second.iter().all(|r| r.wave == 2));
+        // The epoch travels with the state across re-anchoring, so a
+        // transferred anchor continues the wave numbering.
+        let mut transferred = a;
+        assert!(transferred
+            .assign(&queue_batch(&[1]), Mode::Queue)
+            .iter()
+            .all(|r| r.wave == 3));
     }
 
     #[test]

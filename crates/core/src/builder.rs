@@ -34,6 +34,9 @@ use skueue_sim::{DeliveryModel, SimConfig};
 /// exceed it.
 const MAX_BIT_BUDGET: u32 = 64;
 
+/// Largest accepted anchor-shard count (`skueue_shard::MAX_SHARDS`).
+const MAX_SHARDS: usize = skueue_shard::MAX_SHARDS as usize;
+
 /// A configuration rejected by [`SkueueBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
@@ -50,6 +53,15 @@ pub enum BuildError {
     ZeroUpdateThreshold,
     /// The wave pipeline needs at least one slot per node.
     ZeroPipelineDepth,
+    /// The deployment needs at least one anchor shard.
+    ZeroShards,
+    /// The anchor-shard count exceeds the supported maximum.
+    TooManyShards {
+        /// The requested count.
+        requested: usize,
+        /// The largest valid count.
+        max: usize,
+    },
     /// The simulation configuration is invalid (e.g. an empty delay range).
     InvalidSimConfig(String),
 }
@@ -69,6 +81,15 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::ZeroPipelineDepth => {
                 write!(f, "the wave pipeline depth must be at least 1")
+            }
+            BuildError::ZeroShards => {
+                write!(f, "the deployment needs at least one anchor shard")
+            }
+            BuildError::TooManyShards { requested, max } => {
+                write!(
+                    f,
+                    "shard count {requested} exceeds the supported maximum of {max}"
+                )
             }
             BuildError::InvalidSimConfig(reason) => {
                 write!(f, "invalid simulation config: {reason}")
@@ -101,6 +122,7 @@ pub struct SkueueBuilder {
     stage4_barrier: Option<bool>,
     update_threshold: u64,
     pipeline_depth: usize,
+    shards: usize,
     delivery: DeliveryModel,
     shuffle_node_order: Option<bool>,
     record_trace: bool,
@@ -118,6 +140,7 @@ impl Default for SkueueBuilder {
             stage4_barrier: None,
             update_threshold: 1,
             pipeline_depth: crate::config::DEFAULT_PIPELINE_DEPTH,
+            shards: 1,
             delivery: DeliveryModel::Synchronous,
             shuffle_node_order: None,
             record_trace: false,
@@ -224,6 +247,21 @@ impl SkueueBuilder {
         self
     }
 
+    /// Number of independent anchor shards the queue is partitioned into
+    /// (default 1 = the unsharded protocol of the paper).  Every process is
+    /// deterministically assigned to one shard by a splittable hash of its
+    /// label; each shard runs its own cycle, aggregation tree and anchor
+    /// over a disjoint interval of the position keyspace, and the verifier
+    /// checks the merged `(wave, shard, local)` order with
+    /// `skueue_verify::check_queue_sharded`.  Stack mode pins the count
+    /// to 1 (the ticket matching needs the single global stage-4 barrier).
+    /// Zero and counts beyond `skueue_shard::MAX_SHARDS` are rejected by
+    /// [`build`](Self::build).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Runs on the synchronous round scheduler the paper evaluates on (the
     /// default).
     pub fn synchronous(mut self) -> Self {
@@ -280,6 +318,7 @@ impl SkueueBuilder {
         }
         cfg.update_threshold = self.update_threshold;
         cfg.pipeline_depth = self.pipeline_depth;
+        cfg.shards = self.shards;
         // The synchronous round scheduler delivers per-channel in send
         // order; every other model may reorder, which the protocol's
         // aggregate credit must compensate for.
@@ -334,6 +373,15 @@ pub(crate) fn validate_config(
     }
     if protocol_cfg.pipeline_depth == 0 {
         return Err(BuildError::ZeroPipelineDepth);
+    }
+    if protocol_cfg.shards == 0 {
+        return Err(BuildError::ZeroShards);
+    }
+    if protocol_cfg.shards > MAX_SHARDS {
+        return Err(BuildError::TooManyShards {
+            requested: protocol_cfg.shards,
+            max: MAX_SHARDS,
+        });
     }
     sim_cfg.validate().map_err(|e| match e {
         // Unwrap the reason so the BuildError Display doesn't repeat the
@@ -404,6 +452,43 @@ mod tests {
             .pipeline_depth(3)
             .protocol_config();
         assert_eq!(cfg.pipeline_depth, 3);
+    }
+
+    #[test]
+    fn shard_counts_are_validated() {
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroShards);
+        let err = SkueueBuilder::new()
+            .processes(4)
+            .shards(MAX_SHARDS + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::TooManyShards {
+                requested: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            }
+        );
+        let cluster = SkueueBuilder::new()
+            .processes(16)
+            .shards(4)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.shards(), 4);
+        // Stack mode pins the effective count to 1.
+        let stack = SkueueBuilder::new()
+            .processes(8)
+            .stack()
+            .shards(4)
+            .build()
+            .unwrap();
+        assert_eq!(stack.shards(), 1);
     }
 
     #[test]

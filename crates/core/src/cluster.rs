@@ -59,6 +59,7 @@ use skueue_dht::LoadStats;
 use skueue_overlay::{
     recommended_bit_budget, LabelHasher, LocalView, NeighborInfo, Topology, VKind, VirtualId,
 };
+use skueue_shard::{ShardId, ShardMap, ShardRouter};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
 use skueue_sim::{SimConfig, SimError, Simulation};
@@ -87,8 +88,16 @@ pub enum ClusterError {
         actual: Mode,
     },
     /// The process currently hosting the anchor cannot leave (documented
-    /// restriction of this reproduction).
+    /// restriction of this reproduction).  With `shards > 1` every shard's
+    /// anchor process is pinned this way.
     AnchorCannotLeave(ProcessId),
+    /// A join resolved to an anchor shard that has no active member to
+    /// bootstrap from (possible only when `shards` exceeds the number of
+    /// live processes and the hash left a shard unpopulated).
+    ShardHasNoMembers {
+        /// The empty target shard.
+        shard: ShardId,
+    },
     /// A ticket issued by a different cluster was passed to
     /// [`SkueueCluster::run_until_done`]; it can never complete here.
     ForeignTicket(OpTicket),
@@ -114,6 +123,12 @@ impl std::fmt::Display for ClusterError {
             ),
             ClusterError::AnchorCannotLeave(p) => {
                 write!(f, "process {p} hosts the anchor and cannot leave")
+            }
+            ClusterError::ShardHasNoMembers { shard } => {
+                write!(
+                    f,
+                    "anchor shard {shard} has no active member to bootstrap from"
+                )
             }
             ClusterError::ForeignTicket(t) => {
                 write!(f, "{t} was issued by a different cluster")
@@ -152,6 +167,8 @@ struct ProcessHandle {
     id: ProcessId,
     /// Node ids of the left/middle/right virtual nodes.
     nodes: [NodeId; 3],
+    /// The anchor shard the process belongs to (deterministic by label).
+    shard: ShardId,
     state: ProcessState,
     next_seq: u64,
 }
@@ -165,6 +182,11 @@ pub struct SkueueCluster {
     sim: Simulation<SkueueNode>,
     cfg: ProtocolConfig,
     hasher: LabelHasher,
+    /// Deterministic process→shard assignment (cached splittable hashing).
+    router: ShardRouter,
+    /// Per-shard distance-halving bit budget (derived from each shard's
+    /// initial size unless the configuration pins an explicit budget).
+    shard_bit_budgets: Vec<u32>,
     processes: Vec<ProcessHandle>,
     index_of: HashMap<ProcessId, usize>,
     history: History,
@@ -216,30 +238,72 @@ impl SkueueCluster {
     /// builder's backend).
     pub(crate) fn from_config(n: usize, mut cfg: ProtocolConfig, sim_cfg: SimConfig) -> Self {
         debug_assert!(n >= 1, "validated by SkueueBuilder::build");
+        // Normalise the shard count (stack mode pins it to 1) so every
+        // consumer — nodes, verifier, accessors — sees the effective value.
+        cfg.shards = cfg.effective_shards();
+        let hasher = cfg.hasher();
+        let shard_map = ShardMap::new(cfg.shards as u32, cfg.hash_seed);
+        let router = ShardRouter::new(shard_map);
+        let process_ids: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
+
+        // Partition the processes into their shards and build one topology —
+        // cycle, aggregation tree, anchor — per populated shard.  With
+        // `shards == 1` this is exactly the old single global topology.
+        let mut groups: Vec<Vec<ProcessId>> = vec![Vec::new(); cfg.shards];
+        for &pid in &process_ids {
+            groups[router.route(pid) as usize].push(pid);
+        }
+        let topologies: Vec<Option<Topology>> = groups
+            .iter()
+            .map(|group| {
+                (!group.is_empty()).then(|| {
+                    Topology::build(group, hasher).expect("non-empty, duplicate-free process set")
+                })
+            })
+            .collect();
+        // Per-shard routing budget: an explicit configuration applies
+        // everywhere; otherwise each shard derives it from its own size
+        // (shorter distance-halving routes inside smaller shard cycles).
+        let explicit_budget = cfg.bit_budget != 0;
+        let shard_bit_budgets: Vec<u32> = groups
+            .iter()
+            .map(|group| {
+                if explicit_budget {
+                    cfg.bit_budget
+                } else {
+                    recommended_bit_budget(group.len().max(1))
+                }
+            })
+            .collect();
+        // The stored cfg keeps the whole-system derivation for introspection
+        // (`config()`); node behaviour is governed by the per-shard budgets
+        // above, which coincide with this value exactly when shards == 1.
         if cfg.bit_budget == 0 {
             cfg.bit_budget = recommended_bit_budget(n);
         }
-        let hasher = cfg.hasher();
-        let process_ids: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
-        let topology =
-            Topology::build(&process_ids, hasher).expect("non-empty, duplicate-free process set");
 
         let mut sim = Simulation::new(sim_cfg).expect("validated by SkueueBuilder::build");
         // Node ids are assigned densely: process i gets nodes 3i, 3i+1, 3i+2
-        // in VKind order (Left, Middle, Right).
+        // in VKind order (Left, Middle, Right) — independent of sharding.
         let node_of =
             |vid: VirtualId| -> NodeId { NodeId(vid.process.raw() * 3 + vid.kind.index() as u64) };
-        let anchor_vid = topology.anchor();
         let mut processes = Vec::with_capacity(n);
         let mut index_of = HashMap::with_capacity(n);
         for (i, &pid) in process_ids.iter().enumerate() {
+            let shard = router.route(pid);
+            let topology = topologies[shard as usize]
+                .as_ref()
+                .expect("pid was grouped into this shard");
+            let anchor_vid = topology.anchor();
+            let mut node_cfg = cfg;
+            node_cfg.bit_budget = shard_bit_budgets[shard as usize];
             let mut nodes = [NodeId(0); 3];
             for kind in VKind::ALL {
                 let vid = VirtualId::new(pid, kind);
                 let view = topology
                     .local_view(vid, &node_of)
                     .expect("vid from own topology");
-                let node = SkueueNode::new(cfg, view, vid == anchor_vid);
+                let node = SkueueNode::new(node_cfg, shard, view, vid == anchor_vid);
                 let assigned = sim.add_node(node);
                 debug_assert_eq!(assigned, node_of(vid));
                 nodes[kind.index()] = assigned;
@@ -247,6 +311,7 @@ impl SkueueCluster {
             processes.push(ProcessHandle {
                 id: pid,
                 nodes,
+                shard,
                 state: ProcessState::Active,
                 next_seq: 0,
             });
@@ -257,6 +322,8 @@ impl SkueueCluster {
             sim,
             cfg,
             hasher,
+            router,
+            shard_bit_budgets,
             processes,
             index_of,
             history: History::new(),
@@ -338,10 +405,64 @@ impl SkueueCluster {
     }
 
     /// Current anchor window/counter state (from whichever node holds it).
+    /// Sharded deployments have one anchor per shard; this returns the first
+    /// one found — use [`Self::shard_anchor_states`] for the full picture.
     pub fn anchor_state(&self) -> Option<crate::anchor::AnchorState> {
         self.sim
             .iter()
             .find_map(|(_, node)| node.anchor_state().copied())
+    }
+
+    /// Number of anchor shards this deployment runs (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The deterministic shard layout — hand this to
+    /// `skueue_verify::check_queue_sharded` together with
+    /// [`Self::history`].
+    pub fn shard_map(&self) -> ShardMap {
+        *self.router.map()
+    }
+
+    /// The shard a known process belongs to.
+    pub fn shard_of_process(&self, process: ProcessId) -> Option<ShardId> {
+        self.index_of
+            .get(&process)
+            .map(|&idx| self.processes[idx].shard)
+    }
+
+    /// The anchor state currently held in each shard (indexed by shard id).
+    /// `None` for a shard that is unpopulated — or whose anchor state is
+    /// momentarily in flight between nodes (anchor hand-off).
+    pub fn shard_anchor_states(&self) -> Vec<Option<crate::anchor::AnchorState>> {
+        let mut out = vec![None; self.cfg.shards];
+        for (_, node) in self.sim.iter() {
+            if let Some(state) = node.anchor_state() {
+                out[node.shard() as usize] = Some(*state);
+            }
+        }
+        out
+    }
+
+    /// Number of aggregation waves each shard's anchor has assigned so far
+    /// (indexed by shard id; 0 for idle or unpopulated shards).  The direct
+    /// measure of how work spreads over the shards.
+    pub fn shard_wave_counts(&self) -> Vec<u64> {
+        self.shard_anchor_states()
+            .iter()
+            .map(|s| s.map(|a| a.epoch).unwrap_or(0))
+            .collect()
+    }
+
+    /// Total number of elements currently queued across all shard anchors'
+    /// windows.
+    pub fn queued_elements(&self) -> u64 {
+        self.shard_anchor_states()
+            .iter()
+            .flatten()
+            .map(|a| a.size())
+            .sum()
     }
 
     /// Per-node stored-element counts (fairness accounting, Corollary 19).
@@ -613,28 +734,46 @@ impl SkueueCluster {
     // ------------------------------------------------------------------
 
     /// Starts the `JOIN()` of a brand-new process via the given bootstrap
-    /// process (defaults to process 0's middle node when `None`).  Returns
+    /// process (defaults to the first active process when `None`).  Returns
     /// the new process id.  The process becomes usable once its three
     /// virtual nodes have been integrated (see [`Self::process_is_active`]).
+    ///
+    /// Sharded deployments: the joiner's shard is determined by its label
+    /// (deterministic, like every other process), and the join must
+    /// bootstrap through a member of that shard's cycle — a `bootstrap`
+    /// from a different shard is treated as a hint and replaced by the
+    /// first active member of the target shard.
     pub fn join(&mut self, bootstrap: Option<ProcessId>) -> Result<ProcessId, ClusterError> {
-        let bootstrap_pid = match bootstrap {
+        let pid = ProcessId(self.next_process_id);
+        let shard = self.router.route(pid);
+        let same_shard_bootstrap = match bootstrap {
+            Some(p) => {
+                let idx = *self
+                    .index_of
+                    .get(&p)
+                    .ok_or(ClusterError::UnknownProcess(p))?;
+                if self.processes[idx].state != ProcessState::Active {
+                    return Err(ClusterError::ProcessNotActive(p));
+                }
+                (self.processes[idx].shard == shard).then_some(p)
+            }
+            None => None,
+        };
+        let bootstrap_pid = match same_shard_bootstrap {
             Some(p) => p,
             None => self
-                .active_process_ids()
-                .first()
-                .copied()
-                .ok_or(ClusterError::UnknownProcess(ProcessId(0)))?,
+                .processes
+                .iter()
+                .find(|h| h.state == ProcessState::Active && h.shard == shard)
+                .map(|h| h.id)
+                .ok_or(ClusterError::ShardHasNoMembers { shard })?,
         };
         let bootstrap_idx = *self
             .index_of
             .get(&bootstrap_pid)
             .ok_or(ClusterError::UnknownProcess(bootstrap_pid))?;
-        if self.processes[bootstrap_idx].state != ProcessState::Active {
-            return Err(ClusterError::ProcessNotActive(bootstrap_pid));
-        }
         let bootstrap_node = self.processes[bootstrap_idx].nodes[VKind::Middle.index()];
 
-        let pid = ProcessId(self.next_process_id);
         self.next_process_id += 1;
         let middle_label = self.hasher.process_label(pid);
         let mut nodes = [NodeId(0); 3];
@@ -651,7 +790,9 @@ impl SkueueCluster {
                 succ: me,
                 siblings: [me, me, me],
             };
-            let node = SkueueNode::new_joining(self.cfg, view);
+            let mut node_cfg = self.cfg;
+            node_cfg.bit_budget = self.shard_bit_budgets[shard as usize];
+            let node = SkueueNode::new_joining(node_cfg, shard, view);
             let id = self.sim.add_node(node);
             created.push((kind, id));
             nodes[kind.index()] = id;
@@ -684,6 +825,7 @@ impl SkueueCluster {
         self.processes.push(ProcessHandle {
             id: pid,
             nodes,
+            shard,
             state: ProcessState::Joining,
             next_seq: 0,
         });
@@ -1295,6 +1437,105 @@ mod tests {
             SkueueCluster::builder().build().unwrap_err(),
             BuildError::NoProcesses
         );
+    }
+
+    #[test]
+    fn sharded_cluster_partitions_work_and_stays_consistent() {
+        let mut cluster = SkueueCluster::builder()
+            .processes(24)
+            .shards(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.shards(), 4);
+        // Every process's shard matches the deterministic map.
+        let map = cluster.shard_map();
+        for p in 0..24u64 {
+            let pid = ProcessId(p);
+            assert_eq!(
+                cluster.shard_of_process(pid),
+                Some(map.shard_of_process(pid))
+            );
+        }
+        for i in 0..96u64 {
+            cluster.client(ProcessId(i % 24)).enqueue(i).unwrap();
+        }
+        cluster.run_until_all_complete(10_000).unwrap();
+        assert_eq!(cluster.queued_elements(), 96);
+        for i in 0..48u64 {
+            cluster.client(ProcessId(i % 24)).dequeue().unwrap();
+        }
+        cluster.run_until_all_complete(10_000).unwrap();
+        skueue_verify::check_queue_sharded(cluster.history(), &map).assert_consistent();
+        // Work actually spread over several anchors.
+        let waves = cluster.shard_wave_counts();
+        assert_eq!(waves.len(), 4);
+        assert!(
+            waves.iter().filter(|&&w| w > 0).count() >= 2,
+            "expected ≥2 shards to assign waves, got {waves:?}"
+        );
+        // Elements landed in their enqueuer's shard's position interval.
+        for (_, node) in cluster.nodes() {
+            for entry in node.store().iter_entries() {
+                assert_eq!(
+                    map.shard_of_position(entry.position),
+                    node.shard(),
+                    "stored element crossed a shard's keyspace interval"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_join_routes_to_the_joiners_shard() {
+        let mut cluster = SkueueCluster::builder()
+            .processes(16)
+            .shards(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        let map = cluster.shard_map();
+        let new_pid = cluster.join(None).unwrap();
+        assert_eq!(
+            cluster.shard_of_process(new_pid),
+            Some(map.shard_of_process(new_pid))
+        );
+        cluster
+            .run_until(|c| c.process_is_active(new_pid), 2_000)
+            .unwrap();
+        let put = cluster.client(new_pid).enqueue(7).unwrap();
+        cluster.run_until_done(&[put], 2_000).unwrap();
+        let got = cluster.client(new_pid).dequeue().unwrap();
+        let outcomes = cluster.run_until_done(&[got], 2_000).unwrap();
+        assert_eq!(outcomes[0].value(), Some(7));
+        skueue_verify::check_queue_sharded(cluster.history(), &map).assert_consistent();
+    }
+
+    #[test]
+    fn single_shard_run_is_bit_identical_to_unsharded() {
+        // `.shards(1)` must reproduce the default configuration's history
+        // exactly — same order keys, same rounds, same bytes.
+        let run = |sharded: bool| {
+            let mut builder = SkueueCluster::builder().processes(6).seed(3);
+            if sharded {
+                builder = builder.shards(1);
+            }
+            let mut cluster = builder.build().unwrap();
+            for i in 0..30u64 {
+                let p = ProcessId(i % 6);
+                if i % 3 == 0 {
+                    cluster.client(p).dequeue().unwrap();
+                } else {
+                    cluster.client(p).enqueue(i).unwrap();
+                }
+                if i % 5 == 0 {
+                    cluster.run_round();
+                }
+            }
+            cluster.run_until_all_complete(5_000).unwrap();
+            cluster.into_history().into_records()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub struct ProtocolConfig {
     /// analysis.  The stack's stage-4 barrier serialises waves regardless,
     /// so this knob effectively applies to the queue.
     pub pipeline_depth: usize,
+    /// Number of independent anchor shards the queue is partitioned into.
+    /// Every process belongs to exactly one shard (splittable hash of its
+    /// label, `skueue_shard::ShardMap`); each shard runs its own LDB cycle,
+    /// aggregation tree, anchor and position-keyspace interval, and the
+    /// global order is the fixed `(wave, shard, local)` interleaving.  `1`
+    /// (the default) is the unsharded protocol of the paper, bit for bit.
+    /// The stack's ticket matching needs the single global stage-4 barrier,
+    /// so stack mode pins this to 1 (see [`Self::effective_shards`]).
+    pub shards: usize,
 }
 
 /// Default number of concurrently in-flight aggregation waves per node.
@@ -80,6 +89,7 @@ impl ProtocolConfig {
             stage4_barrier: false,
             fifo_channels: true,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            shards: 1,
         }
     }
 
@@ -95,6 +105,7 @@ impl ProtocolConfig {
             stage4_barrier: true,
             fifo_channels: true,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            shards: 1,
         }
     }
 
@@ -131,6 +142,30 @@ impl ProtocolConfig {
         } else {
             self.pipeline_depth.max(1)
         }
+    }
+
+    /// Overrides the number of anchor shards (must be at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The effective number of anchor shards: the stack's ticket matching
+    /// relies on the single global stage-4 barrier, so stack mode pins the
+    /// count to 1 regardless of the configured value.
+    pub fn effective_shards(&self) -> usize {
+        if self.is_stack() {
+            1
+        } else {
+            self.shards.max(1)
+        }
+    }
+
+    /// True when this deployment runs more than one anchor shard (order
+    /// keys carry the `(wave, shard)` merge components only then, keeping
+    /// unsharded histories bit-identical to the pre-sharding format).
+    pub fn is_sharded(&self) -> bool {
+        self.effective_shards() > 1
     }
 
     /// The hasher corresponding to this configuration.
@@ -187,6 +222,24 @@ mod tests {
     #[test]
     fn default_is_queue() {
         assert_eq!(ProtocolConfig::default().mode, Mode::Queue);
+    }
+
+    #[test]
+    fn shards_default_to_one_and_stack_pins_them() {
+        let c = ProtocolConfig::queue();
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.effective_shards(), 1);
+        assert!(!c.is_sharded());
+        let c = c.with_shards(4);
+        assert_eq!(c.effective_shards(), 4);
+        assert!(c.is_sharded());
+        // The stack's global stage-4 barrier is incompatible with multiple
+        // anchors; the count is pinned to 1.
+        let s = ProtocolConfig::stack().with_shards(4);
+        assert_eq!(s.effective_shards(), 1);
+        assert!(!s.is_sharded());
+        // Zero is normalised, not an extra state.
+        assert_eq!(ProtocolConfig::queue().with_shards(0).effective_shards(), 1);
     }
 
     #[test]

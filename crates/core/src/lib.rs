@@ -66,4 +66,7 @@ pub use cluster::{ClusterError, Skueue, SkueueCluster};
 pub use config::{Mode, ProtocolConfig};
 pub use messages::{DhtOp, SkueueMsg};
 pub use node::{LocalOp, NodeStats, Role, SkueueNode};
+// Re-exported so downstream crates can feed `SkueueCluster::shard_map` to
+// `skueue_verify::check_queue_sharded` without a direct skueue-shard dep.
+pub use skueue_shard::{ShardId, ShardMap, ShardRouter};
 pub use ticket::{CompletionEvent, OpOutcome, OpStatus, OpTicket};

@@ -21,6 +21,9 @@ pub struct PutMeta {
     pub issued_round: u64,
     /// The enqueue's order value `value(op)`.
     pub order: u64,
+    /// Wave epoch of the anchor wave that assigned the order value (the
+    /// leading component of the sharded order merge; zero when unsharded).
+    pub wave: u64,
     /// Whether the issuer needs an acknowledgement (stack stage-4 barrier).
     pub needs_ack: bool,
     /// Node to acknowledge to.
@@ -286,6 +289,7 @@ mod tests {
             meta: PutMeta {
                 issued_round: 1,
                 order: 2,
+                wave: 1,
                 needs_ack: false,
                 issuer: NodeId(0),
             },

@@ -49,6 +49,7 @@ use skueue_overlay::{
     aggregation_child_set, aggregation_parent, route_step, ChildSet, LocalView, RouteAction,
     RouteBuffer, RouteProgress, VKind,
 };
+use skueue_shard::{ShardId, ShardMap};
 use skueue_sim::actor::{Actor, Context};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
@@ -62,6 +63,19 @@ use std::collections::{HashMap, VecDeque};
 /// demand-driven waves.  `2` merges adjacent traffic while costing at most
 /// one extra round of latency per level.
 const WAVE_CADENCE: u64 = 2;
+
+/// Metadata remembered for an outstanding `GET` this node issued: the
+/// original request plus the order components the anchor assigned to it,
+/// needed to stamp the completion record when the reply arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OutstandingGet {
+    /// The dequeue/pop request.
+    pub(crate) op: LocalOp,
+    /// Anchor-assigned order value `value(op)`.
+    pub(crate) order: u64,
+    /// Epoch of the anchor wave that assigned the order value.
+    pub(crate) wave: u64,
+}
 
 /// A locally generated request that has not been resolved yet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -293,7 +307,15 @@ pub struct SkueueNode {
     pub(crate) hasher: skueue_overlay::LabelHasher,
     pub(crate) view: LocalView,
     pub(crate) role: Role,
-    /// Anchor state, present only at the current anchor.
+    /// The anchor shard this node belongs to (0 in unsharded deployments).
+    /// Everything the node does — its cycle, its aggregation tree, its DHT
+    /// interval, its anchor — lives inside this shard.
+    pub(crate) shard: ShardId,
+    /// The deployment's shard layout (pure function of `(shards,
+    /// hash_seed)`); maps the anchor's shard-local positions into the
+    /// shard's interval of the global position keyspace.
+    pub(crate) shard_map: ShardMap,
+    /// Anchor state, present only at the current shard anchor.
     pub(crate) anchor: Option<AnchorState>,
 
     // --- Stage 1 state ------------------------------------------------------
@@ -323,7 +345,7 @@ pub struct SkueueNode {
 
     // --- Stage 4 state ------------------------------------------------------
     pub(crate) store: NodeStore,
-    pub(crate) outstanding_gets: HashMap<RequestId, LocalOp>,
+    pub(crate) outstanding_gets: HashMap<RequestId, OutstandingGet>,
     pub(crate) outstanding_dht: u64,
     /// Per-destination coalescing buffer for routed DHT ops; flushed as one
     /// `DhtBatch` per neighbour at the end of every visit.
@@ -386,16 +408,20 @@ pub struct SkueueNode {
 
 impl SkueueNode {
     /// Creates a node with the given configuration and initial neighbourhood
-    /// view. `is_anchor` must be true exactly for the leftmost node of the
+    /// view. `shard` is the anchor shard the node's process belongs to;
+    /// `is_anchor` must be true exactly for the leftmost node of the shard's
     /// initial topology.
-    pub fn new(cfg: ProtocolConfig, view: LocalView, is_anchor: bool) -> Self {
+    pub fn new(cfg: ProtocolConfig, shard: ShardId, view: LocalView, is_anchor: bool) -> Self {
         let hasher = cfg.hasher();
         let own_batch = Self::fresh_batch(&cfg);
+        let shard_map = ShardMap::new(cfg.effective_shards() as u32, cfg.hash_seed);
         SkueueNode {
             cfg,
             hasher,
             view,
             role: Role::Active,
+            shard,
+            shard_map,
             anchor: if is_anchor {
                 Some(AnchorState::new())
             } else {
@@ -443,11 +469,11 @@ impl SkueueNode {
         }
     }
 
-    /// Creates a node that starts in the joining state (not yet part of the
-    /// cycle); `view` holds the node's own identity with placeholder
+    /// Creates a node that starts in the joining state (not yet part of its
+    /// shard's cycle); `view` holds the node's own identity with placeholder
     /// neighbours.
-    pub fn new_joining(cfg: ProtocolConfig, view: LocalView) -> Self {
-        let mut node = Self::new(cfg, view, false);
+    pub fn new_joining(cfg: ProtocolConfig, shard: ShardId, view: LocalView) -> Self {
+        let mut node = Self::new(cfg, shard, view, false);
         node.role = Role::Joining { responsible: None };
         // Siblings of a joining process integrate one by one; each announces
         // itself via `SiblingStatus` when it does.
@@ -491,9 +517,14 @@ impl SkueueNode {
         &self.role
     }
 
-    /// True if this node currently holds the anchor state.
+    /// True if this node currently holds its shard's anchor state.
     pub fn is_anchor_node(&self) -> bool {
         self.anchor.is_some()
+    }
+
+    /// The anchor shard this node belongs to (0 when unsharded).
+    pub fn shard(&self) -> ShardId {
+        self.shard
     }
 
     /// The anchor state, if this node is the anchor.
@@ -1123,7 +1154,7 @@ impl SkueueNode {
                         } else {
                             0
                         };
-                        self.issue_put(op, position, ticket, order_major, ctx);
+                        self.issue_put(op, position, ticket, order_major, run.wave, ctx);
                     }
                     BatchOp::Dequeue => {
                         let available = run.available_positions();
@@ -1138,7 +1169,7 @@ impl SkueueNode {
                             } else {
                                 u64::MAX
                             };
-                            self.issue_get(op, position, max_ticket, order_major, ctx);
+                            self.issue_get(op, position, max_ticket, order_major, run.wave, ctx);
                         } else {
                             // ⊥: completes immediately.
                             self.completed.push(OpRecord {
@@ -1146,7 +1177,7 @@ impl SkueueNode {
                                 kind: OpKind::Dequeue,
                                 value: 0,
                                 result: OpResult::Empty,
-                                order: OrderKey::anchor(order_major, op.id.origin),
+                                order: self.order_key(run.wave, order_major, op.id.origin),
                                 issued_round: op.issued_round,
                                 completed_round: ctx.round(),
                             });
@@ -1158,6 +1189,17 @@ impl SkueueNode {
         // Remove the resolved prefix from the log; anything after it was
         // generated after the batch was sent and belongs to the next one.
         self.own_log.drain(0..log_cursor);
+    }
+
+    /// The witnessed order key for an anchor-assigned order value: plain
+    /// `major` ordering when unsharded (bit-identical to the pre-sharding
+    /// format), the `(wave, shard, major)` merge components otherwise.
+    fn order_key(&self, wave: u64, major: u64, origin: ProcessId) -> OrderKey {
+        if self.cfg.is_sharded() {
+            OrderKey::sharded(wave, self.shard, major, origin)
+        } else {
+            OrderKey::anchor(major, origin)
+        }
     }
 
     /// Updates the local order bookkeeping when one of this node's own
@@ -1187,8 +1229,12 @@ impl SkueueNode {
         position: u64,
         ticket: u64,
         order_major: u64,
+        wave: u64,
         ctx: &mut Context<SkueueMsg>,
     ) {
+        // The anchor assigns shard-local positions; the DHT stores under the
+        // global position — the shard id in the high bits of the keyspace.
+        let position = self.shard_map.global_position(self.shard, position);
         let key = self.hasher.position_key(position);
         let entry = StoredEntry {
             position,
@@ -1199,6 +1245,7 @@ impl SkueueNode {
         let meta = PutMeta {
             issued_round: op.issued_round,
             order: order_major,
+            wave,
             needs_ack: self.cfg.stage4_barrier,
             issuer: self.view.me.node,
         };
@@ -1216,14 +1263,21 @@ impl SkueueNode {
         position: u64,
         max_ticket: u64,
         order_major: u64,
+        wave: u64,
         ctx: &mut Context<SkueueMsg>,
     ) {
+        let position = self.shard_map.global_position(self.shard, position);
         let key = self.hasher.position_key(position);
-        // Remember the metadata needed to complete the request when the reply
-        // arrives; the order value travels via the key of `outstanding_gets`.
-        let mut meta = op;
-        meta.value = order_major; // reuse the payload slot to carry the order
-        self.outstanding_gets.insert(op.id, meta);
+        // Remember the metadata needed to complete the request when the
+        // reply arrives.
+        self.outstanding_gets.insert(
+            op.id,
+            OutstandingGet {
+                op,
+                order: order_major,
+                wave,
+            },
+        );
         if self.cfg.stage4_barrier {
             self.outstanding_dht += 1;
         }
@@ -1289,13 +1343,15 @@ impl SkueueNode {
         match op {
             DhtOp::Put { entry, meta } => {
                 // The enqueue/push is finished once its element is stored (or
-                // immediately consumed by a parked GET).
+                // immediately consumed by a parked GET).  DHT routing stays
+                // inside the shard's cycle, so the storing node shares the
+                // issuer's shard and can witness the sharded order key.
                 self.completed.push(OpRecord {
                     id: entry.element.id,
                     kind: OpKind::Enqueue,
                     value: entry.element.value,
                     result: OpResult::Enqueued,
-                    order: OrderKey::anchor(meta.order, entry.element.id.origin),
+                    order: self.order_key(meta.wave, meta.order, entry.element.id.origin),
                     issued_round: meta.issued_round,
                     completed_round: ctx.round(),
                 });
@@ -1361,9 +1417,8 @@ impl SkueueNode {
                 kind: OpKind::Dequeue,
                 value: entry.element.value,
                 result: OpResult::Returned(entry.element.id),
-                // `value` carried the order major (see `issue_get`).
-                order: OrderKey::anchor(meta.value, request.origin),
-                issued_round: meta.issued_round,
+                order: self.order_key(meta.wave, meta.order, request.origin),
+                issued_round: meta.op.issued_round,
                 completed_round: ctx.round(),
             });
         } else {

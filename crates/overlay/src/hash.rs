@@ -70,6 +70,23 @@ impl LabelHasher {
     pub fn stack_position_key(&self, position: u64) -> Label {
         self.position_key(position)
     }
+
+    /// Anchor shard a label belongs to, for a system running `shards` anchor
+    /// shards: a *splittable* member of this hash family — the label is
+    /// re-mixed under the same seed and the result multiply-shifted into
+    /// `0..shards` — so shard membership is (statistically) independent of
+    /// the label's ring position.  That independence matters: each shard's
+    /// nodes must stay uniformly spread over the unit ring, or one node per
+    /// shard would own almost the whole key interval and the DHT fairness of
+    /// Lemma 4 would collapse.  `shards == 0` is treated as 1.
+    #[inline]
+    pub fn shard_of_label(&self, label: Label, shards: u32) -> u32 {
+        if shards <= 1 {
+            return 0;
+        }
+        let mixed = self.hash_u64(label.raw() ^ 0x5A4D_A9C1_55AA_D007).raw();
+        ((mixed as u128 * shards as u128) >> 64) as u32
+    }
 }
 
 impl Default for LabelHasher {

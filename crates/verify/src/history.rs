@@ -22,10 +22,25 @@ use std::collections::BTreeMap;
 /// `origin` component only disambiguates locally combined pairs of different
 /// processes that anchor to the same major (which keeps each pair adjacent —
 /// required for the LIFO nesting property).
+///
+/// **Sharded deployments** (`shards > 1`) prepend two components: the anchor
+/// shard's *wave epoch* and the *shard id*, so the global order is the fixed
+/// lexicographic interleaving `(wave, shard, major, …)` of the per-shard
+/// anchor orders.  Restricted to one shard this is exactly the shard's own
+/// anchor order (the counter is monotone across waves), and every process
+/// issues all of its requests into one shard — so the merged order stays
+/// consistent with every process's program order by construction.  Unsharded
+/// histories leave both components at zero, which makes the ordering (and
+/// the key bytes) identical to the pre-sharding format.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct OrderKey {
+    /// Wave epoch of the assigning anchor shard (zero for unsharded runs
+    /// and locally combined pairs) — the leading merge component.
+    pub wave: u64,
+    /// Id of the assigning anchor shard (zero for unsharded runs).
+    pub shard: u64,
     /// Anchor-assigned `value(op)` (or the major of the preceding ordered
     /// request for locally combined pairs).
     pub major: u64,
@@ -38,9 +53,24 @@ pub struct OrderKey {
 }
 
 impl OrderKey {
-    /// Key of an anchor-ordered request.
+    /// Key of an anchor-ordered request (unsharded deployment).
     pub fn anchor(major: u64, origin: ProcessId) -> Self {
         OrderKey {
+            wave: 0,
+            shard: 0,
+            major,
+            origin: origin.raw(),
+            minor: 0,
+        }
+    }
+
+    /// Key of a request ordered by shard `shard`'s anchor in its wave
+    /// `wave`.  The interleaving rule of the sharded order: `(wave, shard,
+    /// major)` lexicographically.
+    pub fn sharded(wave: u64, shard: u32, major: u64, origin: ProcessId) -> Self {
+        OrderKey {
+            wave,
+            shard: shard as u64,
             major,
             origin: origin.raw(),
             minor: 0,
@@ -50,6 +80,8 @@ impl OrderKey {
     /// Key of a locally combined request anchored after `major`.
     pub fn local(major: u64, origin: ProcessId, minor: u64) -> Self {
         OrderKey {
+            wave: 0,
+            shard: 0,
             major,
             origin: origin.raw(),
             minor,
@@ -59,6 +91,13 @@ impl OrderKey {
 
 impl std::fmt::Display for OrderKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.wave != 0 || self.shard != 0 {
+            write!(f, "w{}s{}:{}", self.wave, self.shard, self.major)?;
+            if self.minor != 0 {
+                write!(f, "+{}.{}", self.origin, self.minor)?;
+            }
+            return Ok(());
+        }
         if self.minor == 0 {
             write!(f, "{}", self.major)
         } else {

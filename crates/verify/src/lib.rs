@@ -20,6 +20,10 @@
 //!   well-formed histories).
 //! * [`check_stack_replay`] / [`check_stack_ordering`] are the LIFO
 //!   counterparts used for the Section VI stack.
+//! * [`check_queue_sharded`] checks a *sharded* deployment (`shards > 1`):
+//!   Definition 1 plus the replay oracle on every anchor shard's lane, shard
+//!   discipline of the witnessed keys, and program order on the merged
+//!   `(wave, shard, local)` order.
 //!
 //! All checkers return a [`ConsistencyReport`] listing every violation found
 //! (not just the first), which makes protocol bugs much easier to localise.
@@ -30,9 +34,11 @@
 pub mod history;
 pub mod queue_check;
 pub mod report;
+pub mod sharded_check;
 pub mod stack_check;
 
 pub use history::{History, OpKind, OpRecord, OpResult, OrderKey};
 pub use queue_check::{check_queue, check_queue_definition1, check_queue_replay};
 pub use report::{ConsistencyReport, Violation};
+pub use sharded_check::check_queue_sharded;
 pub use stack_check::{check_stack, check_stack_ordering, check_stack_replay};

@@ -134,8 +134,9 @@ fn prepare(history: &History) -> Prepared<'_> {
 }
 
 /// Checks the local (per-process) issue-order property — property 4 of
-/// Definition 1.
-fn check_process_order(history: &History, report: &mut ConsistencyReport) {
+/// Definition 1 (also reused by the cross-shard checker on the merged
+/// order).
+pub(crate) fn check_process_order(history: &History, report: &mut ConsistencyReport) {
     for (_process, ops) in history.by_process() {
         for window in ops.windows(2) {
             let (a, b) = (window[0], window[1]);

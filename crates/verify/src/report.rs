@@ -92,6 +92,16 @@ pub enum Violation {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// Sharded check: a record's witnessed order key names a different shard
+    /// than the deterministic shard map assigns to its origin process.
+    ShardMismatch {
+        /// The mis-tagged request.
+        request: RequestId,
+        /// The shard the map assigns to the request's origin process.
+        expected_shard: u64,
+        /// The shard component of the witnessed order key.
+        witnessed_shard: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -142,6 +152,14 @@ impl fmt::Display for Violation {
             Violation::ReplayMismatch { request, detail } => {
                 write!(f, "replay mismatch at {request}: {detail}")
             }
+            Violation::ShardMismatch {
+                request,
+                expected_shard,
+                witnessed_shard,
+            } => write!(
+                f,
+                "{request} belongs to shard {expected_shard} but its order key names shard {witnessed_shard}"
+            ),
         }
     }
 }

@@ -1,0 +1,328 @@
+//! Cross-shard sequential-consistency checking (Definition 1 per anchor
+//! shard, merged by the fixed interleaving rule).
+//!
+//! A sharded Skueue deployment partitions the queue into `S` independent
+//! anchor shards; every process — and therefore every operation — belongs to
+//! exactly one shard, deterministically (`skueue_shard::ShardMap`).  The
+//! semantic object is the *sharded queue*: `S` FIFO lanes with deterministic
+//! lane selection by origin process.  The protocol witnesses one global total
+//! order `≺` — the lexicographic merge `(wave_epoch, shard_id, local_order)`
+//! of the per-shard anchor orders — and this checker verifies that `≺` is a
+//! sequentially consistent execution of that object:
+//!
+//! 1. **Shard discipline** — every record's order key names exactly the
+//!    shard the map assigns to its origin process (so elements can never
+//!    cross lanes silently).
+//! 2. **Definition 1 per shard** — each shard's sub-history, under the
+//!    global order restricted to it, passes the full unsharded queue check
+//!    (all four Definition 1 properties *and* the stronger sequential
+//!    replay).  The restriction of the merge to one shard is exactly the
+//!    shard's own anchor order, so this checks each lane as a real FIFO
+//!    queue.
+//! 3. **Program order on the merged order** — every process's requests
+//!    appear in `≺` in issue order (property 4 globally, not just per
+//!    shard).
+//!
+//! With `S = 1` the checker delegates to [`check_queue`] unchanged, so
+//! unsharded histories are accepted or rejected exactly as before.
+
+use crate::history::{History, OpRecord};
+use crate::queue_check::{check_process_order, check_queue};
+use crate::report::{ConsistencyReport, Violation};
+use skueue_shard::ShardMap;
+
+/// Checks a sharded-queue history against the shard layout it was produced
+/// under.  See the [module docs](self) for the exact guarantee.
+pub fn check_queue_sharded(history: &History, map: &ShardMap) -> ConsistencyReport {
+    if map.is_single() {
+        return check_queue(history);
+    }
+
+    let mut report = ConsistencyReport {
+        records_checked: history.len(),
+        ..Default::default()
+    };
+
+    // 1. Shard discipline + partition of the records by shard.
+    let shards = map.shard_count() as usize;
+    let mut per_shard: Vec<Vec<OpRecord>> = vec![Vec::new(); shards];
+    for r in history.records() {
+        let expected = map.shard_of_process(r.id.origin) as u64;
+        if r.order.shard != expected {
+            report.violations.push(Violation::ShardMismatch {
+                request: r.id,
+                expected_shard: expected,
+                witnessed_shard: r.order.shard,
+            });
+        }
+        // Group by the *map's* assignment: a mis-tagged record is already
+        // reported above, and grouping by origin keeps each process's
+        // operations together so the per-shard checks stay meaningful.
+        per_shard[(expected as usize).min(shards - 1)].push(*r);
+    }
+
+    // 2. Definition 1 + sequential replay per shard, on the global order
+    //    restricted to the shard.  Process-order violations are dropped
+    //    from the sub-reports: every process lives in exactly one shard, so
+    //    the global pass below would report the identical violation a
+    //    second time.
+    for records in per_shard {
+        if records.is_empty() {
+            continue;
+        }
+        let sub = History::from_records(records);
+        let sub_report = check_queue(&sub);
+        report.matched_pairs += sub_report.matched_pairs;
+        report.empty_dequeues += sub_report.empty_dequeues;
+        report.violations.extend(
+            sub_report
+                .violations
+                .into_iter()
+                .filter(|v| !matches!(v, Violation::ProcessOrderViolation { .. })),
+        );
+    }
+
+    // 3. Program order on the merged order (each process lives in one shard,
+    //    so this is implied by step 2 for well-tagged histories — checked
+    //    globally anyway so a cross-shard ordering bug cannot hide behind a
+    //    tagging bug).
+    check_process_order(history, &mut report);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{OpKind, OpResult, OrderKey};
+    use skueue_sim::ids::{ProcessId, RequestId};
+
+    /// A 2-shard map together with one process id per shard (found by
+    /// probing the deterministic assignment).
+    fn two_shard_fixture() -> (ShardMap, ProcessId, ProcessId) {
+        let map = ShardMap::new(2, 0x5EED);
+        let p0 = (0..64u64)
+            .map(ProcessId)
+            .find(|&p| map.shard_of_process(p) == 0)
+            .expect("some process maps to shard 0");
+        let p1 = (0..64u64)
+            .map(ProcessId)
+            .find(|&p| map.shard_of_process(p) == 1)
+            .expect("some process maps to shard 1");
+        (map, p0, p1)
+    }
+
+    fn rec(p: ProcessId, seq: u64, kind: OpKind, result: OpResult, order: OrderKey) -> OpRecord {
+        OpRecord {
+            id: RequestId::new(p, seq),
+            kind,
+            value: 0,
+            result,
+            order,
+            issued_round: 0,
+            completed_round: 1,
+        }
+    }
+
+    #[test]
+    fn single_shard_delegates_to_check_queue() {
+        let map = ShardMap::new(1, 0);
+        let p = ProcessId(0);
+        let h = History::from_records(vec![
+            rec(
+                p,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::anchor(1, p),
+            ),
+            rec(
+                p,
+                1,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p, 0)),
+                OrderKey::anchor(2, p),
+            ),
+        ]);
+        check_queue_sharded(&h, &map).assert_consistent();
+        // And an inconsistent history is still rejected.
+        let bad = History::from_records(vec![
+            rec(
+                p,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::anchor(5, p),
+            ),
+            rec(
+                p,
+                1,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p, 0)),
+                OrderKey::anchor(2, p),
+            ),
+        ]);
+        assert!(!check_queue_sharded(&bad, &map).is_consistent());
+    }
+
+    #[test]
+    fn independent_lanes_are_consistent() {
+        let (map, p0, p1) = two_shard_fixture();
+        let s0 = map.shard_of_process(p0);
+        let s1 = map.shard_of_process(p1);
+        // Each lane: enqueue then matched dequeue, interleaved across shards
+        // by the (wave, shard, local) merge.
+        let h = History::from_records(vec![
+            rec(
+                p0,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(1, s0, 1, p0),
+            ),
+            rec(
+                p1,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(1, s1, 1, p1),
+            ),
+            rec(
+                p1,
+                1,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p1, 0)),
+                OrderKey::sharded(2, s1, 2, p1),
+            ),
+            rec(
+                p0,
+                1,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p0, 0)),
+                OrderKey::sharded(2, s0, 2, p0),
+            ),
+        ]);
+        let report = check_queue_sharded(&h, &map);
+        report.assert_consistent();
+        assert_eq!(report.matched_pairs, 2);
+    }
+
+    #[test]
+    fn fifo_violation_inside_a_shard_is_detected() {
+        let (map, p0, _) = two_shard_fixture();
+        let s0 = map.shard_of_process(p0);
+        // Two enqueues in shard 0, dequeued out of order.
+        let h = History::from_records(vec![
+            rec(
+                p0,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(1, s0, 1, p0),
+            ),
+            rec(
+                p0,
+                1,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(1, s0, 2, p0),
+            ),
+            rec(
+                p0,
+                2,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p0, 1)),
+                OrderKey::sharded(2, s0, 3, p0),
+            ),
+            rec(
+                p0,
+                3,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p0, 0)),
+                OrderKey::sharded(2, s0, 4, p0),
+            ),
+        ]);
+        let report = check_queue_sharded(&h, &map);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::FifoViolation { .. })));
+    }
+
+    #[test]
+    fn cross_lane_delivery_is_detected() {
+        // A dequeue in shard 1 returning an element enqueued in shard 0 is a
+        // phantom inside shard 1's lane.
+        let (map, p0, p1) = two_shard_fixture();
+        let s0 = map.shard_of_process(p0);
+        let s1 = map.shard_of_process(p1);
+        let h = History::from_records(vec![
+            rec(
+                p0,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(1, s0, 1, p0),
+            ),
+            rec(
+                p1,
+                0,
+                OpKind::Dequeue,
+                OpResult::Returned(RequestId::new(p0, 0)),
+                OrderKey::sharded(2, s1, 1, p1),
+            ),
+        ]);
+        let report = check_queue_sharded(&h, &map);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PhantomElement { .. })));
+    }
+
+    #[test]
+    fn shard_mismatch_is_detected() {
+        let (map, p0, _) = two_shard_fixture();
+        let wrong = map.shard_of_process(p0) ^ 1;
+        let h = History::from_records(vec![rec(
+            p0,
+            0,
+            OpKind::Enqueue,
+            OpResult::Enqueued,
+            OrderKey::sharded(1, wrong, 1, p0),
+        )]);
+        let report = check_queue_sharded(&h, &map);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ShardMismatch { .. })));
+    }
+
+    #[test]
+    fn program_order_across_waves_is_checked_on_the_merge() {
+        let (map, p0, _) = two_shard_fixture();
+        let s0 = map.shard_of_process(p0);
+        // seq 0 ordered in wave 3, seq 1 in wave 2 — program order broken on
+        // the merged order even though locals are unique.
+        let h = History::from_records(vec![
+            rec(
+                p0,
+                0,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(3, s0, 5, p0),
+            ),
+            rec(
+                p0,
+                1,
+                OpKind::Enqueue,
+                OpResult::Enqueued,
+                OrderKey::sharded(2, s0, 4, p0),
+            ),
+        ]);
+        let report = check_queue_sharded(&h, &map);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ProcessOrderViolation { .. })));
+    }
+}

@@ -13,6 +13,11 @@ fn main() {
     // driven by the synchronous round scheduler the paper evaluates on.
     let mut cluster = Skueue::builder()
         .processes(16)
+        // Partition the queue into 4 independent anchor shards: every
+        // process deterministically belongs to one shard, each shard orders
+        // its own lane, and the verifier checks the merged global order
+        // (use `check_queue_sharded` instead of `check_queue` when S > 1).
+        .shards(4)
         .seed(2024)
         .build()
         .expect("16 synchronous processes are a valid deployment");
@@ -38,14 +43,17 @@ fn main() {
         .run_until_done(&puts, 2_000)
         .expect("enqueues drain");
 
-    // Dequeue twelve times from other processes — exactly two find the
-    // queue (10 elements deep by now) empty and return ⊥, regardless of
-    // how the twelve interleave.
-    println!("dequeueing 12 times (two hit an empty queue)…");
+    // Dequeue twelve times.  A sharded queue is S independent FIFO lanes
+    // with deterministic lane selection by process, so each process's
+    // dequeue drains its *own* shard's lane: one dequeue per enqueuer
+    // drains every lane exactly, and the two extra dequeues (issued at
+    // processes whose lanes are then empty) return ⊥ — exactly two,
+    // regardless of how the hash spread the processes over the shards.
+    println!("dequeueing 12 times (two hit an empty lane)…");
     let gets: Vec<OpTicket> = (0..12u64)
         .map(|i| {
             cluster
-                .client(ProcessId((i + 5) % 16))
+                .client(ProcessId(i % 10))
                 .dequeue()
                 .expect("process is active")
         })
@@ -80,10 +88,16 @@ fn main() {
         / tickets.len() as f64;
     println!("mean latency {mean_rounds:.1} rounds/request");
 
-    // The library's own checker proves the run was sequentially consistent
-    // (Definition 1 of the paper + a sequential replay).
-    check_queue(cluster.history()).assert_consistent();
-    println!("sequential consistency verified ✓");
+    // The library's own checker proves the run was sequentially consistent.
+    // Sharded deployments use the cross-shard checker: Definition 1 plus a
+    // sequential replay on every shard's lane, and program order on the
+    // merged (wave, shard, local) global order.  (With `.shards(1)` — or no
+    // `.shards` call at all — this is plain `check_queue`.)
+    check_queue_sharded(cluster.history(), &cluster.shard_map()).assert_consistent();
+    println!(
+        "sequential consistency verified over {} shards ✓",
+        cluster.shards()
+    );
 
     // The elements were spread fairly over the virtual nodes (Corollary 19).
     if let Some(fairness) = cluster.fairness() {

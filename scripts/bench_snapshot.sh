@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates the tracked throughput snapshot (BENCH_pr3.json at the repo
-# root) with the fig2-point throughput harness.  BENCH_pr2.json is the
-# frozen pre-PR-3 baseline and is never rewritten.  See PERF.md.
+# Regenerates the tracked throughput snapshot (BENCH_pr4.json at the repo
+# root) with the fig2-point throughput harness: the current tree at S = 1,
+# the frozen PR-3 baseline rows, and the shard sweep S ∈ {1, 2, 4, 8}.
+# BENCH_pr2.json and BENCH_pr3.json are frozen history and are never
+# rewritten.  See PERF.md.
 #
 # Usage:
-#   scripts/bench_snapshot.sh            # quick mode (two points, ~seconds)
-#   scripts/bench_snapshot.sh --full     # full mode (four points, best of 3)
+#   scripts/bench_snapshot.sh            # quick mode (shard sweep at n=10³)
+#   scripts/bench_snapshot.sh --full     # full mode (shard sweep at n=3·10³,
+#                                        # best of 3 — the tracked numbers)
 #
 # Any extra arguments are passed through to the harness (e.g. --seed 7).
 set -euo pipefail
@@ -19,6 +22,6 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cargo run --release -p skueue-bench --bin throughput -- \
-    "$MODE" --out BENCH_pr3.json "$@"
+    "$MODE" --out BENCH_pr4.json "$@"
 
-echo "snapshot written to BENCH_pr3.json"
+echo "snapshot written to BENCH_pr4.json"

@@ -59,8 +59,10 @@
 //! * [`overlay`] — the Linearized De Bruijn network: labels, routing,
 //!   aggregation tree,
 //! * [`dht`] — the consistent-hashing storage layer,
-//! * [`core`] — the Skueue protocol itself (queue + stack, join/leave) and
-//!   the builder/ticket/client API,
+//! * [`shard`] — anchor sharding: deterministic process→shard maps and the
+//!   partition of the position keyspace,
+//! * [`core`] — the Skueue protocol itself (queue + stack, join/leave,
+//!   sharded anchors) and the builder/ticket/client API,
 //! * [`verify`] — sequential-consistency checkers,
 //! * [`workloads`] — the paper's workload generators, scenarios and the
 //!   central-server baseline.
@@ -71,6 +73,7 @@
 pub use skueue_core as core;
 pub use skueue_dht as dht;
 pub use skueue_overlay as overlay;
+pub use skueue_shard as shard;
 pub use skueue_sim as sim;
 pub use skueue_verify as verify;
 pub use skueue_workloads as workloads;
@@ -82,10 +85,12 @@ pub mod prelude {
         OpTicket, ProtocolConfig, Skueue, SkueueBuilder, SkueueCluster,
     };
     pub use skueue_dht::Element;
+    pub use skueue_shard::{ShardId, ShardMap, ShardRouter};
     pub use skueue_sim::ids::{NodeId, ProcessId, RequestId};
     pub use skueue_sim::{DeliveryModel, SimConfig, SimRng};
-    pub use skueue_verify::{check_queue, check_stack, History, OpKind};
+    pub use skueue_verify::{check_queue, check_queue_sharded, check_stack, History, OpKind};
     pub use skueue_workloads::{
-        run_fixed_rate, run_per_node_rate, FixedRateGenerator, PerNodeRateGenerator, ScenarioParams,
+        run_fixed_rate, run_per_node_rate, run_sharded_fig2, FixedRateGenerator,
+        PerNodeRateGenerator, ScenarioParams,
     };
 }
