@@ -7,7 +7,7 @@
 //! cargo run -p skueue-bench --release --bin experiments -- [EXPERIMENT] [FLAGS]
 //!
 //! EXPERIMENT: all | fig2 | fig3 | fig4 | scaling | batchsize | churn |
-//!             fairness | ablation-batching | ablation-combining
+//!             fairness | payloads | ablation-batching | ablation-combining
 //! FLAGS:      --smoke        tiny sweep (seconds; used by CI)
 //!             --paper-scale  the paper's full parameter grid (hours)
 //!             --seed <u64>   workload/simulation seed (default 42)
@@ -17,7 +17,7 @@ use skueue_bench::{fig2_sweep, fig3_sweep, fig4_sweep, print_series, SweepConfig
 use skueue_core::Mode;
 use skueue_workloads::{
     run_central_baseline, run_churn_scenario, run_fairness_scenario, run_per_node_rate,
-    ScenarioParams,
+    run_string_payload_fig2, ScenarioParams,
 };
 
 fn main() {
@@ -78,6 +78,9 @@ fn main() {
     }
     if run_all || experiment == "fairness" {
         fairness(config, seed);
+    }
+    if run_all || experiment == "payloads" {
+        payloads(config, seed);
     }
     if run_all || experiment == "ablation-batching" {
         ablation_batching(config, seed);
@@ -170,6 +173,30 @@ fn fairness(config: SweepConfig, seed: u64) {
             n, r.elements, r.max_over_mean, r.cv
         );
     }
+}
+
+/// Generic payloads: a `Skueue<String>` job queue over 4 anchor shards,
+/// verified end to end by `check_queue_sharded` (whose payload round-trip
+/// rule proves every dequeued job string is byte-identical to its enqueue).
+/// Exits non-zero on an inconsistent history, so this doubles as the CI
+/// canary for the non-`u64` instantiation.
+fn payloads(config: SweepConfig, seed: u64) {
+    println!("\n=== Generic payloads: Skueue<String> job queue over 4 shards ===");
+    let (n, shards) = match config {
+        SweepConfig::Smoke => (32, 4),
+        SweepConfig::Default => (1_000, 4),
+        SweepConfig::PaperScale => (10_000, 4),
+    };
+    let r = run_string_payload_fig2(n, shards, seed);
+    println!(
+        "n={} shards={} requests={} empty={} avg rounds={:.2} consistent={}",
+        r.processes, r.shards, r.requests, r.empty_removes, r.avg_rounds_per_request, r.consistent
+    );
+    assert!(
+        r.consistent,
+        "cross-shard checker rejected the String-payload history"
+    );
+    println!("String payloads verified over {} shards ✓", r.shards);
 }
 
 /// E8: Skueue vs the unbatched central-server baseline under increasing load.

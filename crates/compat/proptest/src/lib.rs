@@ -214,6 +214,12 @@ impl ArbitraryValue for u32 {
     }
 }
 
+impl ArbitraryValue for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
 impl ArbitraryValue for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1

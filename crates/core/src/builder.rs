@@ -7,7 +7,7 @@
 //! ```
 //! use skueue_core::{Mode, Skueue};
 //!
-//! let cluster = Skueue::builder()
+//! let cluster: Skueue = Skueue::builder()
 //!     .processes(64)
 //!     .mode(Mode::Queue)
 //!     .seed(42)
@@ -22,13 +22,15 @@
 //! ```
 //! use skueue_core::{BuildError, Skueue};
 //!
-//! let err = Skueue::builder().processes(0).build().unwrap_err();
+//! let err = Skueue::<u64>::builder().processes(0).build().unwrap_err();
 //! assert_eq!(err, BuildError::NoProcesses);
 //! ```
 
 use crate::cluster::SkueueCluster;
 use crate::config::{Mode, ProtocolConfig};
+use skueue_dht::Payload;
 use skueue_sim::{DeliveryModel, SimConfig};
+use std::marker::PhantomData;
 
 /// Width of an overlay label in bits; the distance-halving bit budget cannot
 /// exceed it.
@@ -112,7 +114,7 @@ impl std::error::Error for BuildError {}
 /// `ProtocolConfig::stack()` defaults; the individual setters below override
 /// either choice.
 #[derive(Debug, Clone)]
-pub struct SkueueBuilder {
+pub struct SkueueBuilder<T: Payload = u64> {
     processes: usize,
     mode: Mode,
     seed: u64,
@@ -126,9 +128,11 @@ pub struct SkueueBuilder {
     delivery: DeliveryModel,
     shuffle_node_order: Option<bool>,
     record_trace: bool,
+    /// The element payload type the built cluster will carry.
+    _payload: PhantomData<T>,
 }
 
-impl Default for SkueueBuilder {
+impl<T: Payload> Default for SkueueBuilder<T> {
     fn default() -> Self {
         SkueueBuilder {
             processes: 0,
@@ -144,11 +148,12 @@ impl Default for SkueueBuilder {
             delivery: DeliveryModel::Synchronous,
             shuffle_node_order: None,
             record_trace: false,
+            _payload: PhantomData,
         }
     }
 }
 
-impl SkueueBuilder {
+impl<T: Payload> SkueueBuilder<T> {
     /// Starts a builder with the defaults described on the type.
     pub fn new() -> Self {
         SkueueBuilder::default()
@@ -339,7 +344,7 @@ impl SkueueBuilder {
     }
 
     /// Validates the configuration and builds the cluster.
-    pub fn build(self) -> Result<SkueueCluster, BuildError> {
+    pub fn build(self) -> Result<SkueueCluster<T>, BuildError> {
         let sim_cfg = self.sim_config();
         let protocol_cfg = self.protocol_config();
         validate_config(self.processes, &protocol_cfg, &sim_cfg)?;
@@ -399,11 +404,11 @@ mod tests {
     #[test]
     fn zero_processes_is_rejected() {
         assert_eq!(
-            SkueueBuilder::new().build().unwrap_err(),
+            SkueueBuilder::<u64>::new().build().unwrap_err(),
             BuildError::NoProcesses
         );
         assert_eq!(
-            SkueueBuilder::new()
+            SkueueBuilder::<u64>::new()
                 .processes(0)
                 .seed(1)
                 .build()
@@ -414,7 +419,7 @@ mod tests {
 
     #[test]
     fn oversized_bit_budget_is_rejected() {
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .bit_budget(65)
             .build()
@@ -431,7 +436,7 @@ mod tests {
 
     #[test]
     fn zero_update_threshold_is_rejected() {
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .update_threshold(0)
             .build()
@@ -441,13 +446,13 @@ mod tests {
 
     #[test]
     fn zero_pipeline_depth_is_rejected() {
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .pipeline_depth(0)
             .build()
             .unwrap_err();
         assert_eq!(err, BuildError::ZeroPipelineDepth);
-        let cfg = SkueueBuilder::new()
+        let cfg = SkueueBuilder::<u64>::new()
             .processes(4)
             .pipeline_depth(3)
             .protocol_config();
@@ -456,13 +461,13 @@ mod tests {
 
     #[test]
     fn shard_counts_are_validated() {
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .shards(0)
             .build()
             .unwrap_err();
         assert_eq!(err, BuildError::ZeroShards);
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .shards(MAX_SHARDS + 1)
             .build()
@@ -474,7 +479,7 @@ mod tests {
                 max: MAX_SHARDS
             }
         );
-        let cluster = SkueueBuilder::new()
+        let cluster = SkueueBuilder::<u64>::new()
             .processes(16)
             .shards(4)
             .seed(1)
@@ -482,7 +487,7 @@ mod tests {
             .unwrap();
         assert_eq!(cluster.shards(), 4);
         // Stack mode pins the effective count to 1.
-        let stack = SkueueBuilder::new()
+        let stack = SkueueBuilder::<u64>::new()
             .processes(8)
             .stack()
             .shards(4)
@@ -493,7 +498,7 @@ mod tests {
 
     #[test]
     fn invalid_delivery_model_is_rejected() {
-        let err = SkueueBuilder::new()
+        let err = SkueueBuilder::<u64>::new()
             .processes(4)
             .delivery(DeliveryModel::UniformRandom {
                 min_delay: 9,
@@ -506,7 +511,7 @@ mod tests {
 
     #[test]
     fn defaults_match_the_papers_queue_setup() {
-        let builder = SkueueBuilder::new().processes(8).seed(3);
+        let builder = SkueueBuilder::<u64>::new().processes(8).seed(3);
         let cfg = builder.protocol_config();
         assert_eq!(cfg.mode, Mode::Queue);
         assert!(!cfg.local_combining);
@@ -519,12 +524,15 @@ mod tests {
 
     #[test]
     fn stack_mode_switches_stack_defaults_on() {
-        let cfg = SkueueBuilder::new().processes(8).stack().protocol_config();
+        let cfg = SkueueBuilder::<u64>::new()
+            .processes(8)
+            .stack()
+            .protocol_config();
         assert_eq!(cfg.mode, Mode::Stack);
         assert!(cfg.local_combining);
         assert!(cfg.stage4_barrier);
         // …and the individual switches still override.
-        let cfg = SkueueBuilder::new()
+        let cfg = SkueueBuilder::<u64>::new()
             .processes(8)
             .stack()
             .local_combining(false)
@@ -535,13 +543,13 @@ mod tests {
 
     #[test]
     fn asynchronous_shuffles_by_default_and_can_be_pinned() {
-        let sim = SkueueBuilder::new()
+        let sim = SkueueBuilder::<u64>::new()
             .processes(4)
             .asynchronous(5)
             .sim_config();
         assert!(!sim.delivery.is_synchronous());
         assert!(sim.shuffle_node_order);
-        let sim = SkueueBuilder::new()
+        let sim = SkueueBuilder::<u64>::new()
             .processes(4)
             .asynchronous(5)
             .shuffle_node_order(false)
@@ -551,14 +559,18 @@ mod tests {
 
     #[test]
     fn built_cluster_derives_bit_budget_from_size() {
-        let cluster = SkueueBuilder::new().processes(16).seed(1).build().unwrap();
+        let cluster = SkueueBuilder::<u64>::new()
+            .processes(16)
+            .seed(1)
+            .build()
+            .unwrap();
         assert_eq!(cluster.config().bit_budget, recommended_bit_budget(16));
         assert_eq!(cluster.active_processes(), 16);
     }
 
     #[test]
     fn hash_seed_and_explicit_bit_budget_are_respected() {
-        let cluster = SkueueBuilder::new()
+        let cluster = SkueueBuilder::<u64>::new()
             .processes(4)
             .seed(9)
             .hash_seed(1234)

@@ -16,6 +16,7 @@
 
 use crate::cluster::{ClusterError, SkueueCluster};
 use crate::ticket::OpTicket;
+use skueue_dht::Payload;
 use skueue_sim::ids::ProcessId;
 
 /// A request-issuing handle bound to one process of a [`SkueueCluster`].
@@ -25,13 +26,13 @@ use skueue_sim::ids::ProcessId;
 /// cluster.  Issuing through a handle enforces the same rules as the cluster
 /// methods (the process must exist and be an integrated member, and the
 /// operation must match the cluster's [`crate::Mode`]).
-pub struct ClientHandle<'c> {
-    cluster: &'c mut SkueueCluster,
+pub struct ClientHandle<'c, T: Payload = u64> {
+    cluster: &'c mut SkueueCluster<T>,
     process: ProcessId,
 }
 
-impl<'c> ClientHandle<'c> {
-    pub(crate) fn new(cluster: &'c mut SkueueCluster, process: ProcessId) -> Self {
+impl<'c, T: Payload> ClientHandle<'c, T> {
+    pub(crate) fn new(cluster: &'c mut SkueueCluster<T>, process: ProcessId) -> Self {
         ClientHandle { cluster, process }
     }
 
@@ -49,7 +50,7 @@ impl<'c> ClientHandle<'c> {
     }
 
     /// Issues an `ENQUEUE(value)` (queue mode).
-    pub fn enqueue(&mut self, value: u64) -> Result<OpTicket, ClusterError> {
+    pub fn enqueue(&mut self, value: T) -> Result<OpTicket, ClusterError> {
         self.cluster.enqueue(self.process, value)
     }
 
@@ -59,7 +60,7 @@ impl<'c> ClientHandle<'c> {
     }
 
     /// Issues a `PUSH(value)` (stack mode).
-    pub fn push(&mut self, value: u64) -> Result<OpTicket, ClusterError> {
+    pub fn push(&mut self, value: T) -> Result<OpTicket, ClusterError> {
         self.cluster.push(self.process, value)
     }
 
@@ -70,7 +71,7 @@ impl<'c> ClientHandle<'c> {
 
     /// Issues an insert or remove without caring about queue/stack naming
     /// (what the workload generators use).
-    pub fn issue(&mut self, is_insert: bool, value: u64) -> Result<OpTicket, ClusterError> {
+    pub fn issue(&mut self, is_insert: bool, value: T) -> Result<OpTicket, ClusterError> {
         self.cluster.issue_op(self.process, is_insert, value)
     }
 }

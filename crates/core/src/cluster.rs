@@ -11,7 +11,7 @@
 //!    ```
 //!    use skueue_core::Skueue;
 //!
-//!    let cluster = Skueue::builder().processes(8).seed(42).build()?;
+//!    let cluster: Skueue = Skueue::builder().processes(8).seed(42).build()?;
 //!    # drop(cluster);
 //!    # Ok::<(), skueue_core::BuildError>(())
 //!    ```
@@ -55,7 +55,7 @@ use crate::messages::SkueueMsg;
 use crate::node::SkueueNode;
 use crate::ticket::{CompletionEvent, OpOutcome, OpStatus, OpTicket};
 use skueue_dht::load_stats;
-use skueue_dht::LoadStats;
+use skueue_dht::{LoadStats, Payload};
 use skueue_overlay::{
     recommended_bit_budget, LabelHasher, LocalView, NeighborInfo, Topology, VKind, VirtualId,
 };
@@ -174,12 +174,13 @@ struct ProcessHandle {
 }
 
 /// Observer callback invoked once per completed operation.
-type CompletionObserver = Box<dyn FnMut(&CompletionEvent)>;
+type CompletionObserver<T> = Box<dyn FnMut(&CompletionEvent<T>)>;
 
 /// A running Skueue deployment (queue or stack) on top of the simulation
-/// substrate.  See the [module docs](self) for the API tour.
-pub struct SkueueCluster {
-    sim: Simulation<SkueueNode>,
+/// substrate, generic over the element payload type `T` (default `u64`).
+/// See the [module docs](self) for the API tour.
+pub struct SkueueCluster<T: Payload = u64> {
+    sim: Simulation<SkueueNode<T>>,
     cfg: ProtocolConfig,
     hasher: LabelHasher,
     /// Deterministic process→shard assignment (cached splittable hashing).
@@ -189,15 +190,15 @@ pub struct SkueueCluster {
     shard_bit_budgets: Vec<u32>,
     processes: Vec<ProcessHandle>,
     index_of: HashMap<ProcessId, usize>,
-    history: History,
-    outcomes: HashMap<RequestId, OpOutcome>,
-    observers: Vec<CompletionObserver>,
+    history: History<T>,
+    outcomes: HashMap<RequestId, OpOutcome<T>>,
+    observers: Vec<CompletionObserver<T>>,
     issued: u64,
     next_process_id: u64,
     /// This instance's id (see [`NEXT_CLUSTER_ID`]).
     cluster_id: u64,
     /// Scratch for the per-round completion sweep, reused across rounds.
-    completion_scratch: Vec<skueue_verify::OpRecord>,
+    completion_scratch: Vec<skueue_verify::OpRecord<T>>,
     /// Scratch holding the indices of the nodes to sweep for completions.
     visit_scratch: Vec<usize>,
     /// Nodes mutated driver-side since the last round (request injection can
@@ -210,10 +211,11 @@ pub struct SkueueCluster {
 }
 
 /// Short alias for [`SkueueCluster`]; lets code read
-/// `Skueue::builder()…build()`.
-pub type Skueue = SkueueCluster;
+/// `Skueue::builder()…build()` (and `Skueue::<String>::builder()` for
+/// non-default payloads).
+pub type Skueue<T = u64> = SkueueCluster<T>;
 
-impl std::fmt::Debug for SkueueCluster {
+impl<T: Payload> std::fmt::Debug for SkueueCluster<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SkueueCluster")
             .field("mode", &self.cfg.mode)
@@ -227,10 +229,10 @@ impl std::fmt::Debug for SkueueCluster {
     }
 }
 
-impl SkueueCluster {
+impl<T: Payload> SkueueCluster<T> {
     /// Starts the fluent builder — the entry point for constructing
     /// clusters.
-    pub fn builder() -> SkueueBuilder {
+    pub fn builder() -> SkueueBuilder<T> {
         SkueueBuilder::new()
     }
 
@@ -303,7 +305,7 @@ impl SkueueCluster {
                 let view = topology
                     .local_view(vid, &node_of)
                     .expect("vid from own topology");
-                let node = SkueueNode::new(node_cfg, shard, view, vid == anchor_vid);
+                let node = SkueueNode::<T>::new(node_cfg, shard, view, vid == anchor_vid);
                 let assigned = sim.add_node(node);
                 debug_assert_eq!(assigned, node_of(vid));
                 nodes[kind.index()] = assigned;
@@ -390,12 +392,12 @@ impl SkueueCluster {
     /// [`on_complete`](Self::on_complete) observers see).  Pass it to the
     /// `skueue-verify` checkers; to learn what an individual operation
     /// returned, use [`outcome`](Self::outcome) instead.
-    pub fn history(&self) -> &History {
+    pub fn history(&self) -> &History<T> {
         &self.history
     }
 
     /// Consumes the cluster and returns the history.
-    pub fn into_history(self) -> History {
+    pub fn into_history(self) -> History<T> {
         self.history
     }
 
@@ -548,7 +550,7 @@ impl SkueueCluster {
     /// The handle is a cheap borrow; validity of the process is checked when
     /// an operation is issued, so handles for joining processes become
     /// usable the moment the process is integrated.
-    pub fn client(&mut self, process: ProcessId) -> ClientHandle<'_> {
+    pub fn client(&mut self, process: ProcessId) -> ClientHandle<'_, T> {
         ClientHandle::new(self, process)
     }
 
@@ -566,7 +568,7 @@ impl SkueueCluster {
         &mut self,
         process: ProcessId,
         kind: BatchOp,
-        value: u64,
+        value: T,
     ) -> Result<OpTicket, ClusterError> {
         let idx = *self
             .index_of
@@ -601,7 +603,7 @@ impl SkueueCluster {
     }
 
     /// Issues an `ENQUEUE(value)` at `process` and returns its ticket.
-    pub fn enqueue(&mut self, process: ProcessId, value: u64) -> Result<OpTicket, ClusterError> {
+    pub fn enqueue(&mut self, process: ProcessId, value: T) -> Result<OpTicket, ClusterError> {
         self.require_mode(Mode::Queue)?;
         self.issue(process, BatchOp::Enqueue, value)
     }
@@ -609,12 +611,12 @@ impl SkueueCluster {
     /// Issues a `DEQUEUE()` at `process` and returns its ticket.
     pub fn dequeue(&mut self, process: ProcessId) -> Result<OpTicket, ClusterError> {
         self.require_mode(Mode::Queue)?;
-        self.issue(process, BatchOp::Dequeue, 0)
+        self.issue(process, BatchOp::Dequeue, T::default())
     }
 
     /// Issues a `PUSH(value)` at `process` (stack mode) and returns its
     /// ticket.
-    pub fn push(&mut self, process: ProcessId, value: u64) -> Result<OpTicket, ClusterError> {
+    pub fn push(&mut self, process: ProcessId, value: T) -> Result<OpTicket, ClusterError> {
         self.require_mode(Mode::Stack)?;
         self.issue(process, BatchOp::Enqueue, value)
     }
@@ -622,7 +624,7 @@ impl SkueueCluster {
     /// Issues a `POP()` at `process` (stack mode) and returns its ticket.
     pub fn pop(&mut self, process: ProcessId) -> Result<OpTicket, ClusterError> {
         self.require_mode(Mode::Stack)?;
-        self.issue(process, BatchOp::Dequeue, 0)
+        self.issue(process, BatchOp::Dequeue, T::default())
     }
 
     /// Issues an operation without caring about queue/stack naming (used by
@@ -632,7 +634,7 @@ impl SkueueCluster {
         &mut self,
         process: ProcessId,
         is_insert: bool,
-        value: u64,
+        value: T,
     ) -> Result<OpTicket, ClusterError> {
         self.issue(
             process,
@@ -652,17 +654,17 @@ impl SkueueCluster {
     /// The structured outcome of a completed operation, or `None` while it
     /// is still in flight.  A ticket issued by a *different* cluster always
     /// resolves to `None` (tickets carry their issuing cluster's identity).
-    pub fn outcome(&self, ticket: OpTicket) -> Option<OpOutcome> {
+    pub fn outcome(&self, ticket: OpTicket) -> Option<OpOutcome<T>> {
         if ticket.cluster_id() != self.cluster_id {
             return None;
         }
-        self.outcomes.get(&ticket.request_id()).copied()
+        self.outcomes.get(&ticket.request_id()).cloned()
     }
 
     /// Completion state of a ticket.  A ticket issued by a different
     /// cluster reports [`OpStatus::Foreign`] — it can never become `Done`
     /// here, so polling it further is pointless.
-    pub fn status(&self, ticket: OpTicket) -> OpStatus {
+    pub fn status(&self, ticket: OpTicket) -> OpStatus<T> {
         if ticket.cluster_id() != self.cluster_id {
             return OpStatus::Foreign;
         }
@@ -678,7 +680,7 @@ impl SkueueCluster {
     /// observers see every event.
     pub fn on_complete<F>(&mut self, observer: F)
     where
-        F: FnMut(&CompletionEvent) + 'static,
+        F: FnMut(&CompletionEvent<T>) + 'static,
     {
         self.observers.push(Box::new(observer));
     }
@@ -696,16 +698,19 @@ impl SkueueCluster {
         &mut self,
         tickets: &[OpTicket],
         max_rounds: u64,
-    ) -> Result<Vec<OpOutcome>, ClusterError> {
+    ) -> Result<Vec<OpOutcome<T>>, ClusterError> {
         if let Some(foreign) = tickets.iter().find(|t| t.cluster_id() != self.cluster_id) {
             return Err(ClusterError::ForeignTicket(*foreign));
         }
         // Track only the still-pending set against the completion stream
         // (the history is built from it, in completion order): each round
         // costs O(new completions), not O(tickets) outcome re-polls.
+        // Presence check only — `outcome()` would clone the payload-bearing
+        // `OpOutcome<T>` per ticket just to discard it.  (Foreign tickets
+        // were rejected above, so the map key is authoritative.)
         let mut pending: std::collections::HashSet<RequestId> = tickets
             .iter()
-            .filter(|t| self.outcome(**t).is_none())
+            .filter(|t| !self.outcomes.contains_key(&t.request_id()))
             .map(|t| t.request_id())
             .collect();
         let mut watermark = self.history.len();
@@ -944,7 +949,7 @@ impl SkueueCluster {
     /// Runs until the given predicate over the cluster becomes true.
     pub fn run_until<F>(&mut self, mut pred: F, max_rounds: u64) -> Result<u64, ClusterError>
     where
-        F: FnMut(&SkueueCluster) -> bool,
+        F: FnMut(&SkueueCluster<T>) -> bool,
     {
         let start = self.sim.round();
         while !pred(self) {
@@ -994,8 +999,9 @@ impl SkueueCluster {
             let outcome = OpOutcome::from_record(&record);
             let ticket =
                 OpTicket::new(self.cluster_id, record.id, record.kind, record.issued_round);
-            self.outcomes.insert(record.id, outcome);
-            self.history.push(record);
+            // Fan the event out first, then *move* its parts into the outcome
+            // map and the history — one payload clone per completion (inside
+            // `from_record`, for dequeues), exactly the pre-generic cost.
             let event = CompletionEvent {
                 ticket,
                 outcome,
@@ -1004,6 +1010,11 @@ impl SkueueCluster {
             for observer in &mut self.observers {
                 observer(&event);
             }
+            let CompletionEvent {
+                outcome, record, ..
+            } = event;
+            self.outcomes.insert(record.id, outcome);
+            self.history.push(record);
         }
         self.completion_scratch = drained;
     }
@@ -1046,18 +1057,18 @@ impl SkueueCluster {
     }
 
     /// Direct access to a node (tests and diagnostics).
-    pub fn node(&self, id: NodeId) -> Option<&SkueueNode> {
+    pub fn node(&self, id: NodeId) -> Option<&SkueueNode<T>> {
         self.sim.node(id)
     }
 
     /// Iterates over all nodes (tests and diagnostics).
-    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &SkueueNode)> {
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &SkueueNode<T>)> {
         self.sim.iter()
     }
 
     /// The message kind used by the cluster (exposed for type annotations in
     /// downstream test helpers).
-    pub fn message_type_hint() -> std::marker::PhantomData<SkueueMsg> {
+    pub fn message_type_hint() -> std::marker::PhantomData<SkueueMsg<T>> {
         std::marker::PhantomData
     }
 }
@@ -1426,7 +1437,7 @@ mod tests {
             .unwrap();
         cluster.enqueue(ProcessId(0), 1).unwrap();
         cluster.run_until_all_complete(500).unwrap();
-        let stack = SkueueCluster::builder()
+        let stack = SkueueCluster::<u64>::builder()
             .processes(2)
             .stack()
             .seed(4)
@@ -1434,7 +1445,7 @@ mod tests {
             .unwrap();
         assert!(stack.config().is_stack());
         assert_eq!(
-            SkueueCluster::builder().build().unwrap_err(),
+            SkueueCluster::<u64>::builder().build().unwrap_err(),
             BuildError::NoProcesses
         );
     }

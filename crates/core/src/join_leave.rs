@@ -28,12 +28,12 @@ use crate::anchor::AnchorState;
 use crate::batch::Batch;
 use crate::messages::{AbsorbPayload, DhtReplyItem, JoinHandover, SkueueMsg};
 use crate::node::{JoinerRecord, LeaverRecord, Role, SkueueNode, UpdatePhase};
-use skueue_dht::{PendingGet, StoredEntry};
+use skueue_dht::{Payload, PendingGet, StoredEntry};
 use skueue_overlay::{route_step, Label, NeighborInfo, RouteAction, RouteProgress};
 use skueue_sim::actor::Context;
 use skueue_sim::ids::NodeId;
 
-impl SkueueNode {
+impl<T: Payload> SkueueNode<T> {
     // ---------------------------------------------------------------------
     // Driver-side entry points.
     // ---------------------------------------------------------------------
@@ -65,7 +65,7 @@ impl SkueueNode {
     // ---------------------------------------------------------------------
 
     /// Timeout behaviour of a joining node: announce the join once.
-    pub(crate) fn joining_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+    pub(crate) fn joining_timeout(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         if self.join_sent {
             return;
         }
@@ -84,7 +84,7 @@ impl SkueueNode {
 
     /// Periodic membership work of an active node: (re-)issue a pending leave
     /// request once the node's own requests have drained.
-    pub(crate) fn membership_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+    pub(crate) fn membership_timeout(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         self.maybe_complete_deferred_absorb(ctx);
         if self.wants_to_leave
             && !self.leave_requested
@@ -114,8 +114,8 @@ impl SkueueNode {
     pub(crate) fn handle_membership(
         &mut self,
         from: NodeId,
-        msg: SkueueMsg,
-        ctx: &mut Context<SkueueMsg>,
+        msg: SkueueMsg<T>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         match msg {
             SkueueMsg::JoinRequest { joiner, progress } => {
@@ -197,7 +197,7 @@ impl SkueueNode {
         &mut self,
         joiner: NeighborInfo,
         mut progress: RouteProgress,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         // Route towards the predecessor of the joiner's label.
         match route_step(&self.view, &mut progress) {
@@ -221,7 +221,7 @@ impl SkueueNode {
 
     /// Splices all joiners this node is responsible for into the cycle and
     /// hands each its share of the DHT data.  Called during the update phase.
-    fn integrate_joiners(&mut self, ctx: &mut Context<SkueueMsg>) -> usize {
+    fn integrate_joiners(&mut self, ctx: &mut Context<SkueueMsg<T>>) -> usize {
         if self.joiners.is_empty() {
             return 0;
         }
@@ -296,7 +296,7 @@ impl SkueueNode {
         &mut self,
         lo: Label,
         hi: Label,
-    ) -> (Vec<StoredEntry>, Vec<(u64, PendingGet)>) {
+    ) -> (Vec<StoredEntry<T>>, Vec<(u64, PendingGet)>) {
         let hasher = self.hasher;
         self.store
             .extract_range_with_keys(lo, hi, |position| hasher.position_key(position))
@@ -305,8 +305,8 @@ impl SkueueNode {
     fn handle_integrate(
         &mut self,
         from: NodeId,
-        handover: JoinHandover,
-        ctx: &mut Context<SkueueMsg>,
+        handover: JoinHandover<T>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         debug_assert!(matches!(self.role, Role::Joining { .. }));
         self.view.pred = handover.pred;
@@ -336,7 +336,7 @@ impl SkueueNode {
 
     /// Notifies the process's other two virtual nodes about this node's
     /// membership status.
-    fn announce_sibling_status(&self, active: bool, ctx: &mut Context<SkueueMsg>) {
+    fn announce_sibling_status(&self, active: bool, ctx: &mut Context<SkueueMsg<T>>) {
         let my_kind = self.view.me.vid.kind;
         for kind in skueue_overlay::VKind::ALL {
             let sibling = self.view.siblings[kind.index()];
@@ -376,7 +376,7 @@ impl SkueueNode {
     // Leave (Section IV-B).
     // ---------------------------------------------------------------------
 
-    fn handle_leave_request(&mut self, leaver: NeighborInfo, ctx: &mut Context<SkueueMsg>) {
+    fn handle_leave_request(&mut self, leaver: NeighborInfo, ctx: &mut Context<SkueueMsg<T>>) {
         // Leftmost-leaves-first priority: if we want to leave ourselves and
         // are to the left of the requester, it has to wait for us.
         if self.wants_to_leave {
@@ -409,7 +409,7 @@ impl SkueueNode {
         self.slots.is_empty() && self.update.as_ref().map(|u| u.acked).unwrap_or(true)
     }
 
-    fn handle_absorb_request(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg>) {
+    fn handle_absorb_request(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg<T>>) {
         if !self.ready_to_be_absorbed() {
             self.absorb_deferred = Some(from);
             return;
@@ -419,7 +419,7 @@ impl SkueueNode {
 
     /// Completes a deferred absorption once the leaver is ready (checked on
     /// every timeout).
-    pub(crate) fn maybe_complete_deferred_absorb(&mut self, ctx: &mut Context<SkueueMsg>) {
+    pub(crate) fn maybe_complete_deferred_absorb(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         if self.ready_to_be_absorbed() {
             if let Some(absorber) = self.absorb_deferred.take() {
                 self.send_absorb_data(absorber, ctx);
@@ -427,10 +427,10 @@ impl SkueueNode {
         }
     }
 
-    fn send_absorb_data(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg>) {
-        let entries: Vec<StoredEntry> = self.store.iter_entries().copied().collect();
-        let pending: Vec<(u64, PendingGet)> =
-            self.store.iter_pending().map(|(p, g)| (p, *g)).collect();
+    fn send_absorb_data(&mut self, from: NodeId, ctx: &mut Context<SkueueMsg<T>>) {
+        // The leaver's stored data *moves* to the absorber — no payload
+        // clones; the store is left empty for the draining role.
+        let (entries, pending) = self.store.take_all();
         let child_batches: Vec<(NodeId, u64, Batch)> = self.child_batches.drain_all();
         // Joiners this node was responsible for but never integrated (their
         // announcement can race the leave) move to the absorber wholesale.
@@ -455,8 +455,8 @@ impl SkueueNode {
     fn handle_absorb_data(
         &mut self,
         from: NodeId,
-        payload: AbsorbPayload,
-        ctx: &mut Context<SkueueMsg>,
+        payload: AbsorbPayload<T>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         // Take over the leaver's DHT data and parked GETs.
         let pending: Vec<(u64, PendingGet)> = payload.pending;
@@ -532,7 +532,7 @@ impl SkueueNode {
         &mut self,
         phase: u64,
         old_parent: Option<NodeId>,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         self.suspended = true;
         let awaiting_child_acks = self.tree_children().to_vec();
@@ -570,7 +570,7 @@ impl SkueueNode {
 
     /// Checks whether this node has finished all update-phase duties and can
     /// acknowledge to its old parent (or, at the anchor, end the phase).
-    pub(crate) fn check_update_done(&mut self, ctx: &mut Context<SkueueMsg>) {
+    pub(crate) fn check_update_done(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         let done = match self.update.as_ref() {
             Some(u) => {
                 !u.acked
@@ -599,7 +599,7 @@ impl SkueueNode {
     /// The (old) anchor ends the update phase: either by broadcasting
     /// `UpdateOver` down the new tree, or — when a smaller-labelled node has
     /// joined — by handing the anchor state to the new leftmost node first.
-    fn finish_update_phase(&mut self, phase: u64, ctx: &mut Context<SkueueMsg>) {
+    fn finish_update_phase(&mut self, phase: u64, ctx: &mut Context<SkueueMsg<T>>) {
         if self.view.is_anchor() || self.anchor.is_none() {
             // Still the leftmost node (or not the anchor at all — defensive):
             // end the phase ourselves.
@@ -614,7 +614,7 @@ impl SkueueNode {
         }
     }
 
-    fn handle_update_over(&mut self, phase: u64, ctx: &mut Context<SkueueMsg>) {
+    fn handle_update_over(&mut self, phase: u64, ctx: &mut Context<SkueueMsg<T>>) {
         if let Some(update) = self.update.as_ref() {
             if update.phase > phase {
                 // A delayed end-of-phase message from an *older* phase must
@@ -665,7 +665,7 @@ impl SkueueNode {
         self.pending_leave_count = self.pending_leave_count.max(missed);
     }
 
-    fn handle_anchor_transfer(&mut self, state: AnchorState, ctx: &mut Context<SkueueMsg>) {
+    fn handle_anchor_transfer(&mut self, state: AnchorState, ctx: &mut Context<SkueueMsg<T>>) {
         if self.view.is_anchor() {
             let phase = state.phases_started;
             self.adopt_anchor(state);

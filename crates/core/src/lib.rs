@@ -66,6 +66,10 @@ pub use cluster::{ClusterError, Skueue, SkueueCluster};
 pub use config::{Mode, ProtocolConfig};
 pub use messages::{DhtOp, SkueueMsg};
 pub use node::{LocalOp, NodeStats, Role, SkueueNode};
+// The payload bound every `Skueue<T>` instantiation needs; re-exported so
+// downstream code can write `fn f<T: Payload>(q: &mut Skueue<T>)` without a
+// direct skueue-dht dependency.
+pub use skueue_dht::Payload;
 // Re-exported so downstream crates can feed `SkueueCluster::shard_map` to
 // `skueue_verify::check_queue_sharded` without a direct skueue-shard dep.
 pub use skueue_shard::{ShardId, ShardMap, ShardRouter};

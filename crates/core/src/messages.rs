@@ -8,7 +8,7 @@
 use crate::anchor::{AnchorState, RunAssignment};
 use crate::batch::Batch;
 use serde::{Deserialize, Serialize};
-use skueue_dht::{PendingGet, StoredEntry};
+use skueue_dht::{Payload, PendingGet, StoredEntry};
 use skueue_overlay::{NeighborInfo, RouteProgress};
 use skueue_sim::ids::{NodeId, RequestId};
 
@@ -32,11 +32,11 @@ pub struct PutMeta {
 
 /// A DHT operation being routed to the node responsible for its key.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum DhtOp {
+pub enum DhtOp<T = u64> {
     /// `PUT(e, k)`: store `entry` at the responsible node.
     Put {
         /// The entry (element, position, key, ticket).
-        entry: StoredEntry,
+        entry: StoredEntry<T>,
         /// Completion/ack metadata.
         meta: PutMeta,
     },
@@ -54,7 +54,7 @@ pub enum DhtOp {
     },
 }
 
-impl DhtOp {
+impl<T: Payload> DhtOp<T> {
     /// The position this operation refers to.
     pub fn position(&self) -> u64 {
         match self {
@@ -69,32 +69,32 @@ impl DhtOp {
 /// batches: all routed ops that share the next distance-halving hop travel
 /// in one [`SkueueMsg::DhtBatch`] per neighbour per round.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RoutedDhtOp {
+pub struct RoutedDhtOp<T = u64> {
     /// The operation (boxed so moving an op between buffers moves a pointer).
-    pub op: Box<DhtOp>,
+    pub op: Box<DhtOp<T>>,
     /// Routing state (target key, remaining distance-halving bits, hops).
     pub progress: RouteProgress,
 }
 
 /// One answered `GET` inside a [`SkueueMsg::DhtReplyBatch`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DhtReplyItem {
+pub struct DhtReplyItem<T = u64> {
     /// The dequeue/pop request the reply answers.
     pub request: RequestId,
     /// The stored entry that was removed for it.
-    pub entry: StoredEntry,
+    pub entry: StoredEntry<T>,
 }
 
 /// Payload of the join data handover: everything the responsible node gives a
 /// joining virtual node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct JoinHandover {
+pub struct JoinHandover<T = u64> {
     /// The joiner's (temporary) predecessor: the responsible node itself.
     pub pred: NeighborInfo,
     /// The joiner's (future) successor.
     pub succ: NeighborInfo,
     /// DHT entries now owned by the joiner.
-    pub entries: Vec<StoredEntry>,
+    pub entries: Vec<StoredEntry<T>>,
     /// Parked GETs now owned by the joiner.
     pub pending: Vec<(u64, PendingGet)>,
 }
@@ -102,11 +102,11 @@ pub struct JoinHandover {
 /// Payload of the leave absorption: everything a leaving node hands to its
 /// absorber (its cycle predecessor).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AbsorbPayload {
+pub struct AbsorbPayload<T = u64> {
     /// The leaver's successor (the absorber's new successor).
     pub succ: NeighborInfo,
     /// The leaver's stored DHT entries.
-    pub entries: Vec<StoredEntry>,
+    pub entries: Vec<StoredEntry<T>>,
     /// The leaver's parked GETs.
     pub pending: Vec<(u64, PendingGet)>,
     /// Sub-batches the leaver had received from aggregation-tree children but
@@ -125,7 +125,7 @@ pub struct AbsorbPayload {
 
 /// All messages exchanged by Skueue nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum SkueueMsg {
+pub enum SkueueMsg<T = u64> {
     // ---- Stages 1-4 -------------------------------------------------------
     /// Stage 1: a child forwards its combined batch to its aggregation-tree
     /// parent (`AGGREGATE`).  The wave `epoch` is the child's local wave
@@ -163,14 +163,14 @@ pub enum SkueueMsg {
     /// number of in-flight ops (the congestion argument of Theorem 15).
     DhtBatch {
         /// The batched operations, in issue order.
-        ops: Vec<RoutedDhtOp>,
+        ops: Vec<RoutedDhtOp<T>>,
     },
     /// Replies to `GET`s, coalesced per requester: every element a node
     /// hands back to the same requester within one visit travels in a
     /// single message.
     DhtReplyBatch {
         /// The answered GETs, in application order.
-        replies: Vec<DhtReplyItem>,
+        replies: Vec<DhtReplyItem<T>>,
     },
     /// Acknowledgement of a `PUT` (only requested by stack nodes enforcing
     /// the stage-4 barrier).
@@ -192,7 +192,7 @@ pub enum SkueueMsg {
     /// handing over its final neighbours and the DHT data of its interval.
     Integrate {
         /// Final neighbours plus handed-over DHT data.
-        handover: Box<JoinHandover>,
+        handover: Box<JoinHandover<T>>,
     },
     /// The joiner confirms it is fully integrated.
     IntegrateAck,
@@ -211,7 +211,7 @@ pub enum SkueueMsg {
     /// Update phase: the absorber asks the leaver for its state.
     AbsorbRequest,
     /// The leaver's state (the leaver switches to draining afterwards).
-    AbsorbData(Box<AbsorbPayload>),
+    AbsorbData(Box<AbsorbPayload<T>>),
 
     /// A virtual node informs its two sibling nodes (same process) that it
     /// has become an integrated member — or stopped being one.  Siblings only
@@ -282,7 +282,7 @@ mod tests {
         let entry = StoredEntry::queue(
             7,
             Label::from_f64(0.5),
-            Element::new(RequestId::new(ProcessId(1), 0), 9),
+            Element::new(RequestId::new(ProcessId(1), 0), 9u64),
         );
         let put = DhtOp::Put {
             entry,
@@ -295,7 +295,7 @@ mod tests {
             },
         };
         assert_eq!(put.position(), 7);
-        let get = DhtOp::Get {
+        let get = DhtOp::<u64>::Get {
             position: 11,
             max_ticket: u64::MAX,
             request: RequestId::new(ProcessId(2), 3),
@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_comparable() {
-        let a = SkueueMsg::Aggregate {
+        let a = SkueueMsg::<u64>::Aggregate {
             child: NodeId(3),
             epoch: 7,
             batch: Batch::empty(),
@@ -321,7 +321,7 @@ mod tests {
         let entry = StoredEntry::queue(
             2,
             Label::from_f64(0.25),
-            Element::new(RequestId::new(ProcessId(1), 4), 17),
+            Element::new(RequestId::new(ProcessId(1), 4), 17u64),
         );
         let batch = SkueueMsg::DhtBatch {
             ops: vec![RoutedDhtOp {

@@ -44,7 +44,7 @@ use crate::anchor::{AnchorState, RunAssignment};
 use crate::batch::{Batch, BatchOp};
 use crate::config::{Mode, ProtocolConfig};
 use crate::messages::{DhtOp, DhtReplyItem, PutMeta, RoutedDhtOp, SkueueMsg};
-use skueue_dht::{Element, GetOutcome, NodeStore, SatisfiedGet, StoredEntry};
+use skueue_dht::{Element, GetOutcome, NodeStore, Payload, SatisfiedGet, StoredEntry};
 use skueue_overlay::{
     aggregation_child_set, aggregation_parent, route_step, ChildSet, LocalView, RouteAction,
     RouteBuffer, RouteProgress, VKind,
@@ -66,11 +66,13 @@ const WAVE_CADENCE: u64 = 2;
 
 /// Metadata remembered for an outstanding `GET` this node issued: the
 /// original request plus the order components the anchor assigned to it,
-/// needed to stamp the completion record when the reply arrives.
+/// needed to stamp the completion record when the reply arrives.  Carries no
+/// payload (dequeues have none), so it stays a small `Copy` value for any
+/// payload type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct OutstandingGet {
-    /// The dequeue/pop request.
-    pub(crate) op: LocalOp,
+    /// Round in which the request was issued.
+    pub(crate) issued_round: u64,
     /// Anchor-assigned order value `value(op)`.
     pub(crate) order: u64,
     /// Epoch of the anchor wave that assigned the order value.
@@ -78,14 +80,14 @@ pub(crate) struct OutstandingGet {
 }
 
 /// A locally generated request that has not been resolved yet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LocalOp {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalOp<T = u64> {
     /// The request's identity.
     pub id: RequestId,
     /// Enqueue/push or dequeue/pop.
     pub kind: BatchOp,
-    /// Payload (enqueues only).
-    pub value: u64,
+    /// Payload (enqueues only; `T::default()` for dequeues).
+    pub value: T,
     /// Round in which the request was generated.
     pub issued_round: u64,
 }
@@ -300,9 +302,12 @@ pub struct NodeStats {
     pub locally_combined: u64,
 }
 
-/// One virtual node running the Skueue protocol.
+/// One virtual node running the Skueue protocol, generic over the element
+/// payload type `T` it stores and routes (the protocol never inspects
+/// payloads — they move through batches, DHT routing and completion records
+/// untouched).
 #[derive(Debug)]
-pub struct SkueueNode {
+pub struct SkueueNode<T: Payload = u64> {
     pub(crate) cfg: ProtocolConfig,
     pub(crate) hasher: skueue_overlay::LabelHasher,
     pub(crate) view: LocalView,
@@ -320,7 +325,7 @@ pub struct SkueueNode {
 
     // --- Stage 1 state ------------------------------------------------------
     pub(crate) own_batch: Batch,
-    pub(crate) own_log: Vec<LocalOp>,
+    pub(crate) own_log: Vec<LocalOp<T>>,
     pub(crate) child_batches: ChildBatches,
     /// In-flight waves, oldest first (bounded by the configured pipeline
     /// depth).
@@ -344,24 +349,26 @@ pub struct SkueueNode {
     pub(crate) runs_scratch: Vec<RunAssignment>,
 
     // --- Stage 4 state ------------------------------------------------------
-    pub(crate) store: NodeStore,
+    pub(crate) store: NodeStore<T>,
     pub(crate) outstanding_gets: HashMap<RequestId, OutstandingGet>,
     pub(crate) outstanding_dht: u64,
     /// Per-destination coalescing buffer for routed DHT ops; flushed as one
     /// `DhtBatch` per neighbour at the end of every visit.
-    pub(crate) route_buffer: RouteBuffer<RoutedDhtOp>,
+    pub(crate) route_buffer: RouteBuffer<RoutedDhtOp<T>>,
     /// Per-requester coalescing buffer for GET replies; flushed as one
     /// `DhtReplyBatch` per requester at the end of every visit.
-    pub(crate) reply_buffer: RouteBuffer<DhtReplyItem>,
+    pub(crate) reply_buffer: RouteBuffer<DhtReplyItem<T>>,
     /// Scratch for satisfied parked GETs, reused across PUT applications.
-    pub(crate) satisfied_scratch: Vec<SatisfiedGet>,
+    pub(crate) satisfied_scratch: Vec<SatisfiedGet<T>>,
 
     // --- Stack local combining ----------------------------------------------
-    /// Unsent pushes eligible for local matching (indices into `own_log`).
-    pub(crate) local_stack: Vec<LocalOp>,
+    /// Ids of the unsent pushes eligible for local matching.  Markers only:
+    /// the payloads stay in `own_log` (the matched push is always its last
+    /// entry), so no payload is ever cloned onto this stack.
+    pub(crate) local_stack: Vec<RequestId>,
     /// Completed-but-unordered combined pairs, keyed by the seq of the own
     /// request whose order value they must follow.
-    pub(crate) pairs_by_anchor: HashMap<u64, Vec<OpRecord>>,
+    pub(crate) pairs_by_anchor: HashMap<u64, Vec<OpRecord<T>>>,
     /// Major order value of this node's most recently ordered own request.
     pub(crate) last_order_major: u64,
     /// Minor counter for combined pairs anchored at `last_order_major`.
@@ -378,7 +385,7 @@ pub struct SkueueNode {
     pub(crate) join_sent: bool,
     /// DHT operations received while still joining; re-routed after
     /// integration.
-    pub(crate) deferred_dht: Vec<RoutedDhtOp>,
+    pub(crate) deferred_dht: Vec<RoutedDhtOp<T>>,
     pub(crate) joiners: Vec<JoinerRecord>,
     pub(crate) pending_leavers: Vec<LeaverRecord>,
     /// An absorber asked for our state while waves were still in flight; the
@@ -402,11 +409,11 @@ pub struct SkueueNode {
     pub(crate) update: Option<UpdatePhase>,
 
     // --- Outputs --------------------------------------------------------------
-    pub(crate) completed: Vec<OpRecord>,
+    pub(crate) completed: Vec<OpRecord<T>>,
     pub(crate) stats: NodeStats,
 }
 
-impl SkueueNode {
+impl<T: Payload> SkueueNode<T> {
     /// Creates a node with the given configuration and initial neighbourhood
     /// view. `shard` is the anchor shard the node's process belongs to;
     /// `is_anchor` must be true exactly for the leftmost node of the shard's
@@ -543,7 +550,7 @@ impl SkueueNode {
     }
 
     /// This node's DHT partition (diagnostics and tests).
-    pub fn store(&self) -> &NodeStore {
+    pub fn store(&self) -> &NodeStore<T> {
         &self.store
     }
 
@@ -574,7 +581,7 @@ impl SkueueNode {
     }
 
     /// Drains the completed-operation records collected since the last call.
-    pub fn drain_completed(&mut self) -> Vec<OpRecord> {
+    pub fn drain_completed(&mut self) -> Vec<OpRecord<T>> {
         std::mem::take(&mut self.completed)
     }
 
@@ -586,7 +593,7 @@ impl SkueueNode {
     /// Appends the completed-operation records to `out`, keeping this node's
     /// buffer (and its capacity) in place — the allocation-free form of
     /// [`Self::drain_completed`] used by the cluster's per-round collection.
-    pub fn drain_completed_into(&mut self, out: &mut Vec<OpRecord>) {
+    pub fn drain_completed_into(&mut self, out: &mut Vec<OpRecord<T>>) {
         out.append(&mut self.completed);
     }
 
@@ -648,7 +655,7 @@ impl SkueueNode {
 
     /// Generates a queue/stack operation at this node.  This is a *local*
     /// action of the emulating process, not a message.
-    pub fn generate_op(&mut self, id: RequestId, kind: BatchOp, value: u64, round: u64) {
+    pub fn generate_op(&mut self, id: RequestId, kind: BatchOp, value: T, round: u64) {
         debug_assert!(
             matches!(self.role, Role::Active),
             "only active nodes generate requests"
@@ -664,18 +671,18 @@ impl SkueueNode {
         if self.cfg.is_stack() && self.cfg.local_combining {
             match kind {
                 BatchOp::Enqueue => {
+                    self.local_stack.push(op.id);
                     self.own_log.push(op);
                     self.own_batch.push_op(kind);
-                    self.local_stack.push(op);
                     return;
                 }
                 BatchOp::Dequeue => {
-                    if let Some(push) = self.local_stack.pop() {
+                    if let Some(push_id) = self.local_stack.pop() {
                         // The matched push is necessarily the most recently
                         // issued unsent operation: undo its batching and
                         // complete both requests immediately (Section VI).
-                        let last = self.own_log.pop().expect("push must still be unsent");
-                        debug_assert_eq!(last.id, push.id);
+                        let push = self.own_log.pop().expect("push must still be unsent");
+                        debug_assert_eq!(push.id, push_id);
                         self.own_batch.pop_last_op();
                         self.stats.locally_combined += 2;
                         // Pairs that were anchored to the removed push must be
@@ -713,13 +720,18 @@ impl SkueueNode {
     /// via [`Self::note_order_assigned`]) fills in the final keys so that the
     /// pair ends up adjacent in `≺`, right after the issuing process's most
     /// recent anchor-ordered request.
-    fn make_combined_pair(&self, push: LocalOp, pop: LocalOp, round: u64) -> [OpRecord; 2] {
+    fn make_combined_pair(
+        &self,
+        push: LocalOp<T>,
+        pop: LocalOp<T>,
+        round: u64,
+    ) -> [OpRecord<T>; 2] {
         let origin = self.process();
         [
             OpRecord {
                 id: push.id,
                 kind: OpKind::Enqueue,
-                value: push.value,
+                value: push.value.clone(),
                 result: OpResult::Enqueued,
                 order: OrderKey::local(0, origin, 0),
                 issued_round: push.issued_round,
@@ -748,7 +760,7 @@ impl SkueueNode {
     /// records to an *older* anchor, see [`Self::generate_op`]), so a plain
     /// append preserves the bucket's sort order — no re-sorting, which the
     /// old `extend` + `sort_by_key` pattern paid on every combined pair.
-    fn reanchor_pairs(&mut self, records: Vec<OpRecord>, _round: u64) {
+    fn reanchor_pairs(&mut self, records: Vec<OpRecord<T>>, _round: u64) {
         debug_assert!(
             records.windows(2).all(|w| w[0].id.seq < w[1].id.seq),
             "combined records must arrive in issue order"
@@ -877,7 +889,7 @@ impl SkueueNode {
         self.cfg.stage4_barrier
     }
 
-    fn try_send_batch(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn try_send_batch(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         if !matches!(self.role, Role::Active) {
             return;
         }
@@ -934,7 +946,7 @@ impl SkueueNode {
     /// Without this, a leaver whose younger wave is parked below a suspended
     /// ancestor could never free its slots, and the update phase (which
     /// waits for the leaver's `AbsorbData`) would deadlock.
-    fn try_drain_wave(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn try_drain_wave(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         if !self.child_batches.has_any() {
             return;
         }
@@ -964,7 +976,7 @@ impl SkueueNode {
     /// occupying a [`WaveSlot`] and forwarding the combined batch up the
     /// tree.  `drain` waves (update phase) exclude the node's own working
     /// batch and join/leave counters.
-    fn open_wave(&mut self, parent: Option<NodeId>, drain: bool, ctx: &mut Context<SkueueMsg>) {
+    fn open_wave(&mut self, parent: Option<NodeId>, drain: bool, ctx: &mut Context<SkueueMsg<T>>) {
         let own = if drain {
             Self::fresh_batch(&self.cfg)
         } else {
@@ -1058,7 +1070,7 @@ impl SkueueNode {
         &mut self,
         assignments: &[RunAssignment],
         sources: &mut Vec<BatchSource>,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         let mut cursors = std::mem::take(&mut self.cursors_scratch);
         cursors.clear();
@@ -1093,7 +1105,12 @@ impl SkueueNode {
         self.cursors_scratch = cursors;
     }
 
-    fn handle_serve(&mut self, epoch: u64, runs: Vec<RunAssignment>, ctx: &mut Context<SkueueMsg>) {
+    fn handle_serve(
+        &mut self,
+        epoch: u64,
+        runs: Vec<RunAssignment>,
+        ctx: &mut Context<SkueueMsg<T>>,
+    ) {
         let front = match self.slots.front() {
             Some(slot) => slot.epoch,
             None => {
@@ -1127,7 +1144,7 @@ impl SkueueNode {
     }
 
     /// Resolves the oldest in-flight wave with the given assignments.
-    fn apply_serve(&mut self, runs: Vec<RunAssignment>, ctx: &mut Context<SkueueMsg>) {
+    fn apply_serve(&mut self, runs: Vec<RunAssignment>, ctx: &mut Context<SkueueMsg<T>>) {
         let mut slot = self.slots.pop_front().expect("caller checked the front");
         debug_assert_eq!(slot.num_runs, runs.len());
         self.serve_sources(&runs, &mut slot.sources, ctx);
@@ -1136,15 +1153,22 @@ impl SkueueNode {
 
     /// Resolves the node's own requests from the run assignments of its own
     /// sub-batch (Stage 3 → Stage 4 transition).
-    fn resolve_own(&mut self, runs: &[RunAssignment], ctx: &mut Context<SkueueMsg>) {
+    fn resolve_own(&mut self, runs: &[RunAssignment], ctx: &mut Context<SkueueMsg<T>>) {
         let mut log_cursor = 0usize;
         for run in runs {
             for j in 0..run.count {
-                let op = self.own_log[log_cursor];
+                // The resolved prefix is drained below, so the payload can be
+                // *moved* out of the log entry (a take, not a clone) — the
+                // generic path keeps the allocation/copy profile of the old
+                // `Copy` payloads.
+                let entry = &mut self.own_log[log_cursor];
+                let id = entry.id;
+                let issued_round = entry.issued_round;
+                debug_assert_eq!(entry.kind, run.kind, "own log out of sync with batch runs");
+                let value = std::mem::take(&mut entry.value);
                 log_cursor += 1;
-                debug_assert_eq!(op.kind, run.kind, "own log out of sync with batch runs");
                 let order_major = run.value_base + j;
-                self.note_order_assigned(op.id.seq, order_major);
+                self.note_order_assigned(id.seq, order_major);
 
                 match run.kind {
                     BatchOp::Enqueue => {
@@ -1154,7 +1178,16 @@ impl SkueueNode {
                         } else {
                             0
                         };
-                        self.issue_put(op, position, ticket, order_major, run.wave, ctx);
+                        self.issue_put(
+                            id,
+                            issued_round,
+                            value,
+                            position,
+                            ticket,
+                            order_major,
+                            run.wave,
+                            ctx,
+                        );
                     }
                     BatchOp::Dequeue => {
                         let available = run.available_positions();
@@ -1169,16 +1202,24 @@ impl SkueueNode {
                             } else {
                                 u64::MAX
                             };
-                            self.issue_get(op, position, max_ticket, order_major, run.wave, ctx);
+                            self.issue_get(
+                                id,
+                                issued_round,
+                                position,
+                                max_ticket,
+                                order_major,
+                                run.wave,
+                                ctx,
+                            );
                         } else {
                             // ⊥: completes immediately.
                             self.completed.push(OpRecord {
-                                id: op.id,
+                                id,
                                 kind: OpKind::Dequeue,
-                                value: 0,
+                                value: T::default(),
                                 result: OpResult::Empty,
-                                order: self.order_key(run.wave, order_major, op.id.origin),
-                                issued_round: op.issued_round,
+                                order: self.order_key(run.wave, order_major, id.origin),
+                                issued_round,
                                 completed_round: ctx.round(),
                             });
                         }
@@ -1223,14 +1264,17 @@ impl SkueueNode {
     // Stage 4: DHT operations (batched routing).
     // ---------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_put(
         &mut self,
-        op: LocalOp,
+        id: RequestId,
+        issued_round: u64,
+        value: T,
         position: u64,
         ticket: u64,
         order_major: u64,
         wave: u64,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         // The anchor assigns shard-local positions; the DHT stores under the
         // global position — the shard id in the high bits of the keyspace.
@@ -1240,10 +1284,10 @@ impl SkueueNode {
             position,
             key,
             ticket,
-            element: Element::new(op.id, op.value),
+            element: Element::new(id, value),
         };
         let meta = PutMeta {
-            issued_round: op.issued_round,
+            issued_round,
             order: order_major,
             wave,
             needs_ack: self.cfg.stage4_barrier,
@@ -1257,23 +1301,25 @@ impl SkueueNode {
         self.dispatch_dht(Box::new(DhtOp::Put { entry, meta }), progress, ctx);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_get(
         &mut self,
-        op: LocalOp,
+        id: RequestId,
+        issued_round: u64,
         position: u64,
         max_ticket: u64,
         order_major: u64,
         wave: u64,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         let position = self.shard_map.global_position(self.shard, position);
         let key = self.hasher.position_key(position);
         // Remember the metadata needed to complete the request when the
         // reply arrives.
         self.outstanding_gets.insert(
-            op.id,
+            id,
             OutstandingGet {
-                op,
+                issued_round,
                 order: order_major,
                 wave,
             },
@@ -1287,7 +1333,7 @@ impl SkueueNode {
             Box::new(DhtOp::Get {
                 position,
                 max_ticket,
-                request: op.id,
+                request: id,
                 requester: self.view.me.node,
             }),
             progress,
@@ -1301,9 +1347,9 @@ impl SkueueNode {
     /// the same next hop into one `DhtBatch` message.
     pub(crate) fn dispatch_dht(
         &mut self,
-        op: Box<DhtOp>,
+        op: Box<DhtOp<T>>,
         mut progress: RouteProgress,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         // If a joiner took over part of our interval but is not integrated
         // into the cycle yet, forward operations for its range directly.
@@ -1323,7 +1369,7 @@ impl SkueueNode {
 
     /// Applies or re-routes every operation of a delivered `DhtBatch`, in
     /// batch order.
-    fn handle_dht_batch(&mut self, ops: Vec<RoutedDhtOp>, ctx: &mut Context<SkueueMsg>) {
+    fn handle_dht_batch(&mut self, ops: Vec<RoutedDhtOp<T>>, ctx: &mut Context<SkueueMsg<T>>) {
         for routed in ops {
             self.dispatch_dht(routed.op, routed.progress, ctx);
         }
@@ -1335,9 +1381,9 @@ impl SkueueNode {
     /// whole delivered batch is one pass without per-op allocations.
     pub(crate) fn apply_dht(
         &mut self,
-        op: DhtOp,
+        op: DhtOp<T>,
         progress: &RouteProgress,
-        ctx: &mut Context<SkueueMsg>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         self.stats.dht_hops.record(progress.hops as u64);
         match op {
@@ -1345,11 +1391,14 @@ impl SkueueNode {
                 // The enqueue/push is finished once its element is stored (or
                 // immediately consumed by a parked GET).  DHT routing stays
                 // inside the shard's cycle, so the storing node shares the
-                // issuer's shard and can witness the sharded order key.
+                // issuer's shard and can witness the sharded order key.  The
+                // completion record needs the payload *and* the store keeps
+                // the element, so this is the one deliberate clone on the
+                // enqueue path (a copy, pre-generics).
                 self.completed.push(OpRecord {
                     id: entry.element.id,
                     kind: OpKind::Enqueue,
-                    value: entry.element.value,
+                    value: entry.element.value.clone(),
                     result: OpResult::Enqueued,
                     order: self.order_key(meta.wave, meta.order, entry.element.id.origin),
                     issued_round: meta.issued_round,
@@ -1396,7 +1445,11 @@ impl SkueueNode {
         }
     }
 
-    fn handle_dht_reply_batch(&mut self, replies: Vec<DhtReplyItem>, ctx: &mut Context<SkueueMsg>) {
+    fn handle_dht_reply_batch(
+        &mut self,
+        replies: Vec<DhtReplyItem<T>>,
+        ctx: &mut Context<SkueueMsg<T>>,
+    ) {
         for item in replies {
             self.handle_dht_reply(item.request, item.entry, ctx);
         }
@@ -1405,20 +1458,23 @@ impl SkueueNode {
     fn handle_dht_reply(
         &mut self,
         request: RequestId,
-        entry: StoredEntry,
-        ctx: &mut Context<SkueueMsg>,
+        entry: StoredEntry<T>,
+        ctx: &mut Context<SkueueMsg<T>>,
     ) {
         if let Some(meta) = self.outstanding_gets.remove(&request) {
             if self.cfg.stage4_barrier {
                 self.outstanding_dht = self.outstanding_dht.saturating_sub(1);
             }
+            // The entry ends its life here: the payload moves into the
+            // completion record without a clone.
+            let source = entry.element.id;
             self.completed.push(OpRecord {
                 id: request,
                 kind: OpKind::Dequeue,
                 value: entry.element.value,
-                result: OpResult::Returned(entry.element.id),
+                result: OpResult::Returned(source),
                 order: self.order_key(meta.wave, meta.order, request.origin),
-                issued_round: meta.op.issued_round,
+                issued_round: meta.issued_round,
                 completed_round: ctx.round(),
             });
         } else {
@@ -1435,7 +1491,7 @@ impl SkueueNode {
     /// Called at the end of every `on_timeout`, which runs at the end of
     /// every visit of a sim-active node — so buffered ops never survive a
     /// visit and add no latency.
-    fn flush_dht_buffers(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn flush_dht_buffers(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         if !self.route_buffer.is_empty() {
             let mut buf = std::mem::take(&mut self.route_buffer);
             buf.flush(|to, ops| {
@@ -1464,10 +1520,10 @@ impl SkueueNode {
     }
 }
 
-impl Actor for SkueueNode {
-    type Msg = SkueueMsg;
+impl<T: Payload> Actor for SkueueNode<T> {
+    type Msg = SkueueMsg<T>;
 
-    fn on_message(&mut self, from: NodeId, msg: SkueueMsg, ctx: &mut Context<SkueueMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: SkueueMsg<T>, ctx: &mut Context<SkueueMsg<T>>) {
         // Draining nodes forward everything to their absorber (reliable
         // channels: nothing is lost while the node is on its way out) —
         // except *node-local* messages, which would corrupt the absorber's
@@ -1536,7 +1592,7 @@ impl Actor for SkueueNode {
         }
     }
 
-    fn on_timeout(&mut self, ctx: &mut Context<SkueueMsg>) {
+    fn on_timeout(&mut self, ctx: &mut Context<SkueueMsg<T>>) {
         match self.role {
             Role::Active => {
                 self.membership_timeout(ctx);

@@ -20,7 +20,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use skueue_dht::Element;
+use skueue_dht::{Element, Payload};
 use skueue_sim::ids::{ProcessId, RequestId};
 use skueue_verify::{OpKind, OpRecord, OpResult};
 
@@ -85,9 +85,10 @@ impl std::fmt::Display for OpTicket {
     }
 }
 
-/// Structured result of a completed operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpOutcome {
+/// Structured result of a completed operation, generic over the element
+/// payload type of the issuing cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome<T = u64> {
     /// An `ENQUEUE()`/`PUSH()` completed in round `round`, `rounds` rounds
     /// after it was issued.
     Enqueued {
@@ -100,15 +101,15 @@ pub enum OpOutcome {
     /// `None` when the structure was empty (`⊥`).
     Dequeued {
         /// The element the remove returned (`None` = `⊥`).
-        element: Option<Element>,
+        element: Option<Element<T>>,
         /// Latency in rounds from issue to completion.
         rounds: u64,
     },
 }
 
-impl OpOutcome {
+impl<T: Payload> OpOutcome<T> {
     /// Builds the outcome described by a completion record.
-    pub(crate) fn from_record(record: &OpRecord) -> Self {
+    pub(crate) fn from_record(record: &OpRecord<T>) -> Self {
         match record.kind {
             OpKind::Enqueue => OpOutcome::Enqueued {
                 round: record.completed_round,
@@ -116,7 +117,7 @@ impl OpOutcome {
             },
             OpKind::Dequeue => OpOutcome::Dequeued {
                 element: match record.result {
-                    OpResult::Returned(source) => Some(Element::new(source, record.value)),
+                    OpResult::Returned(source) => Some(Element::new(source, record.value.clone())),
                     _ => None,
                 },
                 rounds: record.latency(),
@@ -126,16 +127,28 @@ impl OpOutcome {
 
     /// The returned element of a dequeue/pop (`None` for inserts and for
     /// removes that hit an empty structure).
-    pub fn element(&self) -> Option<Element> {
+    pub fn element(&self) -> Option<Element<T>> {
         match self {
-            OpOutcome::Dequeued { element, .. } => *element,
+            OpOutcome::Dequeued { element, .. } => element.clone(),
             OpOutcome::Enqueued { .. } => None,
         }
     }
 
-    /// The payload value a dequeue/pop returned, if any.
-    pub fn value(&self) -> Option<u64> {
-        self.element().map(|e| e.value)
+    /// A borrow of the returned element's payload, if any (the
+    /// allocation-free accessor for non-`Copy` payloads).
+    pub fn payload(&self) -> Option<&T> {
+        match self {
+            OpOutcome::Dequeued {
+                element: Some(e), ..
+            } => Some(&e.value),
+            _ => None,
+        }
+    }
+
+    /// The payload value a dequeue/pop returned, if any (cloned; use
+    /// [`Self::payload`] to borrow instead).
+    pub fn value(&self) -> Option<T> {
+        self.payload().cloned()
     }
 
     /// True for a dequeue/pop that found the structure empty.
@@ -153,18 +166,18 @@ impl OpOutcome {
 
 /// Completion state of a ticket, as reported by
 /// [`crate::SkueueCluster::status`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpStatus {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpStatus<T = u64> {
     /// The operation is still in flight.
     Pending,
     /// The operation completed with the given outcome.
-    Done(OpOutcome),
+    Done(OpOutcome<T>),
     /// The ticket was issued by a *different* cluster and can never resolve
     /// on this one — polling further is pointless.
     Foreign,
 }
 
-impl OpStatus {
+impl<T: Payload> OpStatus<T> {
     /// True once the operation has completed.
     pub fn is_done(&self) -> bool {
         matches!(self, OpStatus::Done(_))
@@ -177,9 +190,9 @@ impl OpStatus {
     }
 
     /// The outcome, if the operation has completed.
-    pub fn outcome(&self) -> Option<OpOutcome> {
+    pub fn outcome(&self) -> Option<OpOutcome<T>> {
         match self {
-            OpStatus::Done(outcome) => Some(*outcome),
+            OpStatus::Done(outcome) => Some(outcome.clone()),
             OpStatus::Pending | OpStatus::Foreign => None,
         }
     }
@@ -193,14 +206,14 @@ impl OpStatus {
 /// [`OpRecord`] appended to the execution history for this operation, so an
 /// observer can rebuild the full [`skueue_verify::History`] from the events
 /// alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CompletionEvent {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionEvent<T = u64> {
     /// Ticket of the completed operation.
     pub ticket: OpTicket,
     /// Structured outcome of the operation.
-    pub outcome: OpOutcome,
+    pub outcome: OpOutcome<T>,
     /// The history record witnessing the operation's place in `≺`.
-    pub record: OpRecord,
+    pub record: OpRecord<T>,
 }
 
 #[cfg(test)]
@@ -208,7 +221,7 @@ mod tests {
     use super::*;
     use skueue_verify::OrderKey;
 
-    fn record(kind: OpKind, result: OpResult, value: u64) -> OpRecord {
+    fn record(kind: OpKind, result: OpResult, value: u64) -> OpRecord<u64> {
         OpRecord {
             id: RequestId::new(ProcessId(3), 0),
             kind,
@@ -266,9 +279,9 @@ mod tests {
 
     #[test]
     fn status_helpers() {
-        assert!(!OpStatus::Pending.is_done());
-        assert_eq!(OpStatus::Pending.outcome(), None);
-        let done = OpStatus::Done(OpOutcome::Enqueued {
+        assert!(!OpStatus::<u64>::Pending.is_done());
+        assert_eq!(OpStatus::<u64>::Pending.outcome(), None);
+        let done = OpStatus::<u64>::Done(OpOutcome::Enqueued {
             round: 1,
             rounds: 1,
         });

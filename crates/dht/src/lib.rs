@@ -28,6 +28,6 @@ pub mod element;
 pub mod fairness;
 pub mod store;
 
-pub use element::{Element, StoredEntry};
+pub use element::{Element, Payload, StoredEntry};
 pub use fairness::{load_stats, LoadStats};
 pub use store::{GetOutcome, NodeStore, PendingGet, SatisfiedGet};

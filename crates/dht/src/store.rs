@@ -7,7 +7,7 @@
 //! job — which makes the storage behaviour easy to unit- and property-test
 //! in isolation.
 
-use crate::element::{Element, StoredEntry};
+use crate::element::{Element, Payload, StoredEntry};
 use serde::{Deserialize, Serialize};
 use skueue_overlay::Label;
 use skueue_sim::ids::{NodeId, RequestId};
@@ -28,10 +28,10 @@ pub struct PendingGet {
 
 /// Result of applying a `GET` to the local store.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum GetOutcome {
+pub enum GetOutcome<T = u64> {
     /// The element was present and has been removed; return it to the
     /// requester.
-    Found(StoredEntry),
+    Found(StoredEntry<T>),
     /// The matching `PUT` has not arrived yet; the GET is parked.
     Parked,
 }
@@ -39,20 +39,20 @@ pub enum GetOutcome {
 /// A satisfied pending GET: the parked request plus the entry that satisfied
 /// it (produced when a later `PUT` arrives).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SatisfiedGet {
+pub struct SatisfiedGet<T = u64> {
     /// The parked GET.
     pub get: PendingGet,
     /// The entry handed to it.
-    pub entry: StoredEntry,
+    pub entry: StoredEntry<T>,
 }
 
 /// DHT state of one virtual node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct NodeStore {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStore<T = u64> {
     /// Stored entries, keyed by position.  The stack variant may park several
     /// tickets under the same position, hence a `Vec` (kept sorted by
     /// ticket, ascending).
-    entries: BTreeMap<u64, Vec<StoredEntry>>,
+    entries: BTreeMap<u64, Vec<StoredEntry<T>>>,
     /// Parked GETs keyed by position (FIFO per position).
     pending: BTreeMap<u64, Vec<PendingGet>>,
     /// Total PUTs applied (for statistics / fairness accounting).
@@ -61,7 +61,18 @@ pub struct NodeStore {
     gets_answered: u64,
 }
 
-impl NodeStore {
+impl<T> Default for NodeStore<T> {
+    fn default() -> Self {
+        NodeStore {
+            entries: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            puts_applied: 0,
+            gets_answered: 0,
+        }
+    }
+}
+
+impl<T: Payload> NodeStore<T> {
     /// Creates an empty store.
     pub fn new() -> Self {
         NodeStore::default()
@@ -97,7 +108,7 @@ impl NodeStore {
     /// For the queue each position holds at most one element and at most the
     /// parked GETs for exactly that position match.  For the stack the entry
     /// satisfies the *oldest* parked GET whose `max_ticket` admits it.
-    pub fn put(&mut self, entry: StoredEntry) -> Vec<SatisfiedGet> {
+    pub fn put(&mut self, entry: StoredEntry<T>) -> Vec<SatisfiedGet<T>> {
         let mut satisfied = Vec::new();
         self.put_into(entry, &mut satisfied);
         satisfied
@@ -107,7 +118,7 @@ impl NodeStore {
     /// `satisfied` instead of returned in a fresh `Vec`.  This is the entry
     /// point the batched Stage-4 delivery path uses so that applying a whole
     /// `DhtBatch` costs one sink vector, not one allocation per satisfied op.
-    pub fn put_into(&mut self, entry: StoredEntry, satisfied: &mut Vec<SatisfiedGet>) {
+    pub fn put_into(&mut self, entry: StoredEntry<T>, satisfied: &mut Vec<SatisfiedGet<T>>) {
         self.puts_applied += 1;
         let position = entry.position;
         // Check parked GETs first: the new entry may be consumed immediately.
@@ -131,8 +142,8 @@ impl NodeStore {
     /// parked GET they satisfy, in application order.
     pub fn put_many(
         &mut self,
-        entries: impl IntoIterator<Item = StoredEntry>,
-    ) -> Vec<SatisfiedGet> {
+        entries: impl IntoIterator<Item = StoredEntry<T>>,
+    ) -> Vec<SatisfiedGet<T>> {
         let mut satisfied = Vec::new();
         for entry in entries {
             self.put_into(entry, &mut satisfied);
@@ -146,7 +157,7 @@ impl NodeStore {
     pub fn get_many(
         &mut self,
         gets: impl IntoIterator<Item = (u64, PendingGet)>,
-        satisfied: &mut Vec<SatisfiedGet>,
+        satisfied: &mut Vec<SatisfiedGet<T>>,
     ) {
         for (position, get) in gets {
             match self.get(position, get.max_ticket, get.request, get.requester) {
@@ -166,7 +177,7 @@ impl NodeStore {
         max_ticket: u64,
         request: RequestId,
         requester: NodeId,
-    ) -> GetOutcome {
+    ) -> GetOutcome<T> {
         if let Some(slot) = self.entries.get_mut(&position) {
             // Largest admissible ticket (entries are sorted ascending).
             if let Some(idx) = slot.iter().rposition(|e| e.ticket <= max_ticket) {
@@ -192,12 +203,12 @@ impl NodeStore {
         position: u64,
         request: RequestId,
         requester: NodeId,
-    ) -> GetOutcome {
+    ) -> GetOutcome<T> {
         self.get(position, u64::MAX, request, requester)
     }
 
     /// Returns (without removing) the entries stored for a position.
-    pub fn peek(&self, position: u64) -> &[StoredEntry] {
+    pub fn peek(&self, position: u64) -> &[StoredEntry<T>] {
         self.entries
             .get(&position)
             .map(Vec::as_slice)
@@ -212,7 +223,7 @@ impl NodeStore {
         lo: Label,
         hi: Label,
         key_of: impl Fn(u64) -> Label,
-    ) -> (Vec<StoredEntry>, Vec<(u64, PendingGet)>) {
+    ) -> (Vec<StoredEntry<T>>, Vec<(u64, PendingGet)>) {
         let mut moved_entries = Vec::new();
         let mut keep_entries = BTreeMap::new();
         for (position, slot) in std::mem::take(&mut self.entries) {
@@ -242,9 +253,9 @@ impl NodeStore {
     /// entries are answered and returned.
     pub fn absorb(
         &mut self,
-        entries: Vec<StoredEntry>,
+        entries: Vec<StoredEntry<T>>,
         pending: Vec<(u64, PendingGet)>,
-    ) -> Vec<SatisfiedGet> {
+    ) -> Vec<SatisfiedGet<T>> {
         // `put_many` counts these as fresh PUTs; undo the double count for
         // handovers so fairness statistics track protocol-level PUTs.
         let absorbed = entries.len() as u64;
@@ -255,8 +266,24 @@ impl NodeStore {
     }
 
     /// Iterates over all stored entries.
-    pub fn iter_entries(&self) -> impl Iterator<Item = &StoredEntry> {
+    pub fn iter_entries(&self) -> impl Iterator<Item = &StoredEntry<T>> {
         self.entries.values().flat_map(|v| v.iter())
+    }
+
+    /// Drains the whole store — every entry and every parked GET — in key
+    /// order.  This is the leave hand-over entry point: the departing node's
+    /// state *moves* to its absorber (no payload clones), leaving the store
+    /// empty for the drain role.
+    pub fn take_all(&mut self) -> (Vec<StoredEntry<T>>, Vec<(u64, PendingGet)>) {
+        let entries = std::mem::take(&mut self.entries)
+            .into_values()
+            .flatten()
+            .collect();
+        let pending = std::mem::take(&mut self.pending)
+            .into_iter()
+            .flat_map(|(p, waiters)| waiters.into_iter().map(move |g| (p, g)))
+            .collect();
+        (entries, pending)
     }
 
     /// Iterates over all parked GETs with their positions.
@@ -268,7 +295,12 @@ impl NodeStore {
 }
 
 /// Convenience constructor for queue elements used in tests and examples.
-pub fn queue_entry(position: u64, key: Label, id: RequestId, value: u64) -> StoredEntry {
+pub fn queue_entry<T: Payload>(
+    position: u64,
+    key: Label,
+    id: RequestId,
+    value: T,
+) -> StoredEntry<T> {
     StoredEntry::queue(position, key, Element::new(id, value))
 }
 
@@ -289,8 +321,8 @@ mod tests {
     #[test]
     fn put_then_get_returns_element() {
         let mut store = NodeStore::new();
-        let entry = queue_entry(5, key(0.3), rid(0), 77);
-        assert!(store.put(entry).is_empty());
+        let entry = queue_entry(5, key(0.3), rid(0), 77u64);
+        assert!(store.put(entry.clone()).is_empty());
         assert_eq!(store.len(), 1);
         match store.get_queue(5, rid(1), NodeId(9)) {
             GetOutcome::Found(found) => assert_eq!(found, entry),
@@ -306,8 +338,8 @@ mod tests {
         let mut store = NodeStore::new();
         assert_eq!(store.get_queue(7, rid(4), NodeId(2)), GetOutcome::Parked);
         assert_eq!(store.pending_gets(), 1);
-        let entry = queue_entry(7, key(0.1), rid(0), 13);
-        let satisfied = store.put(entry);
+        let entry = queue_entry(7, key(0.1), rid(0), 13u64);
+        let satisfied = store.put(entry.clone());
         assert_eq!(satisfied.len(), 1);
         assert_eq!(satisfied[0].get.request, rid(4));
         assert_eq!(satisfied[0].get.requester, NodeId(2));
@@ -318,7 +350,7 @@ mod tests {
 
     #[test]
     fn parked_gets_are_served_fifo_per_position() {
-        let mut store = NodeStore::new();
+        let mut store = NodeStore::<u64>::new();
         store.get_queue(3, rid(10), NodeId(1));
         store.get_queue(3, rid(11), NodeId(2));
         let sat = store.put(queue_entry(3, key(0.2), rid(0), 1));
@@ -331,7 +363,7 @@ mod tests {
     #[test]
     fn gets_for_missing_positions_do_not_cross_talk() {
         let mut store = NodeStore::new();
-        store.put(queue_entry(1, key(0.5), rid(0), 10));
+        store.put(queue_entry(1, key(0.5), rid(0), 10u64));
         assert_eq!(store.get_queue(2, rid(1), NodeId(0)), GetOutcome::Parked);
         // The entry for position 1 is untouched.
         assert_eq!(store.len(), 1);
@@ -342,7 +374,7 @@ mod tests {
     #[test]
     fn stack_ticket_selects_largest_admissible() {
         let mut store = NodeStore::new();
-        let e1 = StoredEntry::stack(4, key(0.6), 10, Element::new(rid(0), 100));
+        let e1 = StoredEntry::stack(4, key(0.6), 10, Element::new(rid(0), 100u64));
         let e2 = StoredEntry::stack(4, key(0.6), 20, Element::new(rid(1), 200));
         store.put(e1);
         store.put(e2);
@@ -361,7 +393,12 @@ mod tests {
     #[test]
     fn stack_get_with_too_small_ticket_parks() {
         let mut store = NodeStore::new();
-        store.put(StoredEntry::stack(4, key(0.6), 10, Element::new(rid(0), 1)));
+        store.put(StoredEntry::stack(
+            4,
+            key(0.6),
+            10,
+            Element::new(rid(0), 1u64),
+        ));
         assert_eq!(store.get(4, 5, rid(1), NodeId(0)), GetOutcome::Parked);
         // A later put with an admissible ticket satisfies it.
         let sat = store.put(StoredEntry::stack(4, key(0.6), 3, Element::new(rid(2), 2)));
@@ -382,7 +419,7 @@ mod tests {
             store.get_queue(2, rid(11), NodeId(2));
         }
         let entries = vec![
-            queue_entry(1, key(0.1), rid(0), 100),
+            queue_entry(1, key(0.1), rid(0), 100u64),
             queue_entry(2, key(0.2), rid(1), 200),
             queue_entry(3, key(0.3), rid(2), 300),
         ];
@@ -401,7 +438,7 @@ mod tests {
     #[test]
     fn get_many_finds_and_parks_in_one_pass() {
         let mut store = NodeStore::new();
-        store.put(queue_entry(5, key(0.5), rid(0), 50));
+        store.put(queue_entry(5, key(0.5), rid(0), 50u64));
         let mut satisfied = Vec::new();
         store.get_many(
             vec![
@@ -456,7 +493,7 @@ mod tests {
         let mut b = NodeStore::new();
         // b is the new responsible node and already has a parked GET.
         assert_eq!(b.get_queue(9, rid(5), NodeId(3)), GetOutcome::Parked);
-        a.put(queue_entry(9, key(0.9), rid(0), 900));
+        a.put(queue_entry(9, key(0.9), rid(0), 900u64));
         let (entries, pending) =
             a.extract_range_with_keys(Label::from_f64(0.8), Label::from_f64(0.99), |_| key(0.9));
         assert_eq!(entries.len(), 1);
@@ -469,7 +506,7 @@ mod tests {
     #[test]
     fn absorb_does_not_inflate_put_statistics() {
         let mut store = NodeStore::new();
-        store.absorb(vec![queue_entry(1, key(0.1), rid(0), 1)], vec![]);
+        store.absorb(vec![queue_entry(1, key(0.1), rid(0), 1u64)], vec![]);
         assert_eq!(store.puts_applied(), 0);
         assert_eq!(store.len(), 1);
     }
@@ -477,7 +514,7 @@ mod tests {
     #[test]
     fn iterators_cover_everything() {
         let mut store = NodeStore::new();
-        store.put(queue_entry(1, key(0.1), rid(0), 1));
+        store.put(queue_entry(1, key(0.1), rid(0), 1u64));
         store.put(queue_entry(2, key(0.2), rid(1), 2));
         store.get_queue(3, rid(2), NodeId(0));
         assert_eq!(store.iter_entries().count(), 2);

@@ -8,6 +8,7 @@
 //! witnesses sequential consistency.
 
 use serde::{Deserialize, Serialize};
+use skueue_dht::Payload;
 use skueue_sim::ids::{ProcessId, RequestId};
 use std::collections::BTreeMap;
 
@@ -129,16 +130,17 @@ pub enum OpResult {
 }
 
 /// One completed request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct OpRecord {
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord<T = u64> {
     /// Identity of the request: origin process and per-process sequence
     /// number (`OP_{v,i}`), which encodes the process-local issue order.
     pub id: RequestId,
     /// Whether this is an enqueue/push or dequeue/pop.
     pub kind: OpKind,
     /// Payload value carried by an enqueue/push; for a dequeue/pop, the
-    /// payload of the element it returned (0 when it returned `⊥`).
-    pub value: u64,
+    /// payload of the element it returned (`T::default()` — `0` for `u64` —
+    /// when it returned `⊥`).
+    pub value: T,
     /// The outcome.
     pub result: OpResult,
     /// The request's position in the protocol's witnessed total order `≺`.
@@ -149,7 +151,7 @@ pub struct OpRecord {
     pub completed_round: u64,
 }
 
-impl OpRecord {
+impl<T: Payload> OpRecord<T> {
     /// Latency of the request in rounds.
     pub fn latency(&self) -> u64 {
         self.completed_round.saturating_sub(self.issued_round)
@@ -162,34 +164,42 @@ impl OpRecord {
 }
 
 /// A complete execution history.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct History {
-    records: Vec<OpRecord>,
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History<T = u64> {
+    records: Vec<OpRecord<T>>,
 }
 
-impl History {
+impl<T> Default for History<T> {
+    fn default() -> Self {
+        History {
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<T: Payload> History<T> {
     /// Creates an empty history.
     pub fn new() -> Self {
         History::default()
     }
 
     /// Creates a history from records.
-    pub fn from_records(records: Vec<OpRecord>) -> Self {
+    pub fn from_records(records: Vec<OpRecord<T>>) -> Self {
         History { records }
     }
 
     /// Adds a record.
-    pub fn push(&mut self, record: OpRecord) {
+    pub fn push(&mut self, record: OpRecord<T>) {
         self.records.push(record);
     }
 
     /// All records in insertion order.
-    pub fn records(&self) -> &[OpRecord] {
+    pub fn records(&self) -> &[OpRecord<T>] {
         &self.records
     }
 
     /// Consumes the history and returns the records in insertion order.
-    pub fn into_records(self) -> Vec<OpRecord> {
+    pub fn into_records(self) -> Vec<OpRecord<T>> {
         self.records
     }
 
@@ -214,16 +224,16 @@ impl History {
     }
 
     /// All records sorted by the witnessed total order.
-    pub fn sorted_by_order(&self) -> Vec<&OpRecord> {
-        let mut sorted: Vec<&OpRecord> = self.records.iter().collect();
+    pub fn sorted_by_order(&self) -> Vec<&OpRecord<T>> {
+        let mut sorted: Vec<&OpRecord<T>> = self.records.iter().collect();
         sorted.sort_by_key(|r| r.order);
         sorted
     }
 
     /// Records grouped by origin process, each group sorted by the
     /// per-process sequence number (the issue order at that process).
-    pub fn by_process(&self) -> BTreeMap<ProcessId, Vec<&OpRecord>> {
-        let mut map: BTreeMap<ProcessId, Vec<&OpRecord>> = BTreeMap::new();
+    pub fn by_process(&self) -> BTreeMap<ProcessId, Vec<&OpRecord<T>>> {
+        let mut map: BTreeMap<ProcessId, Vec<&OpRecord<T>>> = BTreeMap::new();
         for r in &self.records {
             map.entry(r.id.origin).or_default().push(r);
         }
@@ -247,29 +257,29 @@ impl History {
     }
 }
 
-impl Extend<OpRecord> for History {
+impl<T: Payload> Extend<OpRecord<T>> for History<T> {
     /// Appends records from any record stream — another [`History`], a
     /// `Vec<OpRecord>`, or an iterator of collected
     /// `CompletionEvent::record`s.
-    fn extend<I: IntoIterator<Item = OpRecord>>(&mut self, records: I) {
+    fn extend<I: IntoIterator<Item = OpRecord<T>>>(&mut self, records: I) {
         self.records.extend(records);
     }
 }
 
-impl IntoIterator for History {
-    type Item = OpRecord;
-    type IntoIter = std::vec::IntoIter<OpRecord>;
+impl<T: Payload> IntoIterator for History<T> {
+    type Item = OpRecord<T>;
+    type IntoIter = std::vec::IntoIter<OpRecord<T>>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.records.into_iter()
     }
 }
 
-impl FromIterator<OpRecord> for History {
+impl<T: Payload> FromIterator<OpRecord<T>> for History<T> {
     /// Builds a history from a stream of completion records — the natural
     /// consumer of an event-observer hook that collects
     /// `CompletionEvent::record`s.
-    fn from_iter<I: IntoIterator<Item = OpRecord>>(records: I) -> Self {
+    fn from_iter<I: IntoIterator<Item = OpRecord<T>>>(records: I) -> Self {
         History {
             records: records.into_iter().collect(),
         }
@@ -280,7 +290,7 @@ impl FromIterator<OpRecord> for History {
 mod tests {
     use super::*;
 
-    fn rec(origin: u64, seq: u64, kind: OpKind, result: OpResult, order: u64) -> OpRecord {
+    fn rec(origin: u64, seq: u64, kind: OpKind, result: OpResult, order: u64) -> OpRecord<u64> {
         OpRecord {
             id: RequestId::new(ProcessId(origin), seq),
             kind,
@@ -375,7 +385,7 @@ mod tests {
             rec(0, 0, OpKind::Enqueue, OpResult::Enqueued, 1),
             rec(0, 1, OpKind::Dequeue, OpResult::Empty, 2),
         ];
-        let h: History = records.iter().copied().collect();
+        let h: History = records.iter().cloned().collect();
         assert_eq!(h.len(), 2);
         assert_eq!(h.max_latency(), 4);
         let mut extended = History::new();
@@ -385,7 +395,7 @@ mod tests {
 
     #[test]
     fn empty_history_defaults() {
-        let h = History::new();
+        let h = History::<u64>::new();
         assert!(h.is_empty());
         assert_eq!(h.mean_latency(), 0.0);
         assert!(h.sorted_by_order().is_empty());

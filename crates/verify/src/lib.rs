@@ -41,4 +41,7 @@ pub use history::{History, OpKind, OpRecord, OpResult, OrderKey};
 pub use queue_check::{check_queue, check_queue_definition1, check_queue_replay};
 pub use report::{ConsistencyReport, Violation};
 pub use sharded_check::check_queue_sharded;
+// Re-exported so checker users can name the payload bound without a direct
+// skueue-dht dependency.
+pub use skueue_dht::Payload;
 pub use stack_check::{check_stack, check_stack_ordering, check_stack_replay};

@@ -2,6 +2,7 @@
 
 use crate::history::{History, OpKind, OpRecord, OpResult, OrderKey};
 use crate::report::{ConsistencyReport, Violation};
+use skueue_dht::Payload;
 use skueue_sim::ids::RequestId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -24,7 +25,7 @@ pub(crate) struct PreparedMatching {
 
 /// Well-formedness checks plus matching construction, shared with the stack
 /// checker (push/pop map onto enqueue/dequeue in [`OpKind`]).
-pub(crate) fn prepare_for_stack(history: &History) -> PreparedMatching {
+pub(crate) fn prepare_for_stack<T: Payload>(history: &History<T>) -> PreparedMatching {
     let Prepared {
         report,
         matched,
@@ -42,7 +43,7 @@ pub(crate) fn prepare_for_stack(history: &History) -> PreparedMatching {
 
 /// Shared preprocessing of a history: well-formedness checks and the
 /// construction of the matching `M`.
-struct Prepared<'a> {
+struct Prepared<'a, T> {
     report: ConsistencyReport,
     matched: Vec<MatchedPair>,
     /// Enqueues whose element is never returned, with their order values.
@@ -52,10 +53,10 @@ struct Prepared<'a> {
     /// Borrow of the underlying records (ties the lifetime; also used by
     /// future checkers that need record-level details).
     #[allow(dead_code)]
-    records: &'a [OpRecord],
+    records: &'a [OpRecord<T>],
 }
 
-fn prepare(history: &History) -> Prepared<'_> {
+fn prepare<T: Payload>(history: &History<T>) -> Prepared<'_, T> {
     let records = history.records();
     let mut report = ConsistencyReport {
         records_checked: records.len(),
@@ -63,7 +64,7 @@ fn prepare(history: &History) -> Prepared<'_> {
     };
 
     // Uniqueness of request ids and order values.
-    let mut by_request: HashMap<RequestId, &OpRecord> = HashMap::with_capacity(records.len());
+    let mut by_request: HashMap<RequestId, &OpRecord<T>> = HashMap::with_capacity(records.len());
     let mut by_order: BTreeMap<OrderKey, RequestId> = BTreeMap::new();
     for r in records {
         if let Some(previous) = by_request.insert(r.id, r) {
@@ -93,6 +94,19 @@ fn prepare(history: &History) -> Prepared<'_> {
                             dequeues: (other, r.id),
                         });
                     } else {
+                        // Payload round-trip: the dequeue must hand back the
+                        // exact payload its source enqueue inserted (the
+                        // structure stores, it never transforms).
+                        if r.value != enq.value {
+                            report.violations.push(Violation::PayloadMismatch {
+                                enqueue: source,
+                                dequeue: r.id,
+                                detail: format!(
+                                    "enqueued {:?}, dequeue returned {:?}",
+                                    enq.value, r.value
+                                ),
+                            });
+                        }
                         consumer_of.insert(source, r.id);
                         matched.push(MatchedPair {
                             enqueue: source,
@@ -136,7 +150,10 @@ fn prepare(history: &History) -> Prepared<'_> {
 /// Checks the local (per-process) issue-order property — property 4 of
 /// Definition 1 (also reused by the cross-shard checker on the merged
 /// order).
-pub(crate) fn check_process_order(history: &History, report: &mut ConsistencyReport) {
+pub(crate) fn check_process_order<T: Payload>(
+    history: &History<T>,
+    report: &mut ConsistencyReport,
+) {
     for (_process, ops) in history.by_process() {
         for window in ops.windows(2) {
             let (a, b) = (window[0], window[1]);
@@ -152,7 +169,7 @@ pub(crate) fn check_process_order(history: &History, report: &mut ConsistencyRep
 
 /// Checks the four properties of Definition 1 against the order witnessed in
 /// the history.
-pub fn check_queue_definition1(history: &History) -> ConsistencyReport {
+pub fn check_queue_definition1<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let Prepared {
         mut report,
         matched,
@@ -242,7 +259,7 @@ pub fn check_queue_definition1(history: &History) -> ConsistencyReport {
 /// This is strictly stronger than Definition 1 for histories in which some
 /// enqueues are never matched (see DESIGN.md); the Skueue protocol satisfies
 /// it, so the test-suite uses it as the primary oracle.
-pub fn check_queue_replay(history: &History) -> ConsistencyReport {
+pub fn check_queue_replay<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let Prepared { mut report, .. } = prepare(history);
 
     let mut queue: VecDeque<RequestId> = VecDeque::new();
@@ -292,7 +309,7 @@ pub fn check_queue_replay(history: &History) -> ConsistencyReport {
 
 /// Runs both the Definition 1 check and the replay check and merges the
 /// results — the oracle used by integration tests.
-pub fn check_queue(history: &History) -> ConsistencyReport {
+pub fn check_queue<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let mut report = check_queue_definition1(history);
     let replay = check_queue_replay(history);
     report.merge(replay);
@@ -308,7 +325,7 @@ mod tests {
         RequestId::new(ProcessId(p), s)
     }
 
-    fn enq(p: u64, s: u64, order: u64) -> OpRecord {
+    fn enq(p: u64, s: u64, order: u64) -> OpRecord<u64> {
         OpRecord {
             id: rid(p, s),
             kind: OpKind::Enqueue,
@@ -320,11 +337,11 @@ mod tests {
         }
     }
 
-    fn deq(p: u64, s: u64, order: u64, from: Option<RequestId>) -> OpRecord {
+    fn deq(p: u64, s: u64, order: u64, from: Option<RequestId>) -> OpRecord<u64> {
         OpRecord {
             id: rid(p, s),
             kind: OpKind::Dequeue,
-            value: 0,
+            value: from.map(|r| 100 + r.seq).unwrap_or(0),
             result: from.map(OpResult::Returned).unwrap_or(OpResult::Empty),
             order: OrderKey::anchor(order, ProcessId(p)),
             issued_round: 0,
@@ -332,13 +349,13 @@ mod tests {
         }
     }
 
-    fn history(records: Vec<OpRecord>) -> History {
+    fn history(records: Vec<OpRecord<u64>>) -> History<u64> {
         History::from_records(records)
     }
 
     #[test]
     fn empty_history_is_consistent() {
-        let h = History::new();
+        let h = History::<u64>::new();
         assert!(check_queue(&h).is_consistent());
     }
 
@@ -367,6 +384,52 @@ mod tests {
             enq(0, 2, 4),
         ]);
         check_queue(&h).assert_consistent();
+    }
+
+    #[test]
+    fn payload_mismatch_detected() {
+        // The dequeue claims the element of enq(0,0) but returns a payload
+        // different from the one that enqueue inserted.
+        let mut bad = deq(1, 0, 2, Some(rid(0, 0)));
+        bad.value = 999;
+        let h = history(vec![enq(0, 0, 1), bad]);
+        let report = check_queue(&h);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PayloadMismatch { .. })));
+        // Byte-identical payloads pass.
+        let h = history(vec![enq(0, 0, 1), deq(1, 0, 2, Some(rid(0, 0)))]);
+        check_queue(&h).assert_consistent();
+    }
+
+    #[test]
+    fn generic_payload_histories_check() {
+        // The checkers are payload-generic: a Vec<u8> history round-trips.
+        let enq = OpRecord {
+            id: rid(0, 0),
+            kind: OpKind::Enqueue,
+            value: vec![1u8, 2, 3],
+            result: OpResult::Enqueued,
+            order: OrderKey::anchor(1, skueue_sim::ids::ProcessId(0)),
+            issued_round: 0,
+            completed_round: 1,
+        };
+        let deq = OpRecord {
+            id: rid(1, 0),
+            kind: OpKind::Dequeue,
+            value: vec![1u8, 2, 3],
+            result: OpResult::Returned(rid(0, 0)),
+            order: OrderKey::anchor(2, skueue_sim::ids::ProcessId(1)),
+            issued_round: 0,
+            completed_round: 1,
+        };
+        let h: History<Vec<u8>> = History::from_records(vec![enq.clone(), deq.clone()]);
+        check_queue(&h).assert_consistent();
+        let mut bad = deq;
+        bad.value = vec![9];
+        let h: History<Vec<u8>> = History::from_records(vec![enq, bad]);
+        assert!(!check_queue(&h).is_consistent());
     }
 
     #[test]

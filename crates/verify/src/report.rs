@@ -92,6 +92,17 @@ pub enum Violation {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// A matched dequeue returned a payload different from the one its
+    /// source enqueue inserted — the structure must store payloads
+    /// byte-for-byte, never transform them.
+    PayloadMismatch {
+        /// The source enqueue.
+        enqueue: RequestId,
+        /// The dequeue whose returned payload disagrees.
+        dequeue: RequestId,
+        /// Debug rendering of both payloads.
+        detail: String,
+    },
     /// Sharded check: a record's witnessed order key names a different shard
     /// than the deterministic shard map assigns to its origin process.
     ShardMismatch {
@@ -152,6 +163,10 @@ impl fmt::Display for Violation {
             Violation::ReplayMismatch { request, detail } => {
                 write!(f, "replay mismatch at {request}: {detail}")
             }
+            Violation::PayloadMismatch { enqueue, dequeue, detail } => write!(
+                f,
+                "payload mismatch between {enqueue} and its dequeue {dequeue}: {detail}"
+            ),
             Violation::ShardMismatch {
                 request,
                 expected_shard,

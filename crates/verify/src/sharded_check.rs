@@ -29,11 +29,12 @@
 use crate::history::{History, OpRecord};
 use crate::queue_check::{check_process_order, check_queue};
 use crate::report::{ConsistencyReport, Violation};
+use skueue_dht::Payload;
 use skueue_shard::ShardMap;
 
 /// Checks a sharded-queue history against the shard layout it was produced
 /// under.  See the [module docs](self) for the exact guarantee.
-pub fn check_queue_sharded(history: &History, map: &ShardMap) -> ConsistencyReport {
+pub fn check_queue_sharded<T: Payload>(history: &History<T>, map: &ShardMap) -> ConsistencyReport {
     if map.is_single() {
         return check_queue(history);
     }
@@ -45,7 +46,7 @@ pub fn check_queue_sharded(history: &History, map: &ShardMap) -> ConsistencyRepo
 
     // 1. Shard discipline + partition of the records by shard.
     let shards = map.shard_count() as usize;
-    let mut per_shard: Vec<Vec<OpRecord>> = vec![Vec::new(); shards];
+    let mut per_shard: Vec<Vec<OpRecord<T>>> = vec![Vec::new(); shards];
     for r in history.records() {
         let expected = map.shard_of_process(r.id.origin) as u64;
         if r.order.shard != expected {
@@ -58,7 +59,10 @@ pub fn check_queue_sharded(history: &History, map: &ShardMap) -> ConsistencyRepo
         // Group by the *map's* assignment: a mis-tagged record is already
         // reported above, and grouping by origin keeps each process's
         // operations together so the per-shard checks stay meaningful.
-        per_shard[(expected as usize).min(shards - 1)].push(*r);
+        // (The clone — one per record, payload included — only happens at
+        // verification time, never on the protocol path, and is dwarfed by
+        // the checkers' own sorting/matching allocations.)
+        per_shard[(expected as usize).min(shards - 1)].push(r.clone());
     }
 
     // 2. Definition 1 + sequential replay per shard, on the global order
@@ -112,7 +116,13 @@ mod tests {
         (map, p0, p1)
     }
 
-    fn rec(p: ProcessId, seq: u64, kind: OpKind, result: OpResult, order: OrderKey) -> OpRecord {
+    fn rec(
+        p: ProcessId,
+        seq: u64,
+        kind: OpKind,
+        result: OpResult,
+        order: OrderKey,
+    ) -> OpRecord<u64> {
         OpRecord {
             id: RequestId::new(p, seq),
             kind,

@@ -19,11 +19,12 @@
 use crate::history::{History, OpKind, OpResult};
 use crate::queue_check::{prepare_for_stack, PreparedMatching};
 use crate::report::{ConsistencyReport, Violation};
+use skueue_dht::Payload;
 use skueue_sim::ids::RequestId;
 
 /// Checks the adjusted Definition 1 (LIFO version) against the witnessed
 /// order.
-pub fn check_stack_ordering(history: &History) -> ConsistencyReport {
+pub fn check_stack_ordering<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let PreparedMatching {
         mut report,
         matched,
@@ -131,7 +132,7 @@ pub fn check_stack_ordering(history: &History) -> ConsistencyReport {
 
 /// Replays the history in the witnessed order on a reference sequential
 /// (LIFO) stack and checks every response.
-pub fn check_stack_replay(history: &History) -> ConsistencyReport {
+pub fn check_stack_replay<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let PreparedMatching { mut report, .. } = prepare_for_stack(history);
 
     let mut stack: Vec<RequestId> = Vec::new();
@@ -194,7 +195,7 @@ pub fn check_stack_replay(history: &History) -> ConsistencyReport {
 }
 
 /// Runs both the adjusted-ordering check and the replay check.
-pub fn check_stack(history: &History) -> ConsistencyReport {
+pub fn check_stack<T: Payload>(history: &History<T>) -> ConsistencyReport {
     let mut report = check_stack_ordering(history);
     report.merge(check_stack_replay(history));
     report
@@ -210,7 +211,7 @@ mod tests {
         RequestId::new(ProcessId(p), s)
     }
 
-    fn push(p: u64, s: u64, order: u64) -> OpRecord {
+    fn push(p: u64, s: u64, order: u64) -> OpRecord<u64> {
         OpRecord {
             id: rid(p, s),
             kind: OpKind::Enqueue,
@@ -222,11 +223,11 @@ mod tests {
         }
     }
 
-    fn pop(p: u64, s: u64, order: u64, from: Option<RequestId>) -> OpRecord {
+    fn pop(p: u64, s: u64, order: u64, from: Option<RequestId>) -> OpRecord<u64> {
         OpRecord {
             id: rid(p, s),
             kind: OpKind::Dequeue,
-            value: 0,
+            value: from.map(|r| r.seq).unwrap_or(0),
             result: from.map(OpResult::Returned).unwrap_or(OpResult::Empty),
             order: OrderKey::anchor(order, ProcessId(p)),
             issued_round: 0,
@@ -345,7 +346,7 @@ mod tests {
         let combined_pop = OpRecord {
             id: rid(3, 2),
             kind: OpKind::Dequeue,
-            value: 0,
+            value: 7,
             result: OpResult::Returned(rid(3, 1)),
             order: OrderKey::local(1, ProcessId(3), 2),
             issued_round: 0,
@@ -372,6 +373,6 @@ mod tests {
 
     #[test]
     fn empty_history_is_consistent() {
-        check_stack(&History::new()).assert_consistent();
+        check_stack(&History::<u64>::new()).assert_consistent();
     }
 }

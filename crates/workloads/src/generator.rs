@@ -5,7 +5,7 @@
 //! application would use — and discard the returned tickets (the scenario
 //! layer reads results through the cluster's completion stream).
 
-use skueue_core::{ClusterError, SkueueCluster};
+use skueue_core::{ClusterError, Payload, SkueueCluster};
 use skueue_sim::ids::ProcessId;
 use skueue_sim::SimRng;
 
@@ -45,6 +45,19 @@ impl FixedRateGenerator {
     /// Generates this round's requests into the cluster (no-op once the
     /// generation window is over). Returns the number of requests issued.
     pub fn tick(&mut self, cluster: &mut SkueueCluster, round: u64) -> Result<u64, ClusterError> {
+        self.tick_with(cluster, round, |c| c)
+    }
+
+    /// Payload-generic form of [`Self::tick`]: `mk` maps the generator's
+    /// monotone value counter to the payload of each insert, so the same
+    /// schedule (same RNG draws, same targets) drives a `Skueue<T>` for any
+    /// payload type.
+    pub fn tick_with<T: Payload>(
+        &mut self,
+        cluster: &mut SkueueCluster<T>,
+        round: u64,
+        mut mk: impl FnMut(u64) -> T,
+    ) -> Result<u64, ClusterError> {
         if round >= self.generation_rounds {
             return Ok(0);
         }
@@ -57,9 +70,12 @@ impl FixedRateGenerator {
             let target = targets[self.rng.choose_index(targets.len())];
             let is_insert = self.rng.gen_bool(self.insert_ratio);
             self.value_counter += 1;
-            cluster
-                .client(target)
-                .issue(is_insert, self.value_counter)?;
+            let value = if is_insert {
+                mk(self.value_counter)
+            } else {
+                T::default()
+            };
+            cluster.client(target).issue(is_insert, value)?;
             issued += 1;
         }
         Ok(issued)
@@ -99,6 +115,17 @@ impl PerNodeRateGenerator {
 
     /// Generates this round's requests. Returns the number issued.
     pub fn tick(&mut self, cluster: &mut SkueueCluster, round: u64) -> Result<u64, ClusterError> {
+        self.tick_with(cluster, round, |c| c)
+    }
+
+    /// Payload-generic form of [`Self::tick`] (see
+    /// [`FixedRateGenerator::tick_with`]).
+    pub fn tick_with<T: Payload>(
+        &mut self,
+        cluster: &mut SkueueCluster<T>,
+        round: u64,
+        mut mk: impl FnMut(u64) -> T,
+    ) -> Result<u64, ClusterError> {
         if round >= self.generation_rounds {
             return Ok(0);
         }
@@ -108,9 +135,12 @@ impl PerNodeRateGenerator {
             if self.rng.gen_bool(self.request_probability) {
                 let is_insert = self.rng.gen_bool(self.insert_ratio);
                 self.value_counter += 1;
-                cluster
-                    .client(target)
-                    .issue(is_insert, self.value_counter)?;
+                let value = if is_insert {
+                    mk(self.value_counter)
+                } else {
+                    T::default()
+                };
+                cluster.client(target).issue(is_insert, value)?;
                 issued += 1;
             }
         }
@@ -124,7 +154,10 @@ impl PerNodeRateGenerator {
 }
 
 /// Picks a uniformly random active process (helper shared by scenarios).
-pub fn random_active_process(cluster: &SkueueCluster, rng: &mut SimRng) -> Option<ProcessId> {
+pub fn random_active_process<T: Payload>(
+    cluster: &SkueueCluster<T>,
+    rng: &mut SimRng,
+) -> Option<ProcessId> {
     let active = cluster.active_process_ids();
     if active.is_empty() {
         None

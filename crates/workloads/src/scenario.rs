@@ -7,7 +7,7 @@
 
 use crate::generator::{FixedRateGenerator, PerNodeRateGenerator};
 use serde::{Deserialize, Serialize};
-use skueue_core::{Mode, SkueueCluster};
+use skueue_core::{Mode, Payload, SkueueCluster};
 use skueue_sim::ids::ProcessId;
 use skueue_verify::{check_queue, check_queue_sharded, check_stack};
 
@@ -96,7 +96,7 @@ impl ScenarioParams {
         self
     }
 
-    fn build_cluster(&self) -> SkueueCluster {
+    fn build_cluster<T: Payload>(&self) -> SkueueCluster<T> {
         SkueueCluster::builder()
             .processes(self.processes)
             .mode(self.mode)
@@ -155,7 +155,11 @@ pub struct ScenarioResult {
     pub locally_combined: u64,
 }
 
-fn finish(cluster: SkueueCluster, params: &ScenarioParams, drain_rounds: u64) -> ScenarioResult {
+fn finish<T: Payload>(
+    cluster: SkueueCluster<T>,
+    params: &ScenarioParams,
+    drain_rounds: u64,
+) -> ScenarioResult {
     let history = cluster.history();
     let avg = history.mean_latency();
     let max = history.max_latency();
@@ -203,26 +207,11 @@ fn finish(cluster: SkueueCluster, params: &ScenarioParams, drain_rounds: u64) ->
 }
 
 /// Runs one data point of the Figure 2 / Figure 3 workload: a fixed number of
-/// requests per round assigned to random processes.
+/// requests per round assigned to random processes.  (The `u64`
+/// instantiation of [`run_payload_fixed_rate`] — one shared loop, so the
+/// generic and default paths can never drift apart.)
 pub fn run_fixed_rate(params: ScenarioParams) -> ScenarioResult {
-    let mut cluster = params.build_cluster();
-    let mut generator = FixedRateGenerator::new(
-        params.insert_ratio,
-        params.generation_rounds,
-        params.seed ^ 0xA5,
-    )
-    .with_requests_per_round(params.requests_per_round);
-
-    for round in 0..params.generation_rounds {
-        generator
-            .tick(&mut cluster, round)
-            .expect("active processes exist");
-        cluster.run_round();
-    }
-    let drain_rounds = cluster
-        .run_until_all_complete(params.drain_budget)
-        .expect("requests must drain within the budget");
-    finish(cluster, &params, drain_rounds)
+    run_payload_fixed_rate(params, |c| c)
 }
 
 /// Runs one *sharded* fig2 data point: the Figure 2 fixed-rate workload
@@ -237,10 +226,54 @@ pub fn run_sharded_fig2(processes: usize, shards: usize, seed: u64) -> ScenarioR
     )
 }
 
+/// Runs one *payload-generic* fixed-rate data point: the exact Figure 2
+/// schedule (same RNG draws, same per-round targets) driving a `Skueue<T>`
+/// whose insert payloads come from `mk`.  The history is verified by the
+/// mode-appropriate checker — including the payload round-trip check —
+/// exactly like [`run_fixed_rate`]; `T = u64` with `mk = identity` is
+/// bit-identical to it.
+pub fn run_payload_fixed_rate<T: Payload>(
+    params: ScenarioParams,
+    mut mk: impl FnMut(u64) -> T,
+) -> ScenarioResult {
+    let mut cluster = params.build_cluster::<T>();
+    let mut generator = FixedRateGenerator::new(
+        params.insert_ratio,
+        params.generation_rounds,
+        params.seed ^ 0xA5,
+    )
+    .with_requests_per_round(params.requests_per_round);
+
+    for round in 0..params.generation_rounds {
+        generator
+            .tick_with(&mut cluster, round, &mut mk)
+            .expect("active processes exist");
+        cluster.run_round();
+    }
+    let drain_rounds = cluster
+        .run_until_all_complete(params.drain_budget)
+        .expect("requests must drain within the budget");
+    finish(cluster, &params, drain_rounds)
+}
+
+/// Runs one sharded fig2 point over a **`String` payload** queue — the
+/// non-trivial instantiation CI exercises end to end: every insert carries a
+/// formatted job id, the run is verified with the cross-shard checker, and
+/// the checker's payload round-trip rule proves each dequeue returned its
+/// enqueue's exact string.
+pub fn run_string_payload_fig2(processes: usize, shards: usize, seed: u64) -> ScenarioResult {
+    run_payload_fixed_rate(
+        ScenarioParams::fixed_rate(processes, Mode::Queue, 0.5)
+            .with_seed(seed)
+            .with_shards(shards),
+        |counter| format!("job-{counter:08}"),
+    )
+}
+
 /// Runs one data point of the Figure 4 workload: every process generates a
 /// request with probability `request_probability` per round.
 pub fn run_per_node_rate(params: ScenarioParams) -> ScenarioResult {
-    let mut cluster = params.build_cluster();
+    let mut cluster = params.build_cluster::<u64>();
     let mut generator = PerNodeRateGenerator::new(
         params.request_probability,
         params.insert_ratio,
@@ -515,6 +548,56 @@ mod tests {
         );
         assert_eq!(base.drain_rounds, sharded_matched.drain_rounds);
         assert!(sharded.consistent);
+    }
+
+    #[test]
+    fn string_payload_fig2_is_consistent_and_round_trips() {
+        // Sharded String-payload run: the cross-shard checker (including the
+        // payload round-trip rule) must accept it, and the schedule metrics
+        // must match the u64 run of the same parameters exactly — payload
+        // genericity must not change the protocol's behaviour.
+        let params = ScenarioParams::fixed_rate(24, Mode::Queue, 0.5)
+            .with_generation_rounds(20)
+            .with_seed(33)
+            .with_shards(4);
+        let strings = run_payload_fixed_rate(params, |c| format!("job-{c:08}"));
+        assert_eq!(strings.requests, 200);
+        assert!(strings.consistent);
+        assert_eq!(strings.shards, 4);
+
+        let ints = run_fixed_rate(params);
+        assert_eq!(strings.requests, ints.requests);
+        assert_eq!(
+            strings.avg_rounds_per_request, ints.avg_rounds_per_request,
+            "payload type must not change the schedule"
+        );
+        assert_eq!(strings.drain_rounds, ints.drain_rounds);
+        assert_eq!(strings.per_shard_waves, ints.per_shard_waves);
+    }
+
+    #[test]
+    fn payload_generic_u64_identity_matches_run_fixed_rate() {
+        let params = ScenarioParams::fixed_rate(12, Mode::Queue, 0.5)
+            .with_generation_rounds(15)
+            .with_seed(9);
+        let via_generic = run_payload_fixed_rate(params, |c| c);
+        let direct = run_fixed_rate(params);
+        assert_eq!(via_generic.requests, direct.requests);
+        assert_eq!(
+            via_generic.avg_rounds_per_request,
+            direct.avg_rounds_per_request
+        );
+        assert_eq!(via_generic.drain_rounds, direct.drain_rounds);
+    }
+
+    #[test]
+    fn string_payload_stack_round_trips() {
+        let params = ScenarioParams::fixed_rate(8, Mode::Stack, 0.5)
+            .with_generation_rounds(12)
+            .with_seed(17);
+        let result = run_payload_fixed_rate(params, |c| format!("undo-{c}"));
+        assert_eq!(result.requests, 120);
+        assert!(result.consistent);
     }
 
     #[test]

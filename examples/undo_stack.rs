@@ -46,7 +46,8 @@ fn main() {
             .expect("editor is active");
         let outcome = cluster
             .run_until_done(&[undo], 5_000)
-            .expect("pop completes")[0];
+            .expect("pop completes")
+            .remove(0);
         undone.push(outcome.value().expect("stack holds 30 records"));
     }
     println!("editor 7 undid actions (most recent first): {undone:?}");

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: measures the fig2 n = 3000 throughput point at
+# S = 1 and S = 4 (best of 3 to tolerate runner noise) and fails if either
+# drops below 0.8x the matching `shard_sweep` row of the frozen baseline
+# snapshot.  The fresh measurement is written as a JSON artifact so the CI
+# job can upload it.
+#
+# Usage:
+#   scripts/bench_check.sh [BASELINE] [ARTIFACT]
+#
+#   BASELINE  frozen snapshot to compare against (default: BENCH_pr4.json —
+#             frozen history; never rewritten)
+#   ARTIFACT  where to write the fresh measurement (default: BENCH_check.json)
+#
+# Any extra arguments are passed through to the harness (e.g. --repeats 5
+# on a noisy box).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_pr4.json"
+ARTIFACT="BENCH_check.json"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+    BASELINE="$1"
+    shift
+fi
+if [[ $# -gt 0 && "$1" != --* ]]; then
+    ARTIFACT="$1"
+    shift
+fi
+
+cargo run --release -p skueue-bench --bin throughput -- \
+    --check "$BASELINE" --out "$ARTIFACT" "$@"

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# Regenerates the tracked throughput snapshot (BENCH_pr4.json at the repo
-# root) with the fig2-point throughput harness: the current tree at S = 1,
-# the frozen PR-3 baseline rows, and the shard sweep S ∈ {1, 2, 4, 8}.
-# BENCH_pr2.json and BENCH_pr3.json are frozen history and are never
-# rewritten.  See PERF.md.
+# Regenerates the tracked throughput snapshot with the fig2-point throughput
+# harness: the current tree at S = 1, the frozen PR-4 baseline rows, and the
+# shard sweep S ∈ {1, 2, 4, 8}.  Older snapshots (BENCH_pr2.json …
+# BENCH_pr4.json) are frozen history and are never rewritten — the output
+# file is an argument precisely so CI and future PRs can pick their own
+# name without touching the frozen ones.  See PERF.md.
 #
 # Usage:
-#   scripts/bench_snapshot.sh            # quick mode (shard sweep at n=10³)
-#   scripts/bench_snapshot.sh --full     # full mode (shard sweep at n=3·10³,
-#                                        # best of 3 — the tracked numbers)
+#   scripts/bench_snapshot.sh [--full] [OUTPUT]
 #
-# Any extra arguments are passed through to the harness (e.g. --seed 7).
+#   --full    full mode (four fig2 points, shard sweep at n=3·10³, best of
+#             3 — the tracked numbers); default is quick mode (two points,
+#             shard sweep at n=10³ — the CI smoke)
+#   OUTPUT    snapshot filename (default: BENCH_pr5.json)
+#
+# Any further arguments are passed through to the harness (e.g. --seed 7).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +25,13 @@ if [[ "${1:-}" == "--full" ]]; then
     shift
 fi
 
-cargo run --release -p skueue-bench --bin throughput -- \
-    "$MODE" --out BENCH_pr4.json "$@"
+OUT="BENCH_pr5.json"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+    OUT="$1"
+    shift
+fi
 
-echo "snapshot written to BENCH_pr4.json"
+cargo run --release -p skueue-bench --bin throughput -- \
+    "$MODE" --out "$OUT" "$@"
+
+echo "snapshot written to $OUT"

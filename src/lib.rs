@@ -33,6 +33,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! The payload is a type parameter (default `u64`): any `Clone + Ord +
+//! Hash + Debug + Default` type flows through the queue untouched, e.g. a
+//! `String` job queue:
+//!
+//! ```
+//! use skueue::prelude::*;
+//!
+//! let mut jobs = Skueue::<String>::builder().processes(4).seed(1).build()?;
+//! let put = jobs.client(ProcessId(0)).enqueue("encode #1".to_string())?;
+//! let got = jobs.client(ProcessId(2)).dequeue()?;
+//! let outcomes = jobs.run_until_done(&[put, got], 500)?;
+//! assert_eq!(outcomes[1].value().as_deref(), Some("encode #1"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! Every completion is also published on the cluster's event stream
 //! ([`SkueueCluster::on_complete`](prelude::SkueueCluster::on_complete)), so
 //! workloads, benches and the verifier all consume the same data:
@@ -84,13 +99,13 @@ pub mod prelude {
         BuildError, ClientHandle, ClusterError, CompletionEvent, Mode, OpOutcome, OpStatus,
         OpTicket, ProtocolConfig, Skueue, SkueueBuilder, SkueueCluster,
     };
-    pub use skueue_dht::Element;
+    pub use skueue_dht::{Element, Payload};
     pub use skueue_shard::{ShardId, ShardMap, ShardRouter};
     pub use skueue_sim::ids::{NodeId, ProcessId, RequestId};
     pub use skueue_sim::{DeliveryModel, SimConfig, SimRng};
     pub use skueue_verify::{check_queue, check_queue_sharded, check_stack, History, OpKind};
     pub use skueue_workloads::{
-        run_fixed_rate, run_per_node_rate, run_sharded_fig2, FixedRateGenerator,
-        PerNodeRateGenerator, ScenarioParams,
+        run_fixed_rate, run_payload_fixed_rate, run_per_node_rate, run_sharded_fig2,
+        run_string_payload_fig2, FixedRateGenerator, PerNodeRateGenerator, ScenarioParams,
     };
 }

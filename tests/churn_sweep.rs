@@ -1,0 +1,140 @@
+//! The asynchronous join/leave churn sweep.
+//!
+//! PR 3 fixed a family of membership races (sibling-status corruption via
+//! draining forwards, stale `UpdateOver`, stranded joiners on absorb) that
+//! only reproduce under *reordering* delivery with churn injected at
+//! unlucky points of the schedule.  This sweep drives a seeded mixed
+//! workload over a grid of `(seed, max_delay, churn schedule)` combos under
+//! asynchronous shuffled delivery and asserts exactly-once completion plus
+//! sequential consistency for every combo.
+//!
+//! Two sizes:
+//!
+//! * the default `#[ignore]`d test is the **reduced, seed-pinned ~60-combo
+//!   slice CI runs on every push** (`cargo test --release --test
+//!   churn_sweep -- --ignored`, under `timeout 120` in the workflow);
+//! * setting `SKUEUE_CHURN_SWEEP=full` widens the same grid to the
+//!   1000+-combo sweep used when touching the membership protocol itself.
+
+use skueue::prelude::*;
+use std::collections::HashSet;
+
+/// One sweep combo: a 44-step mixed workload over 5 processes with one join
+/// and one leave injected mid-run, under asynchronous shuffled delivery.
+/// Panics (failing the sweep) on lost/duplicated requests, double-returned
+/// elements, or an inconsistent history.
+fn run_combo(seed: u64, max_delay: u64, join_at: usize, leave_at: usize) {
+    let mut cluster = Skueue::<u64>::builder()
+        .processes(5)
+        .asynchronous(max_delay)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut rng = SimRng::new(seed ^ 0xC0DE);
+    let mut issued = 0u64;
+    for step in 0..44usize {
+        let p = ProcessId(rng.gen_range(5));
+        if cluster.process_may_issue(p) {
+            let mut client = cluster.client(p);
+            if rng.gen_bool(0.6) {
+                client.enqueue(step as u64).unwrap();
+            } else {
+                client.dequeue().unwrap();
+            }
+            issued += 1;
+        }
+        if step == join_at {
+            cluster.join(None).unwrap();
+        }
+        if step == leave_at {
+            let _ = (0..5u64).map(ProcessId).find(|&p| cluster.leave(p).is_ok());
+        }
+        if step % 2 == 0 {
+            cluster.run_round();
+        }
+    }
+    cluster.run_until_all_complete(60_000).unwrap_or_else(|e| {
+        panic!("combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: {e}")
+    });
+    cluster.run_rounds(60);
+
+    let records = cluster.into_history().into_records();
+    assert_eq!(
+        records.len() as u64,
+        issued,
+        "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: \
+         every request must complete exactly once"
+    );
+    let mut seen = HashSet::new();
+    let mut returned = HashSet::new();
+    for r in &records {
+        assert!(seen.insert(r.id), "request {} completed twice", r.id);
+        if let skueue_verify::OpResult::Returned(source) = r.result {
+            assert!(
+                returned.insert(source),
+                "element of {source} returned twice (seed={seed} delay={max_delay})"
+            );
+        }
+    }
+    let history = skueue_verify::History::from_records(records);
+    assert!(
+        check_queue(&history).is_consistent(),
+        "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at} inconsistent"
+    );
+}
+
+/// The sweep grid.  Reduced (default): 5 seeds × 3 delays × 4 schedules =
+/// 60 combos, seed-pinned so every CI run covers the identical slice.
+/// Full (`SKUEUE_CHURN_SWEEP=full`): 30 seeds × 4 delays × 9 schedules =
+/// 1080 combos.
+fn sweep_grid() -> (Vec<u64>, Vec<u64>, Vec<(usize, usize)>) {
+    let full = std::env::var("SKUEUE_CHURN_SWEEP").as_deref() == Ok("full");
+    if full {
+        let seeds: Vec<u64> = (0..30).map(|i| 101 + 37 * i).collect();
+        let delays = vec![2, 3, 4, 5];
+        let schedules = vec![
+            (3, 24),
+            (5, 28),
+            (7, 30),
+            (9, 33),
+            (11, 36),
+            (13, 22),
+            (15, 26),
+            (17, 38),
+            (19, 40),
+        ];
+        (seeds, delays, schedules)
+    } else {
+        let seeds = vec![101, 138, 175, 212, 249];
+        let delays = vec![2, 3, 5];
+        let schedules = vec![(5, 28), (9, 33), (13, 22), (17, 38)];
+        (seeds, delays, schedules)
+    }
+}
+
+/// Run with `cargo test --release --test churn_sweep -- --ignored` (what the
+/// dedicated CI step does, under `timeout 120`); it is `#[ignore]`d so the
+/// ordinary `cargo test` job does not pay for it twice.
+#[test]
+#[ignore = "runs as its own CI step (timeout-bounded); use -- --ignored"]
+fn async_join_leave_churn_sweep() {
+    let (seeds, delays, schedules) = sweep_grid();
+    let mut combos = 0u32;
+    for &seed in &seeds {
+        for &delay in &delays {
+            for &(join_at, leave_at) in &schedules {
+                run_combo(seed, delay, join_at, leave_at);
+                combos += 1;
+            }
+        }
+    }
+    println!("churn sweep OK: {combos} combos survived");
+    assert!(combos >= 60, "the reduced slice must cover ≥ 60 combos");
+}
+
+/// A non-ignored single combo so the plain test job still smoke-covers the
+/// sweep machinery itself (grid construction + one full combo).
+#[test]
+fn churn_sweep_single_combo_smoke() {
+    run_combo(101, 3, 9, 33);
+}

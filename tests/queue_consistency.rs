@@ -111,7 +111,7 @@ fn fifo_order_is_globally_respected() {
             .client(ProcessId((expected * 3) % 10))
             .dequeue()
             .unwrap();
-        let outcome = cluster.run_until_done(&[get], 5_000).unwrap()[0];
+        let outcome = cluster.run_until_done(&[get], 5_000).unwrap().remove(0);
         assert_eq!(outcome.value(), Some(expected), "strict FIFO order");
     }
     // Phase 2: a concurrent burst of enqueues, then a concurrent drain —
@@ -145,7 +145,7 @@ fn completion_stream_rebuilds_the_history() {
     let mut cluster = Skueue::builder().processes(6).seed(0xE7).build().unwrap();
     let events: Rc<RefCell<Vec<CompletionEvent>>> = Rc::default();
     let sink = Rc::clone(&events);
-    cluster.on_complete(move |event| sink.borrow_mut().push(*event));
+    cluster.on_complete(move |event| sink.borrow_mut().push(event.clone()));
 
     let mut tickets = Vec::new();
     for i in 0..40u64 {
@@ -160,10 +160,10 @@ fn completion_stream_rebuilds_the_history() {
     assert_eq!(events.len(), tickets.len(), "one event per operation");
     // Every ticket's outcome matches what its event reported.
     for event in events.iter() {
-        assert_eq!(cluster.outcome(event.ticket), Some(event.outcome));
+        assert_eq!(cluster.outcome(event.ticket), Some(event.outcome.clone()));
     }
     // A history rebuilt from the event stream is checker-equivalent.
-    let rebuilt: History = events.iter().map(|e| e.record).collect();
+    let rebuilt: History = events.iter().map(|e| e.record.clone()).collect();
     assert_eq!(rebuilt.len(), cluster.history().len());
     check_queue(&rebuilt).assert_consistent();
     check_queue(cluster.history()).assert_consistent();

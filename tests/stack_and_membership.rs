@@ -77,7 +77,7 @@ fn stack_position_reuse_is_disambiguated_by_tickets() {
         let push = cluster.client(ProcessId(0)).push(100 + round).unwrap();
         cluster.run_until_done(&[push], 2_000).unwrap();
         let pop = cluster.client(ProcessId(1)).pop().unwrap();
-        let outcome = cluster.run_until_done(&[pop], 2_000).unwrap()[0];
+        let outcome = cluster.run_until_done(&[pop], 2_000).unwrap().remove(0);
         // Each pop must return exactly the value pushed in this iteration.
         assert_eq!(outcome.value(), Some(100 + round));
     }
