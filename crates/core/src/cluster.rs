@@ -176,6 +176,27 @@ struct ProcessHandle {
 /// Observer callback invoked once per completed operation.
 type CompletionObserver<T> = Box<dyn FnMut(&CompletionEvent<T>)>;
 
+/// A snapshot of the cluster's protocol-level state, reduced to the fields
+/// the abstract model (`skueue-model`) also tracks — the projection both
+/// sides of a conformance lockstep compare after quiescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterProjection {
+    /// Number of integrated member processes.
+    pub active_processes: usize,
+    /// Elements currently queued across all shard anchors' windows.
+    pub queued_elements: u64,
+    /// Update phases the (first) anchor has started so far.
+    pub phases_started: u64,
+    /// Nodes currently participating in an update phase.
+    pub open_update_phases: usize,
+    /// Nodes whose batching is suspended by an update phase.
+    pub suspended_nodes: usize,
+    /// Nodes whose latest `Aggregate` is unconfirmed (credit out).
+    pub unacked_aggregates: usize,
+    /// Aggregation waves in flight across all nodes.
+    pub waves_in_flight: usize,
+}
+
 /// A running Skueue deployment (queue or stack) on top of the simulation
 /// substrate, generic over the element payload type `T` (default `u64`).
 /// See the [module docs](self) for the API tour.
@@ -418,6 +439,36 @@ impl<T: Payload> SkueueCluster<T> {
     /// Number of anchor shards this deployment runs (1 when unsharded).
     pub fn shards(&self) -> usize {
         self.cfg.shards
+    }
+
+    /// The model-conformance projection of the cluster's current state (see
+    /// [`ClusterProjection`]).
+    pub fn projection(&self) -> ClusterProjection {
+        let mut open_update_phases = 0;
+        let mut suspended_nodes = 0;
+        let mut unacked_aggregates = 0;
+        let mut waves_in_flight = 0;
+        for (_, node) in self.sim.iter() {
+            if node.update_phase().is_some() {
+                open_update_phases += 1;
+            }
+            if node.is_suspended() {
+                suspended_nodes += 1;
+            }
+            if node.has_unacked_aggregate() {
+                unacked_aggregates += 1;
+            }
+            waves_in_flight += node.waves_in_flight();
+        }
+        ClusterProjection {
+            active_processes: self.active_processes(),
+            queued_elements: self.queued_elements(),
+            phases_started: self.anchor_state().map(|a| a.phases_started).unwrap_or(0),
+            open_update_phases,
+            suspended_nodes,
+            unacked_aggregates,
+            waves_in_flight,
+        }
     }
 
     /// The deterministic shard layout — hand this to

@@ -145,6 +145,21 @@ impl<T: Payload> SkueueNode<T> {
                 self.sibling_integrated[kind.index()] = active;
             }
             SkueueMsg::SetPred { new_pred } => {
+                if matches!(self.role, Role::Draining { .. }) {
+                    // A splice notification caught up with a node that has
+                    // already handed itself over: whoever now precedes this
+                    // position must link directly to our successor (we are
+                    // out of the cycle), and vice versa.
+                    ctx.send(
+                        new_pred.node,
+                        SkueueMsg::SetSucc {
+                            new_succ: self.view.succ,
+                        },
+                    );
+                    ctx.send(self.view.succ.node, SkueueMsg::SetPred { new_pred });
+                    self.view.pred = new_pred;
+                    return;
+                }
                 self.view.pred = new_pred;
                 // Invariant restoration: if we hold the anchor state but are
                 // no longer the leftmost node, hand the state leftwards.
@@ -440,6 +455,7 @@ impl<T: Payload> SkueueNode<T> {
             .map(|j| j.info)
             .collect();
         let payload = AbsorbPayload {
+            pred: self.view.pred,
             succ: self.view.succ,
             entries,
             pending,
@@ -486,22 +502,54 @@ impl<T: Payload> SkueueNode<T> {
                 self.pending_join_count += 1;
             }
         }
-        // Splice the leaver out of the cycle.
+        // Splice the leaver out of the cycle.  The leaver is *usually* still
+        // our direct successor, but joiners integrated during the same update
+        // phase may have been spliced in between after the leave was granted —
+        // then the last spliced joiner (the leaver's current predecessor)
+        // inherits the leaver's right edge, not us.
         if payload.succ.node == from {
             // The leaver was its own successor (single-node corner case);
             // nothing to re-link.
-        } else if payload.succ.node == self.view.me.node {
-            // Two-node ring: we become our own neighbour.
-            self.view.succ = self.view.me;
-            self.view.pred = self.view.me;
-        } else {
-            self.view.succ = payload.succ;
+        } else if self.view.succ.node == from {
+            if payload.succ.node == self.view.me.node {
+                // Two-node ring: we become our own neighbour.
+                self.view.succ = self.view.me;
+                self.view.pred = self.view.me;
+            } else {
+                self.view.succ = payload.succ;
+                ctx.send(
+                    payload.succ.node,
+                    SkueueMsg::SetPred {
+                        new_pred: self.view.me,
+                    },
+                );
+            }
+        } else if payload.pred.node != self.view.me.node {
+            // A spliced joiner sits between us and the leaver; re-link the
+            // leaver's actual neighbours with each other.
             ctx.send(
-                payload.succ.node,
-                SkueueMsg::SetPred {
-                    new_pred: self.view.me,
+                payload.pred.node,
+                SkueueMsg::SetSucc {
+                    new_succ: payload.succ,
                 },
             );
+            if payload.succ.node == self.view.me.node {
+                self.view.pred = payload.pred;
+            } else {
+                ctx.send(
+                    payload.succ.node,
+                    SkueueMsg::SetPred {
+                        new_pred: payload.pred,
+                    },
+                );
+            }
+        } else {
+            // Our successor already moved on to a spliced joiner, but the
+            // leaver handed itself over before processing that splice's
+            // `SetPred`, so its view still names us as predecessor.  The
+            // in-flight `SetPred` reaches the (by then draining) leaver,
+            // which performs the re-link — see the draining branch of the
+            // `SetPred` handler.
         }
         // If the leaver held the anchor state, pass it on to the new leftmost
         // node (the leaver's successor); the cluster normally prevents this
@@ -534,6 +582,18 @@ impl<T: Payload> SkueueNode<T> {
         old_parent: Option<NodeId>,
         ctx: &mut Context<SkueueMsg<T>>,
     ) {
+        // Phase monotonicity: a node never participates in an older phase
+        // after a younger one (the phase tag on update control plus the
+        // staleness guard in `handle_update_over` guarantee it; the model
+        // checker proves the same invariant on the abstraction).
+        debug_assert!(
+            phase >= self.last_update_phase,
+            "update phases must be monotone at {}: entering {} after {}",
+            self.view.me.vid,
+            phase,
+            self.last_update_phase
+        );
+        self.last_update_phase = phase;
         self.suspended = true;
         let awaiting_child_acks = self.tree_children().to_vec();
         // Flag the children *before* integrating joiners or splicing the
@@ -615,6 +675,12 @@ impl<T: Payload> SkueueNode<T> {
     }
 
     fn handle_update_over(&mut self, phase: u64, ctx: &mut Context<SkueueMsg<T>>) {
+        // Mutation gate: compiling with `--features model-mutation` removes
+        // this staleness guard, re-introducing the PR-3 race in which a
+        // delayed `UpdateOver` from an older phase cancels the younger phase
+        // this node is participating in.  The bounded model check must find
+        // that wedge (see `crates/model/tests/mutation_gate.rs`).
+        #[cfg(not(feature = "model-mutation"))]
         if let Some(update) = self.update.as_ref() {
             if update.phase > phase {
                 // A delayed end-of-phase message from an *older* phase must

@@ -62,7 +62,7 @@ pub use anchor::{AnchorState, RunAssignment};
 pub use batch::{Batch, BatchOp, FirstRun};
 pub use builder::{BuildError, SkueueBuilder};
 pub use client::ClientHandle;
-pub use cluster::{ClusterError, Skueue, SkueueCluster};
+pub use cluster::{ClusterError, ClusterProjection, Skueue, SkueueCluster};
 pub use config::{Mode, ProtocolConfig};
 pub use messages::{DhtOp, SkueueMsg};
 pub use node::{LocalOp, NodeStats, Role, SkueueNode};

@@ -103,7 +103,13 @@ pub struct JoinHandover<T = u64> {
 /// absorber (its cycle predecessor).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AbsorbPayload<T = u64> {
-    /// The leaver's successor (the absorber's new successor).
+    /// The leaver's predecessor *as the leaver sees it* at hand-over time.
+    /// Normally the absorber itself — but when the absorber spliced joiners
+    /// into the cycle during the same update phase, the last spliced joiner
+    /// is the leaver's true predecessor and must inherit its right edge.
+    pub pred: NeighborInfo,
+    /// The leaver's successor (the new successor of whoever precedes the
+    /// leaver in the cycle).
     pub succ: NeighborInfo,
     /// The leaver's stored DHT entries.
     pub entries: Vec<StoredEntry<T>>,
@@ -268,6 +274,28 @@ pub enum SkueueMsg<T = u64> {
         /// The anchor state being transferred.
         state: AnchorState,
     },
+}
+
+impl<T: Payload> SkueueMsg<T> {
+    /// True for messages that configure the *receiving node itself* —
+    /// neighbour pointers, update-phase control, a sibling's integration
+    /// status, the channel-serialisation credit.  A draining node must
+    /// consume (drop) these rather than forward them: relayed to the
+    /// absorber they would corrupt *its* state (e.g. clear its aggregate
+    /// credit or cut an innocent node out of its aggregation tree).  The
+    /// drain arm of [`crate::node::SkueueNode`]'s `on_message` asserts
+    /// against this predicate so the two lists cannot drift apart.
+    pub(crate) fn is_node_local(&self) -> bool {
+        matches!(
+            self,
+            SkueueMsg::SetPred { .. }
+                | SkueueMsg::SetSucc { .. }
+                | SkueueMsg::UpdateFlag { .. }
+                | SkueueMsg::UpdateOver { .. }
+                | SkueueMsg::SiblingStatus { .. }
+                | SkueueMsg::AggregateAck
+        )
+    }
 }
 
 #[cfg(test)]

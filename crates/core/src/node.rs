@@ -407,6 +407,11 @@ pub struct SkueueNode<T: Payload = u64> {
     pub(crate) pending_join_count: u64,
     pub(crate) pending_leave_count: u64,
     pub(crate) update: Option<UpdatePhase>,
+    /// Highest update phase this node has participated in — the phase
+    /// numbers a node enters must be monotone (checked by a `debug_assert`
+    /// in `enter_update_phase`; mirrored by the model checker's
+    /// phase-monotonicity safety property).
+    pub(crate) last_update_phase: u64,
 
     // --- Outputs --------------------------------------------------------------
     pub(crate) completed: Vec<OpRecord<T>>,
@@ -471,6 +476,7 @@ impl<T: Payload> SkueueNode<T> {
             pending_join_count: 0,
             pending_leave_count: 0,
             update: None,
+            last_update_phase: 0,
             completed: Vec::new(),
             stats: NodeStats::default(),
         }
@@ -573,6 +579,19 @@ impl<T: Payload> SkueueNode<T> {
     /// True while an update phase suspends batching at this node.
     pub fn is_suspended(&self) -> bool {
         self.suspended
+    }
+
+    /// The update phase this node is currently participating in, if any
+    /// (model-checker conformance projection).
+    pub fn update_phase(&self) -> Option<u64> {
+        self.update.as_ref().map(|u| u.phase)
+    }
+
+    /// True while this node's most recent `Aggregate` is unconfirmed — the
+    /// channel-serialisation credit is out (model-checker conformance
+    /// projection).
+    pub fn has_unacked_aggregate(&self) -> bool {
+        self.aggregate_unacked
     }
 
     /// Number of this node's aggregation waves currently in flight.
@@ -1542,6 +1561,10 @@ impl<T: Payload> Actor for SkueueNode<T> {
                 | SkueueMsg::SiblingStatus { .. }
                 | SkueueMsg::AggregateAck => {}
                 other => {
+                    debug_assert!(
+                        !other.is_node_local(),
+                        "draining node must not forward node-local message {other:?}"
+                    );
                     ctx.send(absorber, other);
                     return;
                 }
@@ -1567,6 +1590,15 @@ impl<T: Payload> Actor for SkueueNode<T> {
                 self.child_batches.push(child, epoch, batch);
             }
             SkueueMsg::AggregateAck => {
+                // Credit non-negativity: each ack must match exactly one
+                // outstanding aggregate (the model's credit-serialisation
+                // invariant); a spurious ack would double-credit the channel
+                // and let two unconfirmed aggregates race on it.
+                debug_assert!(
+                    self.aggregate_unacked,
+                    "AggregateAck without an outstanding aggregate credit at {}",
+                    self.view.me.vid
+                );
                 self.aggregate_unacked = false;
                 // The next wave (if any is ready) opens in this visit's
                 // timeout.

@@ -1,0 +1,405 @@
+//! Conformance: validating the abstraction against the real protocol.
+//!
+//! Two entry points:
+//!
+//! * [`run_conformance`] drives the abstract model and a real
+//!   `skueue-core` cluster in lockstep over sampled scenario traces.  After
+//!   every step both sides run to quiescence and their state projections —
+//!   queue length, active membership, phases started, and the step's
+//!   request outcome — must agree.  This is what licenses trusting the
+//!   model's verdicts about the implementation.
+//! * [`replay_on_cluster`] re-executes a serialised [`ReplayScenario`]
+//!   (e.g. a shrunk counterexample) against the real cluster under the sim
+//!   scheduler and checks exactly-once completion plus Definition 1.
+
+use crate::machine::Machine;
+use crate::protocol::{AbsResult, AbsRole, Action, ModelState, ProtocolModel, Scenario};
+use skueue_core::{Skueue, SkueueCluster};
+use skueue_sim::ids::ProcessId;
+use skueue_sim::replay::{ReplayScenario, ReplayStep};
+use skueue_sim::SimRng;
+use skueue_verify::{check_queue, History, OpResult};
+use std::collections::HashSet;
+
+/// Outcome of a conformance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Sampled traces driven in lockstep.
+    pub traces: usize,
+    /// Individual steps on which the projections were compared.
+    pub steps_compared: usize,
+}
+
+/// Drives the model deterministically: applies the given scenario-level
+/// action, then quiesces by repeatedly applying the first enabled internal
+/// action (never an `Issue` or churn injection — those are the scenario's).
+struct ModelDriver {
+    model: ProtocolModel,
+    state: ModelState,
+}
+
+impl ModelDriver {
+    fn new(scenario: Scenario) -> Self {
+        let model = ProtocolModel::new(scenario);
+        let state = model.initial();
+        ModelDriver { model, state }
+    }
+
+    fn apply(&mut self, action: Action) -> Result<(), String> {
+        let mut enabled = Vec::new();
+        self.model.actions(&self.state, &mut enabled);
+        if !enabled.contains(&action) {
+            return Err(format!("model action {action} not enabled"));
+        }
+        self.state = self.model.apply(&self.state, &action);
+        Ok(())
+    }
+
+    fn quiesce(&mut self) {
+        let mut enabled = Vec::new();
+        loop {
+            enabled.clear();
+            self.model.actions(&self.state, &mut enabled);
+            let Some(action) = enabled.iter().find(|a| {
+                !matches!(
+                    a,
+                    Action::Issue(_) | Action::InjectJoin | Action::InjectLeave
+                )
+            }) else {
+                return;
+            };
+            self.state = self.model.apply(&self.state, action);
+        }
+    }
+
+    /// The completed record of request `(node, seq)`, if present.
+    fn outcome_of(&self, node: u8, seq: u8) -> Option<(bool, u64)> {
+        self.state
+            .history
+            .iter()
+            .find(|c| c.req.node == node && c.req.seq == seq)
+            .map(|c| (matches!(c.result, AbsResult::Empty), c.value as u64))
+    }
+
+    fn active_members(&self) -> usize {
+        self.state
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.role, AbsRole::Active))
+            .count()
+    }
+
+    fn queue_len(&self) -> u64 {
+        self.state
+            .anchor
+            .as_ref()
+            .map_or(0, |a| a.queue.len() as u64)
+    }
+
+    fn phases_started(&self) -> u64 {
+        self.state
+            .anchor
+            .as_ref()
+            .map_or(0, |a| a.phases_started as u64)
+    }
+}
+
+/// Maps model node ids to real process ids.  Model node 0 is the anchor by
+/// construction, so it maps to whichever real process hosts the anchor;
+/// the remaining initial processes follow in ascending id order.
+fn build_mapping(cluster: &SkueueCluster<u64>, initial: usize) -> Result<Vec<ProcessId>, String> {
+    let anchor_process = cluster
+        .nodes()
+        .find(|(_, n)| n.is_anchor_node())
+        .map(|(_, n)| n.process())
+        .ok_or("cluster has no anchor")?;
+    let mut mapping = vec![anchor_process];
+    for p in 0..initial as u64 {
+        let pid = ProcessId(p);
+        if pid != anchor_process {
+            mapping.push(pid);
+        }
+    }
+    Ok(mapping)
+}
+
+/// One sampled lockstep trace.  Returns the number of steps compared.
+fn run_one_trace(sample: u64) -> Result<usize, String> {
+    let mut rng = SimRng::new(sample.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5EED);
+    // Sample a scenario: 5–8 steps over 3 members, ≤ 1 join (node 3) and
+    // ≤ 1 leave (node 1 or 2), requests at whoever is an active member.
+    let steps = 5 + rng.gen_range(4) as usize;
+    let leave_target = 1 + rng.gen_range(2) as u8;
+    let mut script = Vec::new();
+    let mut plan: Vec<(u8, u8)> = Vec::new(); // (kind: 0 enq / 1 deq / 2 join / 3 leave, node)
+    let mut joined = false;
+    let mut left = false;
+    for _ in 0..steps {
+        let roll = rng.gen_range(10);
+        if roll == 0 && !joined {
+            joined = true;
+            plan.push((2, 3));
+        } else if roll == 1 && !left {
+            left = true;
+            plan.push((3, leave_target));
+        } else {
+            let mut candidates: Vec<u8> = vec![0, 1, 2];
+            if joined {
+                candidates.push(3);
+            }
+            if left {
+                candidates.retain(|&n| n != leave_target);
+            }
+            let node = candidates[rng.gen_range(candidates.len() as u64) as usize];
+            let is_enqueue = rng.gen_bool(0.6);
+            plan.push((u8::from(!is_enqueue), node));
+            script.push((node, is_enqueue));
+        }
+    }
+
+    let scenario = Scenario {
+        initial_nodes: 3,
+        script,
+        joins: if joined { vec![3] } else { vec![] },
+        leaves: if left { vec![leave_target] } else { vec![] },
+        reorder_window: 1,
+        reanchor_to: None,
+    };
+    let mut driver = ModelDriver::new(scenario);
+
+    let mut cluster: SkueueCluster<u64> = Skueue::builder()
+        .processes(3)
+        .seed(sample ^ 0xC0FFEE)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut mapping = build_mapping(&cluster, 3)?;
+
+    let mut seqs = [0u8; 4];
+    let mut compared = 0usize;
+    for &(kind, node) in &plan {
+        match kind {
+            0 | 1 => {
+                let seq = seqs[node as usize];
+                seqs[node as usize] += 1;
+                driver.apply(Action::Issue(node))?;
+                // The model assigns enqueue payloads from its own counter;
+                // replicate the exact value on the real cluster.
+                let value = driver.state.nodes[node as usize]
+                    .pending
+                    .last()
+                    .map(|r| r.value as u64)
+                    .ok_or("issued request must be pending")?;
+                driver.quiesce();
+                let pid = mapping[node as usize];
+                let ticket = if kind == 0 {
+                    cluster.client(pid).enqueue(value)
+                } else {
+                    cluster.client(pid).dequeue()
+                }
+                .map_err(|e| e.to_string())?;
+                let outcomes = cluster
+                    .run_until_done(&[ticket], 20_000)
+                    .map_err(|e| e.to_string())?;
+                let real = &outcomes[0];
+                let (model_empty, model_value) = driver
+                    .outcome_of(node, seq)
+                    .ok_or("model request did not complete at quiescence")?;
+                if kind == 1 {
+                    if real.is_empty() != model_empty {
+                        return Err(format!(
+                            "trace {sample}: dequeue at {node}: model empty={model_empty}, real empty={}",
+                            real.is_empty()
+                        ));
+                    }
+                    if !model_empty && real.value() != Some(model_value) {
+                        return Err(format!(
+                            "trace {sample}: dequeue at {node}: model value {model_value}, real {:?}",
+                            real.value()
+                        ));
+                    }
+                }
+            }
+            2 => {
+                driver.apply(Action::InjectJoin)?;
+                driver.quiesce();
+                let pid = cluster.join(None).map_err(|e| e.to_string())?;
+                cluster
+                    .run_until(|c| c.process_is_active(pid), 50_000)
+                    .map_err(|e| e.to_string())?;
+                mapping.push(pid);
+            }
+            _ => {
+                driver.apply(Action::InjectLeave)?;
+                driver.quiesce();
+                let pid = mapping[node as usize];
+                cluster.leave(pid).map_err(|e| e.to_string())?;
+                cluster
+                    .run_until(|c| c.process_has_left(pid), 50_000)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        // Let in-flight completions and membership ripples settle before
+        // projecting.
+        cluster.run_rounds(40);
+
+        // State-projection agreement.
+        let real_active = cluster.active_process_ids().len();
+        let model_active = driver.active_members();
+        if real_active != model_active {
+            return Err(format!(
+                "trace {sample}: membership projection: model {model_active}, real {real_active}"
+            ));
+        }
+        let real_len = cluster.anchor_state().map(|a| a.size()).unwrap_or(0);
+        let model_len = driver.queue_len();
+        if real_len != model_len {
+            return Err(format!(
+                "trace {sample}: queue-length projection: model {model_len}, real {real_len}"
+            ));
+        }
+        // Phase counts cannot agree exactly: one *process* join/leave in the
+        // model is three *virtual-node* membership changes in the real
+        // cluster, which may spread over several update phases.  The
+        // projection is directional instead: the abstraction never needs
+        // more phases than the implementation, and churn started a phase on
+        // one side iff it did on the other.
+        let real_phases = cluster
+            .anchor_state()
+            .map(|a| a.phases_started)
+            .unwrap_or(0);
+        let model_phases = driver.phases_started();
+        if model_phases > real_phases {
+            return Err(format!(
+                "trace {sample}: phase projection: model started {model_phases} phases, real only {real_phases}"
+            ));
+        }
+        if (model_phases > 0) != (real_phases > 0) {
+            return Err(format!(
+                "trace {sample}: phase projection: model {model_phases} vs real {real_phases} (churn must start a phase on both sides)"
+            ));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
+/// Runs `samples` sampled lockstep traces.  Errors out on the first
+/// projection disagreement.
+pub fn run_conformance(samples: usize) -> Result<ConformanceReport, String> {
+    let mut steps_compared = 0;
+    for sample in 0..samples as u64 {
+        steps_compared += run_one_trace(sample)?;
+    }
+    Ok(ConformanceReport {
+        traces: samples,
+        steps_compared,
+    })
+}
+
+/// Result of replaying a scenario against the real cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Requests issued (and completed exactly once).
+    pub requests: u64,
+    /// DHT replies that arrived for unknown requests (must be 0 at
+    /// quiescence).
+    pub unmatched_dht_replies: u64,
+}
+
+/// Replays a serialised scenario against a real cluster and checks
+/// exactly-once completion, `unmatched_dht_replies == 0` and Definition 1.
+pub fn replay_on_cluster(scenario: &ReplayScenario) -> Result<ReplayReport, String> {
+    let mut builder = Skueue::<u64>::builder()
+        .processes(scenario.processes as usize)
+        .seed(scenario.seed);
+    if scenario.max_delay > 0 {
+        builder = builder.asynchronous(scenario.max_delay);
+    }
+    let mut cluster = builder.build().map_err(|e| e.to_string())?;
+    let mut mapping = build_mapping(&cluster, scenario.processes as usize)?;
+
+    let mut issued = 0u64;
+    let mut value = 0u64;
+    for step in &scenario.steps {
+        match *step {
+            ReplayStep::Enqueue(p) => {
+                let pid = *mapping
+                    .get(p as usize)
+                    .ok_or_else(|| format!("step names unknown node {p}"))?;
+                value += 1;
+                cluster
+                    .client(pid)
+                    .enqueue(value)
+                    .map_err(|e| e.to_string())?;
+                issued += 1;
+            }
+            ReplayStep::Dequeue(p) => {
+                let pid = *mapping
+                    .get(p as usize)
+                    .ok_or_else(|| format!("step names unknown node {p}"))?;
+                cluster.client(pid).dequeue().map_err(|e| e.to_string())?;
+                issued += 1;
+            }
+            ReplayStep::Join => {
+                let pid = cluster.join(None).map_err(|e| e.to_string())?;
+                mapping.push(pid);
+            }
+            ReplayStep::Leave(p) => {
+                let pid = *mapping
+                    .get(p as usize)
+                    .ok_or_else(|| format!("step names unknown node {p}"))?;
+                // Under adversarial delivery the leave gate may not be open
+                // yet; give the protocol rounds to settle, then insist.
+                let mut granted = false;
+                for _ in 0..200 {
+                    if cluster.leave(pid).is_ok() {
+                        granted = true;
+                        break;
+                    }
+                    cluster.run_rounds(5);
+                }
+                if !granted {
+                    return Err(format!("leave of node {p} never granted"));
+                }
+            }
+            ReplayStep::Rounds(k) => {
+                cluster.run_rounds(k);
+            }
+        }
+        cluster.run_round();
+    }
+    cluster
+        .run_until_all_complete(60_000)
+        .map_err(|e| e.to_string())?;
+    cluster.run_rounds(60);
+
+    let unmatched = cluster.unmatched_dht_replies();
+    if unmatched != 0 {
+        return Err(format!("{unmatched} unmatched DHT replies at quiescence"));
+    }
+    let records = cluster.into_history().into_records();
+    if records.len() as u64 != issued {
+        return Err(format!("{} of {issued} requests completed", records.len()));
+    }
+    let mut seen = HashSet::new();
+    let mut returned = HashSet::new();
+    for r in &records {
+        if !seen.insert(r.id) {
+            return Err(format!("request {} completed twice", r.id));
+        }
+        if let OpResult::Returned(source) = r.result {
+            if !returned.insert(source) {
+                return Err(format!("element of {source} returned twice"));
+            }
+        }
+    }
+    let history = History::from_records(records);
+    let report = check_queue(&history);
+    if !report.is_consistent() {
+        return Err(format!("history inconsistent: {report}"));
+    }
+    Ok(ReplayReport {
+        requests: issued,
+        unmatched_dht_replies: unmatched,
+    })
+}

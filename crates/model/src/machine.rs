@@ -1,0 +1,110 @@
+//! The generic transition-system abstraction the explorer walks.
+//!
+//! A [`Machine`] is an explicit-state transition system: an initial state, a
+//! function enumerating the *enabled* actions of a state, and a deterministic
+//! `apply`.  The protocol abstraction in [`crate::protocol`] implements it;
+//! the explorer in [`crate::explore`] is generic over it, so the Skeap/Seap
+//! phase machinery (PAPERS.md) can reuse the same traversal later by
+//! implementing this trait for its own state.
+
+use std::fmt::Debug;
+
+/// An explicit `{ State, Action }` transition system with a canonical state
+/// encoding for deduplication.
+pub trait Machine {
+    /// One global state of the system.
+    type State: Clone;
+    /// One atomic transition (a message delivery, an internal step, a churn
+    /// injection, ...).
+    type Action: Clone + Debug + PartialEq;
+
+    /// The initial state of the bounded scenario.
+    fn initial(&self) -> Self::State;
+
+    /// Appends every action enabled in `state` to `out` (deterministic
+    /// order — the explorer's traversal, and therefore its counterexamples,
+    /// must be reproducible).
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Applies `action` to `state`.  Must only be called with an action that
+    /// [`Machine::actions`] currently enables.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Writes a canonical byte encoding of `state` into `out` (cleared by
+    /// the caller).  Two states are identical iff their encodings are —
+    /// exact deduplication, no hash-collision risk.
+    fn encode(&self, state: &Self::State, out: &mut Vec<u8>);
+}
+
+/// Replays an action trace from the initial state.  Returns `None` if some
+/// action of the trace is not enabled when its turn comes (used by the
+/// shrinker to discard infeasible candidate traces).
+pub fn replay<M: Machine>(machine: &M, trace: &[M::Action]) -> Option<Vec<M::State>> {
+    let mut states = Vec::with_capacity(trace.len() + 1);
+    let mut state = machine.initial();
+    let mut enabled = Vec::new();
+    states.push(state.clone());
+    for action in trace {
+        enabled.clear();
+        machine.actions(&state, &mut enabled);
+        if !enabled.iter().any(|a| a == action) {
+            return None;
+        }
+        state = machine.apply(&state, action);
+        states.push(state.clone());
+    }
+    Some(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that can increment up to a cap, or reset once.
+    struct Counter;
+
+    impl Machine for Counter {
+        type State = (u8, bool);
+        type Action = u8; // 0 = inc, 1 = reset
+
+        fn initial(&self) -> Self::State {
+            (0, false)
+        }
+
+        fn actions(&self, s: &Self::State, out: &mut Vec<u8>) {
+            if s.0 < 3 {
+                out.push(0);
+            }
+            if !s.1 {
+                out.push(1);
+            }
+        }
+
+        fn apply(&self, s: &Self::State, a: &u8) -> Self::State {
+            match a {
+                0 => (s.0 + 1, s.1),
+                _ => (0, true),
+            }
+        }
+
+        fn encode(&self, s: &Self::State, out: &mut Vec<u8>) {
+            out.push(s.0);
+            out.push(s.1 as u8);
+        }
+    }
+
+    #[test]
+    fn replay_follows_enabled_actions() {
+        let states = replay(&Counter, &[0, 0, 1, 0]).expect("trace is feasible");
+        assert_eq!(states.len(), 5);
+        assert_eq!(states[4], (1, true));
+    }
+
+    #[test]
+    fn replay_rejects_disabled_actions() {
+        // A second reset is disabled.
+        assert!(replay(&Counter, &[1, 1]).is_none());
+        // Incrementing past the cap is disabled.
+        assert!(replay(&Counter, &[0, 0, 0, 0]).is_none());
+    }
+}

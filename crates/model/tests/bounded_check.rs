@@ -1,0 +1,77 @@
+//! The exhaustive bounded model check CI runs on every push.
+//!
+//! `bounded_model_check_is_exhaustive_and_clean` is the `timeout 120`-bounded
+//! CI instance; `full_model_check` (behind `SKUEUE_MODEL_FULL=1` and
+//! `-- --ignored`) widens the scenario to 5 nodes / 2 leaves / window 3.
+
+#![cfg(not(feature = "model-mutation"))]
+
+use skueue_model::{
+    check_terminal_histories, eventually, explore, leads_to, model_safety_props, quiescent,
+    ExploreConfig, ProtocolModel, Scenario,
+};
+
+fn run_scenario(name: &str, scenario: Scenario) {
+    let model = ProtocolModel::new(scenario);
+    let ex = explore(&model, &model_safety_props(), &ExploreConfig::default());
+    println!(
+        "model-check[{name}]: {} states, {} transitions, {} terminal states",
+        ex.states_explored,
+        ex.transitions,
+        ex.terminals.len()
+    );
+    assert!(!ex.truncated, "{name}: exploration hit the state cap");
+    if let Some(cex) = &ex.violation {
+        panic!("{name}: safety violation\n{}", cex.render());
+    }
+
+    // Definition 1 (via the real skueue-verify checkers) on every complete
+    // abstract history.
+    if let Err(cex) = check_terminal_histories(&ex) {
+        panic!("{name}: {}", cex.render());
+    }
+
+    // Liveness over the reachability graph: every path quiesces (no
+    // stranded joiner, no wedged phase, every request completes), and
+    // every started phase terminates on every path.
+    if let Err(cex) = eventually(&ex, "eventually-quiescent", quiescent) {
+        panic!("{name}: {}", cex.render());
+    }
+    if let Err(cex) = leads_to(
+        &ex,
+        "phase-terminates",
+        |s| s.anchor.as_ref().is_some_and(|a| a.open_phase.is_some()),
+        |s| s.anchor.as_ref().is_some_and(|a| a.open_phase.is_none()),
+    ) {
+        panic!("{name}: {}", cex.render());
+    }
+}
+
+#[test]
+fn bounded_model_check_is_exhaustive_and_clean() {
+    // The full bounded instance (~1.5M states) is a release-mode workload;
+    // the plain debug workspace job covers the reduced instance with the
+    // same two-churn-event shape.
+    if cfg!(debug_assertions) {
+        run_scenario("smoke", Scenario::smoke());
+    } else {
+        run_scenario("bounded", Scenario::bounded_default());
+    }
+}
+
+#[test]
+fn reanchor_model_check_is_clean() {
+    run_scenario("reanchor", Scenario::reanchor());
+}
+
+/// The deep instance.  Run with:
+/// `SKUEUE_MODEL_FULL=1 cargo test --release -p skueue-model -- --ignored`
+#[test]
+#[ignore = "deep traversal; run via SKUEUE_MODEL_FULL=1 -- --ignored"]
+fn full_model_check() {
+    if std::env::var("SKUEUE_MODEL_FULL").as_deref() != Ok("1") {
+        println!("full_model_check skipped (set SKUEUE_MODEL_FULL=1)");
+        return;
+    }
+    run_scenario("full", Scenario::full());
+}

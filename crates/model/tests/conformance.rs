@@ -1,0 +1,25 @@
+//! Lockstep conformance of the abstraction against the real cluster.
+//!
+//! Samples scenario traces (requests + at most one join and one leave),
+//! drives the abstract model and a real `skueue-core` cluster through them
+//! in lockstep, and compares the state projections (dequeue outcomes,
+//! active membership, queue length, phases started) after every step.
+
+#![cfg(not(feature = "model-mutation"))]
+
+use skueue_model::run_conformance;
+
+#[test]
+fn model_agrees_with_cluster_on_sampled_traces() {
+    let report = run_conformance(100).unwrap_or_else(|e| panic!("conformance failed: {e}"));
+    println!(
+        "conformance: {} traces, {} steps compared",
+        report.traces, report.steps_compared
+    );
+    assert_eq!(report.traces, 100);
+    assert!(
+        report.steps_compared >= 500,
+        "expected at least 5 steps per trace on average, got {}",
+        report.steps_compared
+    );
+}

@@ -43,6 +43,7 @@ pub mod error;
 pub mod ids;
 pub mod message;
 pub mod metrics;
+pub mod replay;
 pub mod rng;
 pub mod scheduler;
 pub mod trace;
@@ -54,6 +55,7 @@ pub use error::SimError;
 pub use ids::{NodeId, ProcessId, RequestId};
 pub use message::Envelope;
 pub use metrics::{Histogram, SimMetrics, Summary};
+pub use replay::{ReplayScenario, ReplayStep};
 pub use rng::SimRng;
 pub use scheduler::{RunOutcome, Simulation};
 pub use trace::{Trace, TraceEvent};

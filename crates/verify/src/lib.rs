@@ -38,7 +38,9 @@ pub mod sharded_check;
 pub mod stack_check;
 
 pub use history::{History, OpKind, OpRecord, OpResult, OrderKey};
-pub use queue_check::{check_queue, check_queue_definition1, check_queue_replay};
+pub use queue_check::{
+    check_queue, check_queue_definition1, check_queue_records, check_queue_replay,
+};
 pub use report::{ConsistencyReport, Violation};
 pub use sharded_check::check_queue_sharded;
 // Re-exported so checker users can name the payload bound without a direct

@@ -316,6 +316,13 @@ pub fn check_queue<T: Payload>(history: &History<T>) -> ConsistencyReport {
     report
 }
 
+/// [`check_queue`] over a bare record list — the entry point for callers
+/// that synthesise histories rather than collect them from a cluster (the
+/// model checker runs it on every terminal state's abstract history).
+pub fn check_queue_records<T: Payload>(records: Vec<OpRecord<T>>) -> ConsistencyReport {
+    check_queue(&History::from_records(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

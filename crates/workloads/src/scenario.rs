@@ -139,7 +139,8 @@ pub struct ScenarioResult {
     pub mean_dht_ops_per_message: f64,
     /// Largest number of aggregation waves any node had in flight.
     pub max_waves_in_flight: u64,
-    /// Replies that raced their requester's departure (counted, not fatal).
+    /// Replies that raced their requester's departure.  Asserted to be zero
+    /// at quiescence — a drained cluster must have matched every reply.
     pub unmatched_dht_replies: u64,
     /// Number of anchor shards the run was partitioned into.
     pub shards: usize,
@@ -182,6 +183,14 @@ fn finish<T: Payload>(
     };
 
     let per_shard_waves = cluster.shard_wave_counts();
+
+    // At quiescence every DHT reply must have found its requester: a non-zero
+    // count here means a reply raced a departure and was silently dropped.
+    assert_eq!(
+        cluster.unmatched_dht_replies(),
+        0,
+        "unmatched DHT replies at quiescence"
+    );
 
     ScenarioResult {
         processes: params.processes,
@@ -394,6 +403,11 @@ pub fn run_churn_scenario(
 
     let consistent =
         check_queue(cluster.history()).is_consistent() && outcomes.iter().all(|o| !o.is_empty());
+    assert_eq!(
+        cluster.unmatched_dht_replies(),
+        0,
+        "unmatched DHT replies at churn-scenario quiescence"
+    );
     ChurnResult {
         initial_processes,
         joins,

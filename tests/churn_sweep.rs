@@ -57,6 +57,12 @@ fn run_combo(seed: u64, max_delay: u64, join_at: usize, leave_at: usize) {
         panic!("combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: {e}")
     });
     cluster.run_rounds(60);
+    assert_eq!(
+        cluster.unmatched_dht_replies(),
+        0,
+        "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: \
+         every DHT reply must be matched to an open request at quiescence"
+    );
 
     let records = cluster.into_history().into_records();
     assert_eq!(
