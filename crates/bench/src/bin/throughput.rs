@@ -15,6 +15,15 @@
 //!        --sharded-smoke  fig2 at n = 10⁴ over 4 anchor shards with the
 //!                         cross-shard verifier ON; asserts consistency and
 //!                         that ≥ 2 shards assigned waves (CI canary)
+//!        --threads-sweep  the PR-8 parallel-backend report: fig2 n = 3·10³
+//!                         S = 8 at threads ∈ {1, 2, 4, 8}, a heavy-load
+//!                         open-loop row (10⁵ requests) on both backends,
+//!                         and matched nearest-middle-finger off/on rows;
+//!                         emits BENCH_pr8.json-style output (use --out)
+//!        --parallel-smoke fig2 at n = 10⁴ over 4 anchor shards on the
+//!                         parallel backend (threads = 4) with the verifier
+//!                         ON; asserts consistency and that the lanes really
+//!                         ran on ≥ 2 distinct worker threads (CI canary)
 //!        --check <path>   perf-regression gate: measure the fig2 n = 3000
 //!                         point at S = 1 and S = 4 (best of --repeats,
 //!                         default 3) and fail (exit 1) if either falls
@@ -39,10 +48,11 @@
 //! win are tracked in-repo.  See PERF.md for interpretation.
 
 use skueue_bench::{
-    points_to_json, print_throughput, run_shard_sweep, run_throughput, ThroughputConfig,
-    ThroughputPoint,
+    measure_point, points_to_json, print_throughput, run_shard_sweep, run_thread_sweep,
+    run_throughput, PointSpec, ThroughputConfig, ThroughputPoint,
 };
-use skueue_workloads::run_sharded_fig2;
+use skueue_core::Mode;
+use skueue_workloads::{run_fixed_rate, run_sharded_fig2, ScenarioParams};
 
 /// Seed the frozen baseline was measured with; other seeds run a different
 /// schedule and are not comparable.
@@ -65,6 +75,8 @@ fn pr4_baseline() -> Vec<ThroughputPoint> {
         ThroughputPoint {
             processes,
             shards: 1,
+            threads: 1,
+            middle_fingers: false,
             requests,
             rounds,
             wall_ms,
@@ -75,6 +87,9 @@ fn pr4_baseline() -> Vec<ThroughputPoint> {
             max_waves_in_flight: waves,
             per_shard_waves: psw.to_vec(),
             unmatched_dht_replies: 0,
+            // The frozen baseline predates the lane-timing columns.
+            lane_busy_ms: Vec::new(),
+            lane_barrier_wait_ms: Vec::new(),
         }
     };
     vec![
@@ -135,6 +150,8 @@ enum ModeFlag {
     Full,
     PaperSmoke,
     ShardedSmoke,
+    ThreadsSweep,
+    ParallelSmoke,
     Check,
 }
 
@@ -152,6 +169,8 @@ fn main() {
             "--full" => mode = ModeFlag::Full,
             "--paper-smoke" => mode = ModeFlag::PaperSmoke,
             "--sharded-smoke" => mode = ModeFlag::ShardedSmoke,
+            "--threads-sweep" => mode = ModeFlag::ThreadsSweep,
+            "--parallel-smoke" => mode = ModeFlag::ParallelSmoke,
             "--check" => {
                 i += 1;
                 mode = ModeFlag::Check;
@@ -178,6 +197,14 @@ fn main() {
         run_sharded_smoke(seed);
         return;
     }
+    if mode == ModeFlag::ParallelSmoke {
+        run_parallel_smoke(seed);
+        return;
+    }
+    if mode == ModeFlag::ThreadsSweep {
+        run_pr8_sweep(seed, repeats.unwrap_or(1).max(1), out.as_deref());
+        return;
+    }
     if mode == ModeFlag::Check {
         let path = check_baseline.expect("--check requires a baseline JSON path");
         run_perf_check(&path, seed, repeats.unwrap_or(3).max(1), out.as_deref());
@@ -188,7 +215,10 @@ fn main() {
         ModeFlag::Quick => (ThroughputConfig::quick(seed), "quick", 1000),
         ModeFlag::Full => (ThroughputConfig::full(seed), "full", 3000),
         ModeFlag::PaperSmoke => (ThroughputConfig::paper_smoke(seed), "paper-smoke", 0),
-        ModeFlag::ShardedSmoke | ModeFlag::Check => unreachable!("handled above"),
+        ModeFlag::ShardedSmoke
+        | ModeFlag::ParallelSmoke
+        | ModeFlag::ThreadsSweep
+        | ModeFlag::Check => unreachable!("handled above"),
     };
     if let Some(r) = repeats {
         config.repeats = r.max(1);
@@ -300,6 +330,149 @@ fn run_sharded_smoke(seed: u64) {
     println!("sharded smoke OK: {assigning}/4 shards assigned waves, history verified");
 }
 
+/// CI canary for the *parallel execution backend*: the paper-scale fig2
+/// point over four anchor shards on four worker threads, verifier ON.
+/// Panics (fails the CI step) on an inconsistent history or when the lanes
+/// did not actually run on ≥ 2 distinct worker threads.
+fn run_parallel_smoke(seed: u64) {
+    println!("Skueue parallel smoke — fig2 n=10000, shards=4, threads=4, verifier ON, seed {seed}");
+    let start = std::time::Instant::now();
+    let result = run_fixed_rate(
+        ScenarioParams::fixed_rate(10_000, Mode::Queue, 0.5)
+            .with_seed(seed)
+            .with_shards(4)
+            .with_threads(4),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "done in {:.1} s: {} requests on {} threads, {} distinct lane threads, waves per shard {:?}",
+        wall, result.requests, result.threads, result.distinct_lane_threads, result.per_shard_waves
+    );
+    assert_eq!(result.threads, 4, "parallel backend was not enabled");
+    assert!(
+        result.distinct_lane_threads >= 2,
+        "lanes did not spread over worker threads"
+    );
+    assert!(
+        result.consistent,
+        "cross-shard verifier rejected the parallel backend's history"
+    );
+    let busy: Vec<String> = result
+        .lane_busy_ns
+        .iter()
+        .map(|ns| format!("{:.0}ms", *ns as f64 / 1e6))
+        .collect();
+    println!(
+        "parallel smoke OK: history verified, lane busy times [{}]",
+        busy.join(", ")
+    );
+}
+
+/// The PR-8 parallel-backend report (`--threads-sweep`): the fig2 n = 3000
+/// S = 8 point at threads ∈ {1, 2, 4, 8}, a heavy-load open-loop row
+/// (1000 requests/round × 100 rounds ≥ 10⁵ requests) on both backends, and
+/// matched nearest-middle-finger off/on rows.  Written as BENCH_pr8.json by
+/// `scripts/bench_snapshot.sh`.
+fn run_pr8_sweep(seed: u64, repeats: usize, out: Option<&str>) {
+    const SWEEP_N: usize = 3000;
+    const SWEEP_SHARDS: usize = 8;
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    const GENERATION_ROUNDS: u64 = 100;
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "Skueue PR-8 report — fig2 n={SWEEP_N} S={SWEEP_SHARDS}, threads {THREADS:?}, \
+         best of {repeats}, seed {seed}, host cores {host_cores}"
+    );
+
+    let thread_sweep = run_thread_sweep(
+        SWEEP_N,
+        SWEEP_SHARDS,
+        &THREADS,
+        GENERATION_ROUNDS,
+        repeats,
+        seed,
+    );
+    print_throughput(
+        &format!("thread sweep (fig2 n = {SWEEP_N}, S = {SWEEP_SHARDS})"),
+        &thread_sweep,
+    );
+
+    let heavy: Vec<ThroughputPoint> = [1usize, 4]
+        .iter()
+        .map(|&t| measure_point(&PointSpec::heavy(SWEEP_N, seed, SWEEP_SHARDS).with_threads(t)))
+        .collect();
+    print_throughput(
+        &format!("heavy load (open loop, 1000 requests/round, n = {SWEEP_N}, S = {SWEEP_SHARDS})"),
+        &heavy,
+    );
+    for p in &heavy {
+        assert!(
+            p.requests >= 100_000,
+            "heavy row must complete ≥ 10⁵ requests, got {}",
+            p.requests
+        );
+    }
+
+    let fingers: Vec<ThroughputPoint> = [false, true]
+        .iter()
+        .map(|&on| {
+            measure_point(
+                &PointSpec::fig2(SWEEP_N, GENERATION_ROUNDS, repeats, seed, SWEEP_SHARDS)
+                    .with_middle_fingers(on),
+            )
+        })
+        .collect();
+    print_throughput(
+        "nearest-middle finger (matched rows, off vs on; compare dht_hops_mean)",
+        &fingers,
+    );
+
+    let speedup_t4 = {
+        let t1 = thread_sweep.iter().find(|p| p.threads == 1);
+        let t4 = thread_sweep.iter().find(|p| p.threads == 4);
+        match (t1, t4) {
+            (Some(a), Some(b)) if a.ops_per_sec > 0.0 => Some(b.ops_per_sec / a.ops_per_sec),
+            _ => None,
+        }
+    };
+    let hop_cut = if fingers[0].dht_hops_mean > 0.0 {
+        Some(fingers[1].dht_hops_mean / fingers[0].dht_hops_mean)
+    } else {
+        None
+    };
+    if let Some(s) = speedup_t4 {
+        println!(
+            "\nspeedup at threads=4 vs threads=1: {s:.2}x (ops/sec; host has {host_cores} core(s))"
+        );
+    }
+    if let Some(h) = hop_cut {
+        println!("finger hop ratio (on/off dht_hops_mean): {h:.2}");
+    }
+
+    let fmt = |s: Option<f64>| {
+        s.map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 100 generation rounds; heavy rows at 1000 requests/round\",\n  \"seed\": {seed},\n  \"repeats\": {repeats},\n  \"host_cores\": {host_cores},\n  \"note\": \"the two backends produce byte-identical histories; wall-clock speedup requires >1 physical core — on a single-core host the thread rows measure barrier overhead, not speedup\",\n  \"thread_sweep\": {},\n  \"heavy_load\": {},\n  \"middle_fingers\": {},\n  \"speedup_ops_per_sec_threads4_vs_1\": {},\n  \"finger_hop_ratio_on_vs_off\": {}\n}}\n",
+        points_to_json(&thread_sweep, "  "),
+        points_to_json(&heavy, "  "),
+        points_to_json(&fingers, "  "),
+        fmt(speedup_t4),
+        fmt(hop_cut),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write PR-8 report file");
+            println!("wrote {path}");
+        }
+        None => println!("\n{json}"),
+    }
+}
+
 /// The CI perf-regression gate (`--check <baseline.json>`): measures the
 /// fig2 n = 3000 point at S = 1 and S = 4 (best of `repeats`) and compares
 /// ops/sec against the matching `shard_sweep` rows of the frozen snapshot.
@@ -333,16 +506,20 @@ fn run_perf_check(baseline_path: &str, seed: u64, repeats: usize, out: Option<&s
         })
     };
 
-    // A point below threshold gets ONE full re-measure before the gate
-    // fails: best-of-N only filters noise *within* its window, and a
+    // A point below threshold gets up to two full re-measures before the
+    // gate fails: best-of-N only filters noise *within* its window, and a
     // multi-second background burst on a shared runner can blanket all N
-    // repeats at once.  A genuine code regression fails both passes.
+    // repeats at once.  A genuine code regression fails every pass; noise
+    // bursts rarely cover three disjoint measurement windows.
     for point in &mut measured {
         let baseline_ops = baseline_for(point.shards);
-        if point.ops_per_sec / baseline_ops < CHECK_THRESHOLD {
+        for attempt in 1..=2 {
+            if point.ops_per_sec / baseline_ops >= CHECK_THRESHOLD {
+                break;
+            }
             println!(
                 "n={} S={} measured {:.1} ops/sec (< {CHECK_THRESHOLD}x of {:.1}); \
-                 re-measuring once",
+                 re-measuring ({attempt}/2)",
                 point.processes, point.shards, point.ops_per_sec, baseline_ops
             );
             let again = skueue_bench::measure_fig2_point(

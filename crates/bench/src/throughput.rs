@@ -26,6 +26,14 @@ pub struct ThroughputPoint {
     pub processes: usize,
     /// Number of anchor shards the point ran with (1 = unsharded).
     pub shards: usize,
+    /// Worker threads of the round loop (1 = the single-threaded backend;
+    /// both backends produce byte-identical histories, so every metric in
+    /// this row except the wall-clock ones is thread-count-invariant).
+    pub threads: usize,
+    /// Whether the nearest-middle routing finger was enabled (changes
+    /// `dht_hops_mean` and therefore the schedule; the BENCH_pr8 finger
+    /// section reports matched off/on rows).
+    pub middle_fingers: bool,
     /// Requests completed during the run.
     pub requests: u64,
     /// Total simulated rounds (generation + drain).
@@ -50,6 +58,14 @@ pub struct ThroughputPoint {
     /// benign reply/departure race; non-zero values under a churn-free
     /// workload would flag a routing bug).
     pub unmatched_dht_replies: u64,
+    /// Per-lane wall-clock time spent running rounds, in milliseconds
+    /// (indexed by lane = shard id).  The spread is the lane imbalance the
+    /// round barrier pays for.
+    pub lane_busy_ms: Vec<f64>,
+    /// Per-lane cumulative time sitting idle at the round barrier while
+    /// slower lanes finished, in milliseconds (parallel backend only; all
+    /// zeros single-threaded).
+    pub lane_barrier_wait_ms: Vec<f64>,
 }
 
 /// Parameters of a throughput run.
@@ -110,32 +126,104 @@ impl ThroughputConfig {
     }
 }
 
-/// Times one fig2-style point (queue, insert ratio 0.5, 10 requests/round)
-/// over `shards` anchor shards and returns the best-of-`repeats`
+/// Full specification of one timed point — the fig2 open-loop workload
+/// (queue, insert ratio 0.5) with every knob the PR-8 report sweeps.
+#[derive(Debug, Clone)]
+pub struct PointSpec {
+    /// Number of processes.
+    pub n: usize,
+    /// Rounds of request generation.
+    pub generation_rounds: u64,
+    /// Open-loop offered load: requests injected per generation round
+    /// (fig2 uses 10; the heavy-load row uses 1000 for ≥ 10⁵ requests).
+    pub requests_per_round: u64,
+    /// Timed repetitions; the best (minimum) wall time is kept.
+    pub repeats: usize,
+    /// Workload / simulation seed.
+    pub seed: u64,
+    /// Anchor shards (= simulation lanes).
+    pub shards: usize,
+    /// Worker threads of the round loop (1 = single-threaded backend).
+    pub threads: usize,
+    /// Nearest-middle routing finger on/off.
+    pub middle_fingers: bool,
+}
+
+impl PointSpec {
+    /// The fig2 point at its paper parameters (10 requests/round).
+    pub fn fig2(
+        n: usize,
+        generation_rounds: u64,
+        repeats: usize,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        PointSpec {
+            n,
+            generation_rounds,
+            requests_per_round: 10,
+            repeats,
+            seed,
+            shards,
+            threads: 1,
+            middle_fingers: false,
+        }
+    }
+
+    /// The heavy-load open-loop row: 1000 requests/round for 100 rounds —
+    /// ≥ 10⁵ completed requests per run.
+    pub fn heavy(n: usize, seed: u64, shards: usize) -> Self {
+        PointSpec {
+            n,
+            generation_rounds: 100,
+            requests_per_round: 1000,
+            repeats: 1,
+            seed,
+            shards,
+            threads: 1,
+            middle_fingers: false,
+        }
+    }
+
+    /// Runs the point's round loop on `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables the nearest-middle routing finger.
+    pub fn with_middle_fingers(mut self, enabled: bool) -> Self {
+        self.middle_fingers = enabled;
+        self
+    }
+}
+
+/// Times one point described by `spec` and returns the best-of-`repeats`
 /// measurement.
-pub fn measure_fig2_point(
-    n: usize,
-    generation_rounds: u64,
-    repeats: usize,
-    seed: u64,
-    shards: usize,
-) -> ThroughputPoint {
+pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
     let mut best: Option<ThroughputPoint> = None;
-    for _ in 0..repeats.max(1) {
-        let params = ScenarioParams::fixed_rate(n, Mode::Queue, 0.5)
-            .with_generation_rounds(generation_rounds)
-            .with_seed(seed)
-            .with_shards(shards)
+    for _ in 0..spec.repeats.max(1) {
+        let params = ScenarioParams::fixed_rate(spec.n, Mode::Queue, 0.5)
+            .with_generation_rounds(spec.generation_rounds)
+            .with_requests_per_round(spec.requests_per_round)
+            .with_seed(spec.seed)
+            .with_shards(spec.shards)
+            .with_threads(spec.threads)
+            .with_middle_fingers(spec.middle_fingers)
             .without_verification();
         let start = Instant::now();
         let result = run_fixed_rate(params);
         let wall = start.elapsed();
         let wall_ms = wall.as_secs_f64() * 1e3;
-        let rounds = generation_rounds + result.drain_rounds;
+        let rounds = spec.generation_rounds + result.drain_rounds;
         let secs = wall.as_secs_f64().max(1e-9);
+        let to_ms =
+            |ns_list: &[u64]| -> Vec<f64> { ns_list.iter().map(|&ns| ns as f64 / 1e6).collect() };
         let point = ThroughputPoint {
-            processes: n,
-            shards,
+            processes: spec.n,
+            shards: spec.shards,
+            threads: result.threads,
+            middle_fingers: spec.middle_fingers,
             requests: result.requests,
             rounds,
             wall_ms,
@@ -146,6 +234,8 @@ pub fn measure_fig2_point(
             max_waves_in_flight: result.max_waves_in_flight,
             per_shard_waves: result.per_shard_waves.clone(),
             unmatched_dht_replies: result.unmatched_dht_replies,
+            lane_busy_ms: to_ms(&result.lane_busy_ns),
+            lane_barrier_wait_ms: to_ms(&result.lane_barrier_wait_ns),
         };
         let better = best
             .as_ref()
@@ -156,6 +246,47 @@ pub fn measure_fig2_point(
         }
     }
     best.expect("repeats >= 1")
+}
+
+/// Times one fig2-style point (queue, insert ratio 0.5, 10 requests/round)
+/// over `shards` anchor shards and returns the best-of-`repeats`
+/// measurement.
+pub fn measure_fig2_point(
+    n: usize,
+    generation_rounds: u64,
+    repeats: usize,
+    seed: u64,
+    shards: usize,
+) -> ThroughputPoint {
+    measure_point(&PointSpec::fig2(
+        n,
+        generation_rounds,
+        repeats,
+        seed,
+        shards,
+    ))
+}
+
+/// Runs the thread sweep: the same fig2 point (fixed `n`, fixed `shards`)
+/// at every worker-thread count in `thread_counts`, one measured point per
+/// count.  All schedule metrics are identical across the rows (the backends
+/// are byte-identical); only the wall-clock columns move.
+pub fn run_thread_sweep(
+    n: usize,
+    shards: usize,
+    thread_counts: &[usize],
+    generation_rounds: u64,
+    repeats: usize,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    thread_counts
+        .iter()
+        .map(|&t| {
+            measure_point(
+                &PointSpec::fig2(n, generation_rounds, repeats, seed, shards).with_threads(t),
+            )
+        })
+        .collect()
 }
 
 /// Runs the configured sweep and returns one point per process count.
@@ -195,15 +326,22 @@ fn waves_json(waves: &[u64]) -> String {
     format!("[{}]", inner.join(", "))
 }
 
+fn ms_json(ms: &[f64]) -> String {
+    let inner: Vec<String> = ms.iter().map(|m| format!("{m:.1}")).collect();
+    format!("[{}]", inner.join(", "))
+}
+
 /// Renders a point list as a JSON array (hand-rolled: the offline `serde`
 /// stub does not serialise — see `crates/compat/README.md`).
 pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
     let mut out = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "{indent}  {{\"processes\": {}, \"shards\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}, \"per_shard_waves\": {}, \"unmatched_dht_replies\": {}}}{}\n",
+            "{indent}  {{\"processes\": {}, \"shards\": {}, \"threads\": {}, \"middle_fingers\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}, \"per_shard_waves\": {}, \"unmatched_dht_replies\": {}, \"lane_busy_ms\": {}, \"lane_barrier_wait_ms\": {}}}{}\n",
             p.processes,
             p.shards,
+            p.threads,
+            p.middle_fingers,
             p.requests,
             p.rounds,
             p.wall_ms,
@@ -214,6 +352,8 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
             p.max_waves_in_flight,
             waves_json(&p.per_shard_waves),
             p.unmatched_dht_replies,
+            ms_json(&p.lane_busy_ms),
+            ms_json(&p.lane_barrier_wait_ms),
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -221,13 +361,18 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
     out
 }
 
-/// Prints a human-readable throughput table.
+/// Prints a human-readable throughput table.  The two lane-timing columns
+/// make lane imbalance visible at a glance: `busy max/min` is the spread of
+/// per-lane wall time, `barrier max` is the worst cumulative time a lane
+/// spent parked at the round barrier (0 on the single-threaded backend).
 pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
     println!("\n=== {title} ===");
     println!(
-        "{:>8} {:>3} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>9} {:>18}",
+        "{:>8} {:>3} {:>3} {:>3} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>9} {:>15} {:>11} {:>16}",
         "n",
         "S",
+        "T",
+        "fgr",
         "requests",
         "rounds",
         "wall ms",
@@ -237,6 +382,8 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
         "ops/msg",
         "waves",
         "unmatched",
+        "busy max/min ms",
+        "barrier max",
         "waves/shard"
     );
     for p in points {
@@ -245,10 +392,29 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
         } else {
             waves_json(&p.per_shard_waves)
         };
+        let busy = if p.lane_busy_ms.is_empty() {
+            "-".to_string()
+        } else {
+            let max = p.lane_busy_ms.iter().cloned().fold(f64::MIN, f64::max);
+            let min = p.lane_busy_ms.iter().cloned().fold(f64::MAX, f64::min);
+            format!("{max:.1}/{min:.1}")
+        };
+        let barrier = if p.lane_barrier_wait_ms.is_empty() {
+            "-".to_string()
+        } else {
+            let max = p
+                .lane_barrier_wait_ms
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max);
+            format!("{max:.1}")
+        };
         println!(
-            "{:>8} {:>3} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>18}",
+            "{:>8} {:>3} {:>3} {:>3} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>15} {:>11} {:>16}",
             p.processes,
             p.shards,
+            p.threads,
+            if p.middle_fingers { "on" } else { "off" },
             p.requests,
             p.rounds,
             p.wall_ms,
@@ -258,6 +424,8 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
             p.dht_ops_per_message_mean,
             p.max_waves_in_flight,
             p.unmatched_dht_replies,
+            busy,
+            barrier,
             per_shard,
         );
     }
@@ -317,6 +485,8 @@ mod tests {
         let mk = |processes, wall_ms| ThroughputPoint {
             processes,
             shards: 2,
+            threads: 2,
+            middle_fingers: false,
             requests: 100,
             rounds: 42,
             wall_ms,
@@ -327,15 +497,73 @@ mod tests {
             max_waves_in_flight: 3,
             per_shard_waves: vec![7, 9],
             unmatched_dht_replies: 0,
+            lane_busy_ms: vec![1.25, 0.75],
+            lane_barrier_wait_ms: vec![0.0, 0.5],
         };
         let points = vec![mk(10, 1.5), mk(20, 2.5)];
         let json = points_to_json(&points, "  ");
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with(']'));
         assert_eq!(json.matches("\"processes\"").count(), 2);
+        assert_eq!(json.matches("\"threads\": 2").count(), 2);
+        assert_eq!(json.matches("\"middle_fingers\": false").count(), 2);
         assert_eq!(json.matches("\"per_shard_waves\": [7, 9]").count(), 2);
         assert_eq!(json.matches("\"unmatched_dht_replies\"").count(), 2);
+        assert_eq!(json.matches("\"lane_busy_ms\": [1.2, 0.8]").count(), 2);
+        assert_eq!(
+            json.matches("\"lane_barrier_wait_ms\": [0.0, 0.5]").count(),
+            2
+        );
         assert_eq!(json.matches("},").count(), 1, "comma between, not after");
+    }
+
+    #[test]
+    fn thread_sweep_rows_share_the_schedule() {
+        // The schedule-derived columns of a thread sweep must be identical
+        // across rows — the backends are byte-identical; only wall-clock
+        // columns may differ.
+        let rows = run_thread_sweep(32, 4, &[1, 2], 10, 1, 7);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        assert_eq!(rows[0].requests, rows[1].requests);
+        assert_eq!(rows[0].rounds, rows[1].rounds);
+        assert_eq!(rows[0].dht_hops_mean, rows[1].dht_hops_mean);
+        assert_eq!(rows[0].per_shard_waves, rows[1].per_shard_waves);
+        assert_eq!(rows[0].lane_busy_ms.len(), 4);
+        assert!(rows[0].lane_barrier_wait_ms.iter().all(|&ms| ms == 0.0));
+        assert!(rows[1].lane_barrier_wait_ms.iter().any(|&ms| ms > 0.0));
+    }
+
+    #[test]
+    fn heavy_spec_completes_at_least_its_offered_load() {
+        // Scaled-down shape check of the heavy-load row (the real row runs
+        // 1000 requests/round × 100 rounds in the snapshot binary).
+        let mut spec = PointSpec::heavy(24, 3, 2);
+        spec.generation_rounds = 10;
+        spec.requests_per_round = 50;
+        let p = measure_point(&spec);
+        assert_eq!(p.requests, 500);
+        assert_eq!(p.shards, 2);
+        assert!(
+            PointSpec::heavy(3000, 42, 8).requests_per_round
+                * PointSpec::heavy(3000, 42, 8).generation_rounds
+                >= 100_000
+        );
+    }
+
+    #[test]
+    fn finger_point_cuts_hops() {
+        let base = PointSpec::fig2(128, 10, 1, 11, 1);
+        let plain = measure_point(&base);
+        let fingered = measure_point(&base.clone().with_middle_fingers(true));
+        assert!(fingered.middle_fingers);
+        assert!(
+            fingered.dht_hops_mean < plain.dht_hops_mean,
+            "finger must cut hops/op: {} vs {}",
+            fingered.dht_hops_mean,
+            plain.dht_hops_mean
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::cluster::SkueueCluster;
 use crate::config::{Mode, ProtocolConfig};
 use skueue_dht::Payload;
-use skueue_sim::{DeliveryModel, SimConfig};
+use skueue_sim::{DeliveryModel, ExecMode, SimConfig};
 use std::marker::PhantomData;
 
 /// Width of an overlay label in bits; the distance-halving bit budget cannot
@@ -128,6 +128,8 @@ pub struct SkueueBuilder<T: Payload = u64> {
     delivery: DeliveryModel,
     shuffle_node_order: Option<bool>,
     record_trace: bool,
+    threads: usize,
+    middle_fingers: bool,
     /// The element payload type the built cluster will carry.
     _payload: PhantomData<T>,
 }
@@ -148,6 +150,8 @@ impl<T: Payload> Default for SkueueBuilder<T> {
             delivery: DeliveryModel::Synchronous,
             shuffle_node_order: None,
             record_trace: false,
+            threads: 1,
+            middle_fingers: false,
             _payload: PhantomData,
         }
     }
@@ -305,6 +309,31 @@ impl<T: Payload> SkueueBuilder<T> {
         self
     }
 
+    /// Number of OS worker threads the round loop runs anchor-shard lanes
+    /// on.  `1` (the default) selects the single-threaded backend; `n > 1`
+    /// runs each shard's lane on a persistent worker thread behind a
+    /// deterministic round barrier (capped at the shard count — extra
+    /// threads would have no lane to run).  The two backends produce
+    /// **byte-identical** histories for every seed, so `.threads(n)` is
+    /// purely a wall-clock knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables the nearest-middle routing finger: every node additionally
+    /// tracks the nearest *middle* node in successor direction and the
+    /// distance-halving walk jumps straight to it instead of stepping
+    /// node-by-node across the left/middle/right cycle (≈3 virtual hops per
+    /// halving bit without the finger).  Routing stays correct with the
+    /// finger absent or stale, but hop counts — and therefore message
+    /// schedules and histories — change, so the switch defaults to **off**
+    /// to keep seeded runs comparable with the pinned goldens.
+    pub fn middle_fingers(mut self, enabled: bool) -> Self {
+        self.middle_fingers = enabled;
+        self
+    }
+
     /// The [`ProtocolConfig`] this builder currently describes.
     pub fn protocol_config(&self) -> ProtocolConfig {
         let mut cfg = match self.mode {
@@ -324,6 +353,7 @@ impl<T: Payload> SkueueBuilder<T> {
         cfg.update_threshold = self.update_threshold;
         cfg.pipeline_depth = self.pipeline_depth;
         cfg.shards = self.shards;
+        cfg.middle_fingers = self.middle_fingers;
         // The synchronous round scheduler delivers per-channel in send
         // order; every other model may reorder, which the protocol's
         // aggregate credit must compensate for.
@@ -343,6 +373,11 @@ impl<T: Payload> SkueueBuilder<T> {
         }
     }
 
+    /// The [`ExecMode`] this builder currently describes.
+    pub fn exec_mode(&self) -> ExecMode {
+        ExecMode::from_threads(self.threads)
+    }
+
     /// Validates the configuration and builds the cluster.
     pub fn build(self) -> Result<SkueueCluster<T>, BuildError> {
         let sim_cfg = self.sim_config();
@@ -352,6 +387,7 @@ impl<T: Payload> SkueueBuilder<T> {
             self.processes,
             protocol_cfg,
             sim_cfg,
+            self.exec_mode(),
         ))
     }
 }

@@ -62,7 +62,7 @@ use skueue_overlay::{
 use skueue_shard::{ShardId, ShardMap, ShardRouter};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
-use skueue_sim::{SimConfig, SimError, Simulation};
+use skueue_sim::{ExecMode, SimConfig, SimError, Simulation};
 use skueue_verify::{History, OpKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -259,7 +259,12 @@ impl<T: Payload> SkueueCluster<T> {
 
     /// Builds the cluster from an already-validated configuration (the
     /// builder's backend).
-    pub(crate) fn from_config(n: usize, mut cfg: ProtocolConfig, sim_cfg: SimConfig) -> Self {
+    pub(crate) fn from_config(
+        n: usize,
+        mut cfg: ProtocolConfig,
+        sim_cfg: SimConfig,
+        exec: ExecMode,
+    ) -> Self {
         debug_assert!(n >= 1, "validated by SkueueBuilder::build");
         // Normalise the shard count (stack mode pins it to 1) so every
         // consumer — nodes, verifier, accessors — sees the effective value.
@@ -306,6 +311,20 @@ impl<T: Payload> SkueueCluster<T> {
         }
 
         let mut sim = Simulation::new(sim_cfg).expect("validated by SkueueBuilder::build");
+        // One simulation lane per anchor shard: all protocol traffic is
+        // intra-shard, so each lane's round is independent and the parallel
+        // backend can run lanes on worker threads without any cross-lane
+        // routing.  With `shards == 1` this is exactly the old layout.
+        sim.configure_lanes(cfg.shards)
+            .expect("fresh simulation has no nodes yet");
+        // Pre-size every lane: the shard populations are known, and node
+        // slots are large enough that letting several lane vectors grow by
+        // doubling costs milliseconds of memcpy on big clusters.
+        for (shard, group) in groups.iter().enumerate() {
+            if !group.is_empty() {
+                sim.reserve_nodes_in_lane(shard, group.len() * 3);
+            }
+        }
         // Node ids are assigned densely: process i gets nodes 3i, 3i+1, 3i+2
         // in VKind order (Left, Middle, Right) — independent of sharding.
         let node_of =
@@ -323,11 +342,17 @@ impl<T: Payload> SkueueCluster<T> {
             let mut nodes = [NodeId(0); 3];
             for kind in VKind::ALL {
                 let vid = VirtualId::new(pid, kind);
-                let view = topology
-                    .local_view(vid, &node_of)
-                    .expect("vid from own topology");
+                let view = if cfg.middle_fingers {
+                    topology
+                        .local_view_with_fingers(vid, &node_of)
+                        .expect("vid from own topology")
+                } else {
+                    topology
+                        .local_view(vid, &node_of)
+                        .expect("vid from own topology")
+                };
                 let node = SkueueNode::<T>::new(node_cfg, shard, view, vid == anchor_vid);
-                let assigned = sim.add_node(node);
+                let assigned = sim.add_node_in_lane(shard as usize, node);
                 debug_assert_eq!(assigned, node_of(vid));
                 nodes[kind.index()] = assigned;
             }
@@ -339,6 +364,12 @@ impl<T: Payload> SkueueCluster<T> {
                 next_seq: 0,
             });
             index_of.insert(pid, i);
+        }
+
+        if exec.is_parallel() {
+            // Worker threads only help when there is more than one lane to
+            // run; `enable_parallel` quietly stays single-threaded otherwise.
+            sim.enable_parallel(exec.threads());
         }
 
         SkueueCluster {
@@ -439,6 +470,12 @@ impl<T: Payload> SkueueCluster<T> {
     /// Number of anchor shards this deployment runs (1 when unsharded).
     pub fn shards(&self) -> usize {
         self.cfg.shards
+    }
+
+    /// Number of worker threads the simulation's round loop runs on (1 =
+    /// single-threaded backend; see [`SkueueBuilder::threads`]).
+    pub fn parallel_threads(&self) -> usize {
+        self.sim.parallel_threads()
     }
 
     /// The model-conformance projection of the cluster's current state (see
@@ -845,11 +882,13 @@ impl<T: Payload> SkueueCluster<T> {
                 pred: me,
                 succ: me,
                 siblings: [me, me, me],
+                middle_finger: None,
             };
             let mut node_cfg = self.cfg;
             node_cfg.bit_budget = self.shard_bit_budgets[shard as usize];
             let node = SkueueNode::new_joining(node_cfg, shard, view);
-            let id = self.sim.add_node(node);
+            // Joining nodes live in their shard's lane like everyone else.
+            let id = self.sim.add_node_in_lane(shard as usize, node);
             created.push((kind, id));
             nodes[kind.index()] = id;
         }
@@ -870,11 +909,15 @@ impl<T: Payload> SkueueCluster<T> {
         for (kind, id) in created {
             let me = siblings[kind.index()];
             let node = self.sim.node_mut(id).expect("just created");
+            // Joining nodes start without a routing finger: `None` is always
+            // safe (the linear middle-search takes over) and the finger is an
+            // optimisation only — see `LocalView::middle_finger`.
             node.view = LocalView {
                 me,
                 pred: me,
                 succ: me,
                 siblings,
+                middle_finger: None,
             };
             node.set_bootstrap(bootstrap_node);
         }
@@ -915,6 +958,31 @@ impl<T: Payload> SkueueCluster<T> {
         }
         self.processes[idx].state = ProcessState::Leaving;
         self.transitioning += 1;
+        // Routing fingers are maintained by the driver, not the protocol:
+        // drop every finger aimed at the departing process *now*, while its
+        // nodes are still alive and draining.  In-flight finger-routed
+        // messages still land on a live node; new routes fall back to the
+        // (always correct) linear middle-search until re-derived views
+        // repopulate the finger.
+        if self.cfg.middle_fingers {
+            let shard = self.processes[idx].shard;
+            for h in &self.processes {
+                if h.shard != shard {
+                    continue;
+                }
+                for &nid in &h.nodes {
+                    if let Some(node) = self.sim.node_mut(nid) {
+                        if node
+                            .view
+                            .middle_finger
+                            .is_some_and(|f| f.vid.process == process)
+                        {
+                            node.view.middle_finger = None;
+                        }
+                    }
+                }
+            }
+        }
         for node_id in nodes {
             if let Some(node) = self.sim.node_mut(node_id) {
                 node.request_leave();
@@ -1546,6 +1614,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn middle_fingers_preserve_queue_semantics_under_churn() {
+        // The nearest-middle finger changes routes (and therefore schedules)
+        // but must never change *semantics*: the sharded verifier has to
+        // pass with fingers on, through a join and a leave, and every
+        // finger-routed request must still reach its key's responsible node.
+        let mut cluster = SkueueCluster::builder()
+            .processes(18)
+            .shards(2)
+            .seed(13)
+            .middle_fingers(true)
+            .build()
+            .unwrap();
+        assert!(cluster.config().middle_fingers);
+        // Construction populated real fingers (18 processes per deployment
+        // guarantee other middles exist in each shard).
+        let populated = cluster
+            .nodes()
+            .filter(|(_, n)| n.view().middle_finger.is_some())
+            .count();
+        assert!(populated > 0, "expected initial views to carry fingers");
+        for i in 0..72u64 {
+            cluster.client(ProcessId(i % 18)).enqueue(i).unwrap();
+        }
+        cluster.run_until_all_complete(10_000).unwrap();
+        let joined = cluster.join(None).unwrap();
+        cluster
+            .run_until(|c| c.process_is_active(joined), 2_000)
+            .unwrap();
+        // Leave someone other than the joiner; skip pinned anchor hosts.
+        let left = (0..18u64)
+            .map(ProcessId)
+            .find(|&p| cluster.leave(p).is_ok())
+            .expect("some process can leave");
+        // The sweep dropped every finger aimed at the departing process.
+        for (_, node) in cluster.nodes() {
+            assert!(
+                node.view()
+                    .middle_finger
+                    .is_none_or(|f| f.vid.process != left),
+                "stale finger survived the leave sweep"
+            );
+        }
+        cluster
+            .run_until(|c| !c.process_is_active(left), 5_000)
+            .unwrap();
+        for i in 0..36u64 {
+            let p = ProcessId((i * 5) % 18);
+            if cluster.process_may_issue(p) {
+                cluster.client(p).dequeue().unwrap();
+            }
+        }
+        cluster.run_until_all_complete(10_000).unwrap();
+        let map = cluster.shard_map();
+        skueue_verify::check_queue_sharded(cluster.history(), &map).assert_consistent();
     }
 
     #[test]

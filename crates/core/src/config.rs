@@ -65,6 +65,15 @@ pub struct ProtocolConfig {
     /// The stack's ticket matching needs the single global stage-4 barrier,
     /// so stack mode pins this to 1 (see [`Self::effective_shards`]).
     pub shards: usize,
+    /// Enables the nearest-middle routing finger: every node additionally
+    /// knows the nearest *middle* node in successor direction and the
+    /// distance-halving walk jumps straight to it instead of stepping
+    /// node-by-node until it finds a middle (≈3 virtual hops per halving
+    /// bit on the full left/middle/right cycle).  The finger is an
+    /// optimisation only — routing is correct with it absent or stale —
+    /// but it changes hop counts and therefore message schedules, so it
+    /// defaults to **off** to keep the pinned golden histories intact.
+    pub middle_fingers: bool,
 }
 
 /// Default number of concurrently in-flight aggregation waves per node.
@@ -90,6 +99,7 @@ impl ProtocolConfig {
             fifo_channels: true,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             shards: 1,
+            middle_fingers: false,
         }
     }
 
@@ -106,6 +116,7 @@ impl ProtocolConfig {
             fifo_channels: true,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             shards: 1,
+            middle_fingers: false,
         }
     }
 
@@ -147,6 +158,13 @@ impl ProtocolConfig {
     /// Overrides the number of anchor shards (must be at least 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables or disables the nearest-middle routing finger (default off;
+    /// see [`Self::middle_fingers`]).
+    pub fn with_middle_fingers(mut self, enabled: bool) -> Self {
+        self.middle_fingers = enabled;
         self
     }
 
@@ -222,6 +240,19 @@ mod tests {
     #[test]
     fn default_is_queue() {
         assert_eq!(ProtocolConfig::default().mode, Mode::Queue);
+    }
+
+    #[test]
+    fn middle_fingers_default_off() {
+        // Off by default: the finger changes hop counts and therefore
+        // message schedules, which would invalidate the golden histories.
+        assert!(!ProtocolConfig::queue().middle_fingers);
+        assert!(!ProtocolConfig::stack().middle_fingers);
+        assert!(
+            ProtocolConfig::queue()
+                .with_middle_fingers(true)
+                .middle_fingers
+        );
     }
 
     #[test]

@@ -22,11 +22,19 @@ use std::fmt;
 ///   `u64` this is `0`, which keeps pre-generic histories bit-identical).
 ///
 /// The trait is blanket-implemented: any `Clone + Ord + Hash + Debug +
-/// Default + 'static` type is a payload — `u64`, `String`, `Vec<u8>`, or an
-/// application job struct.
-pub trait Payload: Clone + Ord + Eq + std::hash::Hash + fmt::Debug + Default + 'static {}
+/// Default + Send + 'static` type is a payload — `u64`, `String`, `Vec<u8>`,
+/// or an application job struct.  (`Send` because the simulation's parallel
+/// backend ships each anchor shard's nodes — and therefore the payloads they
+/// hold — to worker threads.)
+pub trait Payload:
+    Clone + Ord + Eq + std::hash::Hash + fmt::Debug + Default + Send + 'static
+{
+}
 
-impl<T> Payload for T where T: Clone + Ord + Eq + std::hash::Hash + fmt::Debug + Default + 'static {}
+impl<T> Payload for T where
+    T: Clone + Ord + Eq + std::hash::Hash + fmt::Debug + Default + Send + 'static
+{
+}
 
 /// An element of the universe `E` that can be put into the distributed
 /// queue or stack.

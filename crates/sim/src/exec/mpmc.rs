@@ -1,0 +1,245 @@
+//! A bounded multi-producer/multi-consumer queue.
+//!
+//! The worker→driver collection queue of the [`super::pool::WorkerPool`]:
+//! every worker pushes finished lanes, the driver pops them.  The design is
+//! the classic Vyukov bounded MPMC queue — the same per-slot sequence-number
+//! idea that Nikolaev's SCQ (PAPERS.md) builds its lock-free cycle tracking
+//! on:
+//!
+//! * each slot carries a `seq` counter; `seq == pos` means "free for the
+//!   producer claiming position `pos`", `seq == pos + 1` means "holds the
+//!   value of position `pos`, free for the consumer",
+//! * producers/consumers claim a position with a CAS on the shared cursor,
+//!   then operate on their slot without further coordination — the slot
+//!   `seq` is the per-slot publication protocol,
+//! * after a pop the slot's `seq` jumps a full lap ahead (`pos + capacity`),
+//!   re-arming it for the producer that will claim that position next lap.
+//!
+//! Progress is lock-free: a stalled producer can delay consumers of *its
+//! slot* only; all other slots keep flowing.
+
+use super::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded MPMC queue; `push`/`pop` take `&self` and may be called from any
+/// number of threads concurrently.
+pub struct MpmcQueue<T> {
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+    slots: Box<[Slot<T>]>,
+}
+
+// SAFETY: values of `T` are moved through slots whose exclusive ownership is
+// handed around by the seq/CAS protocol in the module docs; the queue is
+// usable from many threads whenever `T` may cross threads.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue holding at least `capacity` elements (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MpmcQueue {
+            mask: capacity - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+            slots,
+        }
+    }
+
+    /// Enqueues `value`, or hands it back when the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot is free for this position; try to claim it.
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this producer exclusive
+                        // ownership of the slot for position `pos`; the
+                        // Release store below publishes the write to the
+                        // consumer that claims the position.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // One full lap behind: the queue is full.
+                return Err(value);
+            } else {
+                // Another producer claimed `pos`; reload and retry.
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` when the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this consumer exclusive
+                        // ownership of the value published for `pos` (the
+                        // Acquire load of `seq` paired with the producer's
+                        // Release store).
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Re-arm the slot for the producer one lap ahead.
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // Slot not yet published: the queue is empty.
+                return None;
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the number of buffered elements (racy under concurrency,
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when no elements are buffered (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_boundaries_single_threaded() {
+        let q = MpmcQueue::<u32>::new(4);
+        assert!(q.pop().is_none(), "empty pop");
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99).unwrap_err(), 99, "full push hands value back");
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.pop().is_none());
+        // Slots re-arm across laps.
+        for lap in 0..50u32 {
+            q.push(lap).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn many_producers_one_consumer_exactly_once() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 50_000;
+        let q = Arc::new(MpmcQueue::<u64>::new(128));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p * PER_PRODUCER + i;
+                    while let Err(back) = q.push(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![false; (PRODUCERS * PER_PRODUCER) as usize];
+        let mut got = 0u64;
+        let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+        while got < PRODUCERS * PER_PRODUCER {
+            match q.pop() {
+                Some(v) => {
+                    let idx = v as usize;
+                    assert!(!seen[idx], "duplicate delivery of {v}");
+                    seen[idx] = true;
+                    // Per-producer FIFO: values of one producer arrive in
+                    // the order they were pushed.
+                    let p = (v / PER_PRODUCER) as usize;
+                    if let Some(prev) = last_per_producer[p] {
+                        assert!(v > prev, "producer {p} reordered: {prev} then {v}");
+                    }
+                    last_per_producer[p] = Some(v);
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.pop().is_none());
+        assert!(seen.iter().all(|&s| s), "nothing lost");
+    }
+
+    #[test]
+    fn drop_releases_buffered_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = MpmcQueue::<Counted>::new(8);
+            assert!(q.push(Counted).is_ok());
+            assert!(q.push(Counted).is_ok());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

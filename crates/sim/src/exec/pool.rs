@@ -1,0 +1,240 @@
+//! The persistent worker pool behind [`crate::Simulation`]'s parallel
+//! backend.
+//!
+//! One pool owns `threads` OS threads.  Each round the driver *moves* every
+//! lane (a boxed [`RoundTask`]) to its worker over that worker's private
+//! SPSC ring, and the workers hand finished lanes back over one shared MPMC
+//! collection queue.  The driver waits until all lanes have returned — that
+//! wait **is** the deterministic round barrier: no lane can observe round
+//! `r + 1` state before every lane has finished round `r`.
+//!
+//! Lane `l` is always dispatched to worker `l % threads`, so the
+//! lane→thread mapping is a pure function of the configuration; thread
+//! scheduling can change *when* a lane runs, never *what* it computes.
+//!
+//! Workers park when their ring is empty and are unparked on submit; the
+//! driver parks (with a timeout, to tolerate missed unparks) while the
+//! collection queue is empty.  On a loaded host this costs two futex hops
+//! per worker per round — the cost model PERF.md's barrier section measures.
+
+use super::mpmc::MpmcQueue;
+use super::spsc::{spsc_channel, SpscSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of per-round work that can be shipped to a worker thread.
+pub trait RoundTask: Send + 'static {
+    /// Executes this task's share of round `round`.
+    fn run_task(&mut self, round: u64);
+}
+
+enum Job<J> {
+    Run {
+        idx: usize,
+        task: Box<J>,
+        round: u64,
+    },
+    Stop,
+}
+
+/// A persistent pool of worker threads executing [`RoundTask`]s.
+///
+/// The pool is generic without bounds so it can live inside
+/// `Simulation<A>` unconditionally; only [`WorkerPool::new`] requires the
+/// task to actually be shippable.
+pub struct WorkerPool<J> {
+    senders: Vec<SpscSender<Job<J>>>,
+    handles: Vec<JoinHandle<()>>,
+    results: Arc<MpmcQueue<(usize, Box<J>)>>,
+}
+
+impl<J: RoundTask> WorkerPool<J> {
+    /// Spawns `threads` workers sized for up to `max_tasks` in-flight tasks
+    /// per round.
+    pub fn new(threads: usize, max_tasks: usize) -> Self {
+        let threads = threads.max(1);
+        let capacity = (max_tasks + 2).next_power_of_two();
+        let results = Arc::new(MpmcQueue::new(capacity));
+        let driver = std::thread::current();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, mut rx) = spsc_channel::<Job<J>>(capacity);
+            let results = Arc::clone(&results);
+            let driver = driver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("skueue-lane-{w}"))
+                .spawn(move || loop {
+                    match rx.pop() {
+                        Some(Job::Run {
+                            idx,
+                            mut task,
+                            round,
+                        }) => {
+                            task.run_task(round);
+                            let mut item = (idx, task);
+                            while let Err(back) = results.push(item) {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            driver.unpark();
+                        }
+                        Some(Job::Stop) => break,
+                        // The park token makes this race-free: an unpark
+                        // that lands between the failed pop and the park
+                        // makes park return immediately.
+                        None => std::thread::park(),
+                    }
+                })
+                .expect("failed to spawn lane worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            handles,
+            results,
+        }
+    }
+}
+
+impl<J> WorkerPool<J> {
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Ships task `idx` to its worker (`idx % worker_count`) for `round`.
+    pub fn submit(&mut self, idx: usize, task: Box<J>, round: u64) {
+        let w = idx % self.senders.len();
+        let mut job = Job::Run { idx, task, round };
+        while let Err(back) = self.senders[w].push(job) {
+            job = back;
+            self.handles[w].thread().unpark();
+            std::thread::yield_now();
+        }
+        self.handles[w].thread().unpark();
+    }
+
+    /// Waits for the next finished task.  Panics if a worker died (a task
+    /// panicked on its thread) — the simulation cannot continue with a lost
+    /// lane.
+    pub fn collect_one(&mut self) -> (usize, Box<J>) {
+        loop {
+            if let Some(item) = self.results.pop() {
+                return item;
+            }
+            if self.handles.iter().any(|h| h.is_finished()) && self.results.is_empty() {
+                panic!("a lane worker thread exited while work was outstanding (lane panicked)");
+            }
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+}
+
+impl<J> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        for (w, tx) in self.senders.iter_mut().enumerate() {
+            let mut job = Job::Stop;
+            while let Err(back) = tx.push(job) {
+                job = back;
+                self.handles[w].thread().unpark();
+                std::thread::yield_now();
+            }
+            self.handles[w].thread().unpark();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already aborted the run via
+            // `collect_one`; during unwinding, ignore the secondary error.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::thread_token;
+
+    struct Doubler {
+        input: u64,
+        output: u64,
+        ran_on: u64,
+    }
+
+    impl RoundTask for Doubler {
+        fn run_task(&mut self, round: u64) {
+            self.output = self.input * 2 + round;
+            self.ran_on = thread_token();
+        }
+    }
+
+    #[test]
+    fn pool_runs_tasks_and_returns_them() {
+        let mut pool: WorkerPool<Doubler> = WorkerPool::new(3, 8);
+        assert_eq!(pool.worker_count(), 3);
+        for repeat in 0..50u64 {
+            for idx in 0..8usize {
+                pool.submit(
+                    idx,
+                    Box::new(Doubler {
+                        input: idx as u64,
+                        output: 0,
+                        ran_on: 0,
+                    }),
+                    repeat,
+                );
+            }
+            let mut seen = [false; 8];
+            for _ in 0..8 {
+                let (idx, task) = pool.collect_one();
+                assert!(!seen[idx], "task {idx} returned twice");
+                seen[idx] = true;
+                assert_eq!(task.output, idx as u64 * 2 + repeat);
+                assert_ne!(task.ran_on, 0);
+                assert_ne!(
+                    task.ran_on,
+                    thread_token(),
+                    "task must have run off the driver thread"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_workers_get_distinct_threads() {
+        let mut pool: WorkerPool<Doubler> = WorkerPool::new(2, 4);
+        for idx in 0..4usize {
+            pool.submit(
+                idx,
+                Box::new(Doubler {
+                    input: 0,
+                    output: 0,
+                    ran_on: 0,
+                }),
+                1,
+            );
+        }
+        let mut token_of_worker = [0u64; 2];
+        for _ in 0..4 {
+            let (idx, task) = pool.collect_one();
+            let w = idx % 2;
+            if token_of_worker[w] == 0 {
+                token_of_worker[w] = task.ran_on;
+            } else {
+                assert_eq!(
+                    token_of_worker[w], task.ran_on,
+                    "worker {w} must be a persistent thread"
+                );
+            }
+        }
+        assert_ne!(token_of_worker[0], token_of_worker[1]);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let pool: WorkerPool<Doubler> = WorkerPool::new(4, 4);
+        drop(pool); // must not hang
+    }
+}

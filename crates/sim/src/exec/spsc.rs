@@ -1,0 +1,236 @@
+//! A bounded single-producer/single-consumer ring buffer.
+//!
+//! One ring connects the driver thread to each worker of the
+//! [`super::pool::WorkerPool`]: the driver is the only producer and the
+//! worker the only consumer, which is exactly the SPSC contract.  The
+//! implementation is the textbook Lamport ring with monotonically increasing
+//! (wrapping) cursors:
+//!
+//! * `tail` is written only by the producer, `head` only by the consumer,
+//! * a slot is written before `tail` is released, and read before `head` is
+//!   released, so the Release/Acquire pairs on the cursors transfer
+//!   ownership of the slot contents,
+//! * single-producer/single-consumer exclusivity is enforced *in the type
+//!   system*: both endpoints take `&mut self` and neither is `Clone`.
+//!
+//! Capacity is rounded up to a power of two so the index math is a mask.
+
+use super::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    mask: usize,
+    /// Consumer cursor: next slot to read.
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor: next slot to write.
+    tail: CachePadded<AtomicUsize>,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: the ring moves `T` values between the producer and the consumer
+// thread; slot access is serialised by the head/tail protocol described in
+// the module docs, so sharing `Inner` between the two endpoint threads is
+// sound whenever `T` itself may cross threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // `&mut self`: both endpoints are gone, the cursors are quiescent.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut pos = head;
+        while pos != tail {
+            let slot = &self.slots[pos & self.mask];
+            // SAFETY: slots in [head, tail) hold initialised values that
+            // were never consumed.
+            unsafe { (*slot.get()).assume_init_drop() };
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// Producer endpoint of [`spsc_channel`].
+pub struct SpscSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer endpoint of [`spsc_channel`].
+pub struct SpscReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC ring holding at least `capacity` elements
+/// (rounded up to a power of two, minimum 2).
+pub fn spsc_channel<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let capacity = capacity.max(2).next_power_of_two();
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        mask: capacity - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        slots,
+    });
+    (
+        SpscSender {
+            inner: Arc::clone(&inner),
+        },
+        SpscReceiver { inner },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueues `value`, or hands it back when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        let head = inner.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > inner.mask {
+            return Err(value);
+        }
+        // SAFETY: the slot at `tail` is outside [head, tail) — it is either
+        // virgin or its previous value was consumed (head advanced past it);
+        // only this producer writes slots, and the Release store below
+        // publishes the write before the consumer can read it.
+        unsafe { (*inner.slots[tail & inner.mask].get()).write(value) };
+        inner.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements currently buffered.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        let head = self.inner.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Dequeues the oldest element, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.0.load(Ordering::Relaxed);
+        let tail = inner.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head < tail, so the slot holds a value the producer
+        // published with its Release store on `tail` (paired with the
+        // Acquire load above); only this consumer reads slots, and the
+        // Release store on `head` below returns the slot to the producer.
+        let value = unsafe { (*inner.slots[head & inner.mask].get()).assume_init_read() };
+        inner.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of elements currently buffered.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.0.load(Ordering::Acquire);
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(4);
+        assert!(rx.pop().is_none());
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        assert_eq!(tx.push(99).unwrap_err(), 99, "full ring rejects");
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.pop().is_none());
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(2);
+        for round in 0..100u64 {
+            tx.push(2 * round).unwrap();
+            tx.push(2 * round + 1).unwrap();
+            assert_eq!(rx.pop(), Some(2 * round));
+            assert_eq!(rx.pop(), Some(2 * round + 1));
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (mut tx, _rx) = spsc_channel::<u8>(3);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.push(4).is_err());
+    }
+
+    #[test]
+    fn drops_unconsumed_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (mut tx, mut rx) = spsc_channel::<Counted>(4);
+            assert!(tx.push(Counted).is_ok());
+            assert!(tx.push(Counted).is_ok());
+            assert!(tx.push(Counted).is_ok());
+            drop(rx.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3, "2 in ring + 1 popped");
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything_in_order() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc_channel::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expected, "FIFO order violated");
+                    expected += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.pop().is_none());
+    }
+}

@@ -32,14 +32,25 @@
 //! The crate deliberately knows nothing about Skueue itself; the overlay, the
 //! DHT and the protocol are layered on top (see `skueue-overlay`,
 //! `skueue-dht`, `skueue-core`).
+//!
+//! # Execution backends
+//!
+//! A simulation's nodes are partitioned into **lanes** (one by default; the
+//! Skueue cluster maps every anchor shard to its own lane).  Each lane owns
+//! its nodes, its slice of the delivery wheel and an independent RNG
+//! stream, so a round decomposes into per-lane work recombined in fixed
+//! lane order.  [`ExecMode`] selects whether lanes run on the calling
+//! thread or on a pool of worker threads behind a deterministic round
+//! barrier (see [`exec`]); both backends produce byte-identical results.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `exec`'s queues opt in locally; everything else is forbidden.
 #![warn(missing_docs)]
 
 pub mod actor;
 pub mod config;
 pub mod delivery;
 pub mod error;
+pub mod exec;
 pub mod ids;
 pub mod message;
 pub mod metrics;
@@ -52,6 +63,7 @@ pub use actor::{Actor, Context};
 pub use config::SimConfig;
 pub use delivery::DeliveryModel;
 pub use error::SimError;
+pub use exec::ExecMode;
 pub use ids::{NodeId, ProcessId, RequestId};
 pub use message::Envelope;
 pub use metrics::{Histogram, SimMetrics, Summary};

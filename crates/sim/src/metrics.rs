@@ -135,6 +135,19 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Resets the histogram to its empty state, keeping the bucket storage
+    /// (used by the lane merge, which rebuilds aggregate histograms from the
+    /// per-lane ones every round without reallocating).
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -211,6 +224,20 @@ pub struct SimMetrics {
     /// (e.g. the protocol layer batching many payload ops into one message)
     /// directly observable at the substrate level.
     pub per_round_sends: Histogram,
+    /// Cumulative wall time each lane spent executing its rounds, in
+    /// nanoseconds (index = lane).  A single-lane simulation reports one
+    /// entry; lane imbalance shows up as a spread across entries.
+    pub lane_busy_ns: Vec<u64>,
+    /// Cumulative time each lane's result sat waiting at the round barrier
+    /// for the slowest lane, in nanoseconds (index = lane).  Only the
+    /// parallel backend accumulates this; it is the direct cost of lane
+    /// imbalance.
+    pub lane_barrier_wait_ns: Vec<u64>,
+    /// Process-unique token of the OS thread that most recently executed
+    /// each lane (index = lane; see [`crate::exec::thread_token`]).  Lets
+    /// tests and CI assert that the parallel backend really spread lanes
+    /// over distinct threads.
+    pub lane_thread_tokens: Vec<u64>,
 }
 
 impl SimMetrics {

@@ -15,7 +15,30 @@
 //! Determinism: for a fixed seed, configuration and sequence of driver calls,
 //! a run is bit-for-bit reproducible.  Nodes are processed in index order
 //! (optionally in a seeded shuffled order), and ties between messages are
-//! broken by a global sequence number.
+//! broken by a per-lane sequence number.
+//!
+//! # Lanes
+//!
+//! Nodes are partitioned into **lanes** (one by default).  A lane owns its
+//! node slots, its slice of the delivery wheel, an independent RNG stream
+//! and its own scratch buffers, so one round decomposes into independent
+//! per-lane rounds recombined in fixed lane order:
+//!
+//! * the per-round wake list is merged in ascending node-id order (the
+//!   classic visit order) — or in lane-concatenation order under shuffle,
+//! * per-lane metrics and trace buffers are folded into the global views,
+//! * the rare message that crosses a lane boundary is detoured through a
+//!   per-lane outbox and routed by the driver after all lanes finish, drawing
+//!   its delay from the *destination* lane's stream in fixed lane order.
+//!
+//! The Skueue cluster maps every anchor shard to its own lane; shard
+//! independence (all protocol traffic is intra-shard) means the cross-lane
+//! detour never fires there.  Lanes make the round loop parallelisable: with
+//! [`Simulation::enable_parallel`] each lane's round executes on a worker
+//! thread of a persistent [`crate::exec::WorkerPool`] behind a deterministic
+//! round barrier.  Because a lane's round depends only on lane-owned state
+//! and merges happen in lane order, the parallel backend is **byte-identical**
+//! to the single-threaded one for every seed and any thread count.
 //!
 //! # Hot-loop design
 //!
@@ -31,26 +54,35 @@
 //!   messages or are active (and therefore receive a `TIMEOUT`); deactivated
 //!   nodes without deliveries cost nothing.
 //! * Per-node pending queues, the wake list, and the actor outbox are
-//!   **scratch buffers** owned by the simulation and reused across rounds.
+//!   **scratch buffers** owned by the lane and reused across rounds.
 //! * No per-round sorting: a bucket is filled in send order, so envelopes
-//!   arrive at a node already in `(deliver_at, seq)` order.
+//!   arrive at a node already in `(deliver_at, seq)` order.  (The merged
+//!   wake list does sort ids in multi-lane runs — over the handful of woken
+//!   nodes, not the message volume.)
 
 use crate::actor::{Actor, Context};
 use crate::config::SimConfig;
+use crate::delivery::DeliveryModel;
 use crate::error::SimError;
+use crate::exec::{thread_token, RoundTask, WorkerPool};
 use crate::ids::NodeId;
 use crate::message::Envelope;
-use crate::metrics::SimMetrics;
-use crate::rng::SimRng;
+use crate::metrics::{Histogram, SimMetrics};
+use crate::rng::{splitmix64, SimRng};
 use crate::trace::{Trace, TraceEvent};
 use crate::Round;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-/// Upper bound on parked spare bucket vectors.  Delivery models bound the
-/// number of distinct in-flight `deliver_at` rounds (1 for synchronous,
-/// `max_delay` / `straggle_delay` otherwise), so a small pool suffices; the
-/// cap only guards against unbounded growth under pathological models.
+/// Upper bound on parked spare bucket vectors (per lane).  Delivery models
+/// bound the number of distinct in-flight `deliver_at` rounds (1 for
+/// synchronous, `max_delay` / `straggle_delay` otherwise), so a small pool
+/// suffices; the cap only guards against unbounded growth under pathological
+/// models.
 const SPARE_BUCKET_LIMIT: usize = 64;
+
+/// Marker in a lane's global→local slot map for "not one of my nodes".
+const NOT_LOCAL: u32 = u32::MAX;
 
 /// Outcome of [`Simulation::run_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,16 +104,45 @@ struct NodeSlot<A: Actor> {
     pending: Vec<Envelope<A::Msg>>,
 }
 
-/// A deterministic discrete-round message-passing simulation.
-pub struct Simulation<A: Actor> {
-    config: SimConfig,
-    nodes: Vec<NodeSlot<A>>,
-    round: Round,
+/// Cumulative per-lane counters, folded into the global [`SimMetrics`] by
+/// the driver's round merge.
+#[derive(Debug, Default)]
+struct LaneMetrics {
+    messages_sent: u64,
+    messages_delivered: u64,
+    timeouts_fired: u64,
+    nodes_visited: u64,
+    delays: Histogram,
+    busy_ns: u64,
+    barrier_wait_ns: u64,
+    thread_token: u64,
+}
+
+/// One lane: a partition of the simulation's nodes together with everything
+/// needed to run their share of a round without touching other lanes.
+struct Lane<A: Actor> {
+    // Per-lane copies of the configuration bits the round loop needs (the
+    // lane must be shippable to a worker thread without borrowing the
+    // simulation).
+    delivery: DeliveryModel,
+    shuffle: bool,
+    record_trace: bool,
+    /// The lane's independent RNG stream.  Lane 0 is seeded exactly like the
+    /// pre-lane global stream, so single-lane runs are bit-identical to the
+    /// historical scheduler.
     rng: SimRng,
+    /// Per-lane message sequence (tie-breaker metadata on envelopes).
     seq: u64,
+    /// The round this lane last executed (kept in sync with the driver's
+    /// clock; used as the send round for driver-side injections).
+    round: Round,
+    nodes: Vec<NodeSlot<A>>,
+    /// Lane slot → global node id.
+    global_ids: Vec<u64>,
+    /// Global node id → lane slot (`NOT_LOCAL` for other lanes' nodes; only
+    /// grown for ids at or below this lane's own highest node).
+    local_slot: Vec<u32>,
     in_flight: usize,
-    metrics: SimMetrics,
-    trace: Option<Trace>,
     /// Round-bucketed delivery wheel: `deliver_at → envelopes` in send order.
     /// The next round's bucket is kept out of the map in `hot_bucket`, so in
     /// the synchronous model (and for every delay-1 message) a post is a
@@ -94,40 +155,56 @@ pub struct Simulation<A: Actor> {
     hot_bucket: Vec<Envelope<A::Msg>>,
     /// Emptied bucket vectors parked for reuse (see [`SPARE_BUCKET_LIMIT`]).
     spare_buckets: Vec<Vec<Envelope<A::Msg>>>,
-    /// Bit-packed per-node wake flags: bit `i` is set iff node `i` is active
+    /// Bit-packed per-slot wake flags: bit `i` is set iff slot `i` is active
     /// *and* wants its timeout (see [`Actor::wants_timeout`]).  Re-derived
-    /// after every visit; the round loop scans these words OR-ed with
-    /// [`Self::woken_bits`], so 64 quiescent nodes cost one word-load.
+    /// after every visit.
     timeout_flags: Vec<u64>,
-    /// Bit-packed per-round delivery marks: bit `i` is set while node `i`
+    /// Bit-packed per-round delivery marks: bit `i` is set while slot `i`
     /// has deliverable messages this round.  Cleared at every round start.
     woken_bits: Vec<u64>,
-    /// The indices visited by the current round, in visit order (also the
-    /// shuffle buffer and the `visited_last_round` result).
+    /// The lane slots visited by the current round, in visit order.
     wake_order: Vec<usize>,
     /// Scratch: outbox buffer lent to each actor invocation.
     outbox: Vec<(NodeId, A::Msg)>,
+    /// Messages addressed outside this lane, handed to the driver for
+    /// routing after the round barrier.
+    xlane: Vec<(NodeId, NodeId, A::Msg)>,
+    /// Trace events recorded by this lane's round, flushed into the global
+    /// trace in lane order by the round merge.
+    trace_buf: Vec<TraceEvent>,
+    metrics: LaneMetrics,
+    /// Messages delivered by the most recent round (merge input).
+    delta_delivered: usize,
+    /// Messages sent during the most recent round (merge input; excludes
+    /// driver-side injections, which happen between rounds).
+    delta_sent: u64,
+    /// Wall time of the most recent round (merge input for barrier-wait
+    /// accounting).
+    delta_busy_ns: u64,
 }
 
-impl<A: Actor> Simulation<A> {
-    /// Creates an empty simulation from a configuration.
-    pub fn new(config: SimConfig) -> Result<Self, SimError> {
-        config.validate()?;
-        let rng = SimRng::new(config.seed);
-        let trace = if config.record_trace {
-            Some(Trace::with_capacity(1 << 16))
+impl<A: Actor> Lane<A> {
+    fn new(config: &SimConfig, lane: usize) -> Self {
+        let seed = if lane == 0 {
+            config.seed
         } else {
-            None
+            // Derived, well-separated stream for every additional lane.
+            let mut s = config
+                .seed
+                .wrapping_add((lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            splitmix64(&mut s)
         };
-        Ok(Simulation {
-            config,
-            nodes: Vec::new(),
-            round: 0,
-            rng,
+        Lane {
+            delivery: config.delivery,
+            shuffle: config.shuffle_node_order,
+            record_trace: config.record_trace,
+            rng: SimRng::new(seed),
             seq: 0,
+            round: 0,
+            nodes: Vec::new(),
+            global_ids: Vec::new(),
+            local_slot: Vec::new(),
             in_flight: 0,
-            metrics: SimMetrics::new(),
-            trace,
             wheel: BTreeMap::new(),
             hot_round: 1,
             hot_bucket: Vec::new(),
@@ -136,194 +213,94 @@ impl<A: Actor> Simulation<A> {
             woken_bits: Vec::new(),
             wake_order: Vec::new(),
             outbox: Vec::new(),
-        })
+            xlane: Vec::new(),
+            trace_buf: Vec::new(),
+            metrics: LaneMetrics::default(),
+            delta_delivered: 0,
+            delta_sent: 0,
+            delta_busy_ns: 0,
+        }
     }
 
-    /// Convenience constructor for the synchronous model.
-    pub fn synchronous(seed: u64) -> Self {
-        Simulation::new(SimConfig::synchronous(seed)).expect("synchronous config is always valid")
+    /// Pre-sizes the lane for `nodes` more nodes (capacity hint only).
+    /// Node slots are large (the actor is stored inline), so growing the
+    /// slot vector by doubling costs a multi-megabyte memcpy per step once
+    /// several lanes interleave their allocations; a bulk build that knows
+    /// its lane sizes up front reserves once and never reallocates.
+    fn reserve_nodes(&mut self, nodes: usize) {
+        self.nodes.reserve(nodes);
+        let slots = self.nodes.len() + nodes;
+        self.global_ids.reserve(nodes);
+        self.timeout_flags.reserve(slots.div_ceil(64));
+        self.woken_bits.reserve(slots.div_ceil(64));
     }
 
-    /// Adds a node and returns its id. Ids are dense and assigned in
-    /// insertion order.
-    pub fn add_node(&mut self, actor: A) -> NodeId {
-        let idx = self.nodes.len();
-        let id = NodeId(idx as u64);
-        if idx / 64 >= self.timeout_flags.len() {
+    /// Registers a node with global id `global` and returns its lane slot.
+    fn add_node(&mut self, global: u64, actor: A) -> usize {
+        let slot = self.nodes.len();
+        if slot / 64 >= self.timeout_flags.len() {
             self.timeout_flags.push(0);
             self.woken_bits.push(0);
         }
         if actor.wants_timeout() {
-            self.timeout_flags[idx / 64] |= 1u64 << (idx % 64);
+            self.timeout_flags[slot / 64] |= 1u64 << (slot % 64);
         }
         self.nodes.push(NodeSlot {
             actor,
             active: true,
             pending: Vec::new(),
         });
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::NodeAdded {
-                node: id,
-                round: self.round,
-            });
+        self.global_ids.push(global);
+        if self.local_slot.len() <= global as usize {
+            self.local_slot.resize(global as usize + 1, NOT_LOCAL);
         }
-        id
+        self.local_slot[global as usize] = slot as u32;
+        slot
     }
 
-    /// Number of registered nodes (active or not).
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True if no nodes are registered.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Current round (0 before the first call to [`Self::run_round`]).
-    pub fn round(&self) -> Round {
-        self.round
-    }
-
-    /// Number of messages currently in flight.
-    pub fn in_flight(&self) -> usize {
-        self.in_flight
-    }
-
-    /// True when no messages are in flight.
-    pub fn is_quiescent(&self) -> bool {
-        self.in_flight == 0
-    }
-
-    /// Immutable access to an actor.
-    pub fn node(&self, id: NodeId) -> Option<&A> {
-        self.nodes.get(id.index()).map(|slot| &slot.actor)
-    }
-
-    /// Mutable access to an actor. The driver (e.g. the Skueue cluster API)
-    /// uses this to perform *local* operations such as generating a queue
-    /// request at a node — those are not messages in the paper's model.
-    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut A> {
-        self.nodes.get_mut(id.index()).map(|slot| &mut slot.actor)
-    }
-
-    /// Iterates over `(id, actor)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &A)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, slot)| (NodeId(i as u64), &slot.actor))
-    }
-
-    /// Iterates mutably over `(id, actor)` pairs.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut A)> {
-        self.nodes
-            .iter_mut()
-            .enumerate()
-            .map(|(i, slot)| (NodeId(i as u64), &mut slot.actor))
-    }
-
-    /// Marks a node as inactive: it stops receiving timeouts but its channel
-    /// keeps accepting and delivering messages (reliable channels).
-    pub fn deactivate(&mut self, id: NodeId) -> Result<(), SimError> {
-        let round = self.round;
-        let slot = self
-            .nodes
-            .get_mut(id.index())
-            .ok_or(SimError::UnknownNode(id))?;
-        slot.active = false;
-        self.refresh_flag(id.index());
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::NodeDeactivated { node: id, round });
+    /// The lane slot of a global node id, if the node lives in this lane.
+    #[inline]
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        match self.local_slot.get(id.index()) {
+            Some(&slot) if slot != NOT_LOCAL => Some(slot as usize),
+            _ => None,
         }
-        Ok(())
     }
 
-    /// Re-activates a node (used when a pre-registered process completes its
-    /// `JOIN()`).
-    pub fn activate(&mut self, id: NodeId) -> Result<(), SimError> {
-        let slot = self
-            .nodes
-            .get_mut(id.index())
-            .ok_or(SimError::UnknownNode(id))?;
-        slot.active = true;
-        self.refresh_flag(id.index());
-        Ok(())
-    }
-
-    /// Re-evaluates a node's wake flag after a driver-side mutation that may
-    /// have changed [`Actor::wants_timeout`] (e.g. injecting a local request
-    /// or asking a node to leave through [`Self::node_mut`]).
-    pub fn refresh_timeout_interest(&mut self, id: NodeId) -> Result<(), SimError> {
-        if id.index() >= self.nodes.len() {
-            return Err(SimError::UnknownNode(id));
-        }
-        self.refresh_flag(id.index());
-        Ok(())
-    }
-
-    /// Re-derives node `idx`'s wake-flag bit from its current state.
-    fn refresh_flag(&mut self, idx: usize) {
-        let slot = &self.nodes[idx];
-        let bit = 1u64 << (idx % 64);
-        if slot.active && slot.actor.wants_timeout() {
-            self.timeout_flags[idx / 64] |= bit;
+    /// Re-derives slot `slot`'s wake-flag bit from its current state.
+    fn refresh_flag(&mut self, slot: usize) {
+        let node = &self.nodes[slot];
+        let bit = 1u64 << (slot % 64);
+        if node.active && node.actor.wants_timeout() {
+            self.timeout_flags[slot / 64] |= bit;
         } else {
-            self.timeout_flags[idx / 64] &= !bit;
+            self.timeout_flags[slot / 64] &= !bit;
         }
     }
 
-    /// Whether a node is currently active.
-    pub fn is_active(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.index())
-            .map(|s| s.active)
-            .unwrap_or(false)
-    }
-
-    /// Injects a message from the outside world (delivered like any other
-    /// message, in the next round at the earliest).
-    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) -> Result<(), SimError> {
-        if to.index() >= self.nodes.len() {
-            return Err(SimError::UnknownNode(to));
-        }
-        self.post(from, to, msg);
-        Ok(())
-    }
-
-    /// Substrate metrics collected so far.
-    pub fn metrics(&self) -> &SimMetrics {
-        &self.metrics
-    }
-
-    /// The recorded trace, if tracing is enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
-    }
-
-    /// The simulation configuration.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
-    }
-
-    /// Indices of the nodes visited by the most recent [`Self::run_round`]
-    /// (in visit order).  Drivers use this to post-process only the nodes
-    /// that can have produced output — e.g. collecting completion records —
-    /// instead of sweeping every node every round.
-    pub fn visited_last_round(&self) -> &[usize] {
-        &self.wake_order
-    }
-
+    /// Posts a message sent by one of this lane's actors.  Intra-lane
+    /// destinations are scheduled directly; anything else is detoured to the
+    /// driver's cross-lane router.
     fn post(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        debug_assert!(to.index() < self.nodes.len(), "send to unknown node {to}");
-        let delay = self.config.delivery.draw_delay(&mut self.rng).max(1);
+        match self.slot_of(to) {
+            Some(_) => {
+                self.post_local(from, to, msg);
+            }
+            None => self.xlane.push((from, to, msg)),
+        }
+    }
+
+    /// Schedules a message for an intra-lane destination and returns its
+    /// delivery round.
+    fn post_local(&mut self, from: NodeId, to: NodeId, msg: A::Msg) -> Round {
+        let delay = self.delivery.draw_delay(&mut self.rng).max(1);
         let deliver_at = self.round + delay;
         let seq = self.seq;
         self.seq += 1;
         self.metrics.messages_sent += 1;
         self.metrics.delays.record(delay);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Sent {
+        if self.record_trace {
+            self.trace_buf.push(TraceEvent::Sent {
                 from,
                 to,
                 round: self.round,
@@ -347,41 +324,42 @@ impl<A: Actor> Simulation<A> {
                 .or_insert_with(|| self.spare_buckets.pop().unwrap_or_default())
                 .push(envelope);
         }
+        deliver_at
     }
 
-    /// Delivers a node's pending messages, fires its timeout if it is
+    /// Delivers a slot's pending messages, fires its timeout if it is
     /// active, and posts everything it sent.  The pending queue and the
     /// outbox scratch are moved out and back so their capacity is reused;
     /// the moves are skipped entirely on the (hot) quiet path.
     #[inline]
-    fn visit_node(&mut self, idx: usize, round: Round) {
-        let self_id = NodeId(idx as u64);
+    fn visit_node(&mut self, slot: usize, round: Round) {
+        let self_id = NodeId(self.global_ids[slot]);
         // Equivalent to handing the context `self.rng.fork()`, but the
         // xoshiro state is only set up if the actor actually draws bits.
         let ctx_seed = self.rng.next_u64();
         let mut ctx =
             Context::with_outbox(self_id, round, ctx_seed, std::mem::take(&mut self.outbox));
-        if !self.nodes[idx].pending.is_empty() {
-            let mut pending = std::mem::take(&mut self.nodes[idx].pending);
-            let slot = &mut self.nodes[idx];
+        if !self.nodes[slot].pending.is_empty() {
+            let mut pending = std::mem::take(&mut self.nodes[slot].pending);
+            let node = &mut self.nodes[slot];
             for env in pending.drain(..) {
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent::Delivered {
+                if self.record_trace {
+                    self.trace_buf.push(TraceEvent::Delivered {
                         from: env.from,
                         to: self_id,
                         round,
                     });
                 }
-                slot.actor.on_message(env.from, env.payload, &mut ctx);
+                node.actor.on_message(env.from, env.payload, &mut ctx);
             }
-            self.nodes[idx].pending = pending;
+            self.nodes[slot].pending = pending;
         }
-        let slot = &mut self.nodes[idx];
-        if slot.active {
-            slot.actor.on_timeout(&mut ctx);
+        let node = &mut self.nodes[slot];
+        if node.active {
+            node.actor.on_timeout(&mut ctx);
             self.metrics.timeouts_fired += 1;
-            if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Timeout {
+            if self.record_trace {
+                self.trace_buf.push(TraceEvent::Timeout {
                     node: self_id,
                     round,
                 });
@@ -396,13 +374,13 @@ impl<A: Actor> Simulation<A> {
         self.outbox = outbox;
     }
 
-    /// Executes one round and returns the number of messages delivered in it.
-    pub fn run_round(&mut self) -> usize {
-        self.round += 1;
-        let round = self.round;
+    /// Executes this lane's share of one round.
+    fn run_round(&mut self, round: Round) {
+        let started = Instant::now();
+        self.round = round;
         let sends_before = self.metrics.messages_sent;
 
-        // Phase 1: scatter this round's bucket(s) into the per-node pending
+        // Phase 1: scatter this round's bucket(s) into the per-slot pending
         // queues, marking each destination as woken.  Buckets are drained
         // in ascending `deliver_at` order and were filled in send order, so
         // each pending queue ends up in `(deliver_at, seq)` order without
@@ -415,9 +393,9 @@ impl<A: Actor> Simulation<A> {
             let mut bucket = std::mem::take(&mut self.hot_bucket);
             delivered_total += bucket.len();
             for env in bucket.drain(..) {
-                let idx = env.to.index();
-                self.woken_bits[idx / 64] |= 1u64 << (idx % 64);
-                self.nodes[idx].pending.push(env);
+                let slot = self.local_slot[env.to.index()] as usize;
+                self.woken_bits[slot / 64] |= 1u64 << (slot % 64);
+                self.nodes[slot].pending.push(env);
             }
             self.hot_bucket = bucket;
         }
@@ -428,9 +406,9 @@ impl<A: Actor> Simulation<A> {
             let mut bucket = entry.remove();
             delivered_total += bucket.len();
             for env in bucket.drain(..) {
-                let idx = env.to.index();
-                self.woken_bits[idx / 64] |= 1u64 << (idx % 64);
-                self.nodes[idx].pending.push(env);
+                let slot = self.local_slot[env.to.index()] as usize;
+                self.woken_bits[slot / 64] |= 1u64 << (slot % 64);
+                self.nodes[slot].pending.push(env);
             }
             if self.spare_buckets.len() < SPARE_BUCKET_LIMIT {
                 self.spare_buckets.push(bucket);
@@ -449,54 +427,523 @@ impl<A: Actor> Simulation<A> {
             }
         }
 
-        // Phases 2+3: visit exactly the woken nodes — those whose wake-flag
+        // Phases 2+3: visit exactly the woken slots — those whose wake-flag
         // bit is set (active + timeout interest) or that received a message
         // this round.  The scan is over the OR of the two bit words, so 64
         // quiescent nodes cost a single word-load; the shuffle mode
-        // materialises the wake list before visiting.  A node's flag is
+        // materialises the wake list before visiting.  A slot's flag is
         // re-derived after its visit, so timeout interest follows the
         // actor's state from round to round.
         self.wake_order.clear();
         let words = self.timeout_flags.len();
-        if !self.config.shuffle_node_order {
+        if !self.shuffle {
             for wi in 0..words {
                 let mut word = self.timeout_flags[wi] | self.woken_bits[wi];
                 while word != 0 {
-                    let idx = wi * 64 + word.trailing_zeros() as usize;
+                    let slot = wi * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
-                    self.visit_node(idx, round);
-                    self.refresh_flag(idx);
-                    self.wake_order.push(idx);
+                    self.visit_node(slot, round);
+                    self.refresh_flag(slot);
+                    self.wake_order.push(slot);
                 }
             }
         } else {
             for wi in 0..words {
                 let mut word = self.timeout_flags[wi] | self.woken_bits[wi];
                 while word != 0 {
-                    let idx = wi * 64 + word.trailing_zeros() as usize;
+                    let slot = wi * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
-                    self.wake_order.push(idx);
+                    self.wake_order.push(slot);
                 }
             }
             let mut wake = std::mem::take(&mut self.wake_order);
             self.rng.shuffle(&mut wake);
-            for &idx in &wake {
-                self.visit_node(idx, round);
-                self.refresh_flag(idx);
+            for &slot in &wake {
+                self.visit_node(slot, round);
+                self.refresh_flag(slot);
             }
             self.wake_order = wake;
         }
         self.metrics.nodes_visited += self.wake_order.len() as u64;
-
         self.metrics.messages_delivered += delivered_total as u64;
-        self.metrics.rounds = round;
-        self.metrics
-            .per_round_deliveries
-            .record(delivered_total as u64);
-        self.metrics
-            .per_round_sends
-            .record(self.metrics.messages_sent - sends_before);
-        delivered_total
+        self.delta_delivered = delivered_total;
+        self.delta_sent = self.metrics.messages_sent - sends_before;
+        self.delta_busy_ns = started.elapsed().as_nanos() as u64;
+        self.metrics.busy_ns += self.delta_busy_ns;
+        self.metrics.thread_token = thread_token();
+    }
+}
+
+impl<A> RoundTask for Lane<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send,
+{
+    fn run_task(&mut self, round: u64) {
+        self.run_round(round);
+    }
+}
+
+/// A deterministic discrete-round message-passing simulation.
+pub struct Simulation<A: Actor> {
+    config: SimConfig,
+    /// The lanes.  `Option` because the parallel backend temporarily moves
+    /// lane boxes to worker threads inside [`Self::run_round`]; between
+    /// driver calls every slot is `Some`.
+    lanes: Vec<Option<Box<Lane<A>>>>,
+    /// Global node id → `(lane, slot)`.
+    node_loc: Vec<(u32, u32)>,
+    round: Round,
+    metrics: SimMetrics,
+    trace: Option<Trace>,
+    /// The global node ids visited by the most recent round (merged across
+    /// lanes; see [`Self::visited_last_round`]).
+    merged_wake: Vec<usize>,
+    /// Scratch for the cross-lane router.
+    xroute: Vec<(NodeId, NodeId, A::Msg)>,
+    /// Worker pool of the parallel backend (`None` = single-threaded).
+    pool: Option<WorkerPool<Lane<A>>>,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates an empty simulation from a configuration (one lane; see
+    /// [`Self::configure_lanes`]).
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let trace = if config.record_trace {
+            Some(Trace::with_capacity(1 << 16))
+        } else {
+            None
+        };
+        let lane = Box::new(Lane::new(&config, 0));
+        Ok(Simulation {
+            config,
+            lanes: vec![Some(lane)],
+            node_loc: Vec::new(),
+            round: 0,
+            metrics: SimMetrics::new(),
+            trace,
+            merged_wake: Vec::new(),
+            xroute: Vec::new(),
+            pool: None,
+        })
+    }
+
+    /// Convenience constructor for the synchronous model.
+    pub fn synchronous(seed: u64) -> Self {
+        Simulation::new(SimConfig::synchronous(seed)).expect("synchronous config is always valid")
+    }
+
+    /// Immutable access to a lane (every slot is `Some` between rounds).
+    #[inline]
+    fn lane(&self, lane: usize) -> &Lane<A> {
+        self.lanes[lane].as_ref().expect("lane present")
+    }
+
+    /// Mutable access to a lane.
+    #[inline]
+    fn lane_mut(&mut self, lane: usize) -> &mut Lane<A> {
+        self.lanes[lane].as_mut().expect("lane present")
+    }
+
+    /// Repartitions the (still empty) simulation into `count` lanes.  Lane 0
+    /// keeps the historical RNG stream; every further lane gets its own
+    /// derived stream.  Must be called before any node is added.
+    pub fn configure_lanes(&mut self, count: usize) -> Result<(), SimError> {
+        if count == 0 {
+            return Err(SimError::InvalidConfig(
+                "a simulation needs at least one lane".into(),
+            ));
+        }
+        if !self.node_loc.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "lanes must be configured before nodes are added".into(),
+            ));
+        }
+        self.lanes = (0..count)
+            .map(|l| Some(Box::new(Lane::new(&self.config, l))))
+            .collect();
+        self.pool = None;
+        Ok(())
+    }
+
+    /// Number of lanes the simulation is partitioned into.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a node belongs to.
+    pub fn lane_of(&self, id: NodeId) -> Option<usize> {
+        self.node_loc.get(id.index()).map(|&(l, _)| l as usize)
+    }
+
+    /// Adds a node to lane 0 and returns its id. Ids are dense and assigned
+    /// in insertion order, independent of the lane.
+    pub fn add_node(&mut self, actor: A) -> NodeId {
+        self.add_node_in_lane(0, actor)
+    }
+
+    /// Pre-sizes a lane for `nodes` more nodes (a capacity hint, not a
+    /// limit).  Bulk builders that know the final lane population call this
+    /// once per lane before the `add_node_in_lane` loop; actor slots are
+    /// large, so skipping the doubling reallocations saves a multi-megabyte
+    /// memcpy per growth step on big clusters.
+    pub fn reserve_nodes_in_lane(&mut self, lane: usize, nodes: usize) {
+        assert!(
+            lane < self.lanes.len(),
+            "lane {lane} out of range ({} lanes)",
+            self.lanes.len()
+        );
+        self.node_loc.reserve(nodes);
+        self.lane_mut(lane).reserve_nodes(nodes);
+    }
+
+    /// Adds a node to the given lane and returns its (global) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range (driver bug — the lane layout is
+    /// fixed at configuration time).
+    pub fn add_node_in_lane(&mut self, lane: usize, actor: A) -> NodeId {
+        assert!(
+            lane < self.lanes.len(),
+            "lane {lane} out of range ({} lanes)",
+            self.lanes.len()
+        );
+        let global = self.node_loc.len() as u64;
+        let id = NodeId(global);
+        let slot = self.lane_mut(lane).add_node(global, actor);
+        self.node_loc.push((lane as u32, slot as u32));
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::NodeAdded {
+                node: id,
+                round: self.round,
+            });
+        }
+        id
+    }
+
+    /// Number of registered nodes (active or not).
+    pub fn len(&self) -> usize {
+        self.node_loc.len()
+    }
+
+    /// True if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.node_loc.is_empty()
+    }
+
+    /// Current round (0 before the first call to [`Self::run_round`]).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.as_ref().expect("lane present").in_flight)
+            .sum()
+    }
+
+    /// True when no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Switches the round loop to the parallel backend with (up to)
+    /// `threads` worker threads — values `<= 1` (or a single lane) select
+    /// the single-threaded backend.  May be toggled between rounds; results
+    /// are byte-identical either way.
+    pub fn enable_parallel(&mut self, threads: usize)
+    where
+        A: Send + 'static,
+        A::Msg: Send,
+    {
+        let workers = threads.min(self.lanes.len());
+        if workers <= 1 || self.lanes.len() <= 1 {
+            self.pool = None;
+            return;
+        }
+        self.pool = Some(WorkerPool::new(workers, self.lanes.len()));
+    }
+
+    /// Number of worker threads of the parallel backend (1 when the
+    /// single-threaded backend is active).
+    pub fn parallel_threads(&self) -> usize {
+        self.pool.as_ref().map(|p| p.worker_count()).unwrap_or(1)
+    }
+
+    /// Immutable access to an actor.
+    pub fn node(&self, id: NodeId) -> Option<&A> {
+        let &(lane, slot) = self.node_loc.get(id.index())?;
+        Some(&self.lane(lane as usize).nodes[slot as usize].actor)
+    }
+
+    /// Mutable access to an actor. The driver (e.g. the Skueue cluster API)
+    /// uses this to perform *local* operations such as generating a queue
+    /// request at a node — those are not messages in the paper's model.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut A> {
+        let &(lane, slot) = self.node_loc.get(id.index())?;
+        Some(&mut self.lane_mut(lane as usize).nodes[slot as usize].actor)
+    }
+
+    /// Iterates over `(id, actor)` pairs in global id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.node_loc.iter().enumerate().map(move |(i, &(l, s))| {
+            (
+                NodeId(i as u64),
+                &self.lane(l as usize).nodes[s as usize].actor,
+            )
+        })
+    }
+
+    /// Iterates mutably over `(id, actor)` pairs.  Multi-lane simulations
+    /// iterate lane-major (lane order, then slot order); with one lane this
+    /// is exactly global id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut A)> {
+        self.lanes.iter_mut().flat_map(|slot| {
+            let lane = slot.as_mut().expect("lane present");
+            lane.nodes
+                .iter_mut()
+                .zip(lane.global_ids.iter())
+                .map(|(node, &gid)| (NodeId(gid), &mut node.actor))
+        })
+    }
+
+    /// Marks a node as inactive: it stops receiving timeouts but its channel
+    /// keeps accepting and delivering messages (reliable channels).
+    pub fn deactivate(&mut self, id: NodeId) -> Result<(), SimError> {
+        let round = self.round;
+        let &(lane, slot) = self
+            .node_loc
+            .get(id.index())
+            .ok_or(SimError::UnknownNode(id))?;
+        let lane = self.lane_mut(lane as usize);
+        lane.nodes[slot as usize].active = false;
+        lane.refresh_flag(slot as usize);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::NodeDeactivated { node: id, round });
+        }
+        Ok(())
+    }
+
+    /// Re-activates a node (used when a pre-registered process completes its
+    /// `JOIN()`).
+    pub fn activate(&mut self, id: NodeId) -> Result<(), SimError> {
+        let &(lane, slot) = self
+            .node_loc
+            .get(id.index())
+            .ok_or(SimError::UnknownNode(id))?;
+        let lane = self.lane_mut(lane as usize);
+        lane.nodes[slot as usize].active = true;
+        lane.refresh_flag(slot as usize);
+        Ok(())
+    }
+
+    /// Re-evaluates a node's wake flag after a driver-side mutation that may
+    /// have changed [`Actor::wants_timeout`] (e.g. injecting a local request
+    /// or asking a node to leave through [`Self::node_mut`]).
+    pub fn refresh_timeout_interest(&mut self, id: NodeId) -> Result<(), SimError> {
+        let &(lane, slot) = self
+            .node_loc
+            .get(id.index())
+            .ok_or(SimError::UnknownNode(id))?;
+        self.lane_mut(lane as usize).refresh_flag(slot as usize);
+        Ok(())
+    }
+
+    /// Whether a node is currently active.
+    pub fn is_active(&self, id: NodeId) -> bool {
+        match self.node_loc.get(id.index()) {
+            Some(&(lane, slot)) => self.lane(lane as usize).nodes[slot as usize].active,
+            None => false,
+        }
+    }
+
+    /// Injects a message from the outside world (delivered like any other
+    /// message, in the next round at the earliest).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) -> Result<(), SimError> {
+        let &(lane_idx, _) = self
+            .node_loc
+            .get(to.index())
+            .ok_or(SimError::UnknownNode(to))?;
+        let round = self.round;
+        let lane = self.lane_mut(lane_idx as usize);
+        debug_assert_eq!(lane.round, round, "lane clock out of sync with driver");
+        let deliver_at = lane.post_local(from, to, msg);
+        // Keep the aggregate counters current between rounds (the round
+        // merge recomputes them wholesale from the per-lane metrics, so the
+        // eager update never double-counts).
+        self.metrics.messages_sent += 1;
+        self.metrics.delays.record(deliver_at - round);
+        self.flush_lane_trace(lane_idx as usize);
+        Ok(())
+    }
+
+    /// Moves a lane's buffered trace events into the global trace (used
+    /// between rounds; the round merge does this for all lanes in order).
+    fn flush_lane_trace(&mut self, lane: usize) {
+        if self.trace.is_none() {
+            return;
+        }
+        let buf = std::mem::take(&mut self.lane_mut(lane).trace_buf);
+        let trace = self.trace.as_mut().expect("checked above");
+        for event in &buf {
+            trace.push(event.clone());
+        }
+        let mut buf = buf;
+        buf.clear();
+        self.lane_mut(lane).trace_buf = buf;
+    }
+
+    /// Substrate metrics collected so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Global ids of the nodes visited by the most recent
+    /// [`Self::run_round`].  Single-lane simulations report the exact visit
+    /// order; multi-lane runs merge the per-lane lists in ascending id order
+    /// (or lane-concatenation order under shuffle).  Drivers use this to
+    /// post-process only the nodes that can have produced output — e.g.
+    /// collecting completion records — instead of sweeping every node every
+    /// round.
+    pub fn visited_last_round(&self) -> &[usize] {
+        &self.merged_wake
+    }
+
+    /// Executes one round and returns the number of messages delivered in it.
+    pub fn run_round(&mut self) -> usize {
+        self.round += 1;
+        let round = self.round;
+        let started = Instant::now();
+        let parallel = self.pool.is_some() && self.lanes.len() > 1;
+        if parallel {
+            let pool = self.pool.as_mut().expect("checked above");
+            for idx in 0..self.lanes.len() {
+                let lane = self.lanes[idx].take().expect("lane present between rounds");
+                pool.submit(idx, lane, round);
+            }
+            for _ in 0..self.lanes.len() {
+                let (idx, lane) = pool.collect_one();
+                self.lanes[idx] = Some(lane);
+            }
+        } else {
+            for slot in &mut self.lanes {
+                slot.as_mut().expect("lane present").run_round(round);
+            }
+        }
+        let round_wall_ns = started.elapsed().as_nanos() as u64;
+        let routed = self.route_cross_lane();
+        self.merge_round(round, round_wall_ns, parallel, routed)
+    }
+
+    /// Routes messages that crossed a lane boundary, in fixed lane order,
+    /// drawing each delay from the destination lane's stream.  Returns the
+    /// number of routed messages.  (The Skueue cluster never takes this
+    /// path — shard traffic is intra-lane by construction — but generic
+    /// actors may send anywhere.)
+    fn route_cross_lane(&mut self) -> u64 {
+        let mut routed = 0u64;
+        for src in 0..self.lanes.len() {
+            if self.lane(src).xlane.is_empty() {
+                continue;
+            }
+            let mut pending = std::mem::take(&mut self.lane_mut(src).xlane);
+            debug_assert!(self.xroute.is_empty());
+            self.xroute.append(&mut pending);
+            self.lane_mut(src).xlane = pending;
+            let mut batch = std::mem::take(&mut self.xroute);
+            for (from, to, msg) in batch.drain(..) {
+                let (lane, _slot) = self.node_loc[to.index()];
+                self.lane_mut(lane as usize).post_local(from, to, msg);
+                routed += 1;
+            }
+            self.xroute = batch;
+        }
+        routed
+    }
+
+    /// Recombines the per-lane round outputs — wake lists, traces, metrics —
+    /// in fixed lane order and returns the round's delivered-message count.
+    fn merge_round(
+        &mut self,
+        round: Round,
+        round_wall_ns: u64,
+        parallel: bool,
+        routed: u64,
+    ) -> usize {
+        // Merged visit list (global ids).  One lane: the exact visit order.
+        // Multi-lane: ascending id order (the historical global visit order)
+        // or lane-concatenation order under shuffle — deterministic either
+        // way.
+        self.merged_wake.clear();
+        for slot in &self.lanes {
+            let lane = slot.as_ref().expect("lane present");
+            self.merged_wake
+                .extend(lane.wake_order.iter().map(|&s| lane.global_ids[s] as usize));
+        }
+        if self.lanes.len() > 1 && !self.config.shuffle_node_order {
+            self.merged_wake.sort_unstable();
+        }
+
+        // Trace: flush per-lane buffers in lane order.
+        if self.trace.is_some() {
+            for lane in 0..self.lanes.len() {
+                self.flush_lane_trace(lane);
+            }
+        }
+
+        // Metrics: recompute aggregate counters from the per-lane cumulative
+        // ones, fold the round deltas into the per-round histograms, and
+        // surface the per-lane timing columns.
+        let lane_count = self.lanes.len();
+        let m = &mut self.metrics;
+        m.rounds = round;
+        m.lane_busy_ns.resize(lane_count, 0);
+        m.lane_barrier_wait_ns.resize(lane_count, 0);
+        m.lane_thread_tokens.resize(lane_count, 0);
+        m.delays.clear();
+        let mut sent = 0u64;
+        let mut delivered = 0u64;
+        let mut timeouts = 0u64;
+        let mut visited = 0u64;
+        let mut delivered_this_round = 0usize;
+        let mut sent_this_round = 0u64;
+        for (l, slot) in self.lanes.iter_mut().enumerate() {
+            let lane = slot.as_mut().expect("lane present");
+            sent += lane.metrics.messages_sent;
+            delivered += lane.metrics.messages_delivered;
+            timeouts += lane.metrics.timeouts_fired;
+            visited += lane.metrics.nodes_visited;
+            m.delays.merge(&lane.metrics.delays);
+            delivered_this_round += lane.delta_delivered;
+            sent_this_round += lane.delta_sent;
+            if parallel {
+                lane.metrics.barrier_wait_ns += round_wall_ns.saturating_sub(lane.delta_busy_ns);
+            }
+            m.lane_busy_ns[l] = lane.metrics.busy_ns;
+            m.lane_barrier_wait_ns[l] = lane.metrics.barrier_wait_ns;
+            m.lane_thread_tokens[l] = lane.metrics.thread_token;
+        }
+        m.messages_sent = sent;
+        m.messages_delivered = delivered;
+        m.timeouts_fired = timeouts;
+        m.nodes_visited = visited;
+        m.per_round_deliveries.record(delivered_this_round as u64);
+        m.per_round_sends.record(sent_this_round + routed);
+        delivered_this_round
     }
 
     /// Runs exactly `rounds` rounds.
@@ -602,12 +1049,32 @@ mod tests {
         sim
     }
 
+    /// Same ring, but nodes dealt round-robin over `lanes` lanes (every hop
+    /// crosses a lane boundary — the worst case for the cross-lane router).
+    fn laned_ring_sim(n: u64, lanes: usize, config: SimConfig) -> Simulation<Ring> {
+        let mut sim = Simulation::new(config).unwrap();
+        sim.configure_lanes(lanes).unwrap();
+        for i in 0..n {
+            sim.add_node_in_lane(
+                i as usize % lanes,
+                Ring {
+                    n,
+                    received: Vec::new(),
+                    timeouts: 0,
+                },
+            );
+        }
+        sim
+    }
+
     #[test]
     fn empty_simulation_is_quiescent() {
         let sim: Simulation<Ring> = Simulation::synchronous(0);
         assert!(sim.is_quiescent());
         assert!(sim.is_empty());
         assert_eq!(sim.round(), 0);
+        assert_eq!(sim.lane_count(), 1);
+        assert_eq!(sim.parallel_threads(), 1);
     }
 
     #[test]
@@ -751,6 +1218,8 @@ mod tests {
         assert_eq!(m.messages_delivered, 6);
         assert_eq!(m.delays.max(), Some(1));
         assert!(m.avg_deliveries_per_round() > 0.0);
+        assert_eq!(m.lane_busy_ns.len(), 1);
+        assert_eq!(m.lane_barrier_wait_ns, vec![0]);
     }
 
     #[test]
@@ -759,12 +1228,14 @@ mod tests {
         let mut sim = ring_sim(2, config);
         sim.inject(NodeId(0), NodeId(1), Token { remaining: 0 })
             .unwrap();
-        sim.run_rounds(2);
+        // The injected send is visible in the trace before any round runs.
         let trace = sim.trace().unwrap();
         assert!(trace
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::Sent { .. })));
+        sim.run_rounds(2);
+        let trace = sim.trace().unwrap();
         assert!(trace
             .events()
             .iter()
@@ -863,6 +1334,160 @@ mod tests {
         sim.run_rounds(1);
         // All ring nodes want timeouts, so all are visited in index order.
         assert_eq!(sim.visited_last_round(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn lanes_must_be_configured_before_nodes() {
+        let mut sim = ring_sim(2, SimConfig::synchronous(0));
+        assert!(matches!(
+            sim.configure_lanes(2),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let mut empty: Simulation<Ring> = Simulation::synchronous(0);
+        assert!(matches!(
+            empty.configure_lanes(0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        empty.configure_lanes(3).unwrap();
+        assert_eq!(empty.lane_count(), 3);
+    }
+
+    #[test]
+    fn multi_lane_ring_delivers_across_lane_boundaries() {
+        // Round-robin lane assignment: every hop crosses lanes, exercising
+        // the driver's router.
+        let mut sim = laned_ring_sim(6, 3, SimConfig::synchronous(7));
+        assert_eq!(sim.lane_of(NodeId(0)), Some(0));
+        assert_eq!(sim.lane_of(NodeId(1)), Some(1));
+        assert_eq!(sim.lane_of(NodeId(5)), Some(2));
+        sim.inject(NodeId(0), NodeId(0), Token { remaining: 11 })
+            .unwrap();
+        sim.run_to_quiescence(100).unwrap();
+        let total: usize = sim.iter().map(|(_, n)| n.received.len()).sum();
+        assert_eq!(total, 12, "every hop must be delivered exactly once");
+        assert_eq!(
+            sim.metrics().messages_sent,
+            sim.metrics().messages_delivered
+        );
+        // A cross-lane hop costs one extra round (routed after the barrier,
+        // delivered next round) — same `deliver_at = round + 1` contract.
+        assert!(sim.round() >= 12);
+    }
+
+    #[test]
+    fn visited_last_round_merges_lanes_in_ascending_id_order() {
+        let mut sim = laned_ring_sim(5, 2, SimConfig::synchronous(4));
+        sim.run_rounds(1);
+        assert_eq!(sim.visited_last_round(), &[0, 1, 2, 3, 4]);
+    }
+
+    /// A lane-local pinger: node `i` messages its own lane's partner every
+    /// round (all traffic intra-lane, like Skueue shards).
+    #[derive(Debug)]
+    struct LanePinger {
+        partner: NodeId,
+        received: u64,
+    }
+
+    impl Actor for LanePinger {
+        type Msg = u64;
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, _ctx: &mut Context<u64>) {
+            self.received += msg;
+        }
+
+        fn on_timeout(&mut self, ctx: &mut Context<u64>) {
+            ctx.send(self.partner, 1);
+        }
+    }
+
+    fn pinger_sim(pairs: usize, lanes: usize, threads: usize, seed: u64) -> Simulation<LanePinger> {
+        let mut sim = Simulation::new(SimConfig::synchronous(seed)).unwrap();
+        sim.configure_lanes(lanes).unwrap();
+        for p in 0..pairs {
+            let lane = p % lanes;
+            let a = NodeId((2 * p) as u64);
+            let b = NodeId((2 * p + 1) as u64);
+            sim.add_node_in_lane(
+                lane,
+                LanePinger {
+                    partner: b,
+                    received: 0,
+                },
+            );
+            sim.add_node_in_lane(
+                lane,
+                LanePinger {
+                    partner: a,
+                    received: 0,
+                },
+            );
+        }
+        sim.enable_parallel(threads);
+        sim
+    }
+
+    fn pinger_fingerprint(sim: &Simulation<LanePinger>) -> (Vec<u64>, u64, u64, u64) {
+        (
+            sim.iter().map(|(_, n)| n.received).collect(),
+            sim.metrics().messages_sent,
+            sim.metrics().messages_delivered,
+            sim.metrics().nodes_visited,
+        )
+    }
+
+    #[test]
+    fn parallel_backend_is_bit_identical_to_single_thread() {
+        for &threads in &[1usize, 2, 4] {
+            let mut reference = pinger_sim(8, 4, 1, 42);
+            let mut parallel = pinger_sim(8, 4, threads, 42);
+            assert_eq!(parallel.parallel_threads(), threads.clamp(1, 4));
+            for _ in 0..50 {
+                let d_ref = reference.run_round();
+                let d_par = parallel.run_round();
+                assert_eq!(d_ref, d_par, "per-round delivery counts must match");
+                assert_eq!(
+                    reference.visited_last_round(),
+                    parallel.visited_last_round()
+                );
+            }
+            assert_eq!(
+                pinger_fingerprint(&reference),
+                pinger_fingerprint(&parallel),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_backend_runs_lanes_on_distinct_threads() {
+        let mut sim = pinger_sim(8, 4, 4, 1);
+        sim.run_rounds(3);
+        let tokens = &sim.metrics().lane_thread_tokens;
+        assert_eq!(tokens.len(), 4);
+        let distinct: std::collections::HashSet<u64> = tokens.iter().copied().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected >=2 distinct worker threads, got {tokens:?}"
+        );
+        assert!(
+            !distinct.contains(&thread_token()),
+            "lanes must not run on the driver thread"
+        );
+        // Per-lane timing columns are populated.
+        assert!(sim.metrics().lane_busy_ns.iter().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn parallel_backend_can_be_toggled_between_rounds() {
+        let mut reference = pinger_sim(4, 2, 1, 9);
+        let mut toggled = pinger_sim(4, 2, 1, 9);
+        for i in 0..30 {
+            toggled.enable_parallel(if i % 2 == 0 { 2 } else { 1 });
+            reference.run_round();
+            toggled.run_round();
+        }
+        assert_eq!(pinger_fingerprint(&reference), pinger_fingerprint(&toggled));
     }
 
     /// A node that counts received payloads and asserts delivery-time bounds.

@@ -35,6 +35,13 @@ pub struct ScenarioParams {
     /// Number of anchor shards (1 = the unsharded protocol; `> 1` verifies
     /// with the cross-shard checker against the merged order).
     pub shards: usize,
+    /// Worker threads of the parallel execution backend (1 = the
+    /// single-threaded backend; the two produce byte-identical histories,
+    /// so this is purely a wall-clock knob).
+    pub threads: usize,
+    /// Enables the nearest-middle routing finger (default off; changes hop
+    /// counts and therefore schedules — see `SkueueBuilder::middle_fingers`).
+    pub middle_fingers: bool,
 }
 
 impl ScenarioParams {
@@ -52,6 +59,8 @@ impl ScenarioParams {
             drain_budget: 50_000,
             verify: true,
             shards: 1,
+            threads: 1,
+            middle_fingers: false,
         }
     }
 
@@ -68,6 +77,8 @@ impl ScenarioParams {
             drain_budget: 50_000,
             verify: true,
             shards: 1,
+            threads: 1,
+            middle_fingers: false,
         }
     }
 
@@ -96,12 +107,35 @@ impl ScenarioParams {
         self
     }
 
+    /// Runs the round loop on `threads` worker threads (see
+    /// `SkueueBuilder::threads`; byte-identical histories, wall-clock only).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables the nearest-middle routing finger (see
+    /// `SkueueBuilder::middle_fingers`).
+    pub fn with_middle_fingers(mut self, enabled: bool) -> Self {
+        self.middle_fingers = enabled;
+        self
+    }
+
+    /// Overrides the fixed-rate workload's requests per round (the open-loop
+    /// offered load; ignored by the per-node-rate workload).
+    pub fn with_requests_per_round(mut self, requests: u64) -> Self {
+        self.requests_per_round = requests;
+        self
+    }
+
     fn build_cluster<T: Payload>(&self) -> SkueueCluster<T> {
         SkueueCluster::builder()
             .processes(self.processes)
             .mode(self.mode)
             .seed(self.seed)
             .shards(self.shards)
+            .threads(self.threads)
+            .middle_fingers(self.middle_fingers)
             .build()
             .expect("scenario parameters describe a valid cluster")
     }
@@ -147,6 +181,22 @@ pub struct ScenarioResult {
     /// Aggregation waves assigned per shard anchor (indexed by shard id) —
     /// the direct view of shard imbalance; `[total]` when unsharded.
     pub per_shard_waves: Vec<u64>,
+    /// Worker threads the parallel backend actually used (1 = the
+    /// single-threaded backend; always capped at the lane count).
+    pub threads: usize,
+    /// Per-lane wall-clock time spent inside `run_round`, in nanoseconds
+    /// (indexed by lane = shard id).  The spread across lanes is the lane
+    /// imbalance the barrier pays for every round.
+    pub lane_busy_ns: Vec<u64>,
+    /// Per-lane cumulative time a lane sat idle at the round barrier while
+    /// slower lanes finished (each round's wall time minus the lane's own
+    /// busy time), in nanoseconds.  Parallel backend only; all zeros on the
+    /// single-threaded backend.
+    pub lane_barrier_wait_ns: Vec<u64>,
+    /// Number of distinct OS threads the lanes last ran on (1 on the
+    /// single-threaded backend; ≥ 2 proves the parallel backend actually
+    /// spread lanes over workers — the CI smoke asserts this).
+    pub distinct_lane_threads: usize,
     /// Whether the history passed the sequential-consistency checks
     /// (`true` when verification was skipped).  Sharded runs use the
     /// cross-shard checker (`check_queue_sharded`) against the merged
@@ -210,6 +260,16 @@ fn finish<T: Payload>(
         unmatched_dht_replies: cluster.unmatched_dht_replies(),
         shards: cluster.shards(),
         per_shard_waves,
+        threads: cluster.parallel_threads().max(1),
+        lane_busy_ns: cluster.sim_metrics().lane_busy_ns.clone(),
+        lane_barrier_wait_ns: cluster.sim_metrics().lane_barrier_wait_ns.clone(),
+        distinct_lane_threads: {
+            let tokens = &cluster.sim_metrics().lane_thread_tokens;
+            let mut distinct: Vec<u64> = tokens.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct.len().max(1)
+        },
         consistent,
         locally_combined: cluster.locally_combined(),
     }
@@ -536,6 +596,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_backend_scenario_matches_single_threaded_metrics() {
+        // `.with_threads(n)` is a wall-clock knob: every schedule-derived
+        // metric of the scenario result must be identical across backends.
+        let params = ScenarioParams::fixed_rate(32, Mode::Queue, 0.5)
+            .with_generation_rounds(20)
+            .with_seed(11)
+            .with_shards(4);
+        let single = run_fixed_rate(params);
+        let parallel = run_fixed_rate(params.with_threads(4));
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(single.threads, 1);
+        assert_eq!(single.requests, parallel.requests);
+        assert_eq!(
+            single.avg_rounds_per_request,
+            parallel.avg_rounds_per_request
+        );
+        assert_eq!(single.drain_rounds, parallel.drain_rounds);
+        assert_eq!(single.per_shard_waves, parallel.per_shard_waves);
+        assert_eq!(single.mean_dht_hops, parallel.mean_dht_hops);
+        assert!(parallel.consistent);
+        // The lane timing columns are populated, one entry per lane; only
+        // the parallel run pays barrier waits.
+        assert_eq!(single.lane_busy_ns.len(), 4);
+        assert_eq!(parallel.lane_busy_ns.len(), 4);
+        assert!(parallel.lane_busy_ns.iter().all(|&ns| ns > 0));
+        assert!(single.lane_barrier_wait_ns.iter().all(|&ns| ns == 0));
+        assert!(parallel.lane_barrier_wait_ns.iter().any(|&ns| ns > 0));
+        assert_eq!(single.distinct_lane_threads, 1);
+        assert!(parallel.distinct_lane_threads >= 2);
+    }
+
+    #[test]
+    fn middle_fingers_cut_hops_without_breaking_consistency() {
+        // Satellite metric of BENCH_pr8.json: the nearest-middle finger must
+        // lower (or at minimum not inflate) the mean DHT hop count while the
+        // verifier still accepts the history.
+        let params = ScenarioParams::fixed_rate(128, Mode::Queue, 0.5)
+            .with_generation_rounds(20)
+            .with_seed(11);
+        let plain = run_fixed_rate(params);
+        let fingered = run_fixed_rate(params.with_middle_fingers(true));
+        assert!(plain.consistent);
+        assert!(fingered.consistent);
+        assert_eq!(plain.requests, fingered.requests);
+        assert!(
+            fingered.mean_dht_hops < plain.mean_dht_hops,
+            "finger must cut the mean hop count: {} vs {}",
+            fingered.mean_dht_hops,
+            plain.mean_dht_hops
+        );
     }
 
     #[test]

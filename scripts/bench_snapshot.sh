@@ -7,12 +7,17 @@
 # name without touching the frozen ones.  See PERF.md.
 #
 # Usage:
-#   scripts/bench_snapshot.sh [--full] [OUTPUT]
+#   scripts/bench_snapshot.sh [--full | --threads] [OUTPUT]
 #
-#   --full    full mode (four fig2 points, shard sweep at n=3·10³, best of
-#             3 — the tracked numbers); default is quick mode (two points,
-#             shard sweep at n=10³ — the CI smoke)
-#   OUTPUT    snapshot filename (default: BENCH_pr5.json)
+#   --full     full mode (four fig2 points, shard sweep at n=3·10³, best of
+#              3 — the tracked numbers); default is quick mode (two points,
+#              shard sweep at n=10³ — the CI smoke)
+#   --threads  the PR-8 parallel-backend report instead: fig2 n=3·10³ S=8 at
+#              threads ∈ {1, 2, 4, 8}, the heavy-load open-loop row (≥10⁵
+#              requests) on both backends, and the nearest-middle-finger
+#              off/on rows (default output: BENCH_pr8.json)
+#   OUTPUT     snapshot filename (default: BENCH_pr5.json, or BENCH_pr8.json
+#              with --threads)
 #
 # Any further arguments are passed through to the harness (e.g. --seed 7).
 set -euo pipefail
@@ -20,12 +25,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="--quick"
+DEFAULT_OUT="BENCH_pr5.json"
 if [[ "${1:-}" == "--full" ]]; then
     MODE="--full"
     shift
+elif [[ "${1:-}" == "--threads" ]]; then
+    MODE="--threads-sweep"
+    DEFAULT_OUT="BENCH_pr8.json"
+    shift
 fi
 
-OUT="BENCH_pr5.json"
+OUT="$DEFAULT_OUT"
 if [[ $# -gt 0 && "$1" != --* ]]; then
     OUT="$1"
     shift
