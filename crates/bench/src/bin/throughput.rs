@@ -24,6 +24,17 @@
 //!                         parallel backend (threads = 4) with the verifier
 //!                         ON; asserts consistency and that the lanes really
 //!                         ran on ≥ 2 distinct worker threads (CI canary)
+//!        --trace-sweep    the PR-9 trace-overhead report: fig2 n = 3·10³ at
+//!                         S ∈ {1, 4} × threads ∈ {1, 4}, tracing off vs
+//!                         full in matched row pairs; emits
+//!                         BENCH_pr9.json-style output (use --out)
+//!        --trace-smoke    fig2 at n = 10⁴ over 4 shards with span tracing
+//!                         ON; asserts the Chrome export is valid JSON, all
+//!                         lanes recorded events, and slice count ==
+//!                         completed requests (CI canary)
+//!        --trace-out <p>  export a Chrome trace of the fig2 n = 3·10³ point
+//!                         (full tracing) to <p>; asserts the export is
+//!                         byte-identical at threads = 1 and 4
 //!        --check <path>   perf-regression gate: measure the fig2 n = 3000
 //!                         point at S = 1 and S = 4 (best of --repeats,
 //!                         default 3) and fail (exit 1) if either falls
@@ -49,10 +60,11 @@
 
 use skueue_bench::{
     measure_point, points_to_json, print_throughput, run_shard_sweep, run_thread_sweep,
-    run_throughput, PointSpec, ThroughputConfig, ThroughputPoint,
+    run_throughput, run_trace_sweep, PointSpec, ThroughputConfig, ThroughputPoint,
 };
-use skueue_core::Mode;
-use skueue_workloads::{run_fixed_rate, run_sharded_fig2, ScenarioParams};
+use skueue_core::{Mode, TraceLevel};
+use skueue_trace::validate_json;
+use skueue_workloads::{run_fixed_rate, run_fixed_rate_traced, run_sharded_fig2, ScenarioParams};
 
 /// Seed the frozen baseline was measured with; other seeds run a different
 /// schedule and are not comparable.
@@ -87,9 +99,15 @@ fn pr4_baseline() -> Vec<ThroughputPoint> {
             max_waves_in_flight: waves,
             per_shard_waves: psw.to_vec(),
             unmatched_dht_replies: 0,
-            // The frozen baseline predates the lane-timing columns.
+            // The frozen baseline predates the lane-timing and latency
+            // percentile columns (and tracing itself).
             lane_busy_ms: Vec::new(),
             lane_barrier_wait_ms: Vec::new(),
+            p50_rounds: 0,
+            p99_rounds: 0,
+            p999_rounds: 0,
+            trace: "off",
+            trace_events: 0,
         }
     };
     vec![
@@ -153,6 +171,9 @@ enum ModeFlag {
     ThreadsSweep,
     ParallelSmoke,
     Check,
+    TraceSweep,
+    TraceSmoke,
+    TraceOut,
 }
 
 fn main() {
@@ -171,6 +192,13 @@ fn main() {
             "--sharded-smoke" => mode = ModeFlag::ShardedSmoke,
             "--threads-sweep" => mode = ModeFlag::ThreadsSweep,
             "--parallel-smoke" => mode = ModeFlag::ParallelSmoke,
+            "--trace-sweep" => mode = ModeFlag::TraceSweep,
+            "--trace-smoke" => mode = ModeFlag::TraceSmoke,
+            "--trace-out" => {
+                i += 1;
+                mode = ModeFlag::TraceOut;
+                out = args.get(i).cloned();
+            }
             "--check" => {
                 i += 1;
                 mode = ModeFlag::Check;
@@ -210,6 +238,19 @@ fn main() {
         run_perf_check(&path, seed, repeats.unwrap_or(3).max(1), out.as_deref());
         return;
     }
+    if mode == ModeFlag::TraceSweep {
+        run_pr9_trace_sweep(seed, repeats.unwrap_or(1).max(1), out.as_deref());
+        return;
+    }
+    if mode == ModeFlag::TraceSmoke {
+        run_trace_smoke(seed);
+        return;
+    }
+    if mode == ModeFlag::TraceOut {
+        let path = out.expect("--trace-out requires an output path");
+        run_trace_export(seed, &path);
+        return;
+    }
 
     let (mut config, mode_name, sweep_n) = match mode {
         ModeFlag::Quick => (ThroughputConfig::quick(seed), "quick", 1000),
@@ -218,7 +259,10 @@ fn main() {
         ModeFlag::ShardedSmoke
         | ModeFlag::ParallelSmoke
         | ModeFlag::ThreadsSweep
-        | ModeFlag::Check => unreachable!("handled above"),
+        | ModeFlag::Check
+        | ModeFlag::TraceSweep
+        | ModeFlag::TraceSmoke
+        | ModeFlag::TraceOut => unreachable!("handled above"),
     };
     if let Some(r) = repeats {
         config.repeats = r.max(1);
@@ -470,6 +514,161 @@ fn run_pr8_sweep(seed: u64, repeats: usize, out: Option<&str>) {
             println!("wrote {path}");
         }
         None => println!("\n{json}"),
+    }
+}
+
+/// The PR-9 trace-overhead report (`--trace-sweep`): the fig2 n = 3000
+/// point at every S ∈ {1, 4} × threads ∈ {1, 4} combination, once with
+/// tracing off and once at `TraceLevel::Full` — matched row pairs, so the
+/// off/full ops/sec ratio isolates the recording overhead.  Written as
+/// BENCH_pr9.json by `scripts/bench_snapshot.sh --trace`.
+fn run_pr9_trace_sweep(seed: u64, repeats: usize, out: Option<&str>) {
+    const SWEEP_N: usize = 3000;
+    const SHARDS: [usize; 2] = [1, 4];
+    const THREADS: [usize; 2] = [1, 4];
+    const GENERATION_ROUNDS: u64 = 100;
+
+    println!(
+        "Skueue PR-9 trace-overhead report — fig2 n={SWEEP_N}, S∈{SHARDS:?}, T∈{THREADS:?}, \
+         trace off vs full, best of {repeats}, seed {seed}"
+    );
+    let rows = run_trace_sweep(SWEEP_N, &SHARDS, &THREADS, GENERATION_ROUNDS, repeats, seed);
+    print_throughput(
+        &format!("trace-overhead sweep (fig2 n = {SWEEP_N}, off vs full rows)"),
+        &rows,
+    );
+
+    // Matched pairs come out adjacent (off, full); report full-tracing
+    // overhead as wall-clock ratio off/full per combination.
+    let mut overheads: Vec<(usize, usize, f64)> = Vec::new();
+    for pair in rows.chunks(2) {
+        let (off, full) = (&pair[0], &pair[1]);
+        assert_eq!((off.trace, full.trace), ("off", "full"));
+        assert_eq!(
+            off.requests, full.requests,
+            "tracing must not change the schedule"
+        );
+        if full.ops_per_sec > 0.0 {
+            overheads.push((off.shards, off.threads, off.ops_per_sec / full.ops_per_sec));
+        }
+    }
+    for &(s, t, ratio) in &overheads {
+        println!("S={s} T={t}: full-tracing overhead {ratio:.3}x (off/full ops/sec)");
+    }
+
+    let overhead_json: Vec<String> = overheads
+        .iter()
+        .map(|(s, t, r)| {
+            format!(
+                "    {{\"shards\": {s}, \"threads\": {t}, \"off_over_full_ops_per_sec\": {r:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"workload\": \"fig2 point: queue, insert_ratio 0.5, 10 requests/round, 100 generation rounds\",\n  \"seed\": {seed},\n  \"repeats\": {repeats},\n  \"note\": \"matched off/full row pairs; off rows are the measured hot path (the perf gate's configuration), full rows carry every span and hop event\",\n  \"trace_sweep\": {},\n  \"full_tracing_overhead\": [\n{}\n  ]\n}}\n",
+        points_to_json(&rows, "  "),
+        overhead_json.join(",\n"),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write PR-9 report file");
+            println!("wrote {path}");
+        }
+        None => println!("\n{json}"),
+    }
+}
+
+/// CI canary for the tracing subsystem (`--trace-smoke`): the paper-scale
+/// fig2 point with span tracing on.  Panics (fails the CI step) when the
+/// Chrome export is not valid JSON, when a populated shard lane recorded no
+/// events, or when the per-op slice count does not match the completed
+/// requests.
+fn run_trace_smoke(seed: u64) {
+    println!("Skueue trace smoke — fig2 n=10000, shards=4, trace=spans, seed {seed}");
+    let start = std::time::Instant::now();
+    let artifacts = run_fixed_rate_traced(
+        ScenarioParams::fixed_rate(10_000, Mode::Queue, 0.5)
+            .with_generation_rounds(50)
+            .with_seed(seed)
+            .with_shards(4)
+            .with_trace(TraceLevel::Spans)
+            .without_verification(),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let result = &artifacts.result;
+    println!(
+        "done in {:.1} s: {} requests, {} trace events over {} shard lanes, \
+         stage p50/p99/p999 = {}/{}/{} rounds",
+        wall,
+        result.requests,
+        result.trace_events,
+        artifacts.shard_event_counts.len(),
+        result.p50_rounds,
+        result.p99_rounds,
+        result.p999_rounds
+    );
+    assert!(
+        validate_json(&artifacts.chrome_json),
+        "chrome trace export is not valid JSON"
+    );
+    assert_eq!(
+        artifacts.shard_event_counts.len(),
+        4,
+        "every shard lane must record events: {:?}",
+        artifacts.shard_event_counts
+    );
+    for &(shard, events) in &artifacts.shard_event_counts {
+        assert!(events >= 1, "shard lane {shard} recorded no events");
+    }
+    let slices = artifacts.chrome_json.matches("\"cat\":\"op\"").count() as u64;
+    assert_eq!(
+        slices, result.requests,
+        "one chrome slice per completed request"
+    );
+    println!("trace smoke OK: valid JSON, {slices} op slices, all 4 lanes populated");
+}
+
+/// The acceptance-check export (`--trace-out <path>`): runs the fig2
+/// n = 3000 point at full tracing on the single-threaded and the 4-thread
+/// backend, asserts the two Chrome exports are byte-identical with one
+/// per-op slice per completed request, and writes the trace to `path`
+/// (load it in Perfetto or `chrome://tracing` — see OBSERVABILITY.md).
+fn run_trace_export(seed: u64, path: &str) {
+    const EXPORT_N: usize = 3000;
+    println!("Skueue trace export — fig2 n={EXPORT_N}, shards=4, trace=full, seed {seed}");
+    let base = ScenarioParams::fixed_rate(EXPORT_N, Mode::Queue, 0.5)
+        .with_generation_rounds(100)
+        .with_seed(seed)
+        .with_shards(4)
+        .with_trace(TraceLevel::Full)
+        .without_verification();
+    let single = run_fixed_rate_traced(base);
+    let parallel = run_fixed_rate_traced(base.with_threads(4));
+    assert_eq!(
+        single.trace_fingerprint, parallel.trace_fingerprint,
+        "merged trace logs diverged across thread counts"
+    );
+    assert_eq!(
+        single.chrome_json, parallel.chrome_json,
+        "chrome exports diverged across thread counts"
+    );
+    assert!(validate_json(&single.chrome_json));
+    let slices = single.chrome_json.matches("\"cat\":\"op\"").count() as u64;
+    assert_eq!(
+        slices, single.result.requests,
+        "one chrome slice per completed request"
+    );
+    std::fs::write(path, &single.chrome_json).expect("write chrome trace file");
+    println!(
+        "wrote {path}: {} events rendered, {} op slices ({} requests), byte-identical at T=1 and T=4",
+        single.result.trace_events, slices, single.result.requests
+    );
+    println!("stage breakdown (rounds, nearest-rank):");
+    for (stage, stats) in &single.result.stage_latencies {
+        println!(
+            "  {stage:<12} n={:<5} p50={:<5} p99={:<5} p999={:<5} max={}",
+            stats.count, stats.p50, stats.p99, stats.p999, stats.max
+        );
     }
 }
 

@@ -22,5 +22,6 @@ pub mod throughput;
 pub use harness::{fig2_sweep, fig3_sweep, fig4_sweep, print_series, ExperimentPoint, SweepConfig};
 pub use throughput::{
     measure_fig2_point, measure_point, points_to_json, print_throughput, run_shard_sweep,
-    run_thread_sweep, run_throughput, PointSpec, ThroughputConfig, ThroughputPoint,
+    run_thread_sweep, run_throughput, run_trace_sweep, PointSpec, ThroughputConfig,
+    ThroughputPoint,
 };

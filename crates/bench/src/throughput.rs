@@ -15,7 +15,7 @@
 //! O(history²)-ish consistency checkers.
 
 use serde::{Deserialize, Serialize};
-use skueue_core::Mode;
+use skueue_core::{Mode, TraceLevel};
 use skueue_workloads::{run_fixed_rate, ScenarioParams};
 use std::time::Instant;
 
@@ -66,6 +66,19 @@ pub struct ThroughputPoint {
     /// slower lanes finished, in milliseconds (parallel backend only; all
     /// zeros single-threaded).
     pub lane_barrier_wait_ms: Vec<f64>,
+    /// Median request latency in rounds (nearest-rank, from the history —
+    /// populated regardless of the tracing level; 0 in frozen pre-PR-9
+    /// baselines).
+    pub p50_rounds: u64,
+    /// 99th-percentile request latency in rounds.
+    pub p99_rounds: u64,
+    /// 99.9th-percentile request latency in rounds.
+    pub p999_rounds: u64,
+    /// Lifecycle tracing level the point ran with (`"off"`, `"spans"`,
+    /// `"full"`) — trace-on rows measure the recording overhead.
+    pub trace: &'static str,
+    /// Trace events recorded during the run (0 with tracing off).
+    pub trace_events: u64,
 }
 
 /// Parameters of a throughput run.
@@ -147,6 +160,8 @@ pub struct PointSpec {
     pub threads: usize,
     /// Nearest-middle routing finger on/off.
     pub middle_fingers: bool,
+    /// Lifecycle tracing level (default off — the measured hot path).
+    pub trace: TraceLevel,
 }
 
 impl PointSpec {
@@ -167,6 +182,7 @@ impl PointSpec {
             shards,
             threads: 1,
             middle_fingers: false,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -182,6 +198,7 @@ impl PointSpec {
             shards,
             threads: 1,
             middle_fingers: false,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -194,6 +211,12 @@ impl PointSpec {
     /// Enables the nearest-middle routing finger.
     pub fn with_middle_fingers(mut self, enabled: bool) -> Self {
         self.middle_fingers = enabled;
+        self
+    }
+
+    /// Enables lifecycle tracing at `level` (measures recording overhead).
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
         self
     }
 }
@@ -210,6 +233,7 @@ pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
             .with_shards(spec.shards)
             .with_threads(spec.threads)
             .with_middle_fingers(spec.middle_fingers)
+            .with_trace(spec.trace)
             .without_verification();
         let start = Instant::now();
         let result = run_fixed_rate(params);
@@ -236,6 +260,11 @@ pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
             unmatched_dht_replies: result.unmatched_dht_replies,
             lane_busy_ms: to_ms(&result.lane_busy_ns),
             lane_barrier_wait_ms: to_ms(&result.lane_barrier_wait_ns),
+            p50_rounds: result.p50_rounds,
+            p99_rounds: result.p99_rounds,
+            p999_rounds: result.p999_rounds,
+            trace: spec.trace.name(),
+            trace_events: result.trace_events,
         };
         let better = best
             .as_ref()
@@ -289,6 +318,39 @@ pub fn run_thread_sweep(
         .collect()
 }
 
+/// Runs the PR-9 trace-overhead sweep: the same fig2 point at every
+/// `shards` × `threads` combination, once with tracing off and once at
+/// [`TraceLevel::Full`] — matched row pairs, so `off.ops_per_sec /
+/// full.ops_per_sec` is the recording overhead and nothing else.
+pub fn run_trace_sweep(
+    n: usize,
+    shard_counts: &[usize],
+    thread_counts: &[usize],
+    generation_rounds: u64,
+    repeats: usize,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    let mut rows = Vec::new();
+    for &s in shard_counts {
+        for &t in thread_counts {
+            // The parallel backend runs one lane per shard, so threads clamp
+            // to the shard count — skip combinations that would just repeat
+            // an earlier pair under a different label.
+            if t > s && thread_counts.contains(&s) {
+                continue;
+            }
+            for level in [TraceLevel::Off, TraceLevel::Full] {
+                rows.push(measure_point(
+                    &PointSpec::fig2(n, generation_rounds, repeats, seed, s)
+                        .with_threads(t)
+                        .with_trace(level),
+                ));
+            }
+        }
+    }
+    rows
+}
+
 /// Runs the configured sweep and returns one point per process count.
 pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputPoint> {
     config
@@ -337,7 +399,7 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
     let mut out = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "{indent}  {{\"processes\": {}, \"shards\": {}, \"threads\": {}, \"middle_fingers\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}, \"per_shard_waves\": {}, \"unmatched_dht_replies\": {}, \"lane_busy_ms\": {}, \"lane_barrier_wait_ms\": {}}}{}\n",
+            "{indent}  {{\"processes\": {}, \"shards\": {}, \"threads\": {}, \"middle_fingers\": {}, \"requests\": {}, \"rounds\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \"dht_hops_mean\": {:.2}, \"dht_ops_per_message_mean\": {:.2}, \"max_waves_in_flight\": {}, \"per_shard_waves\": {}, \"unmatched_dht_replies\": {}, \"lane_busy_ms\": {}, \"lane_barrier_wait_ms\": {}, \"p50_rounds\": {}, \"p99_rounds\": {}, \"p999_rounds\": {}, \"trace\": \"{}\", \"trace_events\": {}}}{}\n",
             p.processes,
             p.shards,
             p.threads,
@@ -354,6 +416,11 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
             p.unmatched_dht_replies,
             ms_json(&p.lane_busy_ms),
             ms_json(&p.lane_barrier_wait_ms),
+            p.p50_rounds,
+            p.p99_rounds,
+            p.p999_rounds,
+            p.trace,
+            p.trace_events,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -368,11 +435,12 @@ pub fn points_to_json(points: &[ThroughputPoint], indent: &str) -> String {
 pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
     println!("\n=== {title} ===");
     println!(
-        "{:>8} {:>3} {:>3} {:>3} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>9} {:>15} {:>11} {:>16}",
+        "{:>8} {:>3} {:>3} {:>3} {:>5} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>9} {:>5} {:>5} {:>5} {:>15} {:>11} {:>16}",
         "n",
         "S",
         "T",
         "fgr",
+        "trace",
         "requests",
         "rounds",
         "wall ms",
@@ -382,6 +450,9 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
         "ops/msg",
         "waves",
         "unmatched",
+        "p50",
+        "p99",
+        "p999",
         "busy max/min ms",
         "barrier max",
         "waves/shard"
@@ -410,11 +481,12 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
             format!("{max:.1}")
         };
         println!(
-            "{:>8} {:>3} {:>3} {:>3} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>15} {:>11} {:>16}",
+            "{:>8} {:>3} {:>3} {:>3} {:>5} {:>9} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>5} {:>5} {:>5} {:>15} {:>11} {:>16}",
             p.processes,
             p.shards,
             p.threads,
             if p.middle_fingers { "on" } else { "off" },
+            p.trace,
             p.requests,
             p.rounds,
             p.wall_ms,
@@ -424,6 +496,9 @@ pub fn print_throughput(title: &str, points: &[ThroughputPoint]) {
             p.dht_ops_per_message_mean,
             p.max_waves_in_flight,
             p.unmatched_dht_replies,
+            p.p50_rounds,
+            p.p99_rounds,
+            p.p999_rounds,
             busy,
             barrier,
             per_shard,
@@ -499,6 +574,11 @@ mod tests {
             unmatched_dht_replies: 0,
             lane_busy_ms: vec![1.25, 0.75],
             lane_barrier_wait_ms: vec![0.0, 0.5],
+            p50_rounds: 21,
+            p99_rounds: 35,
+            p999_rounds: 40,
+            trace: "full",
+            trace_events: 1234,
         };
         let points = vec![mk(10, 1.5), mk(20, 2.5)];
         let json = points_to_json(&points, "  ");
@@ -514,7 +594,17 @@ mod tests {
             json.matches("\"lane_barrier_wait_ms\": [0.0, 0.5]").count(),
             2
         );
+        assert_eq!(json.matches("\"p50_rounds\": 21").count(), 2);
+        assert_eq!(json.matches("\"p999_rounds\": 40").count(), 2);
+        assert_eq!(json.matches("\"trace\": \"full\"").count(), 2);
+        assert_eq!(json.matches("\"trace_events\": 1234").count(), 2);
         assert_eq!(json.matches("},").count(), 1, "comma between, not after");
+        // Rows must stay one-line: the perf gate's extract_ops_per_sec scans
+        // line-wise for `"processes": N, "shards": S,` + `"ops_per_sec":`.
+        for line in json.lines().filter(|l| l.contains("\"processes\"")) {
+            assert!(line.contains("\"ops_per_sec\""));
+            assert!(line.contains("\"trace\""));
+        }
     }
 
     #[test]
@@ -563,6 +653,39 @@ mod tests {
             "finger must cut hops/op: {} vs {}",
             fingered.dht_hops_mean,
             plain.dht_hops_mean
+        );
+    }
+
+    #[test]
+    fn quick_point_reports_percentiles_without_tracing() {
+        let p = measure_fig2_point(20, 10, 1, 1, 1);
+        assert_eq!(p.trace, "off");
+        assert_eq!(p.trace_events, 0);
+        assert!(p.p50_rounds > 0, "percentiles come from the history");
+        assert!(p.p99_rounds >= p.p50_rounds);
+        assert!(p.p999_rounds >= p.p99_rounds);
+    }
+
+    #[test]
+    fn trace_sweep_pairs_match_schedules() {
+        // Scaled-down shape check of the PR-9 sweep: matched off/full rows
+        // share every schedule-derived column; only the trace columns and
+        // wall clock differ.
+        let rows = run_trace_sweep(24, &[2], &[1], 8, 1, 5);
+        assert_eq!(rows.len(), 2);
+        let (off, full) = (&rows[0], &rows[1]);
+        assert_eq!(off.trace, "off");
+        assert_eq!(full.trace, "full");
+        assert_eq!(off.trace_events, 0);
+        assert!(full.trace_events > 0);
+        assert_eq!(off.requests, full.requests);
+        assert_eq!(off.rounds, full.rounds);
+        assert_eq!(off.dht_hops_mean, full.dht_hops_mean);
+        assert_eq!(off.per_shard_waves, full.per_shard_waves);
+        assert_eq!(
+            (off.p50_rounds, off.p99_rounds, off.p999_rounds),
+            (full.p50_rounds, full.p99_rounds, full.p999_rounds),
+            "tracing must not change the latency distribution"
         );
     }
 

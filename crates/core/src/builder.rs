@@ -30,6 +30,7 @@ use crate::cluster::SkueueCluster;
 use crate::config::{Mode, ProtocolConfig};
 use skueue_dht::Payload;
 use skueue_sim::{DeliveryModel, ExecMode, SimConfig};
+use skueue_trace::TraceLevel;
 use std::marker::PhantomData;
 
 /// Width of an overlay label in bits; the distance-halving bit budget cannot
@@ -130,6 +131,7 @@ pub struct SkueueBuilder<T: Payload = u64> {
     record_trace: bool,
     threads: usize,
     middle_fingers: bool,
+    trace: TraceLevel,
     /// The element payload type the built cluster will carry.
     _payload: PhantomData<T>,
 }
@@ -152,6 +154,7 @@ impl<T: Payload> Default for SkueueBuilder<T> {
             record_trace: false,
             threads: 1,
             middle_fingers: false,
+            trace: TraceLevel::Off,
             _payload: PhantomData,
         }
     }
@@ -334,6 +337,21 @@ impl<T: Payload> SkueueBuilder<T> {
         self
     }
 
+    /// Per-op lifecycle tracing level (default [`TraceLevel::Off`]).
+    ///
+    /// At [`TraceLevel::Spans`] every request's protocol stages (issue, wave
+    /// join, anchor assignment, DHT routing, completion) are recorded into
+    /// lane-local buffers and merged deterministically; [`TraceLevel::Full`]
+    /// adds one event per DHT routing hop.  Tracing is observation-only:
+    /// histories are byte-identical at every level, and the off path is a
+    /// single branch on a `Copy` enum (no buffer allocated).  Distinct from
+    /// [`record_trace`](Self::record_trace), which captures the simulator's
+    /// message-level debug trace.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
     /// The [`ProtocolConfig`] this builder currently describes.
     pub fn protocol_config(&self) -> ProtocolConfig {
         let mut cfg = match self.mode {
@@ -354,6 +372,7 @@ impl<T: Payload> SkueueBuilder<T> {
         cfg.pipeline_depth = self.pipeline_depth;
         cfg.shards = self.shards;
         cfg.middle_fingers = self.middle_fingers;
+        cfg.trace_level = self.trace;
         // The synchronous round scheduler delivers per-channel in send
         // order; every other model may reorder, which the protocol's
         // aggregate credit must compensate for.

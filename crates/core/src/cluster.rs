@@ -63,6 +63,10 @@ use skueue_shard::{ShardId, ShardMap, ShardRouter};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
 use skueue_sim::{ExecMode, SimConfig, SimError, Simulation};
+use skueue_trace::{
+    export_chrome_trace, export_chrome_trace_with_runtime, TraceAnalysis, TraceEvent, TraceId,
+    TraceLevel, TraceLog, TraceRecord,
+};
 use skueue_verify::{History, OpKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -229,6 +233,11 @@ pub struct SkueueCluster<T: Payload = u64> {
     /// Number of processes currently joining or leaving; the per-round state
     /// refresh is skipped while it is zero.
     transitioning: usize,
+    /// The merged lifecycle-trace log: node recorders are drained into it by
+    /// the same deterministic sweep that collects completions, so the log is
+    /// byte-identical across thread counts.  Stays empty at
+    /// [`TraceLevel::Off`].
+    trace_log: TraceLog,
 }
 
 /// Short alias for [`SkueueCluster`]; lets code read
@@ -351,7 +360,10 @@ impl<T: Payload> SkueueCluster<T> {
                         .local_view(vid, &node_of)
                         .expect("vid from own topology")
                 };
-                let node = SkueueNode::<T>::new(node_cfg, shard, view, vid == anchor_vid);
+                let mut node = SkueueNode::<T>::new(node_cfg, shard, view, vid == anchor_vid);
+                // Tag the recorder with the dense node index (known ahead of
+                // registration thanks to the dense id scheme above).
+                node.trace_recorder_mut().attach(node_of(vid).0, shard);
                 let assigned = sim.add_node_in_lane(shard as usize, node);
                 debug_assert_eq!(assigned, node_of(vid));
                 nodes[kind.index()] = assigned;
@@ -390,6 +402,7 @@ impl<T: Payload> SkueueCluster<T> {
             visit_scratch: Vec::new(),
             dirty_nodes: Vec::new(),
             transitioning: 0,
+            trace_log: TraceLog::new(),
         }
     }
 
@@ -627,6 +640,53 @@ impl<T: Payload> SkueueCluster<T> {
             .iter()
             .map(|(_, n)| n.stats().locally_combined)
             .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle tracing (skueue-trace).
+    // ------------------------------------------------------------------
+
+    /// The lifecycle-tracing level this cluster records at (set via
+    /// [`SkueueBuilder::trace`]; [`TraceLevel::Off`] by default).
+    pub fn trace_level(&self) -> TraceLevel {
+        self.cfg.trace_level
+    }
+
+    /// The merged lifecycle-trace log collected so far: every node's
+    /// lane-local recorder drained in the deterministic completion-sweep
+    /// order, so for a given seed the log is byte-identical across thread
+    /// counts.  Empty at [`TraceLevel::Off`].
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.trace_log
+    }
+
+    /// Per-op span trees and per-stage round-latency percentiles derived
+    /// from the trace log (see [`TraceAnalysis`]).
+    pub fn trace_analysis(&self) -> TraceAnalysis {
+        TraceAnalysis::from_log(&self.trace_log)
+    }
+
+    /// Chrome trace-event JSON of the trace log (load in Perfetto or
+    /// `chrome://tracing`): one track per shard lane, one slice per
+    /// completed op span, instants for wave assignments and churn.
+    /// Deterministic — byte-identical across thread counts for one seed.
+    pub fn export_chrome_trace(&self) -> String {
+        export_chrome_trace(&self.trace_log)
+    }
+
+    /// Like [`Self::export_chrome_trace`], with additional wall-clock
+    /// worker-lane tracks (per-lane busy and barrier-wait slices from the
+    /// parallel backend's metrics).  Wall-clock data varies run to run, so
+    /// this variant is *not* byte-identical across executions — use the
+    /// plain export for determinism checks.
+    pub fn export_chrome_trace_with_runtime(&self) -> String {
+        let m = self.sim.metrics();
+        export_chrome_trace_with_runtime(
+            &self.trace_log,
+            &m.lane_busy_ns,
+            &m.lane_barrier_wait_ns,
+            &m.lane_thread_tokens,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -920,6 +980,7 @@ impl<T: Payload> SkueueCluster<T> {
                 middle_finger: None,
             };
             node.set_bootstrap(bootstrap_node);
+            node.trace_recorder_mut().attach(id.0, shard);
         }
         self.processes.push(ProcessHandle {
             id: pid,
@@ -1097,10 +1158,16 @@ impl<T: Payload> SkueueCluster<T> {
         let mut visits = std::mem::take(&mut self.visit_scratch);
         visits.clear();
         visits.extend_from_slice(self.sim.visited_last_round());
+        let tracing = !self.cfg.trace_level.is_off();
         for &idx in &visits {
-            if let Some(node) = self.sim.node_mut(NodeId(idx as u64)) {
+            let id = NodeId(idx as u64);
+            if let Some(node) = self.sim.node_mut(id) {
+                let prev = drained.len();
                 if node.has_completed() {
                     node.drain_completed_into(&mut drained);
+                }
+                if tracing {
+                    Self::drain_node_trace(node, id, &mut self.trace_log, &drained[prev..]);
                 }
             }
         }
@@ -1108,8 +1175,12 @@ impl<T: Payload> SkueueCluster<T> {
         let mut dirty = std::mem::take(&mut self.dirty_nodes);
         for id in dirty.drain(..) {
             if let Some(node) = self.sim.node_mut(id) {
+                let prev = drained.len();
                 if node.has_completed() {
                     node.drain_completed_into(&mut drained);
+                }
+                if tracing {
+                    Self::drain_node_trace(node, id, &mut self.trace_log, &drained[prev..]);
                 }
             }
         }
@@ -1138,11 +1209,42 @@ impl<T: Payload> SkueueCluster<T> {
         self.completion_scratch = drained;
     }
 
+    /// Drains one node's lane-local trace buffer into the merged log and
+    /// stamps a `Completed` instant for every completion record the node
+    /// delivered in this sweep.  Completion instants are *driver-side*
+    /// events: every completion site (DHT applies, replies, ⊥ dequeues,
+    /// locally combined pairs) funnels through the completion sweep, so one
+    /// emission point covers them all — and because the sweep order is the
+    /// deterministic visit order, the merged log is byte-identical across
+    /// thread counts.
+    fn drain_node_trace(
+        node: &mut SkueueNode<T>,
+        id: NodeId,
+        log: &mut TraceLog,
+        records: &[skueue_verify::OpRecord<T>],
+    ) {
+        if node.has_trace_events() {
+            node.drain_trace_into(log);
+        }
+        for record in records {
+            log.push(TraceRecord {
+                node: id.0,
+                shard: node.shard(),
+                event: TraceEvent::Completed {
+                    op: TraceId::new(record.id.origin.0, record.id.seq),
+                    round: record.completed_round,
+                },
+            });
+        }
+    }
+
     fn refresh_process_states(&mut self) {
         // Membership is stable almost always; skip the sweep entirely then.
         if self.transitioning == 0 {
             return;
         }
+        let tracing = !self.cfg.trace_level.is_off();
+        let round = self.sim.round();
         for p in &mut self.processes {
             match p.state {
                 ProcessState::Joining => {
@@ -1155,6 +1257,16 @@ impl<T: Payload> SkueueCluster<T> {
                     if all_active {
                         p.state = ProcessState::Active;
                         self.transitioning -= 1;
+                        if tracing {
+                            self.trace_log.push(TraceRecord {
+                                node: p.nodes[VKind::Middle.index()].0,
+                                shard: p.shard,
+                                event: TraceEvent::ProcessJoined {
+                                    process: p.id.0,
+                                    round,
+                                },
+                            });
+                        }
                     }
                 }
                 ProcessState::Leaving => {
@@ -1167,6 +1279,16 @@ impl<T: Payload> SkueueCluster<T> {
                         self.transitioning -= 1;
                         for &n in &p.nodes {
                             let _ = self.sim.deactivate(n);
+                        }
+                        if tracing {
+                            self.trace_log.push(TraceRecord {
+                                node: p.nodes[VKind::Middle.index()].0,
+                                shard: p.shard,
+                                event: TraceEvent::ProcessLeft {
+                                    process: p.id.0,
+                                    round,
+                                },
+                            });
                         }
                     }
                 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use skueue_overlay::LabelHasher;
+use skueue_trace::TraceLevel;
 
 /// Whether the protocol runs as the FIFO queue of Sections III–V or as the
 /// LIFO stack of Section VI.
@@ -74,6 +75,12 @@ pub struct ProtocolConfig {
     /// but it changes hop counts and therefore message schedules, so it
     /// defaults to **off** to keep the pinned golden histories intact.
     pub middle_fingers: bool,
+    /// Per-op lifecycle tracing level ([`skueue_trace`]).  Off by default;
+    /// the off path is a branch on this `Copy` enum and allocates nothing.
+    /// Tracing is observation-only — it never sends messages or alters
+    /// scheduling decisions, so histories (and the pinned goldens) are
+    /// identical at every level.
+    pub trace_level: TraceLevel,
 }
 
 /// Default number of concurrently in-flight aggregation waves per node.
@@ -100,6 +107,7 @@ impl ProtocolConfig {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             shards: 1,
             middle_fingers: false,
+            trace_level: TraceLevel::Off,
         }
     }
 
@@ -117,6 +125,7 @@ impl ProtocolConfig {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             shards: 1,
             middle_fingers: false,
+            trace_level: TraceLevel::Off,
         }
     }
 
@@ -165,6 +174,13 @@ impl ProtocolConfig {
     /// see [`Self::middle_fingers`]).
     pub fn with_middle_fingers(mut self, enabled: bool) -> Self {
         self.middle_fingers = enabled;
+        self
+    }
+
+    /// Sets the per-op lifecycle tracing level (default
+    /// [`TraceLevel::Off`]).
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 
@@ -240,6 +256,16 @@ mod tests {
     #[test]
     fn default_is_queue() {
         assert_eq!(ProtocolConfig::default().mode, Mode::Queue);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_overrides() {
+        // Off by default: tracing must cost nothing unless asked for.
+        assert!(ProtocolConfig::queue().trace_level.is_off());
+        assert!(ProtocolConfig::stack().trace_level.is_off());
+        let c = ProtocolConfig::queue().with_trace(TraceLevel::Full);
+        assert_eq!(c.trace_level, TraceLevel::Full);
+        assert!(c.trace_level.hops());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use skueue_dht::{Payload, PendingGet, StoredEntry};
 use skueue_overlay::{route_step, Label, NeighborInfo, RouteAction, RouteProgress};
 use skueue_sim::actor::Context;
 use skueue_sim::ids::NodeId;
+use skueue_trace::TraceEvent;
 
 impl<T: Payload> SkueueNode<T> {
     // ---------------------------------------------------------------------
@@ -464,6 +465,12 @@ impl<T: Payload> SkueueNode<T> {
             anchor: self.anchor.take(),
         };
         ctx.send(from, SkueueMsg::AbsorbData(Box::new(payload)));
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::Absorbed {
+                process: self.process().0,
+                round: ctx.round(),
+            });
+        }
         self.announce_sibling_status(false, ctx);
         self.role = Role::Draining { absorber: from };
     }
@@ -595,6 +602,12 @@ impl<T: Payload> SkueueNode<T> {
         );
         self.last_update_phase = phase;
         self.suspended = true;
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::PhaseEnter {
+                phase,
+                round: ctx.round(),
+            });
+        }
         let awaiting_child_acks = self.tree_children().to_vec();
         // Flag the children *before* integrating joiners or splicing the
         // cycle, so the flagged set matches the awaited set.
@@ -697,6 +710,12 @@ impl<T: Payload> SkueueNode<T> {
         self.suspended = false;
         self.update = None;
         if participating {
+            if !self.trace.is_off() {
+                self.trace.emit(TraceEvent::PhaseOver {
+                    phase,
+                    round: ctx.round(),
+                });
+            }
             for child in self.tree_children() {
                 ctx.send(child, SkueueMsg::UpdateOver { phase });
             }

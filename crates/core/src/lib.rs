@@ -73,4 +73,7 @@ pub use skueue_dht::Payload;
 // Re-exported so downstream crates can feed `SkueueCluster::shard_map` to
 // `skueue_verify::check_queue_sharded` without a direct skueue-shard dep.
 pub use skueue_shard::{ShardId, ShardMap, ShardRouter};
+// Re-exported so `SkueueBuilder::trace(TraceLevel::…)` and the trace sinks
+// are reachable without a direct skueue-trace dependency.
+pub use skueue_trace::{StageStats, TraceAnalysis, TraceLevel, TraceLog};
 pub use ticket::{CompletionEvent, OpOutcome, OpStatus, OpTicket};

@@ -62,6 +62,15 @@ impl<T: Payload> DhtOp<T> {
             DhtOp::Get { position, .. } => *position,
         }
     }
+
+    /// The queue/stack request this DHT operation belongs to (the identity
+    /// the op's lifecycle-trace events are tagged with).
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            DhtOp::Put { entry, .. } => entry.element.id,
+            DhtOp::Get { request, .. } => *request,
+        }
+    }
 }
 
 /// One DHT operation in flight, together with its routing state.  This is

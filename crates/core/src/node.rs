@@ -53,6 +53,7 @@ use skueue_shard::{ShardId, ShardMap};
 use skueue_sim::actor::{Actor, Context};
 use skueue_sim::ids::{NodeId, ProcessId, RequestId};
 use skueue_sim::metrics::Histogram;
+use skueue_trace::{TraceEvent, TraceId, TraceLog, TraceRecorder};
 use skueue_verify::{OpKind, OpRecord, OpResult, OrderKey};
 use std::collections::{HashMap, VecDeque};
 
@@ -416,6 +417,15 @@ pub struct SkueueNode<T: Payload = u64> {
     // --- Outputs --------------------------------------------------------------
     pub(crate) completed: Vec<OpRecord<T>>,
     pub(crate) stats: NodeStats,
+    /// Lane-local lifecycle event recorder (a no-op at `TraceLevel::Off`:
+    /// every emission site guards on [`TraceRecorder::is_off`], and the off
+    /// recorder holds a zero-capacity buffer).
+    pub(crate) trace: TraceRecorder,
+    /// Number of `own_log` prefix entries already committed to an
+    /// aggregation wave (and therefore already carrying a `WaveJoin` trace
+    /// event); the uncommitted suffix joins the next wave this node opens.
+    /// Only maintained for tracing — the protocol itself never reads it.
+    pub(crate) wave_committed: usize,
 }
 
 impl<T: Payload> SkueueNode<T> {
@@ -479,6 +489,8 @@ impl<T: Payload> SkueueNode<T> {
             last_update_phase: 0,
             completed: Vec::new(),
             stats: NodeStats::default(),
+            trace: TraceRecorder::new(cfg.trace_level, 0, shard),
+            wave_committed: 0,
         }
     }
 
@@ -616,6 +628,30 @@ impl<T: Payload> SkueueNode<T> {
         out.append(&mut self.completed);
     }
 
+    /// The node's lifecycle-trace recorder (cluster wiring: the driver
+    /// re-tags it with the node's dense index via [`TraceRecorder::attach`]).
+    pub fn trace_recorder_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    /// True when lifecycle-trace events are waiting to be drained.
+    pub fn has_trace_events(&self) -> bool {
+        self.trace.pending() > 0
+    }
+
+    /// Moves this node's buffered lifecycle-trace events into `log`,
+    /// retaining the lane-local buffer — called from the cluster's
+    /// deterministic per-round sweep, right next to the completion drain.
+    pub fn drain_trace_into(&mut self, log: &mut TraceLog) {
+        self.trace.drain_into(log);
+    }
+
+    /// The trace identity of a request: origin process and per-origin seq.
+    #[inline]
+    fn tid(id: RequestId) -> TraceId {
+        TraceId::new(id.origin.0, id.seq)
+    }
+
     /// One-line diagnostic summary of the node's protocol state (used by
     /// tests and the experiment harness when something stalls).
     pub fn diagnostics(&self) -> String {
@@ -680,6 +716,13 @@ impl<T: Payload> SkueueNode<T> {
             "only active nodes generate requests"
         );
         self.stats.requests_generated += 1;
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::Issued {
+                op: Self::tid(id),
+                insert: kind == BatchOp::Enqueue,
+                round,
+            });
+        }
         let op = LocalOp {
             id,
             kind,
@@ -702,6 +745,10 @@ impl<T: Payload> SkueueNode<T> {
                         // complete both requests immediately (Section VI).
                         let push = self.own_log.pop().expect("push must still be unsent");
                         debug_assert_eq!(push.id, push_id);
+                        // The matched push was issued after the last wave
+                        // opened (`local_stack` only holds unsent pushes), so
+                        // removing it never touches the committed prefix.
+                        debug_assert!(self.wave_committed <= self.own_log.len());
                         self.own_batch.pop_last_op();
                         self.stats.locally_combined += 2;
                         // Pairs that were anchored to the removed push must be
@@ -1003,6 +1050,16 @@ impl<T: Payload> SkueueNode<T> {
             // Every unsent push is now committed to the aggregation path and
             // can no longer be combined locally.
             self.local_stack.clear();
+            if !self.trace.is_off() {
+                let round = ctx.round();
+                for op in &self.own_log[self.wave_committed..] {
+                    self.trace.emit(TraceEvent::WaveJoin {
+                        op: Self::tid(op.id),
+                        round,
+                    });
+                }
+            }
+            self.wave_committed = self.own_log.len();
             own
         };
 
@@ -1036,6 +1093,17 @@ impl<T: Payload> SkueueNode<T> {
                 // Stage 2 happens right here: the anchor serves itself.
                 let mut anchor = self.anchor.take().expect("anchor path");
                 let assignments = anchor.assign_wave(&combined, self.cfg.mode);
+                if !self.trace.is_off() {
+                    // One instant per (shard, wave): the boundary between the
+                    // aggregation and assignment stages for every op of this
+                    // wave (all runs of one wave share the epoch).
+                    if let Some(run) = assignments.first() {
+                        self.trace.emit(TraceEvent::WaveAssigned {
+                            wave: run.wave,
+                            round: ctx.round(),
+                        });
+                    }
+                }
                 // Churn carried by waves assigned during an update phase is
                 // accumulated (not dropped); it triggers the *next* phase.
                 let enter_update = if !drain && self.update.is_none() {
@@ -1188,6 +1256,14 @@ impl<T: Payload> SkueueNode<T> {
                 log_cursor += 1;
                 let order_major = run.value_base + j;
                 self.note_order_assigned(id.seq, order_major);
+                if !self.trace.is_off() {
+                    self.trace.emit(TraceEvent::Assigned {
+                        op: Self::tid(id),
+                        wave: run.wave,
+                        major: order_major,
+                        round: ctx.round(),
+                    });
+                }
 
                 match run.kind {
                     BatchOp::Enqueue => {
@@ -1249,6 +1325,11 @@ impl<T: Payload> SkueueNode<T> {
         // Remove the resolved prefix from the log; anything after it was
         // generated after the batch was sent and belongs to the next one.
         self.own_log.drain(0..log_cursor);
+        // The resolved prefix was wave-committed in its entirety (waves
+        // resolve in epoch order), so the committed-prefix marker shrinks by
+        // exactly the drained count.
+        debug_assert!(log_cursor <= self.wave_committed);
+        self.wave_committed = self.wave_committed.saturating_sub(log_cursor);
     }
 
     /// The witnessed order key for an anchor-assigned order value: plain
@@ -1316,6 +1397,12 @@ impl<T: Payload> SkueueNode<T> {
             self.outstanding_dht += 1;
         }
         self.stats.dht_ops_issued += 1;
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::DhtIssued {
+                op: Self::tid(id),
+                round: ctx.round(),
+            });
+        }
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
         self.dispatch_dht(Box::new(DhtOp::Put { entry, meta }), progress, ctx);
     }
@@ -1347,6 +1434,12 @@ impl<T: Payload> SkueueNode<T> {
             self.outstanding_dht += 1;
         }
         self.stats.dht_ops_issued += 1;
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::DhtIssued {
+                op: Self::tid(id),
+                round: ctx.round(),
+            });
+        }
         let progress = RouteProgress::new(key, self.cfg.bit_budget);
         self.dispatch_dht(
             Box::new(DhtOp::Get {
@@ -1374,6 +1467,13 @@ impl<T: Payload> SkueueNode<T> {
         // into the cycle yet, forward operations for its range directly.
         if let Some(target) = self.joiner_responsible_for(progress.target) {
             progress.hops += 1;
+            if self.trace.hops() {
+                self.trace.emit(TraceEvent::DhtHop {
+                    op: Self::tid(op.request_id()),
+                    hop: progress.hops,
+                    round: ctx.round(),
+                });
+            }
             self.route_buffer.push(target, RoutedDhtOp { op, progress });
             return;
         }
@@ -1381,6 +1481,13 @@ impl<T: Payload> SkueueNode<T> {
             RouteAction::Deliver => self.apply_dht(*op, &progress, ctx),
             RouteAction::Forward(next) => {
                 progress.hops += 1;
+                if self.trace.hops() {
+                    self.trace.emit(TraceEvent::DhtHop {
+                        op: Self::tid(op.request_id()),
+                        hop: progress.hops,
+                        round: ctx.round(),
+                    });
+                }
                 self.route_buffer.push(next, RoutedDhtOp { op, progress });
             }
         }
@@ -1405,6 +1512,13 @@ impl<T: Payload> SkueueNode<T> {
         ctx: &mut Context<SkueueMsg<T>>,
     ) {
         self.stats.dht_hops.record(progress.hops as u64);
+        if !self.trace.is_off() {
+            self.trace.emit(TraceEvent::DhtApplied {
+                op: Self::tid(op.request_id()),
+                hops: progress.hops,
+                round: ctx.round(),
+            });
+        }
         match op {
             DhtOp::Put { entry, meta } => {
                 // The enqueue/push is finished once its element is stored (or

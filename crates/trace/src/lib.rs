@@ -1,0 +1,615 @@
+//! # skueue-trace — per-op lifecycle tracing
+//!
+//! A structured event/span recorder for the Skueue protocol.  Every request
+//! gets a [`TraceId`] minted when it is issued and carried through its whole
+//! lifecycle; protocol stages emit round-stamped [`TraceEvent`]s into
+//! **lane-local** [`TraceRecorder`]s (one per virtual node, preallocated, no
+//! cross-thread contention), which the cluster driver drains into a single
+//! [`TraceLog`] in the same deterministic node sweep that collects
+//! completions.  Because the protocol itself is byte-identical across
+//! execution backends, the merged log — and everything derived from it — is
+//! byte-identical across thread counts too.
+//!
+//! The stage taxonomy decomposes a request's rounds-per-request latency
+//! (the paper's headline metric, Theorems 18/20) into:
+//!
+//! | stage | from → to | what it measures |
+//! |-------|-----------|------------------|
+//! | `queue-wait` | [`Issued`] → [`WaveJoin`] | waiting for the node's next aggregation wave |
+//! | `aggregation` | [`WaveJoin`] → [`WaveAssigned`] | batch travel up the tree + anchor processing |
+//! | `assignment` | [`WaveAssigned`] → [`Assigned`] | assignment travel back down the tree |
+//! | `dht-routing` | [`Assigned`] → [`DhtApplied`] | distance-halving hops to the responsible node |
+//! | `reply` | [`DhtApplied`] → [`Completed`] | reply routing back to the requester |
+//!
+//! (`[Issued]`: [`TraceEvent::Issued`], etc.)  Locally combined stack pairs
+//! and `⊥` dequeues legitimately skip later stages; see
+//! [`analysis::OpSpan::well_formed`] for the exact shape rules.
+//!
+//! Sinks: [`analysis::TraceAnalysis`] (in-memory per-stage round-latency
+//! percentiles) and [`chrome::export_chrome_trace`] (Chrome trace-event JSON
+//! loadable in Perfetto / `chrome://tracing`).
+//!
+//! Recording is **off by default** and the off path is a branch on the
+//! `Copy` enum [`TraceLevel`] — no buffer is allocated, no event is
+//! constructed (see [`TraceRecorder::is_off`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+
+pub use analysis::{OpSpan, StageStats, TraceAnalysis};
+pub use chrome::{export_chrome_trace, export_chrome_trace_with_runtime, validate_json};
+
+use serde::{Deserialize, Serialize};
+
+/// How much the per-node recorders capture.
+///
+/// `Copy` on purpose: every emission site guards with a branch on this enum,
+/// which is all the off path costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// No recording at all: no ring buffer is allocated and every emission
+    /// site reduces to one predictable branch (the default).
+    #[default]
+    Off,
+    /// Record the per-op span events (issue, wave join, assignment, DHT
+    /// apply, completion) plus churn/update-phase instants.
+    Spans,
+    /// Everything in [`Spans`](TraceLevel::Spans) plus one event per DHT
+    /// routing hop — the level the hop-count invariants need.
+    Full,
+}
+
+impl TraceLevel {
+    /// True when nothing is recorded (the zero-cost path).
+    #[inline]
+    pub fn is_off(self) -> bool {
+        matches!(self, TraceLevel::Off)
+    }
+
+    /// True when per-op span events are recorded.
+    #[inline]
+    pub fn spans(self) -> bool {
+        !self.is_off()
+    }
+
+    /// True when per-hop DHT routing events are recorded.
+    #[inline]
+    pub fn hops(self) -> bool {
+        matches!(self, TraceLevel::Full)
+    }
+
+    /// Stable lowercase name for reports and snapshot JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Full => "full",
+        }
+    }
+}
+
+/// Identity of one traced operation.
+///
+/// Minted when the operation is issued (it is the request's `OP_{v,i}`
+/// identity: origin process and per-process sequence number), and carried
+/// by every event of the op's span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId {
+    /// Raw id of the issuing process.
+    pub origin: u64,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl TraceId {
+    /// Creates the trace id of the `seq`-th request of process `origin`.
+    pub fn new(origin: u64, seq: u64) -> Self {
+        TraceId { origin, seq }
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}#{}", self.origin, self.seq)
+    }
+}
+
+/// One round-stamped lifecycle event.
+///
+/// All variants carry the simulation round they happened in — traces are
+/// round-stamped, never wall-clock-stamped, which is what keeps them
+/// byte-identical across execution backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The operation was issued at its origin process.
+    Issued {
+        /// The operation.
+        op: TraceId,
+        /// True for an enqueue/push, false for a dequeue/pop.
+        insert: bool,
+        /// Issue round.
+        round: u64,
+    },
+    /// The op was committed into its node's next aggregation wave.
+    WaveJoin {
+        /// The operation.
+        op: TraceId,
+        /// Commit round (the round the wave opened).
+        round: u64,
+    },
+    /// The anchor assigned a whole wave (one event per `(shard, wave)`,
+    /// recorded at the anchor node — the boundary between the aggregation
+    /// and assignment stages for every op of that wave).
+    WaveAssigned {
+        /// Wave epoch the anchor assigned.
+        wave: u64,
+        /// Assignment round at the anchor.
+        round: u64,
+    },
+    /// The op's origin node resolved the anchor's run assignment to the
+    /// op's position in the total order.
+    Assigned {
+        /// The operation.
+        op: TraceId,
+        /// Wave epoch the op was assigned in.
+        wave: u64,
+        /// Anchor-assigned `value(op)` (the order key's major).
+        major: u64,
+        /// Resolution round at the origin node.
+        round: u64,
+    },
+    /// The op's DHT operation (put/get at its position key) was issued.
+    DhtIssued {
+        /// The operation.
+        op: TraceId,
+        /// Issue round.
+        round: u64,
+    },
+    /// One distance-halving routing hop ([`TraceLevel::Full`] only).
+    DhtHop {
+        /// The operation.
+        op: TraceId,
+        /// Hop ordinal (1-based: the value of the routing progress counter
+        /// *after* this hop).
+        hop: u32,
+        /// Round the hop was taken in.
+        round: u64,
+    },
+    /// The DHT operation reached its responsible node and was applied.
+    DhtApplied {
+        /// The operation.
+        op: TraceId,
+        /// Total routing hops the operation traversed.
+        hops: u32,
+        /// Apply round.
+        round: u64,
+    },
+    /// The operation completed (its history record was collected).
+    Completed {
+        /// The operation.
+        op: TraceId,
+        /// Completion round.
+        round: u64,
+    },
+    /// A node entered an update phase (join/leave integration, Section IV).
+    PhaseEnter {
+        /// The phase number.
+        phase: u64,
+        /// Entry round.
+        round: u64,
+    },
+    /// A node saw an update phase finish.
+    PhaseOver {
+        /// The phase number.
+        phase: u64,
+        /// Finish round.
+        round: u64,
+    },
+    /// A joining process became an integrated member.
+    ProcessJoined {
+        /// Raw id of the process.
+        process: u64,
+        /// Integration round.
+        round: u64,
+    },
+    /// A leaving process departed the system.
+    ProcessLeft {
+        /// Raw id of the process.
+        process: u64,
+        /// Departure round.
+        round: u64,
+    },
+    /// A draining node handed its data over to its absorber.
+    Absorbed {
+        /// Raw id of the draining process.
+        process: u64,
+        /// Hand-over round.
+        round: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event is stamped with.
+    pub fn round(&self) -> u64 {
+        match *self {
+            TraceEvent::Issued { round, .. }
+            | TraceEvent::WaveJoin { round, .. }
+            | TraceEvent::WaveAssigned { round, .. }
+            | TraceEvent::Assigned { round, .. }
+            | TraceEvent::DhtIssued { round, .. }
+            | TraceEvent::DhtHop { round, .. }
+            | TraceEvent::DhtApplied { round, .. }
+            | TraceEvent::Completed { round, .. }
+            | TraceEvent::PhaseEnter { round, .. }
+            | TraceEvent::PhaseOver { round, .. }
+            | TraceEvent::ProcessJoined { round, .. }
+            | TraceEvent::ProcessLeft { round, .. }
+            | TraceEvent::Absorbed { round, .. } => round,
+        }
+    }
+
+    /// The op the event belongs to (`None` for wave/phase/churn events).
+    pub fn op(&self) -> Option<TraceId> {
+        match *self {
+            TraceEvent::Issued { op, .. }
+            | TraceEvent::WaveJoin { op, .. }
+            | TraceEvent::Assigned { op, .. }
+            | TraceEvent::DhtIssued { op, .. }
+            | TraceEvent::DhtHop { op, .. }
+            | TraceEvent::DhtApplied { op, .. }
+            | TraceEvent::Completed { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Mixes the event into an FNV-1a accumulator (the log fingerprint).
+    fn mix_into(&self, mix: &mut impl FnMut(u64)) {
+        match *self {
+            TraceEvent::Issued { op, insert, round } => {
+                mix(1);
+                mix(op.origin);
+                mix(op.seq);
+                mix(insert as u64);
+                mix(round);
+            }
+            TraceEvent::WaveJoin { op, round } => {
+                mix(2);
+                mix(op.origin);
+                mix(op.seq);
+                mix(round);
+            }
+            TraceEvent::WaveAssigned { wave, round } => {
+                mix(3);
+                mix(wave);
+                mix(round);
+            }
+            TraceEvent::Assigned {
+                op,
+                wave,
+                major,
+                round,
+            } => {
+                mix(4);
+                mix(op.origin);
+                mix(op.seq);
+                mix(wave);
+                mix(major);
+                mix(round);
+            }
+            TraceEvent::DhtIssued { op, round } => {
+                mix(5);
+                mix(op.origin);
+                mix(op.seq);
+                mix(round);
+            }
+            TraceEvent::DhtHop { op, hop, round } => {
+                mix(6);
+                mix(op.origin);
+                mix(op.seq);
+                mix(hop as u64);
+                mix(round);
+            }
+            TraceEvent::DhtApplied { op, hops, round } => {
+                mix(7);
+                mix(op.origin);
+                mix(op.seq);
+                mix(hops as u64);
+                mix(round);
+            }
+            TraceEvent::Completed { op, round } => {
+                mix(8);
+                mix(op.origin);
+                mix(op.seq);
+                mix(round);
+            }
+            TraceEvent::PhaseEnter { phase, round } => {
+                mix(9);
+                mix(phase);
+                mix(round);
+            }
+            TraceEvent::PhaseOver { phase, round } => {
+                mix(10);
+                mix(phase);
+                mix(round);
+            }
+            TraceEvent::ProcessJoined { process, round } => {
+                mix(11);
+                mix(process);
+                mix(round);
+            }
+            TraceEvent::ProcessLeft { process, round } => {
+                mix(12);
+                mix(process);
+                mix(round);
+            }
+            TraceEvent::Absorbed { process, round } => {
+                mix(13);
+                mix(process);
+                mix(round);
+            }
+        }
+    }
+}
+
+/// One event together with the node (and its anchor shard) that recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Dense index of the recording node.
+    pub node: u64,
+    /// Anchor shard of the recording node (the Chrome export's track).
+    pub shard: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Preallocated capacity of a node's lane-local event buffer.  The driver
+/// drains every buffer once per round sweep, so steady state never grows it;
+/// a single round would need to emit more than this many events at one node
+/// to trigger a (amortised, still deterministic) regrowth.
+pub const RECORDER_CAPACITY: usize = 1024;
+
+/// The lane-local event recorder owned by one virtual node.
+///
+/// At [`TraceLevel::Off`] the buffer is a zero-capacity `Vec` (no
+/// allocation) and the emission sites never construct an event — the whole
+/// cost of the off path is the [`is_off`](Self::is_off) branch.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    level: TraceLevel,
+    node: u64,
+    shard: u32,
+    buf: Vec<TraceRecord>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for node `node` in anchor shard `shard`.
+    pub fn new(level: TraceLevel, node: u64, shard: u32) -> Self {
+        TraceRecorder {
+            level,
+            node,
+            shard,
+            buf: if level.is_off() {
+                Vec::new()
+            } else {
+                Vec::with_capacity(RECORDER_CAPACITY)
+            },
+        }
+    }
+
+    /// A disabled recorder (what nodes get before the cluster wires them).
+    pub fn disabled() -> Self {
+        TraceRecorder::new(TraceLevel::Off, 0, 0)
+    }
+
+    /// The recorder's level.
+    #[inline]
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// True when recording is disabled — **the** guard every emission site
+    /// branches on before constructing an event.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        self.level.is_off()
+    }
+
+    /// True when per-hop DHT events are recorded.
+    #[inline]
+    pub fn hops(&self) -> bool {
+        self.level.hops()
+    }
+
+    /// Re-tags the recorder with the node identity the cluster assigned
+    /// (used when a node is constructed before its dense index is known).
+    pub fn attach(&mut self, node: u64, shard: u32) {
+        self.node = node;
+        self.shard = shard;
+    }
+
+    /// Records one event.  Callers must guard with [`Self::is_off`].
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent) {
+        debug_assert!(!self.is_off(), "emit() on a disabled recorder");
+        self.buf.push(TraceRecord {
+            node: self.node,
+            shard: self.shard,
+            event,
+        });
+    }
+
+    /// Number of buffered (not yet drained) events.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Moves all buffered events into `log`, retaining the buffer's
+    /// capacity (the once-per-sweep drain the cluster driver performs).
+    pub fn drain_into(&mut self, log: &mut TraceLog) {
+        log.records.append(&mut self.buf);
+    }
+}
+
+/// The merged, deterministic event log of one execution.
+///
+/// Built by draining every node's [`TraceRecorder`] in the cluster's fixed
+/// completion-sweep order; byte-identical across thread counts for the same
+/// seed.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends one record (driver-side events: completions, churn).
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in merge order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Per-shard event counts, sorted by shard id (what the CI trace smoke
+    /// asserts "≥ 1 event per populated shard lane" against).
+    pub fn shard_event_counts(&self) -> Vec<(u32, u64)> {
+        let mut counts: Vec<(u32, u64)> = Vec::new();
+        for r in &self.records {
+            match counts.binary_search_by_key(&r.shard, |&(s, _)| s) {
+                Ok(i) => counts[i].1 += 1,
+                Err(i) => counts.insert(i, (r.shard, 1)),
+            }
+        }
+        counts
+    }
+
+    /// FNV-1a fingerprint over every field of every record in merge order —
+    /// the cheap byte-identity check the determinism tests pin.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for r in &self.records {
+            mix(r.node);
+            mix(r.shard as u64);
+            r.event.mix_into(&mut mix);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_defaults_off_and_gates() {
+        assert_eq!(TraceLevel::default(), TraceLevel::Off);
+        assert!(TraceLevel::Off.is_off());
+        assert!(!TraceLevel::Off.spans());
+        assert!(!TraceLevel::Off.hops());
+        assert!(TraceLevel::Spans.spans());
+        assert!(!TraceLevel::Spans.hops());
+        assert!(TraceLevel::Full.spans());
+        assert!(TraceLevel::Full.hops());
+        assert!(TraceLevel::Off < TraceLevel::Spans && TraceLevel::Spans < TraceLevel::Full);
+    }
+
+    #[test]
+    fn off_recorder_allocates_nothing() {
+        let r = TraceRecorder::new(TraceLevel::Off, 3, 1);
+        assert!(r.is_off());
+        assert_eq!(r.buf.capacity(), 0, "off path must not allocate");
+        let on = TraceRecorder::new(TraceLevel::Spans, 3, 1);
+        assert!(on.buf.capacity() >= RECORDER_CAPACITY);
+    }
+
+    #[test]
+    fn emit_drain_retains_capacity() {
+        let mut r = TraceRecorder::new(TraceLevel::Full, 7, 2);
+        r.emit(TraceEvent::Issued {
+            op: TraceId::new(1, 0),
+            insert: true,
+            round: 5,
+        });
+        r.emit(TraceEvent::DhtHop {
+            op: TraceId::new(1, 0),
+            hop: 1,
+            round: 6,
+        });
+        assert_eq!(r.pending(), 2);
+        let cap = r.buf.capacity();
+        let mut log = TraceLog::new();
+        r.drain_into(&mut log);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.buf.capacity(), cap, "drain must retain the buffer");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].node, 7);
+        assert_eq!(log.records()[0].shard, 2);
+        assert_eq!(log.records()[0].event.op(), Some(TraceId::new(1, 0)));
+        assert_eq!(log.records()[0].event.round(), 5);
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let ev_a = TraceRecord {
+            node: 0,
+            shard: 0,
+            event: TraceEvent::Issued {
+                op: TraceId::new(0, 0),
+                insert: true,
+                round: 1,
+            },
+        };
+        let ev_b = TraceRecord {
+            node: 1,
+            shard: 0,
+            event: TraceEvent::Completed {
+                op: TraceId::new(0, 0),
+                round: 4,
+            },
+        };
+        let mut ab = TraceLog::new();
+        ab.push(ev_a);
+        ab.push(ev_b);
+        let mut ba = TraceLog::new();
+        ba.push(ev_b);
+        ba.push(ev_a);
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+        assert_ne!(ab.fingerprint(), TraceLog::new().fingerprint());
+    }
+
+    #[test]
+    fn shard_event_counts_sorts_by_shard() {
+        let mut log = TraceLog::new();
+        for shard in [2u32, 0, 2, 1, 2] {
+            log.push(TraceRecord {
+                node: shard as u64,
+                shard,
+                event: TraceEvent::WaveAssigned { wave: 1, round: 1 },
+            });
+        }
+        assert_eq!(log.shard_event_counts(), vec![(0, 1), (1, 1), (2, 3)]);
+    }
+}

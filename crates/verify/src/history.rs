@@ -255,6 +255,35 @@ impl<T: Payload> History<T> {
     pub fn max_latency(&self) -> u64 {
         self.records.iter().map(|r| r.latency()).max().unwrap_or(0)
     }
+
+    /// Nearest-rank latency percentile (`q` in `(0, 1]`; 0 when empty).
+    ///
+    /// Computed from the records alone, so it is available with lifecycle
+    /// tracing off; the trace analysis' `total` stage reports the same
+    /// numbers when tracing is on.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        latencies.sort_unstable();
+        let rank = (q * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// The `(p50, p99, p999)` latency percentiles in rounds (nearest-rank).
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        if self.records.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut latencies: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        latencies.sort_unstable();
+        let pick = |q: f64| {
+            let rank = (q * latencies.len() as f64).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1]
+        };
+        (pick(0.50), pick(0.99), pick(0.999))
+    }
 }
 
 impl<T: Payload> Extend<OpRecord<T>> for History<T> {
@@ -399,5 +428,25 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.mean_latency(), 0.0);
         assert!(h.sorted_by_order().is_empty());
+        assert_eq!(h.latency_percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let mut h = History::new();
+        for i in 0..100u64 {
+            h.push(OpRecord {
+                id: RequestId::new(ProcessId(0), i),
+                kind: OpKind::Enqueue,
+                value: i,
+                result: OpResult::Enqueued,
+                order: OrderKey::anchor(i, ProcessId(0)),
+                issued_round: 0,
+                completed_round: i + 1,
+            });
+        }
+        assert_eq!(h.latency_percentile(0.50), 50);
+        assert_eq!(h.latency_percentiles(), (50, 99, 100));
+        assert_eq!(h.latency_percentile(1.0), h.max_latency());
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::generator::{FixedRateGenerator, PerNodeRateGenerator};
 use serde::{Deserialize, Serialize};
-use skueue_core::{Mode, Payload, SkueueCluster};
+use skueue_core::{Mode, Payload, SkueueCluster, TraceLevel};
 use skueue_sim::ids::ProcessId;
 use skueue_verify::{check_queue, check_queue_sharded, check_stack};
 
@@ -42,6 +42,9 @@ pub struct ScenarioParams {
     /// Enables the nearest-middle routing finger (default off; changes hop
     /// counts and therefore schedules — see `SkueueBuilder::middle_fingers`).
     pub middle_fingers: bool,
+    /// Per-op lifecycle tracing level (default [`TraceLevel::Off`]; tracing
+    /// is observation-only — it never changes the schedule).
+    pub trace_level: TraceLevel,
 }
 
 impl ScenarioParams {
@@ -61,6 +64,7 @@ impl ScenarioParams {
             shards: 1,
             threads: 1,
             middle_fingers: false,
+            trace_level: TraceLevel::Off,
         }
     }
 
@@ -79,6 +83,7 @@ impl ScenarioParams {
             shards: 1,
             threads: 1,
             middle_fingers: false,
+            trace_level: TraceLevel::Off,
         }
     }
 
@@ -128,6 +133,13 @@ impl ScenarioParams {
         self
     }
 
+    /// Enables per-op lifecycle tracing (see `SkueueBuilder::trace`;
+    /// observation-only, adds the stage-latency breakdown to the result).
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
     fn build_cluster<T: Payload>(&self) -> SkueueCluster<T> {
         SkueueCluster::builder()
             .processes(self.processes)
@@ -136,6 +148,7 @@ impl ScenarioParams {
             .shards(self.shards)
             .threads(self.threads)
             .middle_fingers(self.middle_fingers)
+            .trace(self.trace_level)
             .build()
             .expect("scenario parameters describe a valid cluster")
     }
@@ -204,6 +217,20 @@ pub struct ScenarioResult {
     pub consistent: bool,
     /// Requests completed purely locally by the stack's combining.
     pub locally_combined: u64,
+    /// Median request latency in rounds (nearest-rank, from the history —
+    /// available with tracing off).
+    pub p50_rounds: u64,
+    /// 99th-percentile request latency in rounds.
+    pub p99_rounds: u64,
+    /// 99.9th-percentile request latency in rounds.
+    pub p999_rounds: u64,
+    /// Trace events recorded (0 with tracing off).
+    pub trace_events: u64,
+    /// Per-stage latency breakdown from the lifecycle trace, in
+    /// [`skueue_core::TraceAnalysis::stage_table`] order (queue-wait,
+    /// aggregation, assignment, dht-routing, reply, total); empty with
+    /// tracing off.
+    pub stage_latencies: Vec<(&'static str, skueue_core::StageStats)>,
 }
 
 fn finish<T: Payload>(
@@ -242,6 +269,30 @@ fn finish<T: Payload>(
         "unmatched DHT replies at quiescence"
     );
 
+    // Companion invariant for the lifecycle trace: with no unmatched
+    // replies, a drained cluster must also have zero orphan spans (every
+    // issued op reached a completion event), and every span tree must be
+    // well-formed.
+    let (trace_events, stage_latencies) = if cluster.trace_level().is_off() {
+        (0, Vec::new())
+    } else {
+        let analysis = cluster.trace_analysis();
+        assert_eq!(
+            analysis.orphan_count(),
+            0,
+            "orphan trace spans at quiescence"
+        );
+        if let Some(violation) = analysis.shape_violation() {
+            panic!("malformed trace span: {violation}");
+        }
+        (
+            cluster.trace_log().len() as u64,
+            analysis.stage_table().to_vec(),
+        )
+    };
+
+    let (p50_rounds, p99_rounds, p999_rounds) = history.latency_percentiles();
+
     ScenarioResult {
         processes: params.processes,
         mode: params.mode,
@@ -272,6 +323,11 @@ fn finish<T: Payload>(
         },
         consistent,
         locally_combined: cluster.locally_combined(),
+        p50_rounds,
+        p99_rounds,
+        p999_rounds,
+        trace_events,
+        stage_latencies,
     }
 }
 
@@ -305,6 +361,16 @@ pub fn run_payload_fixed_rate<T: Payload>(
     params: ScenarioParams,
     mut mk: impl FnMut(u64) -> T,
 ) -> ScenarioResult {
+    let (cluster, drain_rounds) = run_fixed_rate_cluster(&params, &mut mk);
+    finish(cluster, &params, drain_rounds)
+}
+
+/// The shared fixed-rate driver loop: builds the cluster, generates for
+/// `generation_rounds`, drains, and hands the quiescent cluster back.
+fn run_fixed_rate_cluster<T: Payload>(
+    params: &ScenarioParams,
+    mk: &mut impl FnMut(u64) -> T,
+) -> (SkueueCluster<T>, u64) {
     let mut cluster = params.build_cluster::<T>();
     let mut generator = FixedRateGenerator::new(
         params.insert_ratio,
@@ -315,14 +381,49 @@ pub fn run_payload_fixed_rate<T: Payload>(
 
     for round in 0..params.generation_rounds {
         generator
-            .tick_with(&mut cluster, round, &mut mk)
+            .tick_with(&mut cluster, round, &mut *mk)
             .expect("active processes exist");
         cluster.run_round();
     }
     let drain_rounds = cluster
         .run_until_all_complete(params.drain_budget)
         .expect("requests must drain within the budget");
-    finish(cluster, &params, drain_rounds)
+    (cluster, drain_rounds)
+}
+
+/// What a traced fixed-rate run leaves behind beyond the scenario result.
+#[derive(Debug, Clone)]
+pub struct TracedRunArtifacts {
+    /// The scenario result (with the stage-latency breakdown populated).
+    pub result: ScenarioResult,
+    /// The deterministic Chrome trace-event export of the merged log
+    /// (byte-identical across thread counts for a given seed).
+    pub chrome_json: String,
+    /// `(shard, events recorded)` per populated shard lane.
+    pub shard_event_counts: Vec<(u32, u64)>,
+    /// FNV fingerprint of the merged trace log (the determinism tests'
+    /// cross-backend comparison key).
+    pub trace_fingerprint: u64,
+}
+
+/// Runs one fig2 data point with lifecycle tracing enabled and returns the
+/// result together with the Chrome-trace export and the merged-log
+/// fingerprint.  Forces at least [`TraceLevel::Spans`] when the params left
+/// tracing off — an untraced run has nothing to export.
+pub fn run_fixed_rate_traced(mut params: ScenarioParams) -> TracedRunArtifacts {
+    if params.trace_level.is_off() {
+        params.trace_level = TraceLevel::Spans;
+    }
+    let (cluster, drain_rounds) = run_fixed_rate_cluster::<u64>(&params, &mut |c| c);
+    let chrome_json = cluster.export_chrome_trace();
+    let shard_event_counts = cluster.trace_log().shard_event_counts();
+    let trace_fingerprint = cluster.trace_log().fingerprint();
+    TracedRunArtifacts {
+        result: finish(cluster, &params, drain_rounds),
+        chrome_json,
+        shard_event_counts,
+        trace_fingerprint,
+    }
 }
 
 /// Runs one sharded fig2 point over a **`String` payload** queue — the
@@ -628,6 +729,41 @@ mod tests {
         assert!(parallel.lane_barrier_wait_ns.iter().any(|&ns| ns > 0));
         assert_eq!(single.distinct_lane_threads, 1);
         assert!(parallel.distinct_lane_threads >= 2);
+    }
+
+    #[test]
+    fn traced_scenario_matches_untraced_and_reports_stage_latencies() {
+        // Tracing is observation-only: every schedule-derived metric must be
+        // identical with tracing on, and the traced run additionally carries
+        // the populated stage table.
+        let params = ScenarioParams::fixed_rate(24, Mode::Queue, 0.5)
+            .with_generation_rounds(20)
+            .with_seed(11)
+            .with_shards(2);
+        let plain = run_fixed_rate(params);
+        let traced = run_fixed_rate(params.with_trace(TraceLevel::Full));
+        assert_eq!(plain.requests, traced.requests);
+        assert_eq!(
+            plain.avg_rounds_per_request, traced.avg_rounds_per_request,
+            "tracing must not change the schedule"
+        );
+        assert_eq!(plain.drain_rounds, traced.drain_rounds);
+        assert_eq!(
+            (plain.p50_rounds, plain.p99_rounds, plain.p999_rounds),
+            (traced.p50_rounds, traced.p99_rounds, traced.p999_rounds),
+            "percentiles come from the history and must agree"
+        );
+        assert!(plain.p50_rounds > 0);
+        assert!(plain.p99_rounds >= plain.p50_rounds);
+        assert_eq!(plain.trace_events, 0);
+        assert!(plain.stage_latencies.is_empty());
+        assert!(traced.trace_events > 0);
+        assert_eq!(traced.stage_latencies.len(), 6);
+        // The trace's total-stage percentiles are the history's percentiles.
+        let total = traced.stage_latencies.last().unwrap().1;
+        assert_eq!(total.count, traced.requests);
+        assert_eq!(total.p50, traced.p50_rounds);
+        assert_eq!(total.p99, traced.p99_rounds);
     }
 
     #[test]

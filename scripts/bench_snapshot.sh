@@ -16,8 +16,12 @@
 #              threads ∈ {1, 2, 4, 8}, the heavy-load open-loop row (≥10⁵
 #              requests) on both backends, and the nearest-middle-finger
 #              off/on rows (default output: BENCH_pr8.json)
-#   OUTPUT     snapshot filename (default: BENCH_pr5.json, or BENCH_pr8.json
-#              with --threads)
+#   --trace    the PR-9 trace-overhead report instead: fig2 n=3·10³ at
+#              S ∈ {1, 4} × threads ∈ {1, 4}, each combination measured as a
+#              matched tracing-off / TraceLevel::Full row pair (default
+#              output: BENCH_pr9.json)
+#   OUTPUT     snapshot filename (default: BENCH_pr5.json, BENCH_pr8.json
+#              with --threads, or BENCH_pr9.json with --trace)
 #
 # Any further arguments are passed through to the harness (e.g. --seed 7).
 set -euo pipefail
@@ -32,6 +36,10 @@ if [[ "${1:-}" == "--full" ]]; then
 elif [[ "${1:-}" == "--threads" ]]; then
     MODE="--threads-sweep"
     DEFAULT_OUT="BENCH_pr8.json"
+    shift
+elif [[ "${1:-}" == "--trace" ]]; then
+    MODE="--trace-sweep"
+    DEFAULT_OUT="BENCH_pr9.json"
     shift
 fi
 

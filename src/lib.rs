@@ -79,6 +79,8 @@
 //! * [`core`] — the Skueue protocol itself (queue + stack, join/leave,
 //!   sharded anchors) and the builder/ticket/client API,
 //! * [`verify`] — sequential-consistency checkers,
+//! * [`trace`] — per-op lifecycle tracing: lane-local span recorders,
+//!   stage-latency analysis, Chrome-trace export (see `OBSERVABILITY.md`),
 //! * [`workloads`] — the paper's workload generators, scenarios and the
 //!   central-server baseline.
 
@@ -90,6 +92,7 @@ pub use skueue_dht as dht;
 pub use skueue_overlay as overlay;
 pub use skueue_shard as shard;
 pub use skueue_sim as sim;
+pub use skueue_trace as trace;
 pub use skueue_verify as verify;
 pub use skueue_workloads as workloads;
 
@@ -103,9 +106,11 @@ pub mod prelude {
     pub use skueue_shard::{ShardId, ShardMap, ShardRouter};
     pub use skueue_sim::ids::{NodeId, ProcessId, RequestId};
     pub use skueue_sim::{DeliveryModel, SimConfig, SimRng};
+    pub use skueue_trace::{TraceAnalysis, TraceLevel, TraceLog};
     pub use skueue_verify::{check_queue, check_queue_sharded, check_stack, History, OpKind};
     pub use skueue_workloads::{
-        run_fixed_rate, run_payload_fixed_rate, run_per_node_rate, run_sharded_fig2,
-        run_string_payload_fig2, FixedRateGenerator, PerNodeRateGenerator, ScenarioParams,
+        run_fixed_rate, run_fixed_rate_traced, run_payload_fixed_rate, run_per_node_rate,
+        run_sharded_fig2, run_string_payload_fig2, FixedRateGenerator, PerNodeRateGenerator,
+        ScenarioParams,
     };
 }

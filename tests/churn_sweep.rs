@@ -28,6 +28,7 @@ fn run_combo(seed: u64, max_delay: u64, join_at: usize, leave_at: usize) {
         .processes(5)
         .asynchronous(max_delay)
         .seed(seed)
+        .trace(TraceLevel::Spans)
         .build()
         .unwrap();
     let mut rng = SimRng::new(seed ^ 0xC0DE);
@@ -63,6 +64,21 @@ fn run_combo(seed: u64, max_delay: u64, join_at: usize, leave_at: usize) {
         "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: \
          every DHT reply must be matched to an open request at quiescence"
     );
+    // Companion invariant of the reply check, one layer up: if every DHT
+    // reply found its open request, every issued span must also have closed.
+    let analysis = cluster.trace_analysis();
+    assert_eq!(
+        analysis.orphan_count(),
+        0,
+        "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: \
+         zero unmatched DHT replies must imply zero orphan trace spans"
+    );
+    if let Some(violation) = analysis.shape_violation() {
+        panic!(
+            "combo seed={seed} delay={max_delay} join@{join_at} leave@{leave_at}: \
+             malformed trace span: {violation}"
+        );
+    }
 
     let records = cluster.into_history().into_records();
     assert_eq!(
