@@ -74,6 +74,20 @@ impl Batch {
         }
     }
 
+    /// Reassembles a batch from its parts — the inverse of reading
+    /// [`Batch::runs`], [`Batch::first_run`] and the two public counters.
+    /// Used by wire codecs (`skueue-net`) to decode a batch that travelled
+    /// as plain fields; protocol code builds batches with
+    /// [`Batch::push_op`]/[`Batch::combine`] instead.
+    pub fn from_parts(first: FirstRun, runs: Vec<u64>, joins: u64, leaves: u64) -> Self {
+        Batch {
+            runs,
+            first,
+            joins,
+            leaves,
+        }
+    }
+
     /// True when the batch carries neither operations nor join/leave counts.
     pub fn is_empty(&self) -> bool {
         self.total_ops() == 0 && self.joins == 0 && self.leaves == 0

@@ -20,7 +20,7 @@
 //! # Pipelined waves
 //!
 //! Stage 1 is *pipelined*: instead of a single implicit in-flight wave, a
-//! node keeps a small ring of [`WaveSlot`]s tagged with a per-node wave
+//! node keeps a small ring of `WaveSlot`s tagged with a per-node wave
 //! epoch, so it can combine and forward wave `k+1` while wave `k`'s
 //! assignments (and the DHT operations they trigger) are still in flight —
 //! the overlapping-phases idea of Skeap/Seap applied to Skueue's aggregation

@@ -6,7 +6,7 @@
 //! * [`protocol`] — a small-n abstraction of the join/leave/update phase
 //!   machinery, wave pipelining and re-anchoring as an explicit
 //!   `{ State, Action }` transition system ([`machine::Machine`]);
-//! * [`explore`] — deterministic BFS over every enabled-action
+//! * [`mod@explore`] — deterministic BFS over every enabled-action
 //!   interleaving, with exact state deduplication and safety checks at
 //!   every state;
 //! * [`props`] — the safety properties plus an LTL-ish combinator layer

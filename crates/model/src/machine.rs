@@ -3,7 +3,7 @@
 //! A [`Machine`] is an explicit-state transition system: an initial state, a
 //! function enumerating the *enabled* actions of a state, and a deterministic
 //! `apply`.  The protocol abstraction in [`crate::protocol`] implements it;
-//! the explorer in [`crate::explore`] is generic over it, so the Skeap/Seap
+//! the explorer in [`mod@crate::explore`] is generic over it, so the Skeap/Seap
 //! phase machinery (PAPERS.md) can reuse the same traversal later by
 //! implementing this trait for its own state.
 

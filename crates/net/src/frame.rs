@@ -1,0 +1,320 @@
+//! Length-prefixed framing and the daemon wire protocol.
+//!
+//! Every connection in the service topology — daemon ↔ daemon, ctl ↔ daemon,
+//! ingress ↔ daemon — speaks the same trivially simple framing: a `u32`
+//! little-endian byte length followed by exactly that many bytes, which decode
+//! (via [`crate::codec::Wire`]) to one [`NetFrame`].  TCP gives per-connection
+//! FIFO, which is strictly stronger than the protocol needs (Skueue is correct
+//! under arbitrary finite delays and reordering), so no sequence numbers or
+//! acks are layered on top.
+
+use std::io::{self, Read, Write};
+
+use skueue_core::SkueueMsg;
+use skueue_sim::ids::{NodeId, ProcessId, RequestId};
+use skueue_verify::OpRecord;
+
+use crate::codec::{from_bytes, to_bytes, DecodeError, Reader, Wire};
+
+/// Upper bound on a single frame's payload, in bytes.  Handover payloads can
+/// carry a shard's worth of DHT entries, but anything beyond this indicates a
+/// corrupt or hostile length prefix.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Writes one value as a length-prefixed frame.
+pub fn write_frame<T: Wire, W: Write>(w: &mut W, value: &T) -> io::Result<()> {
+    let body = to_bytes(value);
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    // One buffer, one write: avoids interleaving when callers share a stream
+    // behind a mutex and halves the syscall count for small frames.
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&body);
+    w.write_all(&out)
+}
+
+/// Reads one length-prefixed frame.  Returns `Ok(None)` on clean EOF at a
+/// frame boundary (the peer closed the connection), an error otherwise.
+pub fn read_frame<T: Wire, R: Read>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    from_bytes(&body).map(Some).map_err(|e: DecodeError| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}"))
+    })
+}
+
+/// One frame of the daemon protocol.
+///
+/// Protocol traffic ([`NetFrame::Proto`]) and the control plane share the
+/// framing; control frames follow a request/reply discipline on their
+/// originating connection, protocol frames are fire-and-forget.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFrame<T> {
+    /// Connection preamble: identifies the dialing daemon so the accepting
+    /// side can bind the connection into its peer table.  Ingress and ctl
+    /// connections skip the preamble and speak control frames directly.
+    Hello {
+        /// Index of the dialing daemon in the cluster spec.
+        from: u32,
+    },
+    /// A protocol message in flight between two virtual nodes.
+    Proto {
+        /// Sending virtual node.
+        from: NodeId,
+        /// Destination virtual node.
+        to: NodeId,
+        /// The Skueue protocol message.
+        msg: SkueueMsg<T>,
+    },
+    /// Ingress → daemon: issue one client operation on a hosted process.
+    Inject {
+        /// Request id chosen by the ingress (`origin` selects the process).
+        id: RequestId,
+        /// `true` for enqueue, `false` for dequeue.
+        insert: bool,
+        /// Payload value (meaningful for enqueues only).
+        value: T,
+    },
+    /// Daemon → ingress: a client operation completed.
+    Completion {
+        /// The finished operation, as the verifier consumes it.
+        record: OpRecord<T>,
+    },
+    /// Ctl → daemon: spin up a joining process on this daemon.
+    Join {
+        /// Process id of the joiner (globally unique, assigned by ctl).
+        pid: ProcessId,
+        /// Middle node of the same-shard bootstrap process.
+        bootstrap: NodeId,
+    },
+    /// Ctl → daemon: ask a hosted process to leave the overlay.
+    Leave {
+        /// Process id of the leaver.
+        pid: ProcessId,
+    },
+    /// Ctl/ingress → daemon: report hosted-process states.
+    Status,
+    /// Daemon → ctl/ingress: reply to [`NetFrame::Status`].
+    StatusReply {
+        /// Index of the replying daemon.
+        daemon: u32,
+        /// `(pid, integrated, left)` for every hosted process.
+        processes: Vec<(u64, bool, bool)>,
+    },
+    /// Ingress → daemon: register this connection as a completion sink.
+    /// Every [`NetFrame::Completion`] the daemon's nodes produce afterwards
+    /// is streamed to all subscribed connections.
+    Subscribe,
+    /// Ctl → daemon: stop all node threads and exit.
+    Shutdown,
+    /// Generic success reply to a control frame.
+    Ok,
+    /// Generic failure reply to a control frame.
+    Err(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+impl<T: Wire> Wire for NetFrame<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            NetFrame::Hello { from } => {
+                buf.push(0);
+                from.encode(buf);
+            }
+            NetFrame::Proto { from, to, msg } => {
+                buf.push(1);
+                from.encode(buf);
+                to.encode(buf);
+                msg.encode(buf);
+            }
+            NetFrame::Inject { id, insert, value } => {
+                buf.push(2);
+                id.encode(buf);
+                insert.encode(buf);
+                value.encode(buf);
+            }
+            NetFrame::Completion { record } => {
+                buf.push(3);
+                record.encode(buf);
+            }
+            NetFrame::Join { pid, bootstrap } => {
+                buf.push(4);
+                pid.encode(buf);
+                bootstrap.encode(buf);
+            }
+            NetFrame::Leave { pid } => {
+                buf.push(5);
+                pid.encode(buf);
+            }
+            NetFrame::Status => buf.push(6),
+            NetFrame::StatusReply { daemon, processes } => {
+                buf.push(7);
+                daemon.encode(buf);
+                processes.encode(buf);
+            }
+            NetFrame::Subscribe => buf.push(8),
+            NetFrame::Shutdown => buf.push(9),
+            NetFrame::Ok => buf.push(10),
+            NetFrame::Err(reason) => {
+                buf.push(11);
+                reason.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tag = u8::decode(r)?;
+        Ok(match tag {
+            0 => NetFrame::Hello {
+                from: u32::decode(r)?,
+            },
+            1 => NetFrame::Proto {
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
+                msg: SkueueMsg::decode(r)?,
+            },
+            2 => NetFrame::Inject {
+                id: RequestId::decode(r)?,
+                insert: bool::decode(r)?,
+                value: T::decode(r)?,
+            },
+            3 => NetFrame::Completion {
+                record: OpRecord::decode(r)?,
+            },
+            4 => NetFrame::Join {
+                pid: ProcessId::decode(r)?,
+                bootstrap: NodeId::decode(r)?,
+            },
+            5 => NetFrame::Leave {
+                pid: ProcessId::decode(r)?,
+            },
+            6 => NetFrame::Status,
+            7 => NetFrame::StatusReply {
+                daemon: u32::decode(r)?,
+                processes: Vec::decode(r)?,
+            },
+            8 => NetFrame::Subscribe,
+            9 => NetFrame::Shutdown,
+            10 => NetFrame::Ok,
+            11 => NetFrame::Err(String::decode(r)?),
+            value => {
+                return Err(DecodeError::BadDiscriminant {
+                    ty: "NetFrame",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skueue_verify::{OpKind, OpResult, OrderKey};
+
+    fn roundtrip(frame: NetFrame<u64>) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("write");
+        let mut cursor = io::Cursor::new(buf);
+        let back: NetFrame<u64> = read_frame(&mut cursor).expect("read").expect("some");
+        assert_eq!(back, frame);
+        // Clean EOF after the single frame.
+        assert!(read_frame::<NetFrame<u64>, _>(&mut cursor)
+            .expect("eof read")
+            .is_none());
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        roundtrip(NetFrame::Hello { from: 2 });
+        roundtrip(NetFrame::Inject {
+            id: RequestId::new(ProcessId(3), 9),
+            insert: true,
+            value: 77,
+        });
+        roundtrip(NetFrame::Join {
+            pid: ProcessId(5),
+            bootstrap: NodeId(4),
+        });
+        roundtrip(NetFrame::Leave { pid: ProcessId(2) });
+        roundtrip(NetFrame::Status);
+        roundtrip(NetFrame::Subscribe);
+        roundtrip(NetFrame::StatusReply {
+            daemon: 1,
+            processes: vec![(0, true, false), (3, false, false)],
+        });
+        roundtrip(NetFrame::Shutdown);
+        roundtrip(NetFrame::Ok);
+        roundtrip(NetFrame::Err(String::from("no such pid")));
+    }
+
+    #[test]
+    fn proto_and_completion_frames_roundtrip() {
+        roundtrip(NetFrame::Proto {
+            from: NodeId(1),
+            to: NodeId(5),
+            msg: SkueueMsg::UpdateFlag { phase: 3 },
+        });
+        roundtrip(NetFrame::Completion {
+            record: OpRecord {
+                id: RequestId::new(ProcessId(0), 0),
+                kind: OpKind::Enqueue,
+                value: 11,
+                result: OpResult::Enqueued,
+                order: OrderKey {
+                    wave: 1,
+                    shard: 0,
+                    major: 2,
+                    origin: 0,
+                    minor: 0,
+                },
+                issued_round: 1,
+                completed_round: 4,
+            },
+        });
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame::<NetFrame<u64>, _>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let frame: NetFrame<u64> = NetFrame::Status;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        buf.extend_from_slice(&8u32.to_le_bytes()); // header for 8 bytes...
+        buf.extend_from_slice(&[1, 2, 3]); // ...but only 3 arrive.
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame::<NetFrame<u64>, _>(&mut cursor)
+            .unwrap()
+            .is_some());
+        assert!(read_frame::<NetFrame<u64>, _>(&mut cursor).is_err());
+    }
+}

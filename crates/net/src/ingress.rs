@@ -1,0 +1,241 @@
+//! The ingress client: issues client operations into a running cluster and
+//! collects the completion stream into a verifiable history.
+//!
+//! The ingress owns the `RequestId` space (per-process monotone sequence
+//! numbers, exactly as the simulation cluster's driver does), timestamps
+//! every operation at issue and at completion for wall-clock latency
+//! percentiles, and rebuilds a [`History`] from the streamed
+//! [`NetFrame::Completion`] records — which then goes through the same
+//! [`check_queue_sharded`] verifier as a simulated run.  This is where the
+//! "correct under full asynchrony, checked a posteriori" contract of the
+//! real transport is enforced.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skueue_core::Payload;
+use skueue_shard::ShardMap;
+use skueue_sim::ids::{ProcessId, RequestId};
+use skueue_verify::{check_queue_sharded, ConsistencyReport, History, OpRecord};
+
+use crate::codec::Wire;
+use crate::ctl::Control;
+use crate::frame::{read_frame, NetFrame};
+use crate::spec::ClusterSpec;
+
+/// A connected ingress: one subscribed connection per daemon, with reader
+/// threads streaming completions into a single channel.
+#[derive(Debug)]
+pub struct IngressClient<T: Payload> {
+    spec: ClusterSpec,
+    /// Write halves, per daemon (injects are fire-and-forget).
+    conns: Vec<Control<T>>,
+    /// Merged completion stream from all daemons.
+    completions: Receiver<OpRecord<T>>,
+    readers: Vec<JoinHandle<()>>,
+    /// Base for this client's sequence numbers: wall-clock microseconds at
+    /// connect time.  Distinct ingress invocations against the same cluster
+    /// must not reuse `RequestId`s, and they share no state — the clock is
+    /// the coordination-free source of disjoint id ranges (two invocations
+    /// would need to issue within the same microsecond to collide).
+    seq_base: u64,
+    /// Per-process next sequence offset (the ingress owns the id space).
+    next_seq: HashMap<u64, u64>,
+    /// Issue timestamps of operations still awaiting completion.
+    pending: HashMap<RequestId, Instant>,
+    /// Completed records, in arrival order.
+    records: Vec<OpRecord<T>>,
+    /// Wall-clock issue→completion latencies, in microseconds.
+    latencies_us: Vec<u64>,
+    issued: u64,
+}
+
+impl<T: Payload + Wire> IngressClient<T> {
+    /// Connects to every daemon, subscribes to its completion stream, and
+    /// spawns one reader thread per connection.
+    pub fn connect(spec: &ClusterSpec) -> io::Result<Self> {
+        let (tx, completions) = channel();
+        let mut conns = Vec::with_capacity(spec.num_daemons());
+        let mut readers = Vec::with_capacity(spec.num_daemons());
+        for addr in &spec.daemons {
+            let mut conn = Control::<T>::connect(addr)?;
+            conn.expect_ok(&NetFrame::Subscribe)?;
+            // Hand the buffered read half to a completion pump; keep the
+            // write half for injects.
+            let mut reader = std::mem::replace(
+                &mut conn.reader,
+                std::io::BufReader::new(conn.stream.try_clone()?),
+            );
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || loop {
+                match read_frame::<NetFrame<T>, _>(&mut reader) {
+                    Ok(Some(NetFrame::Completion { record })) => {
+                        if tx.send(record).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(_)) => {} // stray replies are ignored
+                    Ok(None) | Err(_) => break,
+                }
+            }));
+            conns.push(conn);
+        }
+        let seq_base = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Ok(IngressClient {
+            spec: spec.clone(),
+            conns,
+            completions,
+            readers,
+            seq_base,
+            next_seq: HashMap::new(),
+            pending: HashMap::new(),
+            records: Vec::new(),
+            latencies_us: Vec::new(),
+            issued: 0,
+        })
+    }
+
+    /// The spec this client was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Issues an enqueue of `value` through process `pid`.
+    pub fn enqueue(&mut self, pid: ProcessId, value: T) -> io::Result<RequestId> {
+        self.inject(pid, true, value)
+    }
+
+    /// Issues a dequeue through process `pid`.
+    pub fn dequeue(&mut self, pid: ProcessId) -> io::Result<RequestId> {
+        self.inject(pid, false, T::default())
+    }
+
+    fn inject(&mut self, pid: ProcessId, insert: bool, value: T) -> io::Result<RequestId> {
+        let seq = self.next_seq.entry(pid.0).or_insert(0);
+        let id = RequestId::new(pid, self.seq_base + *seq);
+        *seq += 1;
+        let daemon = self.spec.daemon_of(pid);
+        self.pending.insert(id, Instant::now());
+        self.issued += 1;
+        self.conns[daemon].send(&NetFrame::Inject { id, insert, value })?;
+        self.pump();
+        Ok(id)
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of completions received so far.
+    pub fn completed(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Drains every completion that has already arrived, without blocking.
+    pub fn pump(&mut self) {
+        while let Ok(record) = self.completions.try_recv() {
+            self.absorb(record);
+        }
+    }
+
+    fn absorb(&mut self, record: OpRecord<T>) {
+        if let Some(issued_at) = self.pending.remove(&record.id) {
+            self.latencies_us
+                .push(issued_at.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+        self.records.push(record);
+    }
+
+    /// Blocks until every issued operation has completed or `timeout`
+    /// elapses.  Returns whether the cluster fully drained.
+    pub fn await_quiescence(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.pump();
+        while !self.pending.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            match self.completions.recv_timeout(deadline - now) {
+                Ok(record) => self.absorb(record),
+                Err(RecvTimeoutError::Timeout) => return self.pending.is_empty(),
+                Err(RecvTimeoutError::Disconnected) => return self.pending.is_empty(),
+            }
+        }
+        true
+    }
+
+    /// The completion records received so far, in arrival order.
+    pub fn records(&self) -> &[OpRecord<T>] {
+        &self.records
+    }
+
+    /// Wall-clock issue→completion latencies observed so far, microseconds.
+    pub fn latencies_us(&self) -> &[u64] {
+        &self.latencies_us
+    }
+
+    /// `(p50, p99, p999)` of the wall-clock latencies, in microseconds.
+    pub fn latency_percentiles_us(&self) -> (u64, u64, u64) {
+        percentiles_us(self.latencies_us.clone())
+    }
+
+    /// Runs the sharded sequential-consistency checker over the collected
+    /// history.  Arrival order does not matter: the checker sorts by the
+    /// records' total-order keys.
+    ///
+    /// Verification is only meaningful when this client observed *all*
+    /// traffic since the cluster booted: a client that connects mid-stream
+    /// can legitimately dequeue elements whose enqueues it never saw, which
+    /// the checker reports as phantom elements.
+    pub fn verify(&self) -> ConsistencyReport {
+        let history = History::from_records(self.records.clone());
+        let shards = self.spec.protocol_config().effective_shards();
+        let map = ShardMap::new(shards as u32, self.spec.hash_seed);
+        check_queue_sharded(&history, &map)
+    }
+
+    /// Closes the inject connections and joins the completion pumps.  Call
+    /// after the daemons have shut down (their side closes the stream).
+    pub fn close(self) {
+        drop(self.conns);
+        drop(self.completions);
+        for reader in self.readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// `(p50, p99, p999)` of a latency sample, by nearest-rank on the sorted
+/// values.  Returns zeros for an empty sample.
+pub fn percentiles_us(mut sample: Vec<u64>) -> (u64, u64, u64) {
+    if sample.is_empty() {
+        return (0, 0, 0);
+    }
+    sample.sort_unstable();
+    let pick = |p: f64| -> u64 {
+        let rank = ((sample.len() as f64) * p).ceil().max(1.0) as usize;
+        sample[rank.min(sample.len()) - 1]
+    };
+    (pick(0.50), pick(0.99), pick(0.999))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_nearest_rank() {
+        let sample: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentiles_us(sample), (500, 990, 999));
+        assert_eq!(percentiles_us(vec![]), (0, 0, 0));
+        assert_eq!(percentiles_us(vec![7]), (7, 7, 7));
+    }
+}

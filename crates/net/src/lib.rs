@@ -1,0 +1,57 @@
+//! # skueue-net — real-clock TCP transport and service topology
+//!
+//! Everything else in this workspace runs the Skueue protocol inside the
+//! deterministic simulation (`skueue-sim`).  This crate is the other side of
+//! the [`skueue_sim::Transport`] seam: the same `SkueueNode` state machines,
+//! executing on real threads against real sockets and real time.
+//!
+//! The paper's correctness argument holds under full asynchrony — arbitrary
+//! finite message delays, no FIFO assumption — so nothing about the protocol
+//! changes here.  What changes is the *evidence*: a simulated run is verified
+//! by byte-identical replay, a networked run is verified a posteriori by
+//! collecting its completion history and passing it through the same
+//! [`skueue_verify::check_queue_sharded`] checker.
+//!
+//! ## Pieces
+//!
+//! | module | role |
+//! |---|---|
+//! | [`codec`] | hand-rolled binary encoding of every protocol type (the workspace's `serde` is a no-op stub) |
+//! | [`frame`] | `u32`-length-prefixed framing and the [`frame::NetFrame`] daemon protocol |
+//! | [`spec`] | the [`spec::ClusterSpec`] every binary agrees on, plus static placement rules |
+//! | [`transport`] | [`transport::TcpTransport`], the real-clock [`skueue_sim::Transport`] implementation |
+//! | [`daemon`] | the `skueue-node` daemon: listener, switch, per-node tick threads |
+//! | [`ctl`] | the control-plane client (join/leave waves, status, shutdown) |
+//! | [`ingress`] | the client-operation ingress: issues ops, collects and verifies the history |
+//! | [`load`] | open-loop Poisson load generation with latency percentiles |
+//!
+//! ## Service topology
+//!
+//! A deployment is `d` × `skueue-node` daemons (each hosting the processes
+//! `pid ≡ index (mod d)`), one `skueue-ctl` driving churn, and one
+//! `skueue-ingress`/`skueue-load` issuing operations.  All placement is
+//! statically derivable from the [`spec::ClusterSpec`], so no coordination
+//! service is needed: a joiner's node ids (`3·pid + kind`) and host daemon
+//! follow from its process id alone.  See `DEPLOY.md` at the workspace root
+//! for a copy-pasteable localhost walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod ctl;
+pub mod daemon;
+pub mod frame;
+pub mod ingress;
+pub mod load;
+pub mod spec;
+pub mod transport;
+
+pub use codec::{DecodeError, Wire};
+pub use ctl::{Control, CtlClient, ProcessStatus};
+pub use daemon::DaemonHandle;
+pub use frame::NetFrame;
+pub use ingress::IngressClient;
+pub use load::{run_load, LoadParams, LoadReport};
+pub use spec::{node_of, ClusterSpec};
+pub use transport::TcpTransport;

@@ -1,0 +1,161 @@
+//! Open-loop Poisson load generation against a running cluster.
+//!
+//! An *open-loop* generator issues operations on a fixed stochastic schedule
+//! regardless of how fast the system completes them (a closed loop would
+//! hide queueing delay by self-throttling — the coordinated-omission trap).
+//! Inter-arrival gaps are exponential with the configured rate, drawn from a
+//! seeded [`SimRng`] so a load run is reproducible in *schedule* (completion
+//! timing of course is not).
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use skueue_sim::ids::ProcessId;
+use skueue_sim::SimRng;
+
+use crate::codec::Wire;
+use crate::ingress::IngressClient;
+use skueue_core::Payload;
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadParams {
+    /// Mean operation rate, in operations per second.
+    pub rate_hz: f64,
+    /// Total number of operations to issue.
+    pub ops: u64,
+    /// Probability that an operation is an enqueue (the remainder are
+    /// dequeues); `0.6` matches the figure-2 workloads.
+    pub enqueue_prob: f64,
+    /// Seed of the schedule RNG (gap lengths, op mix, process choice).
+    pub seed: u64,
+    /// Processes to spread the operations over (round-robin would skew the
+    /// aggregation tree; a uniform random choice matches the paper's setup).
+    pub pids: Vec<ProcessId>,
+    /// How long to wait for stragglers after the last inject.
+    pub drain_timeout: Duration,
+}
+
+impl LoadParams {
+    /// A small default workload: `ops` operations at `rate_hz` over the
+    /// initial processes `0..n`.
+    pub fn new(rate_hz: f64, ops: u64, n_processes: u64, seed: u64) -> Self {
+        LoadParams {
+            rate_hz,
+            ops,
+            enqueue_prob: 0.6,
+            seed,
+            pids: (0..n_processes).map(ProcessId).collect(),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Operations issued.
+    pub issued: u64,
+    /// Completions received (equals `issued` when the run drained).
+    pub completed: u64,
+    /// Whether every issued operation completed within the drain timeout.
+    pub drained: bool,
+    /// Whether the collected history passed the sharded consistency check.
+    pub consistent: bool,
+    /// Wall-clock duration from first inject to last completion, in
+    /// milliseconds.
+    pub duration_ms: u64,
+    /// Completions per second over the measured duration.
+    pub throughput_ops_s: f64,
+    /// Median operation latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile operation latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile operation latency, microseconds.
+    pub p999_us: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as a JSON object (hand-rolled: the workspace's
+    /// `serde` is a no-op compatibility stub).  Matches the schema of the
+    /// benchmark snapshots (`BENCH_*.json`) so the same tooling can read it.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"transport\": \"tcp\",\n",
+                "  \"issued\": {},\n",
+                "  \"completed\": {},\n",
+                "  \"drained\": {},\n",
+                "  \"consistent\": {},\n",
+                "  \"duration_ms\": {},\n",
+                "  \"throughput_ops_s\": {:.2},\n",
+                "  \"p50_us\": {},\n",
+                "  \"p99_us\": {},\n",
+                "  \"p999_us\": {}\n",
+                "}}"
+            ),
+            self.issued,
+            self.completed,
+            self.drained,
+            self.consistent,
+            self.duration_ms,
+            self.throughput_ops_s,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+/// Draws a uniform float in `[0, 1)` from the top 53 bits of the stream.
+fn next_f64(rng: &mut SimRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Runs one open-loop load against a connected ingress: issue `params.ops`
+/// operations on the Poisson schedule, wait for the cluster to drain, verify
+/// the history, and report latency percentiles.
+pub fn run_load<T: Payload + Wire + From<u64>>(
+    ingress: &mut IngressClient<T>,
+    params: &LoadParams,
+) -> io::Result<LoadReport> {
+    assert!(!params.pids.is_empty(), "load needs at least one process");
+    assert!(params.rate_hz > 0.0, "rate must be positive");
+    let mut rng = SimRng::new(params.seed ^ 0x10AD);
+    let start = Instant::now();
+    let mut next_at = start;
+    let mut value: u64 = 0;
+    for _ in 0..params.ops {
+        let now = Instant::now();
+        if next_at > now {
+            std::thread::sleep(next_at - now);
+        }
+        let pid = params.pids[(rng.next_u64() % params.pids.len() as u64) as usize];
+        if next_f64(&mut rng) < params.enqueue_prob {
+            value += 1;
+            ingress.enqueue(pid, T::from(value))?;
+        } else {
+            ingress.dequeue(pid)?;
+        }
+        // Exponential inter-arrival gap (inverse-CDF sampling).
+        let gap_s = -(1.0 - next_f64(&mut rng)).ln() / params.rate_hz;
+        next_at += Duration::from_secs_f64(gap_s.min(10.0));
+    }
+    let drained = ingress.await_quiescence(params.drain_timeout);
+    let duration = start.elapsed();
+    let (p50_us, p99_us, p999_us) = ingress.latency_percentiles_us();
+    let completed = ingress.completed();
+    let report = ingress.verify();
+    Ok(LoadReport {
+        issued: ingress.issued(),
+        completed,
+        drained,
+        consistent: report.is_consistent(),
+        duration_ms: duration.as_millis() as u64,
+        throughput_ops_s: completed as f64 / duration.as_secs_f64().max(1e-9),
+        p50_us,
+        p99_us,
+        p999_us,
+    })
+}

@@ -1,0 +1,85 @@
+//! The real-clock transport: [`TcpTransport`] implements
+//! [`skueue_sim::Transport`] over the daemon's message switch.
+//!
+//! Where [`skueue_sim::SimTransport`] owns a seeded delay model and a
+//! round-bucketed delivery wheel (virtual time), `TcpTransport` is a thin
+//! handle onto the daemon's switch thread: `send` enqueues the message onto
+//! the switch, which either places it in a local node's inbox or writes it as
+//! a length-prefixed frame onto the TCP connection towards the daemon hosting
+//! the destination node (real time).  Delivery latency is whatever the
+//! operating system provides — which is exactly the asynchronous model the
+//! protocol's correctness argument assumes.  Determinism ends here: two runs
+//! over this transport interleave differently, and correctness is checked
+//! a posteriori by the history verifier instead of by byte-identity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use skueue_core::SkueueMsg;
+use skueue_sim::ids::NodeId;
+use skueue_sim::Transport;
+
+use crate::daemon::SwitchEvent;
+
+/// A cloneable sender half of the daemon's switch, implementing the
+/// simulation's [`Transport`] seam over real sockets.
+///
+/// Every node thread owns one clone; the shared counter tracks messages that
+/// are inside this daemon's queues (switch queue or a local inbox).  Messages
+/// handed to the kernel for a remote daemon leave the count — a real network
+/// transport can only report its local queues (see [`Transport::in_flight`]).
+#[derive(Debug)]
+pub struct TcpTransport<T> {
+    tx: Sender<SwitchEvent<T>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl<T> Clone for TcpTransport<T> {
+    fn clone(&self) -> Self {
+        TcpTransport {
+            tx: self.tx.clone(),
+            in_flight: Arc::clone(&self.in_flight),
+        }
+    }
+}
+
+impl<T> TcpTransport<T> {
+    /// Wraps the switch's sender half.  Called by the daemon when it spawns
+    /// node threads.
+    pub(crate) fn new(tx: Sender<SwitchEvent<T>>, in_flight: Arc<AtomicUsize>) -> Self {
+        TcpTransport { tx, in_flight }
+    }
+
+    /// The shared local-queue depth counter (decremented by receivers).
+    pub(crate) fn counter(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.in_flight)
+    }
+
+    /// Forwards a completed client operation to the switch, which streams it
+    /// to every subscribed ingress connection.  Completions are driver-side
+    /// results, not protocol messages, so they bypass the in-flight count.
+    pub(crate) fn send_completion(&self, record: skueue_verify::OpRecord<T>) {
+        let _ = self.tx.send(SwitchEvent::Completion(record));
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> Transport<SkueueMsg<T>> for TcpTransport<T> {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: SkueueMsg<T>) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        // A send error means the switch already shut down; the message is
+        // dropped, matching a crashed link.  Nodes tolerate this during
+        // shutdown only (the protocol itself assumes reliable channels).
+        if self.tx.send(SwitchEvent::Route { from, to, msg }).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}

@@ -58,6 +58,7 @@ pub mod replay;
 pub mod rng;
 pub mod scheduler;
 pub mod trace;
+pub mod transport;
 
 pub use actor::{Actor, Context};
 pub use config::SimConfig;
@@ -71,6 +72,7 @@ pub use replay::{ReplayScenario, ReplayStep};
 pub use rng::SimRng;
 pub use scheduler::{RunOutcome, Simulation};
 pub use trace::{Trace, TraceEvent};
+pub use transport::{SimTransport, Transport};
 
 /// A simulated round (discrete time step of the synchronous model).
 pub type Round = u64;

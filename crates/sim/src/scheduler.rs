@@ -62,7 +62,6 @@
 
 use crate::actor::{Actor, Context};
 use crate::config::SimConfig;
-use crate::delivery::DeliveryModel;
 use crate::error::SimError;
 use crate::exec::{thread_token, RoundTask, WorkerPool};
 use crate::ids::NodeId;
@@ -70,16 +69,9 @@ use crate::message::Envelope;
 use crate::metrics::{Histogram, SimMetrics};
 use crate::rng::{splitmix64, SimRng};
 use crate::trace::{Trace, TraceEvent};
+use crate::transport::SimTransport;
 use crate::Round;
-use std::collections::BTreeMap;
 use std::time::Instant;
-
-/// Upper bound on parked spare bucket vectors (per lane).  Delivery models
-/// bound the number of distinct in-flight `deliver_at` rounds (1 for
-/// synchronous, `max_delay` / `straggle_delay` otherwise), so a small pool
-/// suffices; the cap only guards against unbounded growth under pathological
-/// models.
-const SPARE_BUCKET_LIMIT: usize = 64;
 
 /// Marker in a lane's global→local slot map for "not one of my nodes".
 const NOT_LOCAL: u32 = u32::MAX;
@@ -124,37 +116,20 @@ struct Lane<A: Actor> {
     // Per-lane copies of the configuration bits the round loop needs (the
     // lane must be shippable to a worker thread without borrowing the
     // simulation).
-    delivery: DeliveryModel,
     shuffle: bool,
     record_trace: bool,
-    /// The lane's independent RNG stream.  Lane 0 is seeded exactly like the
-    /// pre-lane global stream, so single-lane runs are bit-identical to the
-    /// historical scheduler.
-    rng: SimRng,
-    /// Per-lane message sequence (tie-breaker metadata on envelopes).
-    seq: u64,
-    /// The round this lane last executed (kept in sync with the driver's
-    /// clock; used as the send round for driver-side injections).
-    round: Round,
+    /// The lane's message fabric: delivery wheel, delay RNG and message
+    /// sequence (see [`crate::transport`]).  The lane calls its inherent
+    /// methods directly — static dispatch, no hot-loop indirection.  Lane
+    /// 0's RNG stream is seeded exactly like the pre-lane global stream, so
+    /// single-lane runs are bit-identical to the historical scheduler.
+    transport: SimTransport<A::Msg>,
     nodes: Vec<NodeSlot<A>>,
     /// Lane slot → global node id.
     global_ids: Vec<u64>,
     /// Global node id → lane slot (`NOT_LOCAL` for other lanes' nodes; only
     /// grown for ids at or below this lane's own highest node).
     local_slot: Vec<u32>,
-    in_flight: usize,
-    /// Round-bucketed delivery wheel: `deliver_at → envelopes` in send order.
-    /// The next round's bucket is kept out of the map in `hot_bucket`, so in
-    /// the synchronous model (and for every delay-1 message) a post is a
-    /// plain `Vec::push` with no map traversal.
-    wheel: BTreeMap<Round, Vec<Envelope<A::Msg>>>,
-    /// The round `hot_bucket` collects messages for (always `round + 1`
-    /// while actors run).
-    hot_round: Round,
-    /// Bucket for `hot_round`, appended to in send (= seq) order.
-    hot_bucket: Vec<Envelope<A::Msg>>,
-    /// Emptied bucket vectors parked for reuse (see [`SPARE_BUCKET_LIMIT`]).
-    spare_buckets: Vec<Vec<Envelope<A::Msg>>>,
     /// Bit-packed per-slot wake flags: bit `i` is set iff slot `i` is active
     /// *and* wants its timeout (see [`Actor::wants_timeout`]).  Re-derived
     /// after every visit.
@@ -195,20 +170,12 @@ impl<A: Actor> Lane<A> {
             splitmix64(&mut s)
         };
         Lane {
-            delivery: config.delivery,
             shuffle: config.shuffle_node_order,
             record_trace: config.record_trace,
-            rng: SimRng::new(seed),
-            seq: 0,
-            round: 0,
+            transport: SimTransport::new(config.delivery, SimRng::new(seed)),
             nodes: Vec::new(),
             global_ids: Vec::new(),
             local_slot: Vec::new(),
-            in_flight: 0,
-            wheel: BTreeMap::new(),
-            hot_round: 1,
-            hot_bucket: Vec::new(),
-            spare_buckets: Vec::new(),
             timeout_flags: Vec::new(),
             woken_bits: Vec::new(),
             wake_order: Vec::new(),
@@ -293,36 +260,17 @@ impl<A: Actor> Lane<A> {
     /// Schedules a message for an intra-lane destination and returns its
     /// delivery round.
     fn post_local(&mut self, from: NodeId, to: NodeId, msg: A::Msg) -> Round {
-        let delay = self.delivery.draw_delay(&mut self.rng).max(1);
-        let deliver_at = self.round + delay;
-        let seq = self.seq;
-        self.seq += 1;
+        let sent_at = self.transport.round();
+        let deliver_at = self.transport.dispatch(from, to, msg);
         self.metrics.messages_sent += 1;
-        self.metrics.delays.record(delay);
+        self.metrics.delays.record(deliver_at - sent_at);
         if self.record_trace {
             self.trace_buf.push(TraceEvent::Sent {
                 from,
                 to,
-                round: self.round,
+                round: sent_at,
                 deliver_at,
             });
-        }
-        self.in_flight += 1;
-        let envelope = Envelope {
-            from,
-            to,
-            sent_at: self.round,
-            deliver_at,
-            seq,
-            payload: msg,
-        };
-        if deliver_at == self.hot_round {
-            self.hot_bucket.push(envelope);
-        } else {
-            self.wheel
-                .entry(deliver_at)
-                .or_insert_with(|| self.spare_buckets.pop().unwrap_or_default())
-                .push(envelope);
         }
         deliver_at
     }
@@ -334,9 +282,9 @@ impl<A: Actor> Lane<A> {
     #[inline]
     fn visit_node(&mut self, slot: usize, round: Round) {
         let self_id = NodeId(self.global_ids[slot]);
-        // Equivalent to handing the context `self.rng.fork()`, but the
+        // Equivalent to handing the context `rng.fork()`, but the
         // xoshiro state is only set up if the actor actually draws bits.
-        let ctx_seed = self.rng.next_u64();
+        let ctx_seed = self.transport.rng_mut().next_u64();
         let mut ctx =
             Context::with_outbox(self_id, round, ctx_seed, std::mem::take(&mut self.outbox));
         if !self.nodes[slot].pending.is_empty() {
@@ -377,55 +325,27 @@ impl<A: Actor> Lane<A> {
     /// Executes this lane's share of one round.
     fn run_round(&mut self, round: Round) {
         let started = Instant::now();
-        self.round = round;
         let sends_before = self.metrics.messages_sent;
 
-        // Phase 1: scatter this round's bucket(s) into the per-slot pending
-        // queues, marking each destination as woken.  Buckets are drained
-        // in ascending `deliver_at` order and were filled in send order, so
-        // each pending queue ends up in `(deliver_at, seq)` order without
-        // sorting.
+        // Phase 1: scatter this round's due envelopes into the per-slot
+        // pending queues, marking each destination as woken.  The transport
+        // hands them over in `(deliver_at, seq)` order, so each pending
+        // queue ends up ordered without sorting.
         for word in &mut self.woken_bits {
             *word = 0;
         }
-        let mut delivered_total = 0usize;
-        if self.hot_round == round {
-            let mut bucket = std::mem::take(&mut self.hot_bucket);
-            delivered_total += bucket.len();
-            for env in bucket.drain(..) {
-                let slot = self.local_slot[env.to.index()] as usize;
-                self.woken_bits[slot / 64] |= 1u64 << (slot % 64);
-                self.nodes[slot].pending.push(env);
-            }
-            self.hot_bucket = bucket;
-        }
-        while let Some(entry) = self.wheel.first_entry() {
-            if *entry.key() > round {
-                break;
-            }
-            let mut bucket = entry.remove();
-            delivered_total += bucket.len();
-            for env in bucket.drain(..) {
-                let slot = self.local_slot[env.to.index()] as usize;
-                self.woken_bits[slot / 64] |= 1u64 << (slot % 64);
-                self.nodes[slot].pending.push(env);
-            }
-            if self.spare_buckets.len() < SPARE_BUCKET_LIMIT {
-                self.spare_buckets.push(bucket);
-            }
-        }
-        self.in_flight -= delivered_total;
-
-        // Advance the hot bucket to the next round: adopt an already-open
-        // wheel bucket for it (keeping seq order — its envelopes were posted
-        // earlier), or reuse the drained vector.
-        self.hot_round = round + 1;
-        if let Some(early) = self.wheel.remove(&(round + 1)) {
-            let drained = std::mem::replace(&mut self.hot_bucket, early);
-            if self.spare_buckets.len() < SPARE_BUCKET_LIMIT {
-                self.spare_buckets.push(drained);
-            }
-        }
+        let Lane {
+            transport,
+            nodes,
+            local_slot,
+            woken_bits,
+            ..
+        } = self;
+        let delivered_total = transport.take_due(round, |env| {
+            let slot = local_slot[env.to.index()] as usize;
+            woken_bits[slot / 64] |= 1u64 << (slot % 64);
+            nodes[slot].pending.push(env);
+        });
 
         // Phases 2+3: visit exactly the woken slots — those whose wake-flag
         // bit is set (active + timeout interest) or that received a message
@@ -457,7 +377,7 @@ impl<A: Actor> Lane<A> {
                 }
             }
             let mut wake = std::mem::take(&mut self.wake_order);
-            self.rng.shuffle(&mut wake);
+            self.transport.rng_mut().shuffle(&mut wake);
             for &slot in &wake {
                 self.visit_node(slot, round);
                 self.refresh_flag(slot);
@@ -642,7 +562,7 @@ impl<A: Actor> Simulation<A> {
     pub fn in_flight(&self) -> usize {
         self.lanes
             .iter()
-            .map(|l| l.as_ref().expect("lane present").in_flight)
+            .map(|l| l.as_ref().expect("lane present").transport.in_flight())
             .sum()
     }
 
@@ -770,7 +690,11 @@ impl<A: Actor> Simulation<A> {
             .ok_or(SimError::UnknownNode(to))?;
         let round = self.round;
         let lane = self.lane_mut(lane_idx as usize);
-        debug_assert_eq!(lane.round, round, "lane clock out of sync with driver");
+        debug_assert_eq!(
+            lane.transport.round(),
+            round,
+            "lane clock out of sync with driver"
+        );
         let deliver_at = lane.post_local(from, to, msg);
         // Keep the aggregate counters current between rounds (the round
         // merge recomputes them wholesale from the per-lane metrics, so the

@@ -15,13 +15,14 @@
 //!
 //! | stage | from → to | what it measures |
 //! |-------|-----------|------------------|
-//! | `queue-wait` | [`Issued`] → [`WaveJoin`] | waiting for the node's next aggregation wave |
-//! | `aggregation` | [`WaveJoin`] → [`WaveAssigned`] | batch travel up the tree + anchor processing |
-//! | `assignment` | [`WaveAssigned`] → [`Assigned`] | assignment travel back down the tree |
-//! | `dht-routing` | [`Assigned`] → [`DhtApplied`] | distance-halving hops to the responsible node |
-//! | `reply` | [`DhtApplied`] → [`Completed`] | reply routing back to the requester |
+//! | `queue-wait` | `Issued` → `WaveJoin` | waiting for the node's next aggregation wave |
+//! | `aggregation` | `WaveJoin` → `WaveAssigned` | batch travel up the tree + anchor processing |
+//! | `assignment` | `WaveAssigned` → `Assigned` | assignment travel back down the tree |
+//! | `dht-routing` | `Assigned` → `DhtApplied` | distance-halving hops to the responsible node |
+//! | `reply` | `DhtApplied` → `Completed` | reply routing back to the requester |
 //!
-//! (`[Issued]`: [`TraceEvent::Issued`], etc.)  Locally combined stack pairs
+//! (each name is a [`TraceEvent`] variant, e.g. [`TraceEvent::Issued`].)
+//! Locally combined stack pairs
 //! and `⊥` dequeues legitimately skip later stages; see
 //! [`analysis::OpSpan::well_formed`] for the exact shape rules.
 //!

@@ -20,8 +20,15 @@
 #              S ∈ {1, 4} × threads ∈ {1, 4}, each combination measured as a
 #              matched tracing-off / TraceLevel::Full row pair (default
 #              output: BENCH_pr9.json)
+#   --net      the PR-10 real-transport latency report instead: boots a
+#              3-daemon localhost cluster, drives the open-loop Poisson load
+#              generator through `skueue-load` (verifier on), and records
+#              wall-clock p50/p99/p999 operation latency (default output:
+#              BENCH_pr10.json).  Wall-clock numbers — machine- and
+#              load-dependent, unlike the simulated-round rows above.
 #   OUTPUT     snapshot filename (default: BENCH_pr5.json, BENCH_pr8.json
-#              with --threads, or BENCH_pr9.json with --trace)
+#              with --threads, BENCH_pr9.json with --trace, or
+#              BENCH_pr10.json with --net)
 #
 # Any further arguments are passed through to the harness (e.g. --seed 7).
 set -euo pipefail
@@ -30,6 +37,7 @@ cd "$(dirname "$0")/.."
 
 MODE="--quick"
 DEFAULT_OUT="BENCH_pr5.json"
+NET=0
 if [[ "${1:-}" == "--full" ]]; then
     MODE="--full"
     shift
@@ -41,12 +49,49 @@ elif [[ "${1:-}" == "--trace" ]]; then
     MODE="--trace-sweep"
     DEFAULT_OUT="BENCH_pr9.json"
     shift
+elif [[ "${1:-}" == "--net" ]]; then
+    NET=1
+    DEFAULT_OUT="BENCH_pr10.json"
+    shift
 fi
 
 OUT="$DEFAULT_OUT"
 if [[ $# -gt 0 && "$1" != --* ]]; then
     OUT="$1"
     shift
+fi
+
+if [[ "$NET" == 1 ]]; then
+    # Real-transport latency row: boot a 3-daemon localhost cluster and run
+    # the open-loop load generator against it (any extra args pass through
+    # to skueue-load, e.g. --rate 500 --ops 1000).
+    BASE_PORT="${NET_BASE_PORT:-7461}"
+    DAEMONS="127.0.0.1:${BASE_PORT},127.0.0.1:$((BASE_PORT + 1)),127.0.0.1:$((BASE_PORT + 2))"
+    COMMON=(--daemons "$DAEMONS" --initial 5 --shards 2)
+
+    cargo build --release --bins
+    BIN=target/release
+    PIDS=()
+    cleanup() {
+        for pid in "${PIDS[@]:-}"; do
+            kill "$pid" 2>/dev/null || true
+        done
+    }
+    trap cleanup EXIT
+    for i in 0 1 2; do
+        "$BIN/skueue-node" "${COMMON[@]}" --index "$i" &
+        PIDS+=($!)
+    done
+    "$BIN/skueue-load" "${COMMON[@]}" --rate 300 --ops 300 --seed 42 \
+        --out "$OUT" "$@"
+    "$BIN/skueue-ctl" "${COMMON[@]}" --cmd shutdown
+    for pid in "${PIDS[@]}"; do
+        wait "$pid"
+    done
+    PIDS=()
+    trap - EXIT
+    echo "snapshot written to $OUT"
+    exit 0
 fi
 
 cargo run --release -p skueue-bench --bin throughput -- \

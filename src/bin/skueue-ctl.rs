@@ -1,0 +1,104 @@
+//! `skueue-ctl` — control plane for a real-transport Skueue cluster.
+//!
+//! Drives membership churn and lifecycle against running `skueue-node`
+//! daemons:
+//!
+//! ```text
+//! skueue-ctl --daemons … --cmd status
+//! skueue-ctl --daemons … --cmd join --count 2     # join wave, waits for integration
+//! skueue-ctl --daemons … --cmd leave --pid 5      # waits until the process left
+//! skueue-ctl --daemons … --cmd shutdown
+//! ```
+//!
+//! Joins pick fresh consecutive process ids; the daemon hosting each joiner
+//! follows from the id alone, and the bootstrap contact is the lowest
+//! initial process of the joiner's shard.  Only ever `leave` processes
+//! created by a previous `join` wave — initial processes can host shard
+//! anchors, which are pinned.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use skueue::net::spec::{parse_flags, spec_from_flags};
+use skueue::net::CtlClient;
+use skueue::prelude::ProcessId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(&args)?;
+        let spec = spec_from_flags(&flags)?;
+        let timeout = Duration::from_secs(
+            flags
+                .get("timeout-s")
+                .map(|v| v.parse().map_err(|_| "--timeout-s expects a number"))
+                .transpose()?
+                .unwrap_or(60),
+        );
+        let mut ctl = CtlClient::<u64>::connect(&spec).map_err(|e| e.to_string())?;
+        match flags.get("cmd").map(String::as_str) {
+            Some("status") => {
+                for status in ctl.status().map_err(|e| e.to_string())? {
+                    println!(
+                        "process {:>4}  integrated={}  left={}",
+                        status.pid.0, status.integrated, status.left
+                    );
+                }
+                Ok(())
+            }
+            Some("join") => {
+                let count: u64 = flags
+                    .get("count")
+                    .map(|v| v.parse().map_err(|_| "--count expects a number"))
+                    .transpose()?
+                    .unwrap_or(1);
+                let joined = ctl.join_wave(count).map_err(|e| e.to_string())?;
+                let ids: Vec<u64> = joined.iter().map(|p| p.0).collect();
+                eprintln!("skueue-ctl: join wave started for processes {ids:?}");
+                if ctl
+                    .wait_integrated(&joined, timeout)
+                    .map_err(|e| e.to_string())?
+                {
+                    println!("joined: {ids:?}");
+                    Ok(())
+                } else {
+                    Err(format!("processes {ids:?} did not integrate in time"))
+                }
+            }
+            Some("leave") => {
+                let pid = ProcessId(
+                    flags
+                        .get("pid")
+                        .ok_or("--cmd leave needs --pid N")?
+                        .parse()
+                        .map_err(|_| "--pid expects a number".to_string())?,
+                );
+                ctl.leave(pid).map_err(|e| e.to_string())?;
+                if ctl.wait_left(&[pid], timeout).map_err(|e| e.to_string())? {
+                    println!("left: {}", pid.0);
+                    Ok(())
+                } else {
+                    Err(format!("process {} did not leave in time", pid.0))
+                }
+            }
+            Some("shutdown") => {
+                ctl.shutdown().map_err(|e| e.to_string())?;
+                println!("cluster shut down");
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown command `{other}`")),
+            None => Err("missing required flag --cmd status|join|leave|shutdown".to_string()),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("skueue-ctl: {message}");
+            eprintln!(
+                "usage: skueue-ctl --daemons a,b,c --cmd status|join|leave|shutdown \
+                 [--count N] [--pid N] [--timeout-s T] [--initial N] [--shards S]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -82,13 +82,17 @@
 //! * [`trace`] — per-op lifecycle tracing: lane-local span recorders,
 //!   stage-latency analysis, Chrome-trace export (see `OBSERVABILITY.md`),
 //! * [`workloads`] — the paper's workload generators, scenarios and the
-//!   central-server baseline.
+//!   central-server baseline,
+//! * [`net`] — the real-clock side of the transport seam: TCP framing, the
+//!   `skueue-node`/`skueue-ctl`/`skueue-ingress` service topology and the
+//!   open-loop load generator (see `ARCHITECTURE.md` and `DEPLOY.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use skueue_core as core;
 pub use skueue_dht as dht;
+pub use skueue_net as net;
 pub use skueue_overlay as overlay;
 pub use skueue_shard as shard;
 pub use skueue_sim as sim;
